@@ -1,0 +1,199 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each BenchmarkEn_* runs
+// the corresponding experiment and reports the headline quantity as a
+// custom metric, so `go test -bench=.` reproduces the paper's numbers:
+//
+//	E1  geomean-speedup        (paper: 2.0X over the PC spatial baseline)
+//	E2  static/dynamic-red     (paper: 62% / 64% on the critical path)
+//	E3  perf-per-area-vs-gpp   (paper: 8X)
+//	E6  trigger requirements   (paper: sensitivity to PE resources)
+//	E7  channel-depth sweep
+//	E8  latency / scheduler ablations
+//
+// The BenchmarkSim_* benches additionally measure the simulator itself
+// (simulated PE-cycles per host-second) for each kernel.
+package tia_test
+
+import (
+	"sync"
+	"testing"
+
+	"tia/internal/core"
+	"tia/internal/workloads"
+)
+
+var benchParams = workloads.Params{Seed: 1}
+
+// suiteCache shares one full-suite measurement across benchmarks.
+var suiteCache struct {
+	once sync.Once
+	rows []*core.Row
+	err  error
+}
+
+func suiteRows(b *testing.B) []*core.Row {
+	suiteCache.once.Do(func() {
+		suiteCache.rows, suiteCache.err = core.RunSuite(benchParams)
+	})
+	if suiteCache.err != nil {
+		b.Fatal(suiteCache.err)
+	}
+	return suiteCache.rows
+}
+
+func BenchmarkE1_SpeedupVsPC(b *testing.B) {
+	rows := suiteRows(b)
+	for i := 0; i < b.N; i++ {
+		_ = core.Summarize(rows)
+	}
+	s := core.Summarize(rows)
+	b.ReportMetric(s.GeomeanSpeedup, "geomean-speedup")
+	b.ReportMetric(s.GeomeanSpeedupIdeal, "geomean-speedup-vs-ideal-pc")
+}
+
+func BenchmarkE2_CriticalPathInstructions(b *testing.B) {
+	rows := suiteRows(b)
+	var bracket *core.MergeBracket
+	for i := 0; i < b.N; i++ {
+		var err error
+		bracket, err = core.RunMergeBracket(256, benchParams.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := core.Summarize(rows)
+	b.ReportMetric(100*s.MeanStaticReduction, "mean-static-reduction-%")
+	b.ReportMetric(100*s.MeanDynamicReduction, "mean-dynamic-reduction-%")
+	var ps, pd float64
+	n := 0
+	for _, r := range rows {
+		if r.PlainStatic > 0 {
+			ps += 1 - float64(r.TIAStatic)/float64(r.PlainStatic)
+			pd += 1 - float64(r.TIADynamic)/float64(r.PlainDynamic)
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(100*ps/float64(n), "mean-static-reduction-vs-plain-%")
+		b.ReportMetric(100*pd/float64(n), "mean-dynamic-reduction-vs-plain-%")
+	}
+	b.ReportMetric(100*(1-float64(bracket.TIAStatic)/float64(bracket.PlainStatic)), "merge-static-reduction-vs-plain-%")
+	b.ReportMetric(100*(1-float64(bracket.TIADynamic)/float64(bracket.PlainDynamic)), "merge-dynamic-reduction-vs-plain-%")
+}
+
+func BenchmarkE3_AreaNormalizedVsGPP(b *testing.B) {
+	rows := suiteRows(b)
+	for i := 0; i < b.N; i++ {
+		_ = core.Summarize(rows)
+	}
+	s := core.Summarize(rows)
+	b.ReportMetric(s.GeomeanAreaNorm, "perf-per-area-vs-gpp")
+}
+
+func BenchmarkE5_WorkloadTable(b *testing.B) {
+	rows := suiteRows(b)
+	var occ float64
+	for i := 0; i < b.N; i++ {
+		occ = 0
+		n := 0
+		for _, r := range rows {
+			for _, u := range r.TIAUtil {
+				occ += u.Occupancy
+				n++
+			}
+		}
+		occ /= float64(n)
+	}
+	b.ReportMetric(100*occ, "mean-pe-occupancy-%")
+}
+
+func BenchmarkE6_TriggerCountSensitivity(b *testing.B) {
+	var reqs []core.Requirements
+	for i := 0; i < b.N; i++ {
+		var err error
+		reqs, err = core.SuiteRequirements(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fits := 0
+	maxInsts, maxPreds := 0, 0
+	for _, r := range reqs {
+		if r.MaxInsts <= 16 && r.MaxPreds <= 8 {
+			fits++
+		}
+		if r.MaxInsts > maxInsts {
+			maxInsts = r.MaxInsts
+		}
+		if r.MaxPreds > maxPreds {
+			maxPreds = r.MaxPreds
+		}
+	}
+	b.ReportMetric(float64(fits), "kernels-fitting-16-triggers-8-preds")
+	b.ReportMetric(float64(maxInsts), "max-triggers-needed")
+	b.ReportMetric(float64(maxPreds), "max-preds-needed")
+}
+
+func BenchmarkE7_PredAndDepthSensitivity(b *testing.B) {
+	spec, err := workloads.ByName("mergesort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts []core.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts, err = core.DepthSweep(spec, benchParams, []int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		b.ReportMetric(float64(p.Cycles), "mergesort-cycles-"+p.Label)
+	}
+}
+
+func BenchmarkE8_Ablations(b *testing.B) {
+	spec, err := workloads.ByName("graph500")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lat []core.SweepPoint
+	var prio, rr int64
+	for i := 0; i < b.N; i++ {
+		lat, err = core.LatencySweep(spec, benchParams, []int{0, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prio, rr, err = core.PolicyComparison(spec, benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range lat {
+		b.ReportMetric(float64(p.Cycles), "graph500-cycles-"+p.Label)
+	}
+	b.ReportMetric(float64(rr)/float64(prio), "roundrobin-vs-priority-slowdown")
+}
+
+// BenchmarkSim measures raw simulator throughput per kernel: simulated
+// fabric cycles per host second.
+func BenchmarkSim(b *testing.B) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			p := spec.Normalize(benchParams)
+			var simulated int64
+			for i := 0; i < b.N; i++ {
+				inst, err := spec.BuildTIA(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := inst.Fabric.Run(spec.MaxCycles(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				simulated += res.Cycles
+			}
+			b.ReportMetric(float64(simulated)/b.Elapsed().Seconds(), "sim-cycles/s")
+		})
+	}
+}

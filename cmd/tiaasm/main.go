@@ -1,0 +1,83 @@
+// Command tiaasm assembles and inspects fabric programs. It parses a
+// netlist file, validates every program against the PE configuration, and
+// prints the compiled form of each processing element — the triggered
+// rules with their resolved triggers, or the sequential instructions.
+//
+// With -format, programs are printed in the canonical re-parseable
+// dialect (the disassembler) instead of the debug rendering.
+//
+// Usage:
+//
+//	tiaasm [-format] fabric.tia
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tia/internal/asm"
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+)
+
+func main() {
+	format := flag.Bool("format", false, "print canonical re-parseable assembly")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tiaasm [-format] fabric.tia")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *format); err != nil {
+		fmt.Fprintln(os.Stderr, "tiaasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, format bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	nl, err := asm.ParseNetlist(string(src), isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	peNames := make([]string, 0, len(nl.PEs))
+	for name := range nl.PEs {
+		peNames = append(peNames, name)
+	}
+	sort.Strings(peNames)
+	for _, name := range peNames {
+		p := nl.PEs[name]
+		fmt.Printf("pe %s (%d triggered instructions):\n", name, p.StaticInstructions())
+		if format {
+			fmt.Print(asm.FormatTIA(p.Program()))
+			continue
+		}
+		for _, inst := range p.Program() {
+			fmt.Printf("  %s\n", inst.String())
+		}
+	}
+	pcNames := make([]string, 0, len(nl.PCPEs))
+	for name := range nl.PCPEs {
+		pcNames = append(pcNames, name)
+	}
+	sort.Strings(pcNames)
+	for _, name := range pcNames {
+		p := nl.PCPEs[name]
+		fmt.Printf("pcpe %s (%d instructions):\n", name, p.StaticInstructions())
+		if format {
+			fmt.Print(asm.FormatPC(p.Program()))
+			continue
+		}
+		for _, inst := range p.Program() {
+			fmt.Printf("  %s\n", inst.String())
+		}
+	}
+	fmt.Printf("ok: %d pe, %d pcpe, %d sources, %d sinks, %d scratchpads, %d channels\n",
+		len(nl.PEs), len(nl.PCPEs), len(nl.Sources), len(nl.Sinks), len(nl.Mems),
+		len(nl.Fabric.Channels()))
+	return nil
+}

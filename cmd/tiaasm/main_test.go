@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAssembleExamples(t *testing.T) {
+	for _, f := range []string{"merge.tia", "histogram.tia"} {
+		if err := run(filepath.Join("../../examples/netlists", f), false); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+func TestAssembleRejectsBadProgram(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.tia")
+	if err := os.WriteFile(bad, []byte("pe x\nin a\nr: when a : bogus a\nend\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, false); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestAssembleFormatMode(t *testing.T) {
+	if err := run("../../examples/netlists/merge.tia", true); err != nil {
+		t.Fatal(err)
+	}
+}

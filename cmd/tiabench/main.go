@@ -1,0 +1,224 @@
+// Command tiabench regenerates every table and figure of the paper's
+// evaluation: per-workload speedups over the PC-style baseline (E1),
+// critical-path instruction reductions (E2), area-normalized performance
+// versus a general-purpose core (E3), the fabric configuration (E4),
+// workload characterization (E5), per-kernel resource requirements (E6)
+// and the sensitivity sweeps (E7/E8).
+//
+// Usage:
+//
+//	tiabench [-size N] [-seed S] [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8]
+//	tiabench -listing <kernel>   # disassemble a kernel's programs
+//	tiabench -json               # machine-readable suite results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tia/internal/core"
+	"tia/internal/workloads"
+)
+
+func main() {
+	size := flag.Int("size", 0, "workload scale (0 = per-kernel default)")
+	seed := flag.Int64("seed", 1, "input generator seed")
+	exp := flag.String("experiment", "all", "which experiment to run (all, e1..e8)")
+	listing := flag.String("listing", "", "print a kernel's compiled programs instead of running experiments")
+	jsonOut := flag.Bool("json", false, "emit the suite results as JSON instead of tables")
+	flag.Parse()
+
+	p := workloads.Params{Size: *size, Seed: *seed}
+	if *jsonOut {
+		if err := emitJSON(p); err != nil {
+			fmt.Fprintln(os.Stderr, "tiabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *listing != "" {
+		if err := printListing(p, *listing); err != nil {
+			fmt.Fprintln(os.Stderr, "tiabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(p, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "tiabench:", err)
+		os.Exit(1)
+	}
+}
+
+// emitJSON runs the full suite and writes machine-readable results.
+func emitJSON(p workloads.Params) error {
+	rows, err := core.RunSuite(p)
+	if err != nil {
+		return err
+	}
+	reqs, err := core.SuiteRequirements(p)
+	if err != nil {
+		return err
+	}
+	bracket, err := core.RunMergeBracket(256, p.Seed)
+	if err != nil {
+		return err
+	}
+	return core.WriteJSON(os.Stdout, &core.Results{
+		Rows:         rows,
+		Summary:      core.Summarize(rows),
+		Requirements: reqs,
+		MergeBracket: bracket,
+	})
+}
+
+// printListing disassembles one kernel's triggered and PC-style programs.
+func printListing(p workloads.Params, name string) error {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	pp := spec.Normalize(p)
+	tia, err := spec.BuildTIA(pp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s: triggered mapping (%d PEs) ==\n", name, len(tia.PEs))
+	for _, pr := range tia.PEs {
+		fmt.Printf("\npe %s (%d triggered instructions):\n", pr.Name(), pr.StaticInstructions())
+		for _, inst := range pr.Program() {
+			fmt.Printf("  %s\n", inst)
+		}
+	}
+	pc, err := spec.BuildPC(pp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== %s: PC-style baseline (%d PEs) ==\n", name, len(pc.PCPEs))
+	for _, pr := range pc.PCPEs {
+		fmt.Printf("\npcpe %s (%d instructions):\n", pr.Name(), pr.StaticInstructions())
+		for _, inst := range pr.Program() {
+			fmt.Printf("  %s\n", inst)
+		}
+	}
+	return nil
+}
+
+func run(p workloads.Params, exp string) error {
+	needSuite := map[string]bool{"all": true, "e1": true, "e2": true, "e3": true, "e5": true}
+	var rows []*core.Row
+	if needSuite[exp] {
+		var err error
+		rows, err = core.RunSuite(p)
+		if err != nil {
+			return err
+		}
+	}
+	section := func(id, title string) {
+		fmt.Printf("\n== %s: %s ==\n", id, title)
+	}
+	if exp == "all" || exp == "e1" {
+		section("E1", "speedup of triggered control over the PC-style spatial baseline (paper: 2.0X geomean)")
+		core.WriteE1(os.Stdout, rows)
+	}
+	if exp == "all" || exp == "e2" {
+		section("E2", "critical-path instruction counts (paper: 62% static / 64% dynamic reduction)")
+		bracket, err := core.RunMergeBracket(256, p.Seed)
+		if err != nil {
+			return err
+		}
+		core.WriteE2(os.Stdout, rows, bracket)
+	}
+	if exp == "all" || exp == "e3" {
+		section("E3", "area-normalized performance vs general-purpose core (paper: 8X)")
+		core.WriteE3(os.Stdout, rows)
+		fmt.Println("\ncalibration sensitivity (constants perturbed, cycle counts unchanged):")
+		for _, pt := range core.AreaSensitivity(rows) {
+			fmt.Printf("  %-14s geomean %.1f\n", pt.Label, pt.Geomean)
+		}
+	}
+	if exp == "all" || exp == "e4" {
+		section("E4", "evaluated fabric configuration")
+		core.WriteE4(os.Stdout)
+	}
+	if exp == "all" || exp == "e5" {
+		section("E5", "workload characterization")
+		core.WriteE5(os.Stdout, rows)
+	}
+	if exp == "all" || exp == "e6" {
+		section("E6", "per-kernel trigger/predicate requirements (sensitivity to PE resources)")
+		reqs, err := core.SuiteRequirements(p)
+		if err != nil {
+			return err
+		}
+		core.WriteE6(os.Stdout, reqs)
+	}
+	if exp == "all" || exp == "e7" {
+		section("E7", "channel-depth and memory-latency sensitivity")
+		for _, name := range []string{"mergesort", "kmp", "smvm"} {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return err
+			}
+			pts, err := core.DepthSweep(spec, p, []int{1, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			core.WriteSweep(os.Stdout, name+" depth", pts)
+		}
+		for _, name := range []string{"kmp", "graph500", "smvm"} {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return err
+			}
+			pts, err := core.MemLatencySweep(spec, p, []int{0, 2, 4, 8})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s mem latency:", name)
+			base := pts[0]
+			for _, pt := range pts {
+				fmt.Printf("  lat=%d tia:%d(%.2fx) pc:%d(%.2fx)", pt.Latency,
+					pt.TIACycles, float64(pt.TIACycles)/float64(base.TIACycles),
+					pt.PCCycles, float64(pt.PCCycles)/float64(base.PCCycles))
+			}
+			fmt.Println()
+		}
+	}
+	if exp == "all" || exp == "e8" {
+		section("E8", "ablations: link latency and scheduler policy")
+		for _, name := range []string{"mergesort", "graph500"} {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return err
+			}
+			pts, err := core.LatencySweep(spec, p, []int{0, 1, 2})
+			if err != nil {
+				return err
+			}
+			core.WriteSweep(os.Stdout, name+" latency", pts)
+			prio, rr, err := core.PolicyComparison(spec, p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s scheduler: priority:%d round-robin:%d\n", name, prio, rr)
+		}
+		direct, mesh, err := core.MeshComparison(256)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merge interconnect: direct:%d mesh-noc:%d (identical output)\n", direct, mesh)
+		for _, name := range []string{"smvm", "graph500", "sha256"} {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return err
+			}
+			w1, w2, err := core.IssueWidthComparison(spec, p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s issue width: 1-wide:%d 2-wide:%d (%.2fx)\n", name, w1, w2, float64(w1)/float64(w2))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"tia/internal/workloads"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	p := workloads.Params{Seed: 1, Size: 16}
+	for _, exp := range []string{"e4", "e6"} {
+		if err := run(p, exp); err != nil {
+			t.Errorf("experiment %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunE1Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run")
+	}
+	if err := run(workloads.Params{Seed: 1, Size: 16}, "e1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintListing(t *testing.T) {
+	for _, name := range []string{"mergesort", "smvm"} {
+		if err := printListing(workloads.Params{Seed: 1, Size: 8}, name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := printListing(workloads.Params{}, "nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

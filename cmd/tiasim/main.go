@@ -1,0 +1,123 @@
+// Command tiasim runs a fabric described by a netlist file: sources,
+// sinks, scratchpads, triggered ("pe") and PC-style ("pcpe") processing
+// elements, and wires. It prints each sink's received tokens and, with
+// -stats, per-element utilization; -trace N renders a waterfall timeline
+// of the first N cycles.
+//
+// Usage:
+//
+//	tiasim [-max N] [-stats] [-trace N] fabric.tia
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tia/internal/asm"
+	"tia/internal/isa"
+	"tia/internal/metrics"
+	"tia/internal/pcpe"
+	"tia/internal/trace"
+)
+
+func main() {
+	maxCycles := flag.Int64("max", 1_000_000, "cycle budget")
+	stats := flag.Bool("stats", false, "print per-element utilization")
+	traceN := flag.Int64("trace", 0, "render a fire timeline of the first N cycles")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file of all fires")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tiasim [-max N] [-stats] [-trace N] [-chrome out.json] fabric.tia")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *maxCycles, *stats, *traceN, *chrome); err != nil {
+		fmt.Fprintln(os.Stderr, "tiasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, maxCycles int64, stats bool, traceN int64, chromePath string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	nl, err := asm.ParseNetlist(string(src), isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	var rec *trace.Recorder
+	if traceN > 0 || chromePath != "" {
+		rec = trace.New(0)
+		for _, p := range nl.PEs {
+			rec.Attach(p)
+		}
+	}
+	res, err := nl.Fabric.Run(maxCycles)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed in %d cycles\n", res.Cycles)
+	if rec != nil && traceN > 0 {
+		end := traceN
+		if res.Cycles < end {
+			end = res.Cycles
+		}
+		fmt.Println()
+		rec.WriteTimeline(os.Stdout, 0, end)
+		fmt.Println()
+	}
+	if rec != nil && chromePath != "" {
+		file, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := rec.WriteChromeJSON(file); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", chromePath)
+	}
+
+	names := make([]string, 0, len(nl.Sinks))
+	for name := range nl.Sinks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("sink %s:", name)
+		for _, tok := range nl.Sinks[name].Tokens() {
+			fmt.Printf(" %s", tok)
+		}
+		fmt.Println()
+	}
+	if !stats {
+		return nil
+	}
+	fmt.Println("\nelement utilization:")
+	peNames := make([]string, 0, len(nl.PEs))
+	for name := range nl.PEs {
+		peNames = append(peNames, name)
+	}
+	sort.Strings(peNames)
+	for _, name := range peNames {
+		u := metrics.TIAUtilization(nl.PEs[name])
+		fmt.Printf("  pe %-12s fired=%-6d occupancy=%4.0f%% input-stall=%4.0f%% output-stall=%4.0f%% idle=%4.0f%%\n",
+			u.Name, u.Fired, 100*u.Occupancy, 100*u.InputStall, 100*u.OutputStall, 100*u.Idle)
+	}
+	pcNames := make([]string, 0, len(nl.PCPEs))
+	for name := range nl.PCPEs {
+		pcNames = append(pcNames, name)
+	}
+	sort.Strings(pcNames)
+	for _, name := range pcNames {
+		u := metrics.PCUtilization(nl.PCPEs[name])
+		fmt.Printf("  pcpe %-10s fired=%-6d occupancy=%4.0f%% input-stall=%4.0f%% output-stall=%4.0f%%\n",
+			u.Name, u.Fired, 100*u.Occupancy, 100*u.InputStall, 100*u.OutputStall)
+	}
+	for name, m := range nl.Mems {
+		fmt.Printf("  scratchpad %-6s reads=%d writes=%d\n", name, m.Reads(), m.Writes())
+	}
+	return nil
+}

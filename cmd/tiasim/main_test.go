@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunMergeNetlist(t *testing.T) {
+	if err := run("../../examples/netlists/merge.tia", 100000, true, 10, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHistogramNetlist(t *testing.T) {
+	if err := run("../../examples/netlists/histogram.tia", 100000, false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("does-not-exist.tia", 10, false, 0, ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunCycleBudget(t *testing.T) {
+	if err := run("../../examples/netlists/merge.tia", 3, false, 0, ""); err == nil {
+		t.Fatal("tiny cycle budget should time out")
+	}
+}
+
+func TestRunChromeTrace(t *testing.T) {
+	out := t.TempDir() + "/trace.json"
+	if err := run("../../examples/netlists/merge.tia", 100000, false, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("chrome trace not written: %v", err)
+	}
+}
+
+func TestRunGCDNetlist(t *testing.T) {
+	if err := run("../../examples/netlists/gcd.tia", 100000, false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Matmul multiplies two 4x4 matrices on a three-element pipeline built
+// through the public API: a multiplier PE forms element products from two
+// operand streams and a reduction PE sums groups of four into result
+// elements. The host streams A row-major (each row repeated four times)
+// and B column-major (the whole matrix once per row of A), the classic
+// operand ordering for a streaming dot-product engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tia"
+)
+
+const n = 4
+
+const mulText = `
+in av bv
+out t
+mul: when av.tag==0 bv.tag==0 : mul t, av, bv ; deq av ; deq bv
+fin: when av.tag==eod : halt t#eod ; deq av
+`
+
+const accText = `
+in t
+out y
+reg acc
+reg rem = 4
+reg n = 4
+pred ph rstp rst2p
+pred morep = 1
+
+add:  when !ph morep t.tag==0 : add acc, acc, t ; deq t ; set ph
+dec:  when ph : sub rem, p:morep, rem, #1 ; clr ph
+emit: when !ph !morep !rstp !rst2p : mov y, acc ; set rstp
+rst:  when rstp : mov acc, #0 ; clr rstp ; set rst2p
+rst2: when rst2p : mov rem, n ; clr rst2p ; set morep
+fin:  when !ph morep t.tag==eod : halt y#eod ; deq t
+`
+
+func main() {
+	a := [n][n]tia.Word{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+		{13, 14, 15, 16},
+	}
+	b := [n][n]tia.Word{
+		{1, 0, 0, 1},
+		{0, 1, 1, 0},
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+	}
+
+	// Operand streams: for every (i, j): a[i][0..3] and b[0..3][j].
+	var as, bs []tia.Word
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				as = append(as, a[i][k])
+				bs = append(bs, b[k][j])
+			}
+		}
+	}
+
+	mulProg, err := tia.ParseTIA("mul", mulText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mul, err := mulProg.Build(tia.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	accProg, err := tia.ParseTIA("acc", accText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := accProg.Build(tia.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := tia.NewFabric(tia.DefaultFabricConfig())
+	srcA := tia.NewWordSource("a", as, true)
+	srcB := tia.NewWordSource("b", bs, false)
+	out := tia.NewSink("c")
+	f.Add(srcA)
+	f.Add(srcB)
+	f.Add(mul)
+	f.Add(acc)
+	f.Add(out)
+	f.Wire(srcA, 0, mul, 0)
+	f.Wire(srcB, 0, mul, 1)
+	f.Wire(mul, 0, acc, 0)
+	f.Wire(acc, 0, out, 0)
+
+	res, err := f.Run(100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := out.Words()
+	fmt.Printf("C = A x B in %d cycles:\n", res.Cycles)
+	for i := 0; i < n; i++ {
+		fmt.Printf("  %v\n", c[i*n:(i+1)*n])
+	}
+}

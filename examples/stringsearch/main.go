@@ -1,0 +1,67 @@
+// Stringsearch runs a KMP automaton on the fabric, written entirely in
+// the textual netlist/assembly front end: the pattern's DFA lives in a
+// scratchpad, the text streams through a single triggered PE, and match
+// positions stream out. The PE latches the next character while the
+// previous table lookup is still in flight — reactivity a program counter
+// cannot express.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tia"
+)
+
+// Pattern "aba" over alphabet {a=0, b=1}; the DFA below is the KMP
+// automaton with rows premultiplied by the alphabet size so a lookup is a
+// single add. Accepting value: 3*2 = 6.
+const netlist = `
+// text: abaabababba  (a=0 b=1), EOD-terminated
+source text : 0 1 0 0 1 0 1 0 1 1 0 eod
+sink matches
+scratchpad dfa 8 : 2 0 2 4 6 0 2 4
+
+pe kmp
+in t m
+out rq o
+reg j c i
+reg acc = 6
+reg m1 = 2
+pred cbuf wait chk nxt hit
+
+grab: when !cbuf t.tag==0 : mov c, t ; deq t ; set cbuf
+req:  when cbuf !wait !chk !nxt : add rq, j, c ; clr cbuf ; set wait
+upd:  when wait m : mov j, m ; deq m ; clr wait ; set chk
+chk:  when chk : eq p:hit, j, acc ; clr chk ; set nxt
+emit: when nxt hit : sub o, i, m1 ; clr hit
+inc:  when nxt !hit : add i, i, #1 ; clr nxt
+fin:  when !cbuf !wait !chk !nxt t.tag==eod : halt o#eod ; deq t
+end
+
+wire text.0 -> kmp.t
+wire kmp.rq -> dfa.raddr
+wire dfa.rdata -> kmp.m
+wire kmp.o -> matches.0
+`
+
+func main() {
+	nl, err := tia.ParseNetlist(netlist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nl.Fabric.Run(10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	text := "abaabababba"
+	fmt.Printf("text:    %s\n", text)
+	fmt.Printf("pattern: aba\n")
+	for _, pos := range nl.Sinks["matches"].Words() {
+		fmt.Printf("match at %d: %s[%s]%s\n", pos,
+			text[:pos], text[pos:pos+3], text[pos+3:])
+	}
+	fmt.Printf("(%d cycles, %s)\n", res.Cycles, strings.TrimSpace("single PE + DFA scratchpad"))
+}

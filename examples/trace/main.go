@@ -1,0 +1,60 @@
+// Trace demonstrates the execution-tracing tooling: run the merge kernel
+// with a recorder attached, render the first cycles as a waterfall
+// timeline (one column per PE, one row per cycle), print the
+// per-instruction fire histogram, and emit a Chrome trace-event JSON file
+// that chrome://tracing or Perfetto can open.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tia"
+)
+
+func main() {
+	f := tia.NewFabric(tia.DefaultFabricConfig())
+	a := tia.NewWordSource("a", []tia.Word{1, 3, 5, 9}, true)
+	b := tia.NewWordSource("b", []tia.Word{2, 4, 6, 7}, true)
+	m, err := tia.NewPE("merge", tia.DefaultConfig(), tia.MergeProgram())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := tia.NewSink("out")
+	f.Add(a)
+	f.Add(b)
+	f.Add(m)
+	f.Add(out)
+	f.Wire(a, 0, m, 0)
+	f.Wire(b, 0, m, 1)
+	f.Wire(m, 0, out, 0)
+
+	rec := tia.NewTraceRecorder(0)
+	rec.Attach(m)
+
+	res, err := f.Run(10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %v in %d cycles\n\n", out.Words(), res.Cycles)
+
+	fmt.Println("timeline (what fired when):")
+	rec.WriteTimeline(os.Stdout, 0, res.Cycles)
+
+	fmt.Println("\nfire histogram:")
+	for _, fc := range rec.Histogram() {
+		fmt.Printf("  %-8s %-8s %d\n", fc.PE, fc.Label, fc.Count)
+	}
+
+	path := "merge-trace.json"
+	file, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer file.Close()
+	if err := rec.WriteChromeJSON(file); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (open in chrome://tracing or Perfetto)\n", path)
+}

@@ -1,0 +1,3 @@
+module tia
+
+go 1.22

@@ -1,0 +1,40 @@
+package area
+
+import "testing"
+
+func TestFabricComposition(t *testing.T) {
+	if got, want := Fabric(0, 0), 0.0; got != want {
+		t.Errorf("empty fabric area = %v", got)
+	}
+	withMem := Fabric(2, 100)
+	without := Fabric(2, 0)
+	if withMem <= without {
+		t.Error("scratchpad words must add area")
+	}
+	if diff := Fabric(3, 0) - 3*TIAPE; diff > 1e-9 || diff < -1e-9 {
+		t.Error("PE area not linear")
+	}
+}
+
+func TestSchedulerPremium(t *testing.T) {
+	if TIAPE <= PCPE {
+		t.Error("triggered scheduler should cost a premium over a PC sequencer")
+	}
+	if (TIAPE-PCPE)/PCPE > 0.25 {
+		t.Error("scheduler premium should be modest (the paper's claim)")
+	}
+}
+
+func TestPEsPerCore(t *testing.T) {
+	n := PEsPerCore()
+	// The paper's framing: many PEs fit in one core's footprint.
+	if n < 8 || n > 64 {
+		t.Errorf("PEs per core = %.1f, outside the plausible band", n)
+	}
+}
+
+func TestPCFabricCheaper(t *testing.T) {
+	if PCFabric(4, 128) >= Fabric(4, 128) {
+		t.Error("PC fabric should be slightly smaller")
+	}
+}

@@ -1,0 +1,474 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"tia/internal/fabric"
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+const tiaMergeText = `
+in a b
+out o
+pred sel cvalid adone bdone
+
+cmp:    when !cvalid !adone !bdone a.tag==0 b.tag==0 : leu p:sel, a, b ; set cvalid
+sendA:  when cvalid sel : mov o, a ; deq a ; clr cvalid
+sendB:  when cvalid !sel : mov o, b ; deq b ; clr cvalid
+eodA:   when !cvalid !adone a.tag==eod : nop ; deq a ; set adone
+eodB:   when !cvalid !bdone b.tag==eod : nop ; deq b ; set bdone
+drainA: when bdone !adone a.tag==0 : mov o, a ; deq a
+drainB: when adone !bdone b.tag==0 : mov o, b ; deq b
+fin:    when adone bdone : halt o#eod
+`
+
+const pcMergeText = `
+in a b
+out o
+
+loop:    bne a.tag, #0, a_eod
+         bne b.tag, #0, b_eod
+         leu r0, a, b
+         beq r0, #0, take_b
+         mov o, a.pop
+         jmp loop
+take_b:  mov o, b.pop
+         jmp loop
+a_eod:   deq a
+a_drain: bne b.tag, #0, b_last
+         mov o, b.pop
+         jmp a_drain
+b_last:  deq b
+         jmp fin
+b_eod:   deq b
+b_drain: bne a.tag, #0, a_last
+         mov o, a.pop
+         jmp b_drain
+a_last:  deq a
+fin:     halt o#eod
+`
+
+// runMergeFabric wires sources/sink around the given element and returns
+// the sink's words and the cycle count.
+func runMergeFabric(t *testing.T, elem fabric.Element, left, right []isa.Word) ([]isa.Word, int64) {
+	t.Helper()
+	f := fabric.New(fabric.DefaultConfig())
+	a := fabric.NewWordSource("srcA", left, true)
+	b := fabric.NewWordSource("srcB", right, true)
+	snk := fabric.NewSink("snk")
+	f.Add(a)
+	f.Add(b)
+	f.Add(elem)
+	f.Add(snk)
+	ip := elem.(fabric.InPort)
+	op := elem.(fabric.OutPort)
+	f.Wire(a, 0, ip, 0)
+	f.Wire(b, 0, ip, 1)
+	f.Wire(op, 0, snk, 0)
+	res, err := f.Run(100000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return snk.Words(), res.Cycles
+}
+
+func TestParsedTIAMergeMatchesBuiltin(t *testing.T) {
+	left := []isa.Word{1, 5, 6, 30}
+	right := []isa.Word{2, 3, 7, 8, 9}
+
+	prog, err := ParseTIA("merge", tiaMergeText)
+	if err != nil {
+		t.Fatalf("ParseTIA: %v", err)
+	}
+	if len(prog.Insts) != 8 {
+		t.Fatalf("parsed %d instructions, want 8", len(prog.Insts))
+	}
+	parsed, err := prog.Build(isa.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	builtin, err := pe.New("merge", isa.DefaultConfig(), pe.MergeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotP, cycP := runMergeFabric(t, parsed, left, right)
+	gotB, cycB := runMergeFabric(t, builtin, left, right)
+	if len(gotP) != len(gotB) {
+		t.Fatalf("parsed merge %v, builtin %v", gotP, gotB)
+	}
+	for i := range gotP {
+		if gotP[i] != gotB[i] {
+			t.Fatalf("parsed merge %v, builtin %v", gotP, gotB)
+		}
+	}
+	if cycP != cycB {
+		t.Errorf("parsed merge took %d cycles, builtin %d (programs should be identical)", cycP, cycB)
+	}
+}
+
+func TestParsedPCMergeMatchesBuiltin(t *testing.T) {
+	left := []isa.Word{10, 20, 30}
+	right := []isa.Word{5, 15, 25, 35}
+
+	prog, err := ParsePC("merge", pcMergeText)
+	if err != nil {
+		t.Fatalf("ParsePC: %v", err)
+	}
+	parsed, err := prog.Build(pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	builtin, err := pcpe.New("merge", pcpe.DefaultConfig(), pcpe.MergeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP, cycP := runMergeFabric(t, parsed, left, right)
+	gotB, cycB := runMergeFabric(t, builtin, left, right)
+	if len(gotP) != len(gotB) {
+		t.Fatalf("parsed %v, builtin %v", gotP, gotB)
+	}
+	for i := range gotP {
+		if gotP[i] != gotB[i] {
+			t.Fatalf("parsed %v, builtin %v", gotP, gotB)
+		}
+	}
+	if cycP != cycB {
+		t.Errorf("parsed PC merge took %d cycles, builtin %d", cycP, cycB)
+	}
+}
+
+func TestParseTIAErrors(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"no instructions", "in a\nout o\n"},
+		{"unknown opcode", "in a\nout o\nx: when a : bogus o, a"},
+		{"unknown channel", "out o\nx: when q : mov o, #1"},
+		{"missing colon", "in a\nout o\nx: when a mov o, a"},
+		{"dup name", "in a\nreg a\nx: when always : nop"},
+		{"bad pred init", "pred p = 7\nx: when always : nop"},
+		{"unknown dest", "in a\nx: when a : mov zz, a"},
+		{"unknown action", "in a\nout o\nx: when a : mov o, a ; zap a"},
+		{"bad tag cond", "in a\nout o\nx: when a.tag>3 : mov o, a"},
+		{"too few operands", "in a\nout o\nx: when a : add o"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTIA("t", c.body); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParsePCErrors(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"no instructions", "in a\nout o\n"},
+		{"unknown mnemonic", "bogus r0, r1"},
+		{"unknown target", "jmp nowhere"},
+		{"bad deq", "deq zz"},
+		{"branch operand count", "x: beq r0, x"},
+		{"unknown source", "mov r0, zz"},
+	}
+	for _, c := range cases {
+		if _, err := ParsePC("t", c.body); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseTIAInitializers(t *testing.T) {
+	body := `
+out o
+reg x = 42
+reg y = -1
+pred go = 1
+emit: when go : mov o, x ; clr go
+stop: when !go : halt o#eod
+`
+	prog, err := ParseTIA("t", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.RegInit[0] != 42 || prog.RegInit[1] != 0xFFFFFFFF {
+		t.Fatalf("RegInit = %v", prog.RegInit)
+	}
+	if !prog.PredInit[0] {
+		t.Fatalf("PredInit = %v", prog.PredInit)
+	}
+	p, err := prog.Build(isa.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reg(0) != 42 || !p.Pred(0) {
+		t.Fatal("Build did not apply initial values")
+	}
+}
+
+func TestParseHexAndNegativeImmediates(t *testing.T) {
+	body := `
+out o
+a: when always : mov o, #0xFF
+b: when always : mov o, #-2
+`
+	prog, err := ParseTIA("t", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Insts[0].Srcs[0].Imm != 0xFF {
+		t.Errorf("hex imm = %#x", prog.Insts[0].Srcs[0].Imm)
+	}
+	if prog.Insts[1].Srcs[0].Imm != 0xFFFFFFFE {
+		t.Errorf("negative imm = %#x", prog.Insts[1].Srcs[0].Imm)
+	}
+}
+
+const mergeNetlist = `
+// Merge two sorted streams through a triggered PE.
+config cap 4 lat 0
+source sa : 1 3 5 7 eod
+source sb : 2 4 6 8 eod
+sink so
+
+pe merge
+` + tiaMergeText + `
+end
+
+wire sa.0 -> merge.a
+wire sb.0 -> merge.b
+wire merge.o -> so.0
+`
+
+func TestNetlistMerge(t *testing.T) {
+	nl, err := ParseNetlist(mergeNetlist, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatalf("ParseNetlist: %v", err)
+	}
+	res, err := nl.Fabric.Run(10000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("netlist run did not complete")
+	}
+	got := nl.Sinks["so"].Words()
+	want := []isa.Word{1, 2, 3, 4, 5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v want %v", got, want)
+		}
+	}
+}
+
+const scratchpadNetlist = `
+source addrs : 2 0 1
+sink resp count 3
+scratchpad tbl 4 : 100 101 102 103
+wire addrs.0 -> tbl.raddr
+wire tbl.rdata -> resp.0
+`
+
+func TestNetlistScratchpad(t *testing.T) {
+	nl, err := ParseNetlist(scratchpadNetlist, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatalf("ParseNetlist: %v", err)
+	}
+	if _, err := nl.Fabric.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := nl.Sinks["resp"].Words()
+	want := []isa.Word{102, 100, 101}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("responses %v want %v", got, want)
+		}
+	}
+}
+
+func TestNetlistErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown directive", "frobnicate x"},
+		{"unterminated block", "pe x\nin a\n"},
+		{"wire to unknown", "source s : 1\nwire s.0 -> nowhere.0"},
+		{"wire from unknown", "sink k\nwire nowhere.0 -> k.0"},
+		{"bad port", mergeNetlist + "\nwire merge.zz -> so.0"},
+		{"dup element", "sink k\nsink k"},
+		{"bad source token", "source s : zz"},
+		{"bad sink count", "sink k count x"},
+		{"bad scratchpad size", "scratchpad m zero"},
+		{"place unknown", "place ghost 0 0"},
+		{"sink port out of range", "source s : 1\nsink k\nwire s.0 -> k.1"},
+		{"source port out of range", "source s : 1\nsink k\nwire s.3 -> k.0"},
+		{"double connection", "source s : 1\nsink k\nwire s.0 -> k.0\nwire s.0 -> k.0"},
+	}
+	for _, c := range cases {
+		if _, err := ParseNetlist(c.src, isa.DefaultConfig(), pcpe.DefaultConfig()); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestNetlistWireOptions(t *testing.T) {
+	src := `
+source s : 1 2 3
+sink k count 3
+wire s.0 -> k.0 cap 9 lat 2
+`
+	nl, err := ParseNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := nl.Fabric.Channels()
+	if len(chans) != 1 || chans[0].Cap() != 9 || chans[0].Latency() != 2 {
+		t.Fatalf("wire options not applied: %+v", chans)
+	}
+}
+
+func TestNetlistPCPEBlock(t *testing.T) {
+	src := `
+source s : 5 eod
+sink k
+
+pcpe fwd
+in a
+out o
+loop: bne a.tag, #0, fin
+      mov o, a.pop
+      jmp loop
+fin:  halt o#eod
+end
+
+wire s.0 -> fwd.a
+wire fwd.o -> k.0
+`
+	nl, err := ParseNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Fabric.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	got := nl.Sinks["k"].Words()
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("forwarded %v, want [5]", got)
+	}
+}
+
+func TestParseTokenForms(t *testing.T) {
+	tok, err := parseToken("7#3")
+	if err != nil || tok.Data != 7 || tok.Tag != 3 {
+		t.Fatalf("parseToken(7#3) = %v, %v", tok, err)
+	}
+	if _, err := parseToken("x#1"); err == nil {
+		t.Error("bad tagged token accepted")
+	}
+	if _, err := parseToken("1#zz"); err == nil {
+		t.Error("bad tag accepted")
+	}
+}
+
+func TestStripCommentAndIdent(t *testing.T) {
+	if stripComment("  foo // bar") != "foo" {
+		t.Error("stripComment failed")
+	}
+	for s, want := range map[string]bool{"abc": true, "_x1": true, "1ab": false, "a-b": false, "": false} {
+		if ident(s) != want {
+			t.Errorf("ident(%q) = %v", s, ident(s))
+		}
+	}
+	if !strings.Contains(srcError(3, "boom %d", 7).Error(), "line 3: boom 7") {
+		t.Error("srcError format")
+	}
+}
+
+func TestNetlistPEOptions(t *testing.T) {
+	src := `
+source s : 1 eod
+sink k
+
+pe big insts=32 preds=12
+in a
+out o
+fwd: when a.tag==0 : mov o, a ; deq a ; set p11
+fin: when a.tag==eod p11 : halt o#eod ; deq a
+end
+
+wire s.0 -> big.a
+wire big.o -> k.0
+`
+	nl, err := ParseNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Fabric.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := nl.Sinks["k"].Words(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("forwarded %v", got)
+	}
+	cases := []string{
+		"pe x zap=2\nr: when always : nop\nend",
+		"pe x insts=zero\nr: when always : nop\nend",
+		"pcpe x insts=4\nhalt\nend",
+	}
+	for _, c := range cases {
+		if _, err := ParseNetlist(c, isa.DefaultConfig(), pcpe.DefaultConfig()); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestNetlistScratchpadLatency(t *testing.T) {
+	src := `
+source addrs : 0 1 2
+sink resp count 3
+scratchpad tbl 4 lat 5 : 9 8 7 6
+wire addrs.0 -> tbl.raddr
+wire tbl.rdata -> resp.0
+`
+	nl, err := ParseNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nl.Fabric.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nl.Sinks["resp"].Words()
+	if len(got) != 3 || got[0] != 9 || got[1] != 8 || got[2] != 7 {
+		t.Fatalf("responses %v", got)
+	}
+	// The same fabric without latency completes sooner.
+	nl2, err := ParseNetlist(`
+source addrs : 0 1 2
+sink resp count 3
+scratchpad tbl 4 : 9 8 7 6
+wire addrs.0 -> tbl.raddr
+wire tbl.rdata -> resp.0
+`, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := nl2.Fabric.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= res2.Cycles {
+		t.Errorf("latency 5 (%d cycles) not slower than latency 0 (%d)", res.Cycles, res2.Cycles)
+	}
+	if _, err := ParseNetlist("scratchpad m 4 lat x", isa.DefaultConfig(), pcpe.DefaultConfig()); err == nil {
+		t.Error("bad option value accepted")
+	}
+	if _, err := ParseNetlist("scratchpad m 4 zap 1", isa.DefaultConfig(), pcpe.DefaultConfig()); err == nil {
+		t.Error("unknown option accepted")
+	}
+}

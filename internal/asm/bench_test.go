@@ -1,0 +1,26 @@
+package asm
+
+import (
+	"testing"
+
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+)
+
+// BenchmarkParseTIA measures assembling the merge kernel.
+func BenchmarkParseTIA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTIA("merge", tiaMergeText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseNetlist measures building the full merge fabric from text.
+func BenchmarkParseNetlist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNetlist(mergeNetlist, isa.DefaultConfig(), pcpe.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

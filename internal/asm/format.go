@@ -1,0 +1,139 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+)
+
+// FormatTIA renders a triggered program in the parseable dialect using
+// positional names (in0, out2, r3, p5), so that
+// ParseTIA(FormatTIA(prog)) reproduces the program. It is the
+// disassembler counterpart of ParseTIA.
+func FormatTIA(prog []isa.Instruction) string {
+	var b strings.Builder
+	nIn, nOut := 0, 0
+	for i := range prog {
+		for _, c := range prog[i].ImplicitInputs() {
+			if c+1 > nIn {
+				nIn = c + 1
+			}
+		}
+		for _, c := range prog[i].OutputChannels() {
+			if c+1 > nOut {
+				nOut = c + 1
+			}
+		}
+	}
+	if nIn > 0 {
+		fmt.Fprint(&b, "in")
+		for i := 0; i < nIn; i++ {
+			fmt.Fprintf(&b, " in%d", i)
+		}
+		fmt.Fprintln(&b)
+	}
+	if nOut > 0 {
+		fmt.Fprint(&b, "out")
+		for i := 0; i < nOut; i++ {
+			fmt.Fprintf(&b, " out%d", i)
+		}
+		fmt.Fprintln(&b)
+	}
+	for i := range prog {
+		b.WriteString(formatTIAInst(&prog[i]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatTIAInst(in *isa.Instruction) string {
+	var b strings.Builder
+	if in.Label != "" && ident(in.Label) {
+		fmt.Fprintf(&b, "%s: ", in.Label)
+	}
+	b.WriteString("when ")
+	if len(in.Trigger.Preds) == 0 && len(in.Trigger.Inputs) == 0 {
+		b.WriteString("always")
+	} else {
+		parts := make([]string, 0, len(in.Trigger.Preds)+len(in.Trigger.Inputs))
+		for _, p := range in.Trigger.Preds {
+			parts = append(parts, p.String())
+		}
+		for _, c := range in.Trigger.Inputs {
+			parts = append(parts, c.String())
+		}
+		b.WriteString(strings.Join(parts, " "))
+	}
+	fmt.Fprintf(&b, " : %s", in.Op)
+	operands := make([]string, 0, len(in.Dsts)+2)
+	for _, d := range in.Dsts {
+		if d.Kind == isa.DstPred {
+			operands = append(operands, fmt.Sprintf("p:p%d", d.Index))
+		} else {
+			operands = append(operands, d.String())
+		}
+	}
+	if len(in.Dsts) == 0 && in.Op.Arity() > 0 {
+		operands = append(operands, "_")
+	}
+	for i := 0; i < in.Op.Arity(); i++ {
+		operands = append(operands, in.Srcs[i].String())
+	}
+	if len(operands) > 0 {
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(operands, ", "))
+	}
+	for _, ch := range in.Deq {
+		fmt.Fprintf(&b, " ; deq in%d", ch)
+	}
+	for _, u := range in.PredUpdates {
+		fmt.Fprintf(&b, " ; %s", u)
+	}
+	return b.String()
+}
+
+// FormatPC renders a sequential program in the parseable dialect, the
+// disassembler counterpart of ParsePC.
+func FormatPC(prog []pcpe.Inst) string {
+	var b strings.Builder
+	nIn, nOut := 0, 0
+	note := func(s pcpe.Src) {
+		if (s.Kind == pcpe.SrcChan || s.Kind == pcpe.SrcChanTag) && s.Index+1 > nIn {
+			nIn = s.Index + 1
+		}
+	}
+	for i := range prog {
+		in := &prog[i]
+		note(in.Srcs[0])
+		note(in.Srcs[1])
+		if in.Kind == pcpe.KindDeq && in.Chan+1 > nIn {
+			nIn = in.Chan + 1
+		}
+		for _, d := range in.Dsts {
+			if d.Kind == pcpe.DstOut && d.Index+1 > nOut {
+				nOut = d.Index + 1
+			}
+		}
+	}
+	if nIn > 0 {
+		fmt.Fprint(&b, "in")
+		for i := 0; i < nIn; i++ {
+			fmt.Fprintf(&b, " in%d", i)
+		}
+		fmt.Fprintln(&b)
+	}
+	if nOut > 0 {
+		fmt.Fprint(&b, "out")
+		for i := 0; i < nOut; i++ {
+			fmt.Fprintf(&b, " out%d", i)
+		}
+		fmt.Fprintln(&b)
+	}
+	for i := range prog {
+		b.WriteString(prog[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

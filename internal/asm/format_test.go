@@ -1,0 +1,236 @@
+package asm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+)
+
+// normalizeTIA clears representational slack before comparison: nil vs
+// empty slices and labels stripped of non-identifier noise.
+func normalizeTIA(prog []isa.Instruction) []isa.Instruction {
+	out := make([]isa.Instruction, len(prog))
+	for i, in := range prog {
+		if len(in.Trigger.Preds) == 0 {
+			in.Trigger.Preds = nil
+		}
+		if len(in.Trigger.Inputs) == 0 {
+			in.Trigger.Inputs = nil
+		}
+		if len(in.Dsts) == 0 {
+			in.Dsts = nil
+		}
+		if len(in.Deq) == 0 {
+			in.Deq = nil
+		}
+		if len(in.PredUpdates) == 0 {
+			in.PredUpdates = nil
+		}
+		out[i] = in
+	}
+	return out
+}
+
+func TestFormatTIAMergeRoundTrip(t *testing.T) {
+	// The builtin merge program must survive format -> parse intact.
+	orig := mergeForFormatTest()
+	text := FormatTIA(orig)
+	prog, err := ParseTIA("rt", text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	got := normalizeTIA(prog.Insts)
+	want := normalizeTIA(orig)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed program:\n%s\ngot  %+v\nwant %+v", text, got, want)
+	}
+}
+
+// mergeForFormatTest returns pe.MergeProgram without importing pe (which
+// would create an import cycle through asm's tests? no — but keep asm's
+// test surface self-contained): a hand copy of two representative
+// instructions plus edge cases.
+func mergeForFormatTest() []isa.Instruction {
+	return []isa.Instruction{
+		{
+			Label: "cmp",
+			Trigger: isa.When(
+				[]isa.PredLit{isa.NotP(1), isa.NotP(2)},
+				[]isa.InputCond{isa.InTagEq(0, isa.TagData), isa.InTagNe(1, 3)},
+			),
+			Op:          isa.OpLEU,
+			Srcs:        [2]isa.Src{isa.In(0), isa.In(1)},
+			Dsts:        []isa.Dst{isa.DPred(0)},
+			PredUpdates: []isa.PredUpdate{isa.SetP(1)},
+		},
+		{
+			Label:   "send",
+			Trigger: isa.When([]isa.PredLit{isa.P(1), isa.P(0)}, nil),
+			Op:      isa.OpMov,
+			Srcs:    [2]isa.Src{isa.In(0), {}},
+			Dsts:    []isa.Dst{isa.DOut(0, isa.TagData), isa.DReg(3)},
+			Deq:     []int{0},
+			PredUpdates: []isa.PredUpdate{
+				isa.ClrP(1),
+			},
+		},
+		{
+			Label:   "tagread",
+			Trigger: isa.When(nil, []isa.InputCond{isa.InReady(2)}),
+			Op:      isa.OpAdd,
+			Srcs:    [2]isa.Src{isa.InTag(2), isa.Imm(0xFFFF00FF)},
+			Dsts:    []isa.Dst{isa.DReg(0)},
+			Deq:     []int{2},
+		},
+		{
+			Label:   "fin",
+			Trigger: isa.When([]isa.PredLit{isa.P(2)}, nil),
+			Op:      isa.OpHalt,
+			Dsts:    []isa.Dst{isa.DOut(1, isa.TagEOD)},
+		},
+		{
+			Label: "bare",
+			Op:    isa.OpNop,
+		},
+	}
+}
+
+// Property: random valid instructions survive a format/parse round trip.
+func TestFormatTIARoundTripProperty(t *testing.T) {
+	cfg := isa.DefaultConfig()
+	rng := rand.New(rand.NewSource(42))
+	randInst := func(label string) isa.Instruction {
+		in := isa.Instruction{Label: label}
+		ops := []isa.Opcode{isa.OpNop, isa.OpMov, isa.OpAdd, isa.OpSub, isa.OpXor,
+			isa.OpRotr, isa.OpLTU, isa.OpEQ, isa.OpMin}
+		in.Op = ops[rng.Intn(len(ops))]
+		seenP := map[int]bool{}
+		for j := rng.Intn(3); j > 0; j-- {
+			idx := rng.Intn(cfg.NumPreds)
+			if seenP[idx] {
+				continue
+			}
+			seenP[idx] = true
+			in.Trigger.Preds = append(in.Trigger.Preds, isa.PredLit{Index: idx, Value: rng.Intn(2) == 0})
+		}
+		if rng.Intn(2) == 0 {
+			ch := rng.Intn(cfg.NumIn)
+			switch rng.Intn(3) {
+			case 0:
+				in.Trigger.Inputs = append(in.Trigger.Inputs, isa.InReady(ch))
+			case 1:
+				in.Trigger.Inputs = append(in.Trigger.Inputs, isa.InTagEq(ch, isa.Tag(rng.Intn(8))))
+			default:
+				in.Trigger.Inputs = append(in.Trigger.Inputs, isa.InTagNe(ch, isa.Tag(rng.Intn(8))))
+			}
+		}
+		randSrc := func() isa.Src {
+			switch rng.Intn(4) {
+			case 0:
+				return isa.Reg(rng.Intn(cfg.NumRegs))
+			case 1:
+				return isa.Imm(isa.Word(rng.Uint32()))
+			case 2:
+				return isa.In(rng.Intn(cfg.NumIn))
+			default:
+				return isa.InTag(rng.Intn(cfg.NumIn))
+			}
+		}
+		for i := 0; i < in.Op.Arity(); i++ {
+			in.Srcs[i] = randSrc()
+		}
+		usedOut := map[int]bool{}
+		usedPredDst := map[int]bool{}
+		for j := rng.Intn(3); j > 0; j-- {
+			switch rng.Intn(3) {
+			case 0:
+				in.Dsts = append(in.Dsts, isa.DReg(rng.Intn(cfg.NumRegs)))
+			case 1:
+				ch := rng.Intn(cfg.NumOut)
+				if usedOut[ch] {
+					continue
+				}
+				usedOut[ch] = true
+				in.Dsts = append(in.Dsts, isa.DOut(ch, isa.Tag(rng.Intn(8))))
+			default:
+				p := rng.Intn(cfg.NumPreds)
+				if usedPredDst[p] {
+					continue
+				}
+				usedPredDst[p] = true
+				in.Dsts = append(in.Dsts, isa.DPred(p))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			in.Deq = append(in.Deq, rng.Intn(cfg.NumIn))
+		}
+		for j := rng.Intn(2); j > 0; j-- {
+			p := rng.Intn(cfg.NumPreds)
+			if usedPredDst[p] {
+				continue
+			}
+			usedPredDst[p] = true
+			if rng.Intn(2) == 0 {
+				in.PredUpdates = append(in.PredUpdates, isa.SetP(p))
+			} else {
+				in.PredUpdates = append(in.PredUpdates, isa.ClrP(p))
+			}
+		}
+		return in
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		var prog []isa.Instruction
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			in := randInst(labelName(i))
+			if cfg.Validate(&in) != nil {
+				continue // skip the occasional invalid draw
+			}
+			prog = append(prog, in)
+		}
+		if len(prog) == 0 {
+			continue
+		}
+		text := FormatTIA(prog)
+		parsed, err := ParseTIA("rt", text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, text)
+		}
+		if !reflect.DeepEqual(normalizeTIA(parsed.Insts), normalizeTIA(prog)) {
+			t.Fatalf("trial %d: round trip changed program:\n%s", trial, text)
+		}
+	}
+}
+
+func labelName(i int) string {
+	return string(rune('a'+i%26)) + "lbl"
+}
+
+func TestFormatPCRoundTrip(t *testing.T) {
+	orig := pcpe.MergeProgram()
+	text := FormatPC(orig)
+	prog, err := ParsePC("rt", text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if len(prog.Insts) != len(orig) {
+		t.Fatalf("length changed: %d vs %d\n%s", len(prog.Insts), len(orig), text)
+	}
+	for i := range orig {
+		if !reflect.DeepEqual(normalizePCInst(prog.Insts[i]), normalizePCInst(orig[i])) {
+			t.Fatalf("instruction %d changed:\n got %+v\nwant %+v\ntext:\n%s",
+				i, prog.Insts[i], orig[i], text)
+		}
+	}
+}
+
+func normalizePCInst(in pcpe.Inst) pcpe.Inst {
+	if len(in.Dsts) == 0 {
+		in.Dsts = nil
+	}
+	return in
+}

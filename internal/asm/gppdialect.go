@@ -1,0 +1,200 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"tia/internal/gpp"
+	"tia/internal/isa"
+)
+
+// ParseGPP parses the general-purpose core's assembly dialect:
+//
+//	        mov r1, #0
+//	loop:   bgeu r1, r2, done
+//	        lw r3, r1, #100      // r3 = mem[r1 + 100]
+//	        add r4, r4, r3
+//	        sw r4, r1, #200      // mem[r1 + 200] = r4
+//	        add r1, r1, #1
+//	        jmp loop
+//	done:   halt
+//
+// Registers are positional (rN); operands are registers or immediates
+// (#N, #0xHEX, #-N). ALU mnemonics are the shared opcode set (package
+// isa); branches are beq/bne/blts/bges/bltu/bgeu; lw/sw take a
+// destination/value register, a base register and an immediate offset.
+func ParseGPP(name, body string) ([]gpp.Inst, error) {
+	var prog []gpp.Inst
+	for ln, raw := range strings.Split(body, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		inst, err := parseGPPLine(ln+1, line)
+		if err != nil {
+			return nil, fmt.Errorf("gpp %s: %w", name, err)
+		}
+		prog = append(prog, inst)
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("gpp %s: no instructions", name)
+	}
+	labels := map[string]bool{}
+	for _, in := range prog {
+		if in.Label != "" {
+			labels[in.Label] = true
+		}
+	}
+	for i, in := range prog {
+		if (in.Kind == gpp.KindBr || in.Kind == gpp.KindJmp) && !labels[in.Target] {
+			return nil, fmt.Errorf("gpp %s: instruction %d: unknown target %q", name, i, in.Target)
+		}
+	}
+	return prog, nil
+}
+
+func parseGPPLine(ln int, line string) (gpp.Inst, error) {
+	var label string
+	if c := strings.Index(line, ":"); c >= 0 && ident(strings.TrimSpace(line[:c])) {
+		label = strings.TrimSpace(line[:c])
+		line = strings.TrimSpace(line[c+1:])
+	}
+	sp := strings.IndexAny(line, " \t")
+	mnemonic, operandText := line, ""
+	if sp >= 0 {
+		mnemonic, operandText = line[:sp], line[sp+1:]
+	}
+	ops := splitOperands(operandText)
+	in := gpp.Inst{Label: label}
+
+	reg := func(s string) (int, error) {
+		if n, ok := positional("r", s); ok {
+			return n, nil
+		}
+		return 0, srcError(ln, "bad register %q", s)
+	}
+	src := func(s string) (gpp.Src, error) {
+		if strings.HasPrefix(s, "#") {
+			v, err := parseWord(s[1:])
+			if err != nil {
+				return gpp.Src{}, srcError(ln, "%v", err)
+			}
+			return gpp.I(v), nil
+		}
+		r, err := reg(s)
+		if err != nil {
+			return gpp.Src{}, err
+		}
+		return gpp.R(r), nil
+	}
+	imm := func(s string) (isa.Word, error) {
+		if !strings.HasPrefix(s, "#") {
+			return 0, srcError(ln, "expected immediate, got %q", s)
+		}
+		v, err := parseWord(s[1:])
+		if err != nil {
+			return 0, srcError(ln, "%v", err)
+		}
+		return v, nil
+	}
+
+	switch {
+	case mnemonic == "jmp":
+		if len(ops) != 1 {
+			return in, srcError(ln, "jmp needs one target")
+		}
+		in.Kind = gpp.KindJmp
+		in.Target = ops[0]
+	case mnemonic == "halt":
+		in.Kind = gpp.KindHalt
+	case mnemonic == "lw":
+		if len(ops) != 3 {
+			return in, srcError(ln, "lw needs rd, rbase, #off")
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return in, err
+		}
+		rb, err := reg(ops[1])
+		if err != nil {
+			return in, err
+		}
+		off, err := imm(ops[2])
+		if err != nil {
+			return in, err
+		}
+		in.Kind = gpp.KindLoad
+		in.Rd, in.Rs1, in.Off = rd, gpp.R(rb), off
+	case mnemonic == "sw":
+		if len(ops) != 3 {
+			return in, srcError(ln, "sw needs rval, rbase, #off")
+		}
+		rv, err := reg(ops[0])
+		if err != nil {
+			return in, err
+		}
+		rb, err := reg(ops[1])
+		if err != nil {
+			return in, err
+		}
+		off, err := imm(ops[2])
+		if err != nil {
+			return in, err
+		}
+		in.Kind = gpp.KindStore
+		in.Rs2, in.Rs1, in.Off = gpp.R(rv), gpp.R(rb), off
+	default:
+		if brop, ok := gpp.BrOpByName(mnemonic); ok {
+			if len(ops) != 3 {
+				return in, srcError(ln, "%s needs two operands and a target", mnemonic)
+			}
+			a, err := src(ops[0])
+			if err != nil {
+				return in, err
+			}
+			b, err := src(ops[1])
+			if err != nil {
+				return in, err
+			}
+			in.Kind = gpp.KindBr
+			in.BrOp, in.Rs1, in.Rs2, in.Target = brop, a, b, ops[2]
+			return in, nil
+		}
+		op, ok := isa.OpcodeByName(mnemonic)
+		if !ok {
+			return in, srcError(ln, "unknown mnemonic %q", mnemonic)
+		}
+		if len(ops) != 1+op.Arity() {
+			return in, srcError(ln, "%s needs rd plus %d sources", mnemonic, op.Arity())
+		}
+		rd, err := reg(ops[0])
+		if err != nil {
+			return in, err
+		}
+		in.Kind = gpp.KindALU
+		in.Op = op
+		in.Rd = rd
+		if op.Arity() >= 1 {
+			if in.Rs1, err = src(ops[1]); err != nil {
+				return in, err
+			}
+		}
+		if op.Arity() >= 2 {
+			if in.Rs2, err = src(ops[2]); err != nil {
+				return in, err
+			}
+		}
+	}
+	return in, nil
+}
+
+// FormatGPP renders a core program in the parseable dialect, the
+// disassembler counterpart of ParseGPP.
+func FormatGPP(prog []gpp.Inst) string {
+	var b strings.Builder
+	for i := range prog {
+		b.WriteString(prog[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

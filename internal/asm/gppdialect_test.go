@@ -1,0 +1,79 @@
+package asm
+
+import (
+	"reflect"
+	"testing"
+
+	"tia/internal/gpp"
+	"tia/internal/isa"
+)
+
+const gppSumText = `
+// Sum mem[0..4] into r1, store at mem[10].
+        mov r1, #0
+        mov r2, #0
+        mov r3, #5
+loop:   bgeu r2, r3, done
+        lw r4, r2, #0
+        add r1, r1, r4
+        add r2, r2, #1
+        jmp loop
+done:   sw r1, r2, #5
+        halt
+`
+
+func TestParseGPPSumRuns(t *testing.T) {
+	prog, err := ParseGPP("sum", gppSumText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := gpp.New(gpp.DefaultConfig(32), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.LoadMem(0, []isa.Word{1, 2, 3, 4, 5})
+	if err := core.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if core.Reg(1) != 15 {
+		t.Fatalf("sum = %d", core.Reg(1))
+	}
+	if core.Mem(10) != 15 {
+		t.Fatalf("mem[10] = %d", core.Mem(10))
+	}
+}
+
+func TestFormatGPPRoundTrip(t *testing.T) {
+	orig, err := ParseGPP("sum", gppSumText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatGPP(orig)
+	back, err := ParseGPP("rt", text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(back, orig) {
+		t.Fatalf("round trip changed program:\n%s", text)
+	}
+}
+
+func TestParseGPPErrors(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"unknown mnemonic", "frob r1, r2"},
+		{"unknown target", "jmp nowhere"},
+		{"bad register", "mov rx, #1"},
+		{"lw operands", "lw r1, r2"},
+		{"sw offset", "sw r1, r2, r3"},
+		{"branch operands", "x: beq r1, x"},
+		{"alu operand count", "add r1, r2"},
+	}
+	for _, c := range cases {
+		if _, err := ParseGPP("t", c.body); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

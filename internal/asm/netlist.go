@@ -1,0 +1,567 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tia/internal/channel"
+	"tia/internal/fabric"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// Netlist is a fully constructed fabric plus name-indexed handles to its
+// elements, built from one netlist source file.
+type Netlist struct {
+	Fabric  *fabric.Fabric
+	Sources map[string]*fabric.Source
+	Sinks   map[string]*fabric.Sink
+	PEs     map[string]*pe.PE
+	PCPEs   map[string]*pcpe.PE
+	Mems    map[string]*mem.Scratchpad
+
+	tiaProgs map[string]*TIAProgram
+	pcProgs  map[string]*PCProgram
+}
+
+// netParser carries parse state across the file.
+type netParser struct {
+	n      *Netlist
+	tiaCfg isa.Config
+	pcCfg  pcpe.Config
+	fabCfg fabric.Config
+	places []placement
+	wires  []wireDecl
+}
+
+type placement struct {
+	name string
+	x, y int
+	line int
+}
+
+type wireDecl struct {
+	line             int
+	srcElem, srcPort string
+	dstElem, dstPort string
+	capacity, lat    int // -1 means fabric default
+}
+
+// ParseNetlist parses a complete fabric description:
+//
+//	source a : 1 3 5 eod        // token stream (words, V#T, eod)
+//	sink o                      // completes on one EOD
+//	sink o2 count 5             // or after N tokens
+//	scratchpad sp 256 : 9 9 9   // size, optional initial image
+//	pe merge                    // triggered PE block (see ParseTIA)
+//	  ...
+//	end
+//	pcpe merge2                 // sequential PE block (see ParsePC)
+//	  ...
+//	end
+//	place merge 1 1
+//	wire a.0 -> merge.a
+//	wire merge.o -> o.0 cap 8 lat 2
+//
+// Scratchpad ports are named raddr, waddr, wdata (inputs) and rdata
+// (output); sources expose output 0 and sinks input 0; PE ports go by
+// their declared channel names.
+func ParseNetlist(src string, tiaCfg isa.Config, pcCfg pcpe.Config) (*Netlist, error) {
+	np := &netParser{
+		n: &Netlist{
+			Sources:  map[string]*fabric.Source{},
+			Sinks:    map[string]*fabric.Sink{},
+			PEs:      map[string]*pe.PE{},
+			PCPEs:    map[string]*pcpe.PE{},
+			Mems:     map[string]*mem.Scratchpad{},
+			tiaProgs: map[string]*TIAProgram{},
+			pcProgs:  map[string]*PCProgram{},
+		},
+		tiaCfg: tiaCfg,
+		pcCfg:  pcCfg,
+		fabCfg: fabric.DefaultConfig(),
+	}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		var err error
+		switch fields[0] {
+		case "config":
+			err = np.parseConfig(i+1, fields[1:])
+		case "source":
+			err = np.parseSource(i+1, line)
+		case "sink":
+			err = np.parseSink(i+1, fields[1:])
+		case "scratchpad":
+			err = np.parseScratchpad(i+1, line)
+		case "place":
+			err = np.parsePlace(i+1, fields[1:])
+		case "wire":
+			err = np.parseWire(i+1, fields[1:])
+		case "pe", "pcpe":
+			var body []string
+			j := i + 1
+			for ; j < len(lines); j++ {
+				if strings.TrimSpace(stripComment(lines[j])) == "end" {
+					break
+				}
+				body = append(body, lines[j])
+			}
+			if j == len(lines) {
+				return nil, srcError(i+1, "unterminated %s block (missing end)", fields[0])
+			}
+			if len(fields) < 2 {
+				return nil, srcError(i+1, "%s needs a name", fields[0])
+			}
+			err = np.parsePEBlock(i+1, fields[0], fields[1], fields[2:], strings.Join(body, "\n"))
+			i = j
+		default:
+			err = srcError(i+1, "unknown directive %q", fields[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return np.finish()
+}
+
+func (np *netParser) parseConfig(ln int, fields []string) error {
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return srcError(ln, "bad config value %q", fields[i+1])
+		}
+		switch fields[i] {
+		case "cap":
+			np.fabCfg.ChannelCapacity = v
+		case "lat":
+			np.fabCfg.ChannelLatency = v
+		default:
+			return srcError(ln, "unknown config key %q", fields[i])
+		}
+	}
+	return nil
+}
+
+func (np *netParser) checkFresh(ln int, name string) error {
+	if !ident(name) {
+		return srcError(ln, "bad element name %q", name)
+	}
+	for _, exists := range []bool{
+		np.n.Sources[name] != nil, np.n.Sinks[name] != nil,
+		np.n.PEs[name] != nil, np.n.PCPEs[name] != nil, np.n.Mems[name] != nil,
+	} {
+		if exists {
+			return srcError(ln, "element %q already defined", name)
+		}
+	}
+	return nil
+}
+
+func (np *netParser) parseSource(ln int, line string) error {
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return srcError(ln, "source needs ': tokens'")
+	}
+	head := strings.Fields(line[:colon])
+	if len(head) != 2 {
+		return srcError(ln, "source needs exactly one name")
+	}
+	name := head[1]
+	if err := np.checkFresh(ln, name); err != nil {
+		return err
+	}
+	var toks []channel.Token
+	for _, f := range strings.Fields(line[colon+1:]) {
+		tok, err := parseToken(f)
+		if err != nil {
+			return srcError(ln, "%v", err)
+		}
+		toks = append(toks, tok)
+	}
+	np.n.Sources[name] = fabric.NewSource(name, toks)
+	return nil
+}
+
+// parseToken parses "eod", a bare word, or value#tag.
+func parseToken(f string) (channel.Token, error) {
+	if f == "eod" {
+		return channel.EOD(), nil
+	}
+	if h := strings.Index(f, "#"); h >= 0 {
+		v, err := parseWord(f[:h])
+		if err != nil {
+			return channel.Token{}, err
+		}
+		t, err := parseTag(f[h+1:])
+		if err != nil {
+			return channel.Token{}, err
+		}
+		return channel.Token{Data: v, Tag: t}, nil
+	}
+	v, err := parseWord(f)
+	if err != nil {
+		return channel.Token{}, err
+	}
+	return channel.Data(v), nil
+}
+
+func (np *netParser) parseSink(ln int, fields []string) error {
+	if len(fields) == 0 {
+		return srcError(ln, "sink needs a name")
+	}
+	name := fields[0]
+	if err := np.checkFresh(ln, name); err != nil {
+		return err
+	}
+	switch {
+	case len(fields) == 1:
+		np.n.Sinks[name] = fabric.NewSink(name)
+	case len(fields) == 3 && fields[1] == "count":
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			return srcError(ln, "bad sink count %q", fields[2])
+		}
+		np.n.Sinks[name] = fabric.NewCountingSink(name, n)
+	case len(fields) == 3 && fields[1] == "eods":
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			return srcError(ln, "bad sink eods %q", fields[2])
+		}
+		np.n.Sinks[name] = fabric.NewMultiEODSink(name, n)
+	default:
+		return srcError(ln, "bad sink declaration")
+	}
+	return nil
+}
+
+func (np *netParser) parseScratchpad(ln int, line string) error {
+	spec := line
+	var image []isa.Word
+	if colon := strings.Index(line, ":"); colon >= 0 {
+		spec = line[:colon]
+		for _, f := range strings.Fields(line[colon+1:]) {
+			w, err := parseWord(f)
+			if err != nil {
+				return srcError(ln, "%v", err)
+			}
+			image = append(image, w)
+		}
+	}
+	fields := strings.Fields(spec)
+	if len(fields) < 3 {
+		return srcError(ln, "scratchpad needs name and size")
+	}
+	name := fields[1]
+	if err := np.checkFresh(ln, name); err != nil {
+		return err
+	}
+	size, err := strconv.Atoi(fields[2])
+	if err != nil || size <= 0 {
+		return srcError(ln, "bad scratchpad size %q", fields[2])
+	}
+	// On-fabric scratchpads are small by definition; reject sizes that
+	// could only be a typo (or a hostile input).
+	const maxScratchpadWords = 1 << 22
+	if size > maxScratchpadWords {
+		return srcError(ln, "scratchpad size %d exceeds the %d-word fabric limit", size, maxScratchpadWords)
+	}
+	m := mem.New(name, size)
+	for i := 3; i+1 < len(fields); i += 2 {
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil || v < 0 {
+			return srcError(ln, "bad scratchpad option value %q", fields[i+1])
+		}
+		switch fields[i] {
+		case "lat":
+			m.SetReadLatency(v)
+		default:
+			return srcError(ln, "unknown scratchpad option %q", fields[i])
+		}
+	}
+	if (len(fields)-3)%2 != 0 {
+		return srcError(ln, "scratchpad options must be key value pairs")
+	}
+	if len(image) > size {
+		return srcError(ln, "scratchpad %s: %d-word image exceeds %d-word size", name, len(image), size)
+	}
+	if image != nil {
+		m.Load(image)
+	}
+	np.n.Mems[name] = m
+	return nil
+}
+
+func (np *netParser) parsePlace(ln int, fields []string) error {
+	if len(fields) != 3 {
+		return srcError(ln, "place needs name x y")
+	}
+	x, err1 := strconv.Atoi(fields[1])
+	y, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil {
+		return srcError(ln, "bad coordinates")
+	}
+	np.places = append(np.places, placement{name: fields[0], x: x, y: y, line: ln})
+	return nil
+}
+
+func (np *netParser) parseWire(ln int, fields []string) error {
+	// wire a.p -> b.q [cap N] [lat N]
+	if len(fields) < 3 || fields[1] != "->" {
+		return srcError(ln, "wire syntax: wire src.port -> dst.port [cap N] [lat N]")
+	}
+	w := wireDecl{line: ln, capacity: -1, lat: -1}
+	var ok bool
+	if w.srcElem, w.srcPort, ok = splitPort(fields[0]); !ok {
+		return srcError(ln, "bad endpoint %q", fields[0])
+	}
+	if w.dstElem, w.dstPort, ok = splitPort(fields[2]); !ok {
+		return srcError(ln, "bad endpoint %q", fields[2])
+	}
+	for i := 3; i+1 < len(fields); i += 2 {
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return srcError(ln, "bad wire option value %q", fields[i+1])
+		}
+		switch fields[i] {
+		case "cap":
+			w.capacity = v
+		case "lat":
+			w.lat = v
+		default:
+			return srcError(ln, "unknown wire option %q", fields[i])
+		}
+	}
+	np.wires = append(np.wires, w)
+	return nil
+}
+
+func splitPort(s string) (elem, port string, ok bool) {
+	dot := strings.LastIndex(s, ".")
+	if dot <= 0 || dot == len(s)-1 {
+		return "", "", false
+	}
+	return s[:dot], s[dot+1:], true
+}
+
+// parsePEBlock compiles one pe/pcpe block. Optional key=value options on
+// the header line override the PE configuration, e.g.
+//
+//	pe sched insts=32 preds=16
+//
+// Recognized keys: insts (trigger pool), preds, regs, in, out.
+func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body string) error {
+	if err := np.checkFresh(ln, name); err != nil {
+		return err
+	}
+	if kind == "pe" {
+		cfg := np.tiaCfg
+		for _, opt := range opts {
+			eq := strings.Index(opt, "=")
+			if eq < 0 {
+				return srcError(ln, "bad PE option %q (want key=value)", opt)
+			}
+			v, err := strconv.Atoi(opt[eq+1:])
+			if err != nil || v < 1 {
+				return srcError(ln, "bad PE option value %q", opt)
+			}
+			switch opt[:eq] {
+			case "insts":
+				cfg.MaxInsts = v
+			case "preds":
+				cfg.NumPreds = v
+			case "regs":
+				cfg.NumRegs = v
+			case "in":
+				cfg.NumIn = v
+			case "out":
+				cfg.NumOut = v
+			default:
+				return srcError(ln, "unknown PE option %q", opt[:eq])
+			}
+		}
+		prog, err := ParseTIA(name, body)
+		if err != nil {
+			return err
+		}
+		proc, err := prog.Build(cfg)
+		if err != nil {
+			return err
+		}
+		np.n.PEs[name] = proc
+		np.n.tiaProgs[name] = prog
+		return nil
+	}
+	if len(opts) > 0 {
+		return srcError(ln, "pcpe blocks take no options")
+	}
+	prog, err := ParsePC(name, body)
+	if err != nil {
+		return err
+	}
+	proc, err := prog.Build(np.pcCfg)
+	if err != nil {
+		return err
+	}
+	np.n.PCPEs[name] = proc
+	np.n.pcProgs[name] = prog
+	return nil
+}
+
+func (np *netParser) finish() (*Netlist, error) {
+	f := fabric.New(np.fabCfg)
+	np.n.Fabric = f
+	elems := map[string]fabric.Element{}
+	for name, s := range np.n.Sources {
+		f.Add(s)
+		elems[name] = s
+	}
+	for name, m := range np.n.Mems {
+		f.Add(m)
+		elems[name] = m
+	}
+	for name, p := range np.n.PEs {
+		f.Add(p)
+		elems[name] = p
+	}
+	for name, p := range np.n.PCPEs {
+		f.Add(p)
+		elems[name] = p
+	}
+	for name, s := range np.n.Sinks {
+		f.Add(s)
+		elems[name] = s
+	}
+	for _, pl := range np.places {
+		e, ok := elems[pl.name]
+		if !ok {
+			return nil, srcError(pl.line, "place of unknown element %q", pl.name)
+		}
+		f.Place(e, pl.x, pl.y)
+	}
+	for _, w := range np.wires {
+		if err := np.applyWire(f, elems, w); err != nil {
+			return nil, err
+		}
+	}
+	return np.n, nil
+}
+
+func (np *netParser) applyWire(f *fabric.Fabric, elems map[string]fabric.Element, w wireDecl) error {
+	srcElem, ok := elems[w.srcElem]
+	if !ok {
+		return srcError(w.line, "wire from unknown element %q", w.srcElem)
+	}
+	dstElem, ok := elems[w.dstElem]
+	if !ok {
+		return srcError(w.line, "wire to unknown element %q", w.dstElem)
+	}
+	srcPort, err := np.resolveOutPort(w.srcElem, w.srcPort)
+	if err != nil {
+		return srcError(w.line, "%v", err)
+	}
+	dstPort, err := np.resolveInPort(w.dstElem, w.dstPort)
+	if err != nil {
+		return srcError(w.line, "%v", err)
+	}
+	src, ok := srcElem.(fabric.OutPort)
+	if !ok {
+		return srcError(w.line, "element %q has no outputs", w.srcElem)
+	}
+	dst, ok := dstElem.(fabric.InPort)
+	if !ok {
+		return srcError(w.line, "element %q has no inputs", w.dstElem)
+	}
+	// Element connect methods treat bad indices and double connections as
+	// programming errors and panic; from a netlist they are user input,
+	// so convert them into parse errors.
+	return catchWirePanic(w.line, func() {
+		if w.capacity < 0 && w.lat < 0 {
+			f.Wire(src, srcPort, dst, dstPort) // placement-aware default
+			return
+		}
+		capacity, lat := w.capacity, w.lat
+		if capacity < 0 {
+			capacity = np.fabCfg.ChannelCapacity
+		}
+		if lat < 0 {
+			lat = np.fabCfg.ChannelLatency
+		}
+		f.WireOpt(src, srcPort, dst, dstPort, capacity, lat)
+	})
+}
+
+func catchWirePanic(line int, wire func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = srcError(line, "bad wire: %v", r)
+		}
+	}()
+	wire()
+	return nil
+}
+
+func (np *netParser) resolveOutPort(elem, port string) (int, error) {
+	if prog, ok := np.n.tiaProgs[elem]; ok {
+		if i, ok := prog.OutIndex(port); ok {
+			return i, nil
+		}
+		return 0, fmt.Errorf("pe %q has no output %q", elem, port)
+	}
+	if prog, ok := np.n.pcProgs[elem]; ok {
+		if i, ok := prog.OutIndex(port); ok {
+			return i, nil
+		}
+		return 0, fmt.Errorf("pcpe %q has no output %q", elem, port)
+	}
+	if _, ok := np.n.Mems[elem]; ok {
+		switch port {
+		case "rdata":
+			return mem.PortReadData, nil
+		case "wack":
+			return mem.PortWriteAck, nil
+		}
+		return 0, fmt.Errorf("scratchpad %q has no output %q (use rdata/wack)", elem, port)
+	}
+	if n, err := strconv.Atoi(port); err == nil {
+		return n, nil
+	}
+	return 0, fmt.Errorf("element %q: bad output port %q", elem, port)
+}
+
+func (np *netParser) resolveInPort(elem, port string) (int, error) {
+	if prog, ok := np.n.tiaProgs[elem]; ok {
+		if i, ok := prog.InIndex(port); ok {
+			return i, nil
+		}
+		return 0, fmt.Errorf("pe %q has no input %q", elem, port)
+	}
+	if prog, ok := np.n.pcProgs[elem]; ok {
+		if i, ok := prog.InIndex(port); ok {
+			return i, nil
+		}
+		return 0, fmt.Errorf("pcpe %q has no input %q", elem, port)
+	}
+	if _, ok := np.n.Mems[elem]; ok {
+		switch port {
+		case "raddr":
+			return mem.PortReadAddr, nil
+		case "waddr":
+			return mem.PortWriteAddr, nil
+		case "wdata":
+			return mem.PortWriteData, nil
+		}
+		return 0, fmt.Errorf("scratchpad %q has no input %q (use raddr/waddr/wdata)", elem, port)
+	}
+	if n, err := strconv.Atoi(port); err == nil {
+		return n, nil
+	}
+	return 0, fmt.Errorf("element %q: bad input port %q", elem, port)
+}

@@ -1,0 +1,337 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+)
+
+// PCProgram is a parsed sequential (PC-style) program plus symbol tables.
+type PCProgram struct {
+	Name     string
+	InNames  []string
+	OutNames []string
+	Insts    []pcpe.Inst
+	RegInit  map[int]isa.Word
+
+	ins, outs, regs map[string]int
+}
+
+// InIndex resolves an input channel name to its port index.
+func (p *PCProgram) InIndex(name string) (int, bool) {
+	i, ok := p.ins[name]
+	return i, ok
+}
+
+// OutIndex resolves an output channel name to its port index.
+func (p *PCProgram) OutIndex(name string) (int, bool) {
+	i, ok := p.outs[name]
+	return i, ok
+}
+
+// Build instantiates the program on a PC-style PE.
+func (p *PCProgram) Build(cfg pcpe.Config) (*pcpe.PE, error) {
+	proc, err := pcpe.New(p.Name, cfg, p.Insts)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range p.RegInit {
+		if i >= cfg.NumRegs {
+			return nil, fmt.Errorf("asm: %s: initial value for r%d but PE has %d registers", p.Name, i, cfg.NumRegs)
+		}
+		proc.SetReg(i, v)
+	}
+	return proc, nil
+}
+
+type pcParser struct {
+	prog *PCProgram
+}
+
+// ParsePC parses the body of one "pcpe" block. Lines hold declarations
+// (in/out/reg) and sequential instructions:
+//
+//	loop: bne a.tag, #0, a_eod
+//	      leu r0, a, b
+//	      beq r0, #0, take_b
+//	      mov o, a.pop
+//	      jmp loop
+//
+// Operand forms: registers (declared names or rN), immediates (#N),
+// channel heads (chan, chan.pop, chan.tag), outputs (chan or chan#tag).
+func ParsePC(name, body string) (*PCProgram, error) {
+	pp := &pcParser{prog: &PCProgram{
+		Name:    name,
+		RegInit: map[int]isa.Word{},
+		ins:     map[string]int{},
+		outs:    map[string]int{},
+		regs:    map[string]int{},
+	}}
+	for i, raw := range strings.Split(body, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := pp.parseLine(i+1, line); err != nil {
+			return nil, fmt.Errorf("pcpe %s: %w", name, err)
+		}
+	}
+	if len(pp.prog.Insts) == 0 {
+		return nil, fmt.Errorf("pcpe %s: no instructions", name)
+	}
+	labels := map[string]bool{}
+	for _, in := range pp.prog.Insts {
+		if in.Label != "" {
+			labels[in.Label] = true
+		}
+	}
+	for i, in := range pp.prog.Insts {
+		if (in.Kind == pcpe.KindBr || in.Kind == pcpe.KindJmp) && !labels[in.Target] {
+			return nil, fmt.Errorf("pcpe %s: instruction %d: unknown target %q", name, i, in.Target)
+		}
+	}
+	return pp.prog, nil
+}
+
+func (pp *pcParser) parseLine(ln int, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "in":
+		return pp.declChannels(ln, fields[1:], pp.prog.ins, &pp.prog.InNames)
+	case "out":
+		return pp.declChannels(ln, fields[1:], pp.prog.outs, &pp.prog.OutNames)
+	case "reg":
+		return pp.declReg(ln, line)
+	default:
+		return pp.parseInst(ln, line)
+	}
+}
+
+func (pp *pcParser) checkFresh(ln int, n string) error {
+	if !ident(n) {
+		return srcError(ln, "bad identifier %q", n)
+	}
+	for _, m := range []map[string]int{pp.prog.ins, pp.prog.outs, pp.prog.regs} {
+		if _, dup := m[n]; dup {
+			return srcError(ln, "name %q already declared", n)
+		}
+	}
+	return nil
+}
+
+func (pp *pcParser) declChannels(ln int, names []string, table map[string]int, order *[]string) error {
+	if len(names) == 0 {
+		return srcError(ln, "channel declaration needs at least one name")
+	}
+	for _, n := range names {
+		if err := pp.checkFresh(ln, n); err != nil {
+			return err
+		}
+		table[n] = len(*order)
+		*order = append(*order, n)
+	}
+	return nil
+}
+
+func (pp *pcParser) declReg(ln int, line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "reg"))
+	if eq := strings.Index(rest, "="); eq >= 0 {
+		name := strings.TrimSpace(rest[:eq])
+		if err := pp.checkFresh(ln, name); err != nil {
+			return err
+		}
+		v, err := parseWord(strings.TrimSpace(rest[eq+1:]))
+		if err != nil {
+			return srcError(ln, "%v", err)
+		}
+		idx := len(pp.prog.regs)
+		pp.prog.regs[name] = idx
+		pp.prog.RegInit[idx] = v
+		return nil
+	}
+	for _, n := range strings.Fields(rest) {
+		if err := pp.checkFresh(ln, n); err != nil {
+			return err
+		}
+		pp.prog.regs[n] = len(pp.prog.regs)
+	}
+	return nil
+}
+
+func (pp *pcParser) inChan(s string) (int, bool) {
+	if i, ok := pp.prog.ins[s]; ok {
+		return i, true
+	}
+	return positional("in", s)
+}
+
+func (pp *pcParser) outChan(s string) (int, bool) {
+	if i, ok := pp.prog.outs[s]; ok {
+		return i, true
+	}
+	return positional("out", s)
+}
+
+func (pp *pcParser) reg(s string) (int, bool) {
+	if i, ok := pp.prog.regs[s]; ok {
+		return i, true
+	}
+	if _, taken := pp.prog.ins[s]; taken {
+		return 0, false
+	}
+	return positional("r", s)
+}
+
+func (pp *pcParser) parseInst(ln int, line string) error {
+	var label string
+	if c := strings.Index(line, ":"); c >= 0 && ident(strings.TrimSpace(line[:c])) {
+		label = strings.TrimSpace(line[:c])
+		line = strings.TrimSpace(line[c+1:])
+	}
+	sp := strings.IndexAny(line, " \t")
+	mnemonic, operandText := line, ""
+	if sp >= 0 {
+		mnemonic, operandText = line[:sp], line[sp+1:]
+	}
+	operands := splitOperands(operandText)
+
+	inst := pcpe.Inst{Label: label}
+	switch {
+	case mnemonic == "jmp":
+		if len(operands) != 1 {
+			return srcError(ln, "jmp needs one target")
+		}
+		inst.Kind = pcpe.KindJmp
+		inst.Target = operands[0]
+	case mnemonic == "deq":
+		if len(operands) != 1 {
+			return srcError(ln, "deq needs one channel")
+		}
+		ch, ok := pp.inChan(operands[0])
+		if !ok {
+			return srcError(ln, "unknown input channel %q", operands[0])
+		}
+		inst.Kind = pcpe.KindDeq
+		inst.Chan = ch
+	case isBranch(mnemonic):
+		brop, _ := pcpe.BrOpByName(mnemonic)
+		if len(operands) != 3 {
+			return srcError(ln, "%s needs two operands and a target", mnemonic)
+		}
+		inst.Kind = pcpe.KindBr
+		inst.BrOp = brop
+		for i := 0; i < 2; i++ {
+			src, err := pp.parseSrc(ln, operands[i])
+			if err != nil {
+				return err
+			}
+			inst.Srcs[i] = src
+		}
+		inst.Target = operands[2]
+	case mnemonic == "halt":
+		inst.Kind = pcpe.KindHalt
+		if len(operands) > 0 {
+			// halt with destinations is an ALU halt that can emit a
+			// final token (typically an EOD).
+			inst.Kind = pcpe.KindALU
+			inst.Op = isa.OpHalt
+			for _, d := range operands {
+				dst, err := pp.parseDst(ln, d)
+				if err != nil {
+					return err
+				}
+				inst.Dsts = append(inst.Dsts, dst)
+			}
+		}
+	default:
+		op, ok := isa.OpcodeByName(mnemonic)
+		if !ok {
+			return srcError(ln, "unknown mnemonic %q", mnemonic)
+		}
+		inst.Kind = pcpe.KindALU
+		inst.Op = op
+		arity := op.Arity()
+		if len(operands) < arity {
+			return srcError(ln, "%s needs %d sources, got %d operands", mnemonic, arity, len(operands))
+		}
+		ndst := len(operands) - arity
+		for _, d := range operands[:ndst] {
+			if d == "_" {
+				continue
+			}
+			dst, err := pp.parseDst(ln, d)
+			if err != nil {
+				return err
+			}
+			inst.Dsts = append(inst.Dsts, dst)
+		}
+		for i, s := range operands[ndst:] {
+			src, err := pp.parseSrc(ln, s)
+			if err != nil {
+				return err
+			}
+			inst.Srcs[i] = src
+		}
+	}
+	pp.prog.Insts = append(pp.prog.Insts, inst)
+	return nil
+}
+
+func isBranch(m string) bool {
+	_, ok := pcpe.BrOpByName(m)
+	return ok
+}
+
+func (pp *pcParser) parseDst(ln int, s string) (pcpe.Dst, error) {
+	name, tag := s, isa.TagData
+	if h := strings.Index(s, "#"); h >= 0 {
+		t, err := parseTag(s[h+1:])
+		if err != nil {
+			return pcpe.Dst{}, srcError(ln, "%v", err)
+		}
+		name, tag = s[:h], t
+	}
+	if ch, ok := pp.outChan(name); ok {
+		return pcpe.DOut(ch, tag), nil
+	}
+	if tag != isa.TagData {
+		return pcpe.Dst{}, srcError(ln, "tag on non-channel destination %q", s)
+	}
+	if r, ok := pp.reg(name); ok {
+		return pcpe.DReg(r), nil
+	}
+	return pcpe.Dst{}, srcError(ln, "unknown destination %q", s)
+}
+
+func (pp *pcParser) parseSrc(ln int, s string) (pcpe.Src, error) {
+	if strings.HasPrefix(s, "#") {
+		v, err := parseWord(s[1:])
+		if err != nil {
+			return pcpe.Src{}, srcError(ln, "%v", err)
+		}
+		return pcpe.Imm(v), nil
+	}
+	if strings.HasSuffix(s, ".tag") {
+		ch, ok := pp.inChan(strings.TrimSuffix(s, ".tag"))
+		if !ok {
+			return pcpe.Src{}, srcError(ln, "unknown input channel %q", s)
+		}
+		return pcpe.ChanTag(ch), nil
+	}
+	if strings.HasSuffix(s, ".pop") {
+		ch, ok := pp.inChan(strings.TrimSuffix(s, ".pop"))
+		if !ok {
+			return pcpe.Src{}, srcError(ln, "unknown input channel %q", s)
+		}
+		return pcpe.ChanPop(ch), nil
+	}
+	if ch, ok := pp.inChan(s); ok {
+		return pcpe.Chan(ch), nil
+	}
+	if r, ok := pp.reg(s); ok {
+		return pcpe.Reg(r), nil
+	}
+	return pcpe.Src{}, srcError(ln, "unknown source %q", s)
+}

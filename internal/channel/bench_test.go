@@ -1,0 +1,36 @@
+package channel
+
+import (
+	"testing"
+
+	"tia/internal/isa"
+)
+
+// BenchmarkSendPeekDeqTick measures one full token cycle through a
+// channel, the innermost operation of every simulation.
+func BenchmarkSendPeekDeqTick(b *testing.B) {
+	c := New("c", 4, 0)
+	for i := 0; i < b.N; i++ {
+		if c.CanAccept() {
+			c.Send(Data(isa.Word(i)))
+		}
+		if _, ok := c.Peek(); ok {
+			c.Deq()
+		}
+		c.Tick()
+	}
+}
+
+// BenchmarkTickLatency measures commit cost with tokens in flight.
+func BenchmarkTickLatency(b *testing.B) {
+	c := New("c", 8, 3)
+	for i := 0; i < b.N; i++ {
+		if c.CanAccept() {
+			c.Send(Data(isa.Word(i)))
+		}
+		if _, ok := c.Peek(); ok {
+			c.Deq()
+		}
+		c.Tick()
+	}
+}

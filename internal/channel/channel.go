@@ -1,0 +1,187 @@
+// Package channel implements the latency-insensitive communication links
+// that connect elements of a spatial fabric.
+//
+// A Channel is a point-to-point link carrying tagged tokens. It has a
+// receiver-side FIFO of fixed capacity, a configurable wire latency, and
+// credit-based flow control: a sender may only enqueue when credits remain
+// (capacity minus everything queued, in flight, or staged this cycle).
+//
+// Channels are simulated with a two-phase protocol so that the order in
+// which fabric elements are stepped within a cycle cannot change results:
+// during a cycle, elements observe only committed state (Peek, CanAccept)
+// and stage their effects (Send, Deq); Tick commits all staged effects and
+// advances in-flight tokens by one cycle. A token sent during cycle t
+// becomes visible to the receiver at cycle t+1+latency.
+package channel
+
+import (
+	"fmt"
+
+	"tia/internal/isa"
+)
+
+// Token is the unit of communication: a data word plus a small tag.
+type Token struct {
+	Data isa.Word
+	Tag  isa.Tag
+}
+
+// String renders the token as "data" or "data#tag" when tagged.
+func (t Token) String() string {
+	if t.Tag == isa.TagData {
+		return fmt.Sprintf("%d", t.Data)
+	}
+	return fmt.Sprintf("%d#%d", t.Data, t.Tag)
+}
+
+// Data wraps a word in an ordinary data token.
+func Data(w isa.Word) Token { return Token{Data: w, Tag: isa.TagData} }
+
+// EOD returns the conventional end-of-data token.
+func EOD() Token { return Token{Tag: isa.TagEOD} }
+
+type flight struct {
+	tok       Token
+	remaining int
+}
+
+// Channel is one latency-insensitive link. The zero value is unusable; use
+// New.
+type Channel struct {
+	name     string
+	capacity int
+	latency  int
+
+	queue      []Token // arrived, visible to the receiver
+	inflight   []flight
+	stagedSend []Token
+	stagedDeq  bool
+
+	// Stats, cumulative since construction.
+	sent      int64
+	delivered int64
+	consumed  int64
+	maxOcc    int
+}
+
+// New returns a channel with the given FIFO capacity (>= 1) and extra wire
+// latency (>= 0 cycles beyond the mandatory one-cycle registered hop).
+func New(name string, capacity, latency int) *Channel {
+	if capacity < 1 {
+		panic(fmt.Sprintf("channel %s: capacity %d < 1", name, capacity))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("channel %s: negative latency %d", name, latency))
+	}
+	return &Channel{name: name, capacity: capacity, latency: latency}
+}
+
+// Name returns the channel's debug name.
+func (c *Channel) Name() string { return c.name }
+
+// Cap returns the receiver FIFO capacity.
+func (c *Channel) Cap() int { return c.capacity }
+
+// Latency returns the extra wire latency in cycles.
+func (c *Channel) Latency() int { return c.latency }
+
+// Len returns the number of committed tokens visible to the receiver.
+func (c *Channel) Len() int { return len(c.queue) }
+
+// InFlight returns the number of tokens on the wire, not yet visible.
+func (c *Channel) InFlight() int { return len(c.inflight) }
+
+// CanAccept reports whether the sender holds a credit: the FIFO has room
+// for everything already queued, in flight, and staged this cycle.
+func (c *Channel) CanAccept() bool {
+	return len(c.queue)+len(c.inflight)+len(c.stagedSend) < c.capacity
+}
+
+// Send stages a token for transmission this cycle. The caller must have
+// checked CanAccept; violating flow control is a simulator bug and panics.
+func (c *Channel) Send(tok Token) {
+	if !c.CanAccept() {
+		panic(fmt.Sprintf("channel %s: send without credit", c.name))
+	}
+	c.stagedSend = append(c.stagedSend, tok)
+	c.sent++
+}
+
+// Peek returns the committed head token without consuming it.
+func (c *Channel) Peek() (Token, bool) {
+	if len(c.queue) == 0 {
+		return Token{}, false
+	}
+	return c.queue[0], true
+}
+
+// Deq stages consumption of the head token this cycle. At most one dequeue
+// per channel per cycle is legal (one receiver); a second is a simulator
+// bug and panics, as is dequeuing an empty channel.
+func (c *Channel) Deq() {
+	if len(c.queue) == 0 {
+		panic(fmt.Sprintf("channel %s: dequeue of empty channel", c.name))
+	}
+	if c.stagedDeq {
+		panic(fmt.Sprintf("channel %s: double dequeue in one cycle", c.name))
+	}
+	c.stagedDeq = true
+	c.consumed++
+}
+
+// Tick commits the cycle: applies the staged dequeue, moves staged sends
+// onto the wire, and delivers arrivals. Call exactly once per fabric cycle.
+func (c *Channel) Tick() {
+	if c.stagedDeq {
+		c.queue = c.queue[1:]
+		c.stagedDeq = false
+	}
+	for _, tok := range c.stagedSend {
+		c.inflight = append(c.inflight, flight{tok: tok, remaining: c.latency})
+	}
+	c.stagedSend = c.stagedSend[:0]
+	// Deliver in-flight tokens in order; tokens never reorder, so only a
+	// prefix of the inflight slice can arrive.
+	n := 0
+	for n < len(c.inflight) && c.inflight[n].remaining == 0 {
+		c.queue = append(c.queue, c.inflight[n].tok)
+		c.delivered++
+		n++
+	}
+	c.inflight = c.inflight[n:]
+	for i := range c.inflight {
+		c.inflight[i].remaining--
+	}
+	if occ := len(c.queue); occ > c.maxOcc {
+		c.maxOcc = occ
+	}
+}
+
+// Idle reports whether the channel holds no tokens anywhere (queued, in
+// flight, or staged). Fabric quiescence detection uses this.
+func (c *Channel) Idle() bool {
+	return len(c.queue) == 0 && len(c.inflight) == 0 && len(c.stagedSend) == 0 && !c.stagedDeq
+}
+
+// Stats is a snapshot of the channel's cumulative counters.
+type Stats struct {
+	Sent         int64 // tokens staged by the sender
+	Delivered    int64 // tokens that reached the receiver FIFO
+	Consumed     int64 // tokens dequeued by the receiver
+	MaxOccupancy int   // high-water mark of the receiver FIFO
+}
+
+// Stats returns a snapshot of the channel's counters.
+func (c *Channel) Stats() Stats {
+	return Stats{Sent: c.sent, Delivered: c.delivered, Consumed: c.consumed, MaxOccupancy: c.maxOcc}
+}
+
+// Reset empties the channel and zeroes its statistics, keeping the
+// configuration. Used when re-running a program on the same fabric.
+func (c *Channel) Reset() {
+	c.queue = c.queue[:0]
+	c.inflight = c.inflight[:0]
+	c.stagedSend = c.stagedSend[:0]
+	c.stagedDeq = false
+	c.sent, c.delivered, c.consumed, c.maxOcc = 0, 0, 0, 0
+}

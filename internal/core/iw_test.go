@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"tia/internal/workloads"
+)
+
+func TestIssueWidthDump(t *testing.T) {
+	for _, spec := range workloads.All() {
+		w1, w2, err := IssueWidthComparison(spec, workloads.Params{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s w1=%6d w2=%6d speedup %.2f", spec.Name, w1, w2, float64(w1)/float64(w2))
+	}
+}

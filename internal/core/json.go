@@ -1,0 +1,33 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Results is the machine-readable form of a full suite run, for plotting
+// or regression tracking outside this repository.
+type Results struct {
+	Rows    []*Row  `json:"rows"`
+	Summary Summary `json:"summary"`
+	// Requirements lists per-kernel PE resource needs (E6).
+	Requirements []Requirements `json:"requirements,omitempty"`
+	// MergeBracket is E2's plain-baseline comparison point.
+	MergeBracket *MergeBracket `json:"mergeBracket,omitempty"`
+}
+
+// WriteJSON emits the suite results as indented JSON.
+func WriteJSON(w io.Writer, res *Results) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// ReadJSON parses results previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Results, error) {
+	var res Results
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

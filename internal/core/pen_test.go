@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"tia/internal/metrics"
+	"tia/internal/workloads"
+)
+
+func TestPenaltyDesignPoints(t *testing.T) {
+	for _, pen := range []int{0, 1, 2, 3} {
+		var sp []float64
+		for _, spec := range workloads.All() {
+			p := spec.Normalize(workloads.Params{Seed: 1, Size: 64})
+			tia, err := spec.BuildTIA(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := tia.Fabric.Run(spec.MaxCycles(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp := p
+			pp.PCCfg.TakenPenalty = pen
+			pc, err := spec.BuildPC(pp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := pc.Fabric.Run(spec.MaxCycles(pp) * 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp = append(sp, float64(rp.Cycles)/float64(rt.Cycles))
+		}
+		t.Logf("penalty=%d geomean speedup %.3f (%v)", pen, metrics.Geomean(sp), sp)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tia/internal/isa"
+)
+
+// writeTable renders an aligned text table.
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// WriteE1 renders the per-workload speedup table (paper: 2.0X geomean).
+func WriteE1(w io.Writer, rows []*Row) {
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.TIACycles),
+			fmt.Sprintf("%d", r.PCCycles),
+			fmt.Sprintf("%d", r.PCIdealCycles),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%.2f", r.SpeedupIdeal),
+		})
+	}
+	s := Summarize(rows)
+	table = append(table, []string{"geomean", "", "", "",
+		fmt.Sprintf("%.2f", s.GeomeanSpeedup), fmt.Sprintf("%.2f", s.GeomeanSpeedupIdeal)})
+	writeTable(w, []string{"workload", "tia cyc", "pc cyc", "pc-ideal cyc", "speedup", "speedup-ideal"}, table)
+}
+
+// WriteE2 renders the critical-path instruction-count table (paper: 62%
+// static / 64% dynamic reductions vs its plain baseline).
+func WriteE2(w io.Writer, rows []*Row, bracket *MergeBracket) {
+	var table [][]string
+	var plainStat, plainDyn []float64
+	for _, r := range rows {
+		ps, pd := "-", "-"
+		if r.PlainStatic > 0 {
+			sr := 1 - float64(r.TIAStatic)/float64(r.PlainStatic)
+			dr := 1 - float64(r.TIADynamic)/float64(r.PlainDynamic)
+			ps = fmt.Sprintf("%.0f%%", 100*sr)
+			pd = fmt.Sprintf("%.0f%%", 100*dr)
+			plainStat = append(plainStat, sr)
+			plainDyn = append(plainDyn, dr)
+		}
+		table = append(table, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.TIAStatic),
+			fmt.Sprintf("%d", r.PCStatic),
+			fmt.Sprintf("%.0f%%", 100*r.StaticReduction),
+			ps,
+			fmt.Sprintf("%d", r.TIADynamic),
+			fmt.Sprintf("%d", r.PCDynamic),
+			fmt.Sprintf("%.0f%%", 100*r.DynamicReduction),
+			pd,
+		})
+	}
+	s := Summarize(rows)
+	meanOf := func(v []float64) string {
+		if len(v) == 0 {
+			return "-"
+		}
+		sum := 0.0
+		for _, x := range v {
+			sum += x
+		}
+		return fmt.Sprintf("%.0f%%", 100*sum/float64(len(v)))
+	}
+	table = append(table, []string{"mean", "", "",
+		fmt.Sprintf("%.0f%%", 100*s.MeanStaticReduction), meanOf(plainStat), "", "",
+		fmt.Sprintf("%.0f%%", 100*s.MeanDynamicReduction), meanOf(plainDyn)})
+	writeTable(w, []string{"workload", "tia static", "pc static", "static red.", "vs plain",
+		"tia dynamic", "pc dynamic", "dynamic red.", "vs plain"}, table)
+	if bracket != nil {
+		fmt.Fprintf(w, "\nmerge kernel vs plain PC baseline (paper's comparison point):\n")
+		fmt.Fprintf(w, "  static : %d vs %d  (%.0f%% reduction; paper 62%%)\n",
+			bracket.TIAStatic, bracket.PlainStatic,
+			100*(1-float64(bracket.TIAStatic)/float64(bracket.PlainStatic)))
+		fmt.Fprintf(w, "  dynamic: %d vs %d  (%.0f%% reduction; paper 64%%)\n",
+			bracket.TIADynamic, bracket.PlainDynamic,
+			100*(1-float64(bracket.TIADynamic)/float64(bracket.PlainDynamic)))
+	}
+}
+
+// WriteE3 renders the area-normalized performance table (paper: 8X).
+func WriteE3(w io.Writer, rows []*Row) {
+	var table [][]string
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.TIAPEs),
+			fmt.Sprintf("%d", r.ScratchpadWords),
+			fmt.Sprintf("%.2f", r.TIAArea),
+			fmt.Sprintf("%d", r.GPPCycles),
+			fmt.Sprintf("%.1f", r.AreaNormRatio),
+		})
+	}
+	s := Summarize(rows)
+	table = append(table, []string{"geomean", "", "", "", "", fmt.Sprintf("%.1f", s.GeomeanAreaNorm)})
+	writeTable(w, []string{"workload", "PEs", "scratch words", "fabric mm²", "gpp cyc", "perf/mm² vs GPP"}, table)
+}
+
+// WriteE4 renders the fabric configuration table.
+func WriteE4(w io.Writer) {
+	for _, row := range DefaultFabricConfigTable() {
+		fmt.Fprintf(w, "  %-34s %s\n", row[0], row[1])
+	}
+}
+
+// WriteE5 renders workload characterization: sizes and PE occupancy.
+func WriteE5(w io.Writer, rows []*Row) {
+	var table [][]string
+	for _, r := range rows {
+		var occ []string
+		for _, u := range r.TIAUtil {
+			occ = append(occ, fmt.Sprintf("%s=%.0f%%", u.Name, 100*u.Occupancy))
+		}
+		table = append(table, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.WorkUnits),
+			fmt.Sprintf("%d", r.TIAPEs),
+			fmt.Sprintf("%d", r.ScratchpadWords),
+			strings.Join(occ, " "),
+		})
+	}
+	writeTable(w, []string{"workload", "work units", "PEs", "scratch words", "PE occupancy"}, table)
+}
+
+// WriteE6 renders the per-kernel resource requirements.
+func WriteE6(w io.Writer, reqs []Requirements) {
+	var table [][]string
+	for _, r := range reqs {
+		fits := "yes"
+		if r.MaxInsts > 16 || r.MaxPreds > 8 {
+			fits = "no"
+		}
+		table = append(table, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.PEs),
+			fmt.Sprintf("%d", r.MaxInsts),
+			fmt.Sprintf("%d", r.MaxPreds),
+			fits,
+		})
+	}
+	writeTable(w, []string{"workload", "PEs", "max triggers/PE", "max preds/PE", "fits 16/8"}, table)
+	fmt.Fprintf(w, "\ntriggered instruction encoding: %d bits (vs ~32 for a classic RISC word)\n", isa.EncodedBits)
+}
+
+// WriteSweep renders a sensitivity sweep.
+func WriteSweep(w io.Writer, name string, pts []SweepPoint) {
+	fmt.Fprintf(w, "%s:", name)
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %s:%d", p.Label, p.Cycles)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"tia/internal/isa"
+	"tia/internal/pe"
+)
+
+// BenchmarkFabricCycle measures whole-fabric cycles on the 3-PE merge
+// tree, the end-to-end simulator hot loop.
+func BenchmarkFabricCycle(b *testing.B) {
+	n := 1 << 16
+	quarter := make([]isa.Word, n/4)
+	for i := range quarter {
+		quarter[i] = isa.Word(i)
+	}
+	f := New(DefaultConfig())
+	var srcs [4]*Source
+	for i := range srcs {
+		srcs[i] = NewWordSource("q"+string(rune('0'+i)), quarter, true)
+		f.Add(srcs[i])
+	}
+	var merges [3]*pe.PE
+	for i := range merges {
+		m, err := pe.New("m"+string(rune('0'+i)), isa.DefaultConfig(), pe.MergeProgram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		merges[i] = m
+		f.Add(m)
+	}
+	snk := NewSink("snk")
+	f.Add(snk)
+	f.Wire(srcs[0], 0, merges[0], 0)
+	f.Wire(srcs[1], 0, merges[0], 1)
+	f.Wire(srcs[2], 0, merges[1], 0)
+	f.Wire(srcs[3], 0, merges[1], 1)
+	f.Wire(merges[0], 0, merges[2], 0)
+	f.Wire(merges[1], 0, merges[2], 1)
+	f.Wire(merges[2], 0, snk, 0)
+
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		res, err := f.Run(int64(b.N - done))
+		if err != nil && !errors.Is(err, ErrTimeout) {
+			b.Fatal(err)
+		}
+		done += int(res.Cycles)
+		if res.Completed {
+			f.Reset()
+		}
+		if res.Cycles == 0 {
+			break
+		}
+	}
+}

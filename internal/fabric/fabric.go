@@ -1,0 +1,327 @@
+// Package fabric assembles processing elements, memories, sources and
+// sinks into a spatial array connected by latency-insensitive channels,
+// and drives the whole graph with a deterministic cycle-stepped simulator.
+//
+// Within a cycle every element observes only channel state committed at
+// the end of the previous cycle and stages its effects; the fabric then
+// commits all channels. Element step order therefore cannot affect
+// results, and simulations are bit-reproducible.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"tia/internal/channel"
+)
+
+// Element is anything the fabric steps once per cycle: triggered PEs,
+// PC-style PEs, scratchpads, sources and sinks.
+type Element interface {
+	// Name identifies the element in errors and statistics.
+	Name() string
+	// Step runs one cycle against committed channel state, staging any
+	// channel effects. It returns true if the element did work (fired an
+	// instruction, moved a token, serviced a request).
+	Step(cycle int64) bool
+	// Done reports that the element will never do work again.
+	Done() bool
+}
+
+// InPort is implemented by elements with indexed input channels.
+type InPort interface {
+	ConnectIn(idx int, ch *channel.Channel)
+}
+
+// OutPort is implemented by elements with indexed output channels.
+type OutPort interface {
+	ConnectOut(idx int, ch *channel.Channel)
+}
+
+// connectionChecker lets elements veto simulation when their program
+// references unconnected channels.
+type connectionChecker interface {
+	CheckConnections() error
+}
+
+// faulty lets elements surface program errors (e.g. out-of-range
+// scratchpad addresses) that should abort the run.
+type faulty interface {
+	Err() error
+}
+
+// resettable lets the fabric restore elements for a fresh run.
+type resettable interface {
+	Reset()
+}
+
+// Config holds fabric-wide defaults.
+type Config struct {
+	// ChannelCapacity is the default receiver-FIFO depth for Wire.
+	ChannelCapacity int
+	// ChannelLatency is the default extra wire latency for Wire.
+	ChannelLatency int
+	// QuiescenceWindow is how many consecutive cycles of no work and no
+	// in-flight tokens the simulator requires before declaring the
+	// fabric quiescent.
+	QuiescenceWindow int
+}
+
+// DefaultConfig returns the defaults used throughout the workload suite:
+// depth-4 channels with no extra wire latency.
+func DefaultConfig() Config {
+	return Config{ChannelCapacity: 4, ChannelLatency: 0, QuiescenceWindow: 4}
+}
+
+// Fabric is a spatial array under construction or simulation.
+type Fabric struct {
+	cfg   Config
+	elems []Element
+	chans []*channel.Channel
+	sinks []*Sink
+	names map[string]bool
+	place map[Element]point
+	cycle int64
+}
+
+type point struct{ x, y int }
+
+// New returns an empty fabric with the given defaults.
+func New(cfg Config) *Fabric {
+	if cfg.ChannelCapacity < 1 {
+		cfg.ChannelCapacity = 4
+	}
+	if cfg.QuiescenceWindow < 1 {
+		cfg.QuiescenceWindow = 4
+	}
+	return &Fabric{cfg: cfg, names: map[string]bool{}, place: map[Element]point{}}
+}
+
+// Config returns the fabric's defaults.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Add registers an element. Names must be unique.
+func (f *Fabric) Add(e Element) {
+	if f.names[e.Name()] {
+		panic(fmt.Sprintf("fabric: duplicate element name %q", e.Name()))
+	}
+	f.names[e.Name()] = true
+	f.elems = append(f.elems, e)
+	if s, ok := e.(*Sink); ok {
+		f.sinks = append(f.sinks, s)
+	}
+}
+
+// Elements returns the registered elements in registration order.
+func (f *Fabric) Elements() []Element { return f.elems }
+
+// Channels returns all registered channels.
+func (f *Fabric) Channels() []*channel.Channel { return f.chans }
+
+// Place assigns the element a grid coordinate. When both endpoints of a
+// Wire call are placed, the wire's latency defaults to the Manhattan
+// distance minus one (the first hop is the mandatory registered hop).
+func (f *Fabric) Place(e Element, x, y int) {
+	f.place[e] = point{x, y}
+}
+
+// NewChannel creates a channel registered for fabric ticking but not
+// attached to anything; callers wire it manually (e.g. to drive a PE from
+// a test).
+func (f *Fabric) NewChannel(name string, capacity, latency int) *channel.Channel {
+	ch := channel.New(name, capacity, latency)
+	f.chans = append(f.chans, ch)
+	return ch
+}
+
+// AdoptChannel registers an externally created channel (e.g. the endpoint
+// of a NoC flow) for fabric ticking.
+func (f *Fabric) AdoptChannel(ch *channel.Channel) {
+	f.chans = append(f.chans, ch)
+}
+
+// Wire connects src's output port outIdx to dst's input port inIdx with a
+// channel using fabric defaults (and placement-derived latency if both
+// elements are placed). It returns the channel.
+func (f *Fabric) Wire(src OutPort, outIdx int, dst InPort, inIdx int) *channel.Channel {
+	lat := f.cfg.ChannelLatency
+	se, seOK := src.(Element)
+	de, deOK := dst.(Element)
+	if seOK && deOK {
+		if sp, ok1 := f.place[se]; ok1 {
+			if dp, ok2 := f.place[de]; ok2 {
+				d := abs(sp.x-dp.x) + abs(sp.y-dp.y)
+				if d > 0 {
+					lat = f.cfg.ChannelLatency + d - 1
+				}
+			}
+		}
+	}
+	return f.WireOpt(src, outIdx, dst, inIdx, f.cfg.ChannelCapacity, lat)
+}
+
+// WireOpt is Wire with explicit channel capacity and latency.
+func (f *Fabric) WireOpt(src OutPort, outIdx int, dst InPort, inIdx int, capacity, latency int) *channel.Channel {
+	name := fmt.Sprintf("%s.out%d->%s.in%d", elemName(src), outIdx, elemName(dst), inIdx)
+	ch := channel.New(name, capacity, latency)
+	src.ConnectOut(outIdx, ch)
+	dst.ConnectIn(inIdx, ch)
+	f.chans = append(f.chans, ch)
+	return ch
+}
+
+func elemName(v any) string {
+	if e, ok := v.(Element); ok {
+		return e.Name()
+	}
+	return "?"
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Validate checks that every element's program references only connected
+// channels.
+func (f *Fabric) Validate() error {
+	for _, e := range f.elems {
+		if c, ok := e.(connectionChecker); ok {
+			if err := c.CheckConnections(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Cycles is the number of cycles simulated.
+	Cycles int64
+	// Completed reports that every sink finished.
+	Completed bool
+	// Quiesced reports that the fabric went idle (with or without the
+	// sinks finishing; Completed distinguishes success from deadlock).
+	Quiesced bool
+}
+
+// ErrDeadlock is returned (wrapped) when the fabric goes idle before all
+// sinks complete.
+var ErrDeadlock = errors.New("fabric deadlocked")
+
+// ErrTimeout is returned (wrapped) when maxCycles elapse first.
+var ErrTimeout = errors.New("cycle limit exceeded")
+
+// Run simulates until every sink completes, the fabric quiesces, or
+// maxCycles elapse. Deadlock (quiescence with unfinished sinks) and
+// timeout are errors; so is any element fault.
+func (f *Fabric) Run(maxCycles int64) (Result, error) {
+	if err := f.Validate(); err != nil {
+		return Result{}, err
+	}
+	idleStreak := 0
+	for n := int64(0); n < maxCycles; n++ {
+		worked := false
+		for _, e := range f.elems {
+			if e.Step(f.cycle) {
+				worked = true
+			}
+		}
+		busyChans := false
+		for _, ch := range f.chans {
+			if !ch.Idle() {
+				busyChans = true
+			}
+			ch.Tick()
+		}
+		f.cycle++
+		for _, e := range f.elems {
+			if ft, ok := e.(faulty); ok {
+				if err := ft.Err(); err != nil {
+					return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: element %s: %w", f.cycle, e.Name(), err)
+				}
+			}
+		}
+		if f.sinksDone() {
+			return Result{Cycles: f.cycle, Completed: true}, nil
+		}
+		if !worked && !busyChans {
+			idleStreak++
+			if idleStreak >= f.cfg.QuiescenceWindow {
+				res := Result{Cycles: f.cycle, Quiesced: true}
+				if len(f.sinks) == 0 {
+					res.Completed = true
+					return res, nil
+				}
+				return res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.describeStall())
+			}
+		} else {
+			idleStreak = 0
+		}
+	}
+	return Result{Cycles: f.cycle}, fmt.Errorf("after %d cycles: %w", f.cycle, ErrTimeout)
+}
+
+func (f *Fabric) sinksDone() bool {
+	if len(f.sinks) == 0 {
+		return false
+	}
+	for _, s := range f.sinks {
+		if !s.Completed() {
+			return false
+		}
+	}
+	return true
+}
+
+// stateDumper lets elements contribute a one-line state summary to
+// deadlock reports.
+type stateDumper interface {
+	DumpState() string
+}
+
+// describeStall summarizes which sinks are unfinished, which channels
+// still hold tokens, and what each dumpable element is waiting on, to
+// make deadlock reports actionable.
+func (f *Fabric) describeStall() string {
+	msg := ""
+	for _, s := range f.sinks {
+		if !s.Completed() {
+			msg += fmt.Sprintf(" sink %s received %d tokens;", s.Name(), len(s.Tokens()))
+		}
+	}
+	for _, ch := range f.chans {
+		if ch.Len() > 0 {
+			msg += fmt.Sprintf(" channel %s holds %d tokens;", ch.Name(), ch.Len())
+		}
+	}
+	for _, e := range f.elems {
+		if d, ok := e.(stateDumper); ok {
+			msg += " [" + d.DumpState() + "]"
+		}
+	}
+	if msg == "" {
+		return "no tokens anywhere (starvation)"
+	}
+	return msg
+}
+
+// Cycle returns the current simulation time.
+func (f *Fabric) Cycle() int64 { return f.cycle }
+
+// Reset restores every resettable element and empties every channel so
+// the same fabric can run again.
+func (f *Fabric) Reset() {
+	for _, e := range f.elems {
+		if r, ok := e.(resettable); ok {
+			r.Reset()
+		}
+	}
+	for _, ch := range f.chans {
+		ch.Reset()
+	}
+	f.cycle = 0
+}

@@ -1,0 +1,330 @@
+package fabric
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+	"tia/internal/pe"
+)
+
+func mustPE(t *testing.T, name string, prog []isa.Instruction) *pe.PE {
+	t.Helper()
+	p, err := pe.New(name, isa.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatalf("pe.New(%s): %v", name, err)
+	}
+	return p
+}
+
+// forwarder passes data tokens through and halts on EOD (forwarding it).
+func forwarderProg() []isa.Instruction {
+	return []isa.Instruction{
+		{
+			Label:   "fwd",
+			Trigger: isa.When(nil, []isa.InputCond{isa.InTagEq(0, isa.TagData)}),
+			Op:      isa.OpMov,
+			Srcs:    [2]isa.Src{isa.In(0), {}},
+			Dsts:    []isa.Dst{isa.DOut(0, isa.TagData)},
+			Deq:     []int{0},
+		},
+		{
+			Label:   "eod",
+			Trigger: isa.When(nil, []isa.InputCond{isa.InTagEq(0, isa.TagEOD)}),
+			Op:      isa.OpHalt,
+			Dsts:    []isa.Dst{isa.DOut(0, isa.TagEOD)},
+			Deq:     []int{0},
+		},
+	}
+}
+
+func TestSourceToSinkThroughPE(t *testing.T) {
+	f := New(DefaultConfig())
+	src := NewWordSource("src", []isa.Word{10, 20, 30}, true)
+	p := mustPE(t, "fwd", forwarderProg())
+	snk := NewSink("snk")
+	f.Add(src)
+	f.Add(p)
+	f.Add(snk)
+	f.Wire(src, 0, p, 0)
+	f.Wire(p, 0, snk, 0)
+
+	res, err := f.Run(1000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	got := snk.Words()
+	want := []isa.Word{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("sink got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sink got %v want %v", got, want)
+		}
+	}
+	if !p.Done() {
+		t.Error("PE did not halt")
+	}
+}
+
+func TestMergeEndToEnd(t *testing.T) {
+	f := New(DefaultConfig())
+	a := NewWordSource("a", []isa.Word{1, 4, 9, 16}, true)
+	b := NewWordSource("b", []isa.Word{2, 3, 10, 20, 25}, true)
+	m := mustPE(t, "merge", pe.MergeProgram())
+	snk := NewSink("snk")
+	f.Add(a)
+	f.Add(b)
+	f.Add(m)
+	f.Add(snk)
+	f.Wire(a, 0, m, 0)
+	f.Wire(b, 0, m, 1)
+	f.Wire(m, 0, snk, 0)
+	res, err := f.Run(10000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []isa.Word{1, 2, 3, 4, 9, 10, 16, 20, 25}
+	got := snk.Words()
+	if len(got) != len(want) {
+		t.Fatalf("merged %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v want %v", got, want)
+		}
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	f := New(DefaultConfig())
+	// PE waits forever on an input nobody feeds.
+	p := mustPE(t, "starved", forwarderProg())
+	snk := NewSink("snk")
+	f.Add(p)
+	f.Add(snk)
+	in := f.NewChannel("dangling", 2, 0)
+	p.ConnectIn(0, in)
+	f.Wire(p, 0, snk, 0)
+	_, err := f.Run(1000)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	f := New(DefaultConfig())
+	// A PE that spins forever feeding a sink that never completes (the
+	// sink wants an EOD that never comes, and the PE keeps working, so
+	// no quiescence either).
+	prog := []isa.Instruction{{
+		Label: "spin",
+		Op:    isa.OpAdd,
+		Srcs:  [2]isa.Src{isa.Reg(0), isa.Imm(1)},
+		Dsts:  []isa.Dst{isa.DReg(0), isa.DOut(0, isa.TagData)},
+	}}
+	p := mustPE(t, "spin", prog)
+	snk := NewSink("snk")
+	f.Add(p)
+	f.Add(snk)
+	f.Wire(p, 0, snk, 0)
+	_, err := f.Run(100)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestValidateCatchesUnconnected(t *testing.T) {
+	f := New(DefaultConfig())
+	p := mustPE(t, "loose", forwarderProg())
+	f.Add(p)
+	if _, err := f.Run(10); err == nil {
+		t.Fatal("unconnected PE accepted")
+	}
+}
+
+func TestDuplicateNamesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate names")
+		}
+	}()
+	f := New(DefaultConfig())
+	f.Add(NewSink("x"))
+	f.Add(NewSink("x"))
+}
+
+func TestPlacementDerivedLatency(t *testing.T) {
+	f := New(DefaultConfig())
+	src := NewWordSource("src", []isa.Word{1}, false)
+	snk := NewCountingSink("snk", 1)
+	f.Add(src)
+	f.Add(snk)
+	f.Place(src, 0, 0)
+	f.Place(snk, 3, 2) // Manhattan distance 5 -> extra latency 4
+	ch := f.Wire(src, 0, snk, 0)
+	if ch.Latency() != 4 {
+		t.Fatalf("placed wire latency = %d, want 4", ch.Latency())
+	}
+	res, err := f.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 cycle to emit + 1 registered hop + 4 extra + 1 to consume.
+	if res.Cycles < 6 {
+		t.Errorf("completed in %d cycles, expected at least 6", res.Cycles)
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	f := New(DefaultConfig())
+	src := NewWordSource("src", []isa.Word{5, 6, 7}, false) // no EOD
+	snk := NewCountingSink("snk", 3)
+	f.Add(src)
+	f.Add(snk)
+	f.Wire(src, 0, snk, 0)
+	res, err := f.Run(100)
+	if err != nil || !res.Completed {
+		t.Fatalf("Run = %+v, %v", res, err)
+	}
+	if n := len(snk.Words()); n != 3 {
+		t.Fatalf("sink holds %d words, want 3", n)
+	}
+}
+
+func TestMultiEODSink(t *testing.T) {
+	f := New(DefaultConfig())
+	src := NewSource("src", []channel.Token{
+		channel.Data(1), channel.EOD(), channel.Data(2), channel.EOD(),
+	})
+	snk := NewMultiEODSink("snk", 2)
+	f.Add(src)
+	f.Add(snk)
+	f.Wire(src, 0, snk, 0)
+	res, err := f.Run(100)
+	if err != nil || !res.Completed {
+		t.Fatalf("Run = %+v, %v", res, err)
+	}
+	if n := len(snk.Words()); n != 2 {
+		t.Fatalf("sink holds %d data words, want 2", n)
+	}
+}
+
+func TestResetAndRerun(t *testing.T) {
+	f := New(DefaultConfig())
+	src := NewWordSource("src", []isa.Word{1, 2}, true)
+	p := mustPE(t, "fwd", forwarderProg())
+	snk := NewSink("snk")
+	f.Add(src)
+	f.Add(p)
+	f.Add(snk)
+	f.Wire(src, 0, p, 0)
+	f.Wire(p, 0, snk, 0)
+	res1, err := f.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Reset()
+	res2, err := f.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cycles != res2.Cycles {
+		t.Errorf("rerun took %d cycles, first run %d (not deterministic)", res2.Cycles, res1.Cycles)
+	}
+	if n := len(snk.Words()); n != 2 {
+		t.Errorf("after rerun sink holds %d words, want 2", n)
+	}
+}
+
+func TestDeadlockMessageNamesSink(t *testing.T) {
+	f := New(DefaultConfig())
+	p := mustPE(t, "starved", forwarderProg())
+	snk := NewSink("mySink")
+	f.Add(p)
+	f.Add(snk)
+	in := f.NewChannel("dangling", 2, 0)
+	p.ConnectIn(0, in)
+	f.Wire(p, 0, snk, 0)
+	_, err := f.Run(1000)
+	if err == nil || !strings.Contains(err.Error(), "mySink") {
+		t.Fatalf("deadlock message should name the stuck sink: %v", err)
+	}
+}
+
+// TestDeadlockReportIncludesPEState: the deadlock message must tell the
+// user what the stuck PE was waiting for.
+func TestDeadlockReportIncludesPEState(t *testing.T) {
+	f := New(DefaultConfig())
+	p := mustPE(t, "starved", forwarderProg())
+	snk := NewSink("snk")
+	f.Add(p)
+	f.Add(snk)
+	in := f.NewChannel("dangling", 2, 0)
+	p.ConnectIn(0, in)
+	f.Wire(p, 0, snk, 0)
+	_, err := f.Run(1000)
+	if err == nil || !strings.Contains(err.Error(), "awaiting-input") {
+		t.Fatalf("deadlock report should include PE wait state: %v", err)
+	}
+}
+
+// TestDeterminismProperty: a randomized multi-PE fabric produces the same
+// output tokens and cycle count on a fresh, identically constructed run.
+func TestDeterminismProperty(t *testing.T) {
+	build := func(seed int64) (*Fabric, *Sink) {
+		rng := rand.New(rand.NewSource(seed))
+		f := New(DefaultConfig())
+		n := 8 + rng.Intn(24)
+		words := make([]isa.Word, n)
+		for i := range words {
+			words[i] = isa.Word(rng.Uint32() % 1000)
+		}
+		src := NewWordSource("src", words, true)
+		p1 := mustPE(t, "fwd1", forwarderProg())
+		p2 := mustPE(t, "fwd2", forwarderProg())
+		snk := NewSink("snk")
+		f.Add(src)
+		f.Add(p1)
+		f.Add(p2)
+		f.Add(snk)
+		f.WireOpt(src, 0, p1, 0, 1+rng.Intn(3), rng.Intn(2))
+		f.WireOpt(p1, 0, p2, 0, 1+rng.Intn(3), rng.Intn(2))
+		f.Wire(p2, 0, snk, 0)
+		return f, snk
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		f1, s1 := build(seed)
+		r1, err := f1.Run(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, s2 := build(seed)
+		r2, err := f2.Run(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Cycles != r2.Cycles {
+			t.Fatalf("seed %d: cycle counts differ: %d vs %d", seed, r1.Cycles, r2.Cycles)
+		}
+		a, b := s1.Words(), s2.Words()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: outputs differ", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: outputs differ at %d", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package gpp
+
+import (
+	"testing"
+
+	"tia/internal/isa"
+)
+
+// BenchmarkCoreStep measures instruction throughput on a small live loop.
+func BenchmarkCoreStep(b *testing.B) {
+	bld := NewBuilder()
+	bld.Li(1, 0)
+	bld.Label("loop")
+	bld.Lw(2, 1, 0)
+	bld.Add(3, R(3), R(2))
+	bld.Add(1, R(1), I(1))
+	bld.And(1, R(1), I(63))
+	bld.Jmp("loop")
+	core, err := New(DefaultConfig(64), bld.Program())
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.LoadMem(0, make([]isa.Word, 64))
+	// The loop is infinite by design; the budget error marks completion.
+	_ = core.Run(int64(b.N) + 10)
+	if core.Stats().Instructions < int64(b.N) {
+		b.Fatalf("only %d instructions executed", core.Stats().Instructions)
+	}
+}

@@ -1,0 +1,88 @@
+package gpp
+
+import "tia/internal/isa"
+
+// Builder accumulates instructions with a fluent, assembly-like API so
+// hand-written kernels stay compact:
+//
+//	b := gpp.NewBuilder()
+//	b.Li(1, 0)                   // i = 0
+//	b.Label("loop")
+//	b.Br(gpp.BrGEU, gpp.R(1), gpp.R(2), "done")
+//	b.Lw(3, 1, 100)              // r3 = mem[r1+100]
+//	...
+//	prog := b.Program()
+type Builder struct {
+	insts []Inst
+	label string // pending label for the next instruction
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Label attaches a label to the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	b.label = name
+	return b
+}
+
+func (b *Builder) emit(in Inst) *Builder {
+	in.Label = b.label
+	b.label = ""
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// ALU emits rd = op(rs1, rs2).
+func (b *Builder) ALU(op isa.Opcode, rd int, rs1, rs2 Src) *Builder {
+	return b.emit(Inst{Kind: KindALU, Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Li emits rd = imm.
+func (b *Builder) Li(rd int, v isa.Word) *Builder {
+	return b.emit(Inst{Kind: KindALU, Op: isa.OpMov, Rd: rd, Rs1: I(v)})
+}
+
+// Mv emits rd = rs.
+func (b *Builder) Mv(rd, rs int) *Builder {
+	return b.emit(Inst{Kind: KindALU, Op: isa.OpMov, Rd: rd, Rs1: R(rs)})
+}
+
+// Add, Sub, Mul, And, Or, Xor, Shl, Shr emit the common two-source forms.
+func (b *Builder) Add(rd int, rs1, rs2 Src) *Builder  { return b.ALU(isa.OpAdd, rd, rs1, rs2) }
+func (b *Builder) Sub(rd int, rs1, rs2 Src) *Builder  { return b.ALU(isa.OpSub, rd, rs1, rs2) }
+func (b *Builder) Mul(rd int, rs1, rs2 Src) *Builder  { return b.ALU(isa.OpMul, rd, rs1, rs2) }
+func (b *Builder) And(rd int, rs1, rs2 Src) *Builder  { return b.ALU(isa.OpAnd, rd, rs1, rs2) }
+func (b *Builder) Or(rd int, rs1, rs2 Src) *Builder   { return b.ALU(isa.OpOr, rd, rs1, rs2) }
+func (b *Builder) Xor(rd int, rs1, rs2 Src) *Builder  { return b.ALU(isa.OpXor, rd, rs1, rs2) }
+func (b *Builder) Shl(rd int, rs1, rs2 Src) *Builder  { return b.ALU(isa.OpShl, rd, rs1, rs2) }
+func (b *Builder) Shr(rd int, rs1, rs2 Src) *Builder  { return b.ALU(isa.OpShr, rd, rs1, rs2) }
+func (b *Builder) Rotr(rd int, rs1, rs2 Src) *Builder { return b.ALU(isa.OpRotr, rd, rs1, rs2) }
+
+// Lw emits rd = mem[rbase + off].
+func (b *Builder) Lw(rd, rbase int, off isa.Word) *Builder {
+	return b.emit(Inst{Kind: KindLoad, Rd: rd, Rs1: R(rbase), Off: off})
+}
+
+// Sw emits mem[rbase + off] = rs.
+func (b *Builder) Sw(rs, rbase int, off isa.Word) *Builder {
+	return b.emit(Inst{Kind: KindStore, Rs1: R(rbase), Rs2: R(rs), Off: off})
+}
+
+// Br emits a conditional branch.
+func (b *Builder) Br(op BrOp, x, y Src, target string) *Builder {
+	return b.emit(Inst{Kind: KindBr, BrOp: op, Rs1: x, Rs2: y, Target: target})
+}
+
+// Jmp emits an unconditional branch.
+func (b *Builder) Jmp(target string) *Builder {
+	return b.emit(Inst{Kind: KindJmp, Target: target})
+}
+
+// Halt emits a halt.
+func (b *Builder) Halt() *Builder {
+	return b.emit(Inst{Kind: KindHalt})
+}
+
+// Program returns the accumulated instructions.
+func (b *Builder) Program() []Inst { return b.insts }

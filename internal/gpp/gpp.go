@@ -1,0 +1,414 @@
+// Package gpp models the traditional general-purpose processor the paper
+// uses as its area-normalized comparison target: an in-order scalar RISC
+// core with a register file, a flat data memory behind a first-level
+// cache, and a simple cost model (1 cycle per instruction at peak, extra
+// cycles for loads, multiplies and taken branches).
+//
+// The paper measured real cores; this deterministic model is the
+// substitution documented in DESIGN.md. Workload kernels are hand-written
+// in the core's assembly (see package workloads), and the harness compares
+// cycles-per-unit-of-work against the spatial fabrics.
+package gpp
+
+import (
+	"fmt"
+
+	"tia/internal/isa"
+)
+
+// Kind discriminates instruction forms.
+type Kind uint8
+
+const (
+	// KindALU performs rd = op(rs1, rs2).
+	KindALU Kind = iota
+	// KindLoad performs rd = mem[rs1 + off].
+	KindLoad
+	// KindStore performs mem[rs1 + off] = rs2.
+	KindStore
+	// KindBr branches to Target when the condition over (rs1, rs2) holds.
+	KindBr
+	// KindJmp branches unconditionally.
+	KindJmp
+	// KindHalt stops the core.
+	KindHalt
+)
+
+// BrOp enumerates branch conditions (same semantics as package pcpe).
+type BrOp uint8
+
+const (
+	BrEQ BrOp = iota
+	BrNE
+	BrLTS
+	BrGES
+	BrLTU
+	BrGEU
+)
+
+var brNames = []string{"beq", "bne", "blts", "bges", "bltu", "bgeu"}
+
+// String returns the branch mnemonic.
+func (b BrOp) String() string {
+	if int(b) < len(brNames) {
+		return brNames[b]
+	}
+	return fmt.Sprintf("br(%d)", uint8(b))
+}
+
+// BrOpByName maps a mnemonic to its BrOp.
+func BrOpByName(name string) (BrOp, bool) {
+	for i, n := range brNames {
+		if n == name {
+			return BrOp(i), true
+		}
+	}
+	return 0, false
+}
+
+func (b BrOp) eval(x, y isa.Word) bool {
+	switch b {
+	case BrEQ:
+		return x == y
+	case BrNE:
+		return x != y
+	case BrLTS:
+		return int32(x) < int32(y)
+	case BrGES:
+		return int32(x) >= int32(y)
+	case BrLTU:
+		return x < y
+	case BrGEU:
+		return x >= y
+	default:
+		panic(fmt.Sprintf("gpp: invalid branch op %d", b))
+	}
+}
+
+// Src is a register or immediate operand.
+type Src struct {
+	IsImm bool
+	Reg   int
+	Imm   isa.Word
+}
+
+// R and I build register and immediate operands.
+func R(r int) Src      { return Src{Reg: r} }
+func I(v isa.Word) Src { return Src{IsImm: true, Imm: v} }
+
+// Inst is one instruction. Branch targets are labels resolved by New.
+type Inst struct {
+	Label  string
+	Kind   Kind
+	Op     isa.Opcode // KindALU
+	BrOp   BrOp       // KindBr
+	Rd     int        // KindALU, KindLoad
+	Rs1    Src        // all kinds with operands (address base for Load/Store)
+	Rs2    Src        // ALU second operand, Store value, Br second operand
+	Off    isa.Word   // KindLoad, KindStore address offset
+	Target string     // KindBr, KindJmp
+}
+
+// String renders the operand in assembly syntax.
+func (s Src) String() string {
+	if s.IsImm {
+		return fmt.Sprintf("#%d", s.Imm)
+	}
+	return fmt.Sprintf("r%d", s.Reg)
+}
+
+// String renders the instruction in the parseable assembly dialect.
+func (in Inst) String() string {
+	prefix := ""
+	if in.Label != "" {
+		prefix = in.Label + ": "
+	}
+	switch in.Kind {
+	case KindALU:
+		s := prefix + in.Op.String() + fmt.Sprintf(" r%d", in.Rd)
+		for i := 0; i < in.Op.Arity(); i++ {
+			src := in.Rs1
+			if i == 1 {
+				src = in.Rs2
+			}
+			s += ", " + src.String()
+		}
+		return s
+	case KindLoad:
+		return fmt.Sprintf("%slw r%d, %s, #%d", prefix, in.Rd, in.Rs1, in.Off)
+	case KindStore:
+		return fmt.Sprintf("%ssw %s, %s, #%d", prefix, in.Rs2, in.Rs1, in.Off)
+	case KindBr:
+		return fmt.Sprintf("%s%s %s, %s, %s", prefix, in.BrOp, in.Rs1, in.Rs2, in.Target)
+	case KindJmp:
+		return fmt.Sprintf("%sjmp %s", prefix, in.Target)
+	case KindHalt:
+		return prefix + "halt"
+	default:
+		return prefix + "???"
+	}
+}
+
+// Config is the core's architectural and cost configuration.
+type Config struct {
+	NumRegs  int
+	MemWords int
+	// LoadLatency is the total cycles a load occupies (L1 hit); >= 1.
+	LoadLatency int
+	// MulLatency is the total cycles a multiply occupies; >= 1.
+	MulLatency int
+	// TakenPenalty is extra cycles for a taken branch or jump.
+	TakenPenalty int
+}
+
+// DefaultConfig models a simple in-order scalar core: 32 registers,
+// 2-cycle loads, 3-cycle multiplies, 1-cycle taken-branch penalty.
+func DefaultConfig(memWords int) Config {
+	return Config{
+		NumRegs:      32,
+		MemWords:     memWords,
+		LoadLatency:  2,
+		MulLatency:   3,
+		TakenPenalty: 1,
+	}
+}
+
+// Stats aggregates the core's execution counters.
+type Stats struct {
+	Instructions int64
+	Cycles       int64
+	Loads        int64
+	Stores       int64
+	Branches     int64
+	Taken        int64
+}
+
+type compiled struct {
+	inst   Inst
+	target int
+}
+
+// Core is one general-purpose processor instance.
+type Core struct {
+	cfg    Config
+	prog   []compiled
+	regs   []isa.Word
+	mem    []isa.Word
+	pc     int
+	halted bool
+	stats  Stats
+}
+
+// New compiles and validates a program.
+func New(cfg Config, prog []Inst) (*Core, error) {
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("gpp: empty program")
+	}
+	if cfg.LoadLatency < 1 {
+		cfg.LoadLatency = 1
+	}
+	if cfg.MulLatency < 1 {
+		cfg.MulLatency = 1
+	}
+	labels := map[string]int{}
+	for i, in := range prog {
+		if in.Label == "" {
+			continue
+		}
+		if _, dup := labels[in.Label]; dup {
+			return nil, fmt.Errorf("gpp: duplicate label %q", in.Label)
+		}
+		labels[in.Label] = i
+	}
+	c := &Core{
+		cfg:  cfg,
+		regs: make([]isa.Word, cfg.NumRegs),
+		mem:  make([]isa.Word, cfg.MemWords),
+	}
+	for i, in := range prog {
+		ci := compiled{inst: in, target: -1}
+		if in.Kind == KindBr || in.Kind == KindJmp {
+			t, ok := labels[in.Target]
+			if !ok {
+				return nil, fmt.Errorf("gpp: instruction %d: unknown target %q", i, in.Target)
+			}
+			ci.target = t
+		}
+		if err := c.validate(i, &in); err != nil {
+			return nil, err
+		}
+		c.prog = append(c.prog, ci)
+	}
+	return c, nil
+}
+
+func (c *Core) validate(i int, in *Inst) error {
+	checkReg := func(r int) error {
+		if r < 0 || r >= c.cfg.NumRegs {
+			return fmt.Errorf("gpp: instruction %d: register r%d out of range", i, r)
+		}
+		return nil
+	}
+	checkSrc := func(s Src) error {
+		if s.IsImm {
+			return nil
+		}
+		return checkReg(s.Reg)
+	}
+	switch in.Kind {
+	case KindALU:
+		if err := checkReg(in.Rd); err != nil {
+			return err
+		}
+		if in.Op.Arity() >= 1 {
+			if err := checkSrc(in.Rs1); err != nil {
+				return err
+			}
+		}
+		if in.Op.Arity() >= 2 {
+			if err := checkSrc(in.Rs2); err != nil {
+				return err
+			}
+		}
+	case KindLoad:
+		if err := checkReg(in.Rd); err != nil {
+			return err
+		}
+		return checkSrc(in.Rs1)
+	case KindStore:
+		if err := checkSrc(in.Rs1); err != nil {
+			return err
+		}
+		return checkSrc(in.Rs2)
+	case KindBr:
+		if err := checkSrc(in.Rs1); err != nil {
+			return err
+		}
+		return checkSrc(in.Rs2)
+	case KindJmp, KindHalt:
+	default:
+		return fmt.Errorf("gpp: instruction %d: invalid kind %d", i, in.Kind)
+	}
+	return nil
+}
+
+// SetReg sets a register before (or between) runs.
+func (c *Core) SetReg(r int, v isa.Word) { c.regs[r] = v }
+
+// Reg returns a register's current value.
+func (c *Core) Reg(r int) isa.Word { return c.regs[r] }
+
+// LoadMem copies words into memory starting at addr.
+func (c *Core) LoadMem(addr int, words []isa.Word) {
+	copy(c.mem[addr:], words)
+}
+
+// Mem returns the word at addr.
+func (c *Core) Mem(addr int) isa.Word { return c.mem[addr] }
+
+// MemSlice returns a copy of memory [addr, addr+n).
+func (c *Core) MemSlice(addr, n int) []isa.Word {
+	out := make([]isa.Word, n)
+	copy(out, c.mem[addr:addr+n])
+	return out
+}
+
+// Stats returns the execution counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Done reports whether the core has halted.
+func (c *Core) Done() bool { return c.halted }
+
+// Run executes until halt or the instruction budget is exhausted.
+func (c *Core) Run(maxInsts int64) error {
+	for n := int64(0); n < maxInsts; n++ {
+		if c.halted {
+			return nil
+		}
+		if err := c.step(); err != nil {
+			return err
+		}
+	}
+	if !c.halted {
+		return fmt.Errorf("gpp: instruction budget %d exhausted at pc=%d", maxInsts, c.pc)
+	}
+	return nil
+}
+
+func (c *Core) src(s Src) isa.Word {
+	if s.IsImm {
+		return s.Imm
+	}
+	return c.regs[s.Reg]
+}
+
+func (c *Core) step() error {
+	ci := &c.prog[c.pc]
+	in := &ci.inst
+	next := c.pc + 1
+	cost := int64(1)
+	switch in.Kind {
+	case KindALU:
+		var a, b isa.Word
+		if in.Op.Arity() >= 1 {
+			a = c.src(in.Rs1)
+		}
+		if in.Op.Arity() >= 2 {
+			b = c.src(in.Rs2)
+		}
+		c.regs[in.Rd] = in.Op.Eval(a, b)
+		if in.Op == isa.OpMul {
+			cost = int64(c.cfg.MulLatency)
+		}
+		if in.Op == isa.OpHalt {
+			c.halted = true
+		}
+	case KindLoad:
+		addr := int(c.src(in.Rs1) + in.Off)
+		if addr < 0 || addr >= len(c.mem) {
+			return fmt.Errorf("gpp: pc=%d: load of address %d in %d-word memory", c.pc, addr, len(c.mem))
+		}
+		c.regs[in.Rd] = c.mem[addr]
+		cost = int64(c.cfg.LoadLatency)
+		c.stats.Loads++
+	case KindStore:
+		addr := int(c.src(in.Rs1) + in.Off)
+		if addr < 0 || addr >= len(c.mem) {
+			return fmt.Errorf("gpp: pc=%d: store to address %d in %d-word memory", c.pc, addr, len(c.mem))
+		}
+		c.mem[addr] = c.src(in.Rs2)
+		c.stats.Stores++
+	case KindBr:
+		c.stats.Branches++
+		if in.BrOp.eval(c.src(in.Rs1), c.src(in.Rs2)) {
+			next = ci.target
+			cost += int64(c.cfg.TakenPenalty)
+			c.stats.Taken++
+		}
+	case KindJmp:
+		next = ci.target
+		cost += int64(c.cfg.TakenPenalty)
+		c.stats.Taken++
+	case KindHalt:
+		c.halted = true
+	}
+	c.stats.Instructions++
+	c.stats.Cycles += cost
+	if next >= len(c.prog) {
+		c.halted = true
+	} else {
+		c.pc = next
+	}
+	return nil
+}
+
+// Reset clears registers, program counter and statistics but leaves
+// memory intact (callers reload what they need).
+func (c *Core) Reset() {
+	for i := range c.regs {
+		c.regs[i] = 0
+	}
+	c.pc = 0
+	c.halted = false
+	c.stats = Stats{}
+}

@@ -1,0 +1,251 @@
+package gpp
+
+import (
+	"testing"
+
+	"tia/internal/isa"
+)
+
+func TestSumLoopCostModel(t *testing.T) {
+	// Sum mem[0..4] into r1.
+	b := NewBuilder()
+	b.Li(1, 0) // acc
+	b.Li(2, 0) // i
+	b.Li(3, 5) // n
+	b.Label("loop")
+	b.Br(BrGEU, R(2), R(3), "done")
+	b.Lw(4, 2, 0)
+	b.Add(1, R(1), R(4))
+	b.Add(2, R(2), I(1))
+	b.Jmp("loop")
+	b.Label("done")
+	b.Halt()
+
+	c, err := New(DefaultConfig(64), b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadMem(0, []isa.Word{1, 2, 3, 4, 5})
+	if err := c.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(1) != 15 {
+		t.Fatalf("sum = %d, want 15", c.Reg(1))
+	}
+	s := c.Stats()
+	// 3 setup + 5*(br+lw+add+add+jmp) + br + halt = 30 instructions.
+	if s.Instructions != 30 {
+		t.Errorf("instructions = %d, want 30", s.Instructions)
+	}
+	// Cycles: 30 + 5 extra load cycles (LoadLatency 2) + 6 taken (5 jmp + final br).
+	want := int64(30 + 5 + 6)
+	if s.Cycles != want {
+		t.Errorf("cycles = %d, want %d", s.Cycles, want)
+	}
+	if s.Loads != 5 || s.Branches != 6 || s.Taken != 6 {
+		t.Errorf("loads=%d branches=%d taken=%d", s.Loads, s.Branches, s.Taken)
+	}
+}
+
+func TestMulLatency(t *testing.T) {
+	b := NewBuilder()
+	b.Mul(1, I(6), I(7))
+	b.Halt()
+	cfg := DefaultConfig(8)
+	cfg.MulLatency = 5
+	c, err := New(cfg, b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(1) != 42 {
+		t.Fatalf("r1 = %d", c.Reg(1))
+	}
+	if c.Stats().Cycles != 6 { // 5 for mul + 1 for halt
+		t.Fatalf("cycles = %d, want 6", c.Stats().Cycles)
+	}
+}
+
+func TestStoreAndMemAccessors(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 42)
+	b.Li(2, 3)
+	b.Sw(1, 2, 10) // mem[13] = 42
+	b.Halt()
+	c, err := New(DefaultConfig(32), b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem(13) != 42 {
+		t.Fatalf("mem[13] = %d", c.Mem(13))
+	}
+	sl := c.MemSlice(12, 3)
+	if sl[1] != 42 {
+		t.Fatalf("MemSlice = %v", sl)
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	b := NewBuilder()
+	b.Lw(1, 0, 999)
+	b.Halt()
+	c, err := New(DefaultConfig(8), b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100); err == nil {
+		t.Fatal("out-of-range load not reported")
+	}
+	b2 := NewBuilder()
+	b2.Li(1, 1)
+	b2.Sw(1, 1, 999)
+	b2.Halt()
+	c2, err := New(DefaultConfig(8), b2.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(100); err == nil {
+		t.Fatal("out-of-range store not reported")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	b := NewBuilder()
+	b.Label("l")
+	b.Jmp("l")
+	c, err := New(DefaultConfig(8), b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10); err == nil {
+		t.Fatal("infinite loop not caught by budget")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Inst
+	}{
+		{"empty", nil},
+		{"unknown target", []Inst{{Kind: KindJmp, Target: "x"}}},
+		{"dup label", []Inst{{Label: "a", Kind: KindHalt}, {Label: "a", Kind: KindHalt}}},
+		{"bad reg", []Inst{{Kind: KindALU, Op: isa.OpMov, Rd: 99, Rs1: I(0)}}},
+		{"bad src reg", []Inst{{Kind: KindALU, Op: isa.OpAdd, Rd: 0, Rs1: R(99), Rs2: I(0)}}},
+	}
+	for _, c := range cases {
+		if _, err := New(DefaultConfig(8), c.prog); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestResetKeepsMemory(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 7)
+	b.Halt()
+	c, err := New(DefaultConfig(8), b.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadMem(0, []isa.Word{5})
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.Reg(1) != 0 || c.Done() || c.Stats().Instructions != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if c.Mem(0) != 5 {
+		t.Fatal("Reset cleared memory")
+	}
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(1) != 7 {
+		t.Fatal("rerun failed")
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	c, err := New(DefaultConfig(8), []Inst{{Kind: KindALU, Op: isa.OpNop}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Done() {
+		t.Fatal("did not halt")
+	}
+}
+
+func TestBranchOps(t *testing.T) {
+	cases := []struct {
+		op   BrOp
+		x, y isa.Word
+		want bool
+	}{
+		{BrEQ, 1, 1, true}, {BrEQ, 1, 2, false},
+		{BrNE, 1, 2, true},
+		{BrLTS, 0xFFFFFFFF, 0, true}, // -1 < 0
+		{BrGES, 0, 0xFFFFFFFF, true},
+		{BrLTU, 0xFFFFFFFF, 0, false},
+		{BrGEU, 0xFFFFFFFF, 0, true},
+	}
+	for _, c := range cases {
+		if got := c.op.eval(c.x, c.y); got != c.want {
+			t.Errorf("brop %d (%#x,%#x) = %v, want %v", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestBuilderHelpersAndStrings(t *testing.T) {
+	b := NewBuilder()
+	b.Mv(1, 2)
+	b.Sub(1, R(1), I(1))
+	b.And(1, R(1), I(0xF))
+	b.Or(1, R(1), I(1))
+	b.Xor(1, R(1), R(2))
+	b.Shl(1, R(1), I(2))
+	b.Shr(1, R(1), I(1))
+	b.Rotr(1, R(1), I(3))
+	b.Halt()
+	prog := b.Program()
+	if len(prog) != 9 {
+		t.Fatalf("built %d instructions", len(prog))
+	}
+	c, err := New(DefaultConfig(8), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// String forms parse back through the asm dialect's expectations.
+	wantPrefixes := []string{"mov r1, r2", "sub r1", "and r1", "or r1", "xor r1", "shl r1", "shr r1", "rotr r1", "halt"}
+	for i, in := range prog {
+		if got := in.String(); len(got) < len(wantPrefixes[i]) || got[:len(wantPrefixes[i])] != wantPrefixes[i] {
+			t.Errorf("inst %d String() = %q, want prefix %q", i, got, wantPrefixes[i])
+		}
+	}
+	for op := BrEQ; op <= BrGEU; op++ {
+		back, ok := BrOpByName(op.String())
+		if !ok || back != op {
+			t.Errorf("BrOp round trip failed for %v", op)
+		}
+	}
+	lw := Inst{Kind: KindLoad, Rd: 3, Rs1: R(4), Off: 7}
+	if lw.String() != "lw r3, r4, #7" {
+		t.Errorf("lw string %q", lw.String())
+	}
+	sw := Inst{Kind: KindStore, Rs2: R(3), Rs1: R(4), Off: 7}
+	if sw.String() != "sw r3, r4, #7" {
+		t.Errorf("sw string %q", sw.String())
+	}
+}

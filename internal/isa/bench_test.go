@@ -1,0 +1,31 @@
+package isa
+
+import "testing"
+
+// BenchmarkEval measures the ALU dispatch, the hottest simulator inner
+// call.
+func BenchmarkEval(b *testing.B) {
+	ops := []Opcode{OpAdd, OpMul, OpXor, OpRotr, OpLEU, OpMin}
+	var sink Word
+	for i := 0; i < b.N; i++ {
+		sink += ops[i%len(ops)].Eval(Word(i), Word(i>>3))
+	}
+	_ = sink
+}
+
+// BenchmarkEncode measures instruction packing.
+func BenchmarkEncode(b *testing.B) {
+	cfg := DefaultConfig()
+	in := Instruction{
+		Trigger:     When([]PredLit{NotP(1)}, []InputCond{InTagEq(0, TagData)}),
+		Op:          OpLEU,
+		Srcs:        [2]Src{In(0), In(1)},
+		Dsts:        []Dst{DPred(0)},
+		PredUpdates: []PredUpdate{SetP(1)},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Encode(&in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

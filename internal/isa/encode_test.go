@@ -1,0 +1,169 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestEncodeDecodeFixpoint(t *testing.T) {
+	cfg := DefaultConfig()
+	in := Instruction{
+		Label: "x",
+		Trigger: When(
+			[]PredLit{P(0), NotP(3)},
+			[]InputCond{InTagEq(0, 1), InReady(2)},
+		),
+		Op:          OpAdd,
+		Srcs:        [2]Src{In(0), Imm(0xDEADBEEF)},
+		Dsts:        []Dst{DReg(5), DPred(7), DOut(1, 3)}, // canonical order: reg, pred, outs
+		Deq:         []int{0, 2},
+		PredUpdates: []PredUpdate{SetP(1), ClrP(2)},
+	}
+	e, err := cfg.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := cfg.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cfg.Encode(&dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != e2 {
+		t.Fatalf("encode/decode not a fixpoint:\n%x\n%x", e, e2)
+	}
+	// Canonical-order comparison: this instruction is already canonical.
+	dec.Label = in.Label
+	if !reflect.DeepEqual(dec, in) {
+		t.Fatalf("decode changed instruction:\n got %+v\nwant %+v", dec, in)
+	}
+}
+
+func TestEncodeRejections(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		name string
+		in   Instruction
+	}{
+		{"two distinct immediates", Instruction{
+			Op: OpAdd, Srcs: [2]Src{Imm(1), Imm(2)}, Dsts: []Dst{DReg(0)},
+		}},
+		{"two register destinations", Instruction{
+			Op: OpMov, Srcs: [2]Src{Imm(1), {}}, Dsts: []Dst{DReg(0), DReg(1)},
+		}},
+		{"two predicate destinations", Instruction{
+			Op: OpMov, Srcs: [2]Src{Imm(1), {}}, Dsts: []Dst{DPred(0), DPred(1)},
+		}},
+		{"invalid instruction", Instruction{Op: OpAdd}},
+	}
+	for _, c := range cases {
+		if _, err := cfg.Encode(&c.in); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	wide := cfg
+	wide.NumPreds = 16
+	ok := Instruction{Op: OpNop}
+	if _, err := wide.Encode(&ok); err == nil {
+		t.Error("oversized configuration accepted by the fixed layout")
+	}
+}
+
+func TestEncodeSameImmediateTwice(t *testing.T) {
+	cfg := DefaultConfig()
+	in := Instruction{Op: OpAdd, Srcs: [2]Src{Imm(7), Imm(7)}, Dsts: []Dst{DReg(0)}}
+	e, err := cfg.Encode(&in)
+	if err != nil {
+		t.Fatalf("equal immediates should share the field: %v", err)
+	}
+	dec, err := cfg.Decode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Srcs[0].Imm != 7 || dec.Srcs[1].Imm != 7 {
+		t.Fatalf("decoded %+v", dec.Srcs)
+	}
+}
+
+// Property: encode→decode→encode is a fixpoint for random valid,
+// encodable instructions.
+func TestEncodeFixpointProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(7))
+	tries, tested := 0, 0
+	for tested < 300 && tries < 5000 {
+		tries++
+		in := Instruction{Op: Opcode(rng.Intn(int(numOpcodes)))}
+		for i := 0; i < in.Op.Arity(); i++ {
+			switch rng.Intn(4) {
+			case 0:
+				in.Srcs[i] = Reg(rng.Intn(cfg.NumRegs))
+			case 1:
+				in.Srcs[i] = Imm(Word(rng.Uint32()))
+			case 2:
+				in.Srcs[i] = In(rng.Intn(cfg.NumIn))
+			default:
+				in.Srcs[i] = InTag(rng.Intn(cfg.NumIn))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			in.Trigger.Preds = append(in.Trigger.Preds, PredLit{Index: rng.Intn(cfg.NumPreds), Value: rng.Intn(2) == 0})
+		}
+		if rng.Intn(2) == 0 {
+			in.Trigger.Inputs = append(in.Trigger.Inputs, InTagEq(rng.Intn(cfg.NumIn), Tag(rng.Intn(8))))
+		}
+		if rng.Intn(2) == 0 {
+			in.Dsts = append(in.Dsts, DReg(rng.Intn(cfg.NumRegs)))
+		}
+		if rng.Intn(2) == 0 {
+			in.Dsts = append(in.Dsts, DOut(rng.Intn(cfg.NumOut), Tag(rng.Intn(8))))
+		}
+		if rng.Intn(3) == 0 {
+			in.Deq = append(in.Deq, rng.Intn(cfg.NumIn))
+		}
+		if rng.Intn(3) == 0 {
+			in.PredUpdates = append(in.PredUpdates, SetP(rng.Intn(cfg.NumPreds)))
+		}
+		e, err := cfg.Encode(&in)
+		if err != nil {
+			continue // invalid or unencodable draw
+		}
+		tested++
+		dec, err := cfg.Decode(e)
+		if err != nil {
+			t.Fatalf("decode failed for %+v: %v", in, err)
+		}
+		e2, err := cfg.Encode(&dec)
+		if err != nil {
+			t.Fatalf("re-encode failed for %+v: %v", dec, err)
+		}
+		if e != e2 {
+			t.Fatalf("fixpoint violated for %+v", in)
+		}
+	}
+	if tested < 100 {
+		t.Fatalf("only %d encodable draws in %d tries", tested, tries)
+	}
+}
+
+// TestMergeProgramEncodes: the canonical kernel packs into the modeled
+// instruction store.
+func TestMergeProgramEncodesElsewhere(t *testing.T) {
+	// pe.MergeProgram lives in another package; reproduce its shape via
+	// a representative fragment here and rely on the workloads-level
+	// encode test for full coverage.
+	cfg := DefaultConfig()
+	in := Instruction{
+		Trigger:     When([]PredLit{NotP(1)}, []InputCond{InTagEq(0, TagData), InTagEq(1, TagData)}),
+		Op:          OpLEU,
+		Srcs:        [2]Src{In(0), In(1)},
+		Dsts:        []Dst{DPred(0)},
+		PredUpdates: []PredUpdate{SetP(1)},
+	}
+	if _, err := cfg.Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+}

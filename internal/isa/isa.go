@@ -1,0 +1,651 @@
+// Package isa defines the triggered-instruction architecture (TIA)
+// instruction set: opcodes, operands, triggers, predicate updates and the
+// static validation rules a processing element imposes on a program.
+//
+// A triggered instruction has no program counter and no successor. It is a
+// guarded rule: a Trigger (a conjunction over 1-bit predicate registers and
+// input-channel status/tags) plus a single ALU operation with its operand
+// routing and side effects (channel dequeues, predicate updates, channel
+// enqueues). A hardware scheduler fires, each cycle, one instruction whose
+// trigger holds and whose destinations have space.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is the PE datapath width. The paper's processing elements use a
+// 32-bit datapath; unsigned wrap-around semantics match hardware, and the
+// signed comparison opcodes reinterpret the bits as two's complement.
+type Word uint32
+
+// Tag is the small out-of-band tag carried by every channel token. By
+// convention tag 0 marks ordinary data and TagEOD marks end-of-data, but
+// programs are free to assign their own meanings.
+type Tag uint8
+
+// TagData and TagEOD are the conventional tag values used by the workload
+// suite and the sources/sinks in package fabric.
+const (
+	TagData Tag = 0
+	TagEOD  Tag = 1
+)
+
+// Opcode enumerates the single-cycle ALU operations a PE datapath supports.
+type Opcode uint8
+
+const (
+	// OpNop performs no datapath work; it exists so an instruction can be
+	// pure control (dequeue a token, flip predicates).
+	OpNop Opcode = iota
+	// OpMov passes source 0 through unchanged.
+	OpMov
+	// OpAdd .. OpSar are the usual two's-complement ALU operations.
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpNot // bitwise complement of source 0
+	OpShl // logical shift left by src1 (mod 32)
+	OpShr // logical shift right by src1 (mod 32)
+	OpSar // arithmetic shift right by src1 (mod 32)
+	// OpRotr rotates source 0 right by src1 (mod 32). SHA-2 needs it.
+	OpRotr
+	// Comparison opcodes produce 1 or 0, which lands in the destination
+	// and drives flag-derived predicate updates.
+	OpEQ  // src0 == src1
+	OpNE  // src0 != src1
+	OpLTS // signed src0 <  src1
+	OpLES // signed src0 <= src1
+	OpLTU // unsigned src0 <  src1
+	OpLEU // unsigned src0 <= src1
+	OpMin // unsigned minimum
+	OpMax // unsigned maximum
+	// OpHalt retires the PE: once fired, the PE never fires again. A
+	// halting instruction may still write destinations and dequeue,
+	// which lets a PE forward a final EOD token as it stops.
+	OpHalt
+
+	numOpcodes
+)
+
+var opcodeNames = [numOpcodes]string{
+	OpNop: "nop", OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not", OpShl: "shl",
+	OpShr: "shr", OpSar: "sar", OpRotr: "rotr", OpEQ: "eq", OpNE: "ne",
+	OpLTS: "lts", OpLES: "les", OpLTU: "ltu", OpLEU: "leu", OpMin: "min",
+	OpMax: "max", OpHalt: "halt",
+}
+
+// String returns the assembly mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// OpcodeByName maps an assembly mnemonic back to its Opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	for op, n := range opcodeNames {
+		if n == name {
+			return Opcode(op), true
+		}
+	}
+	return 0, false
+}
+
+// Arity reports how many source operands the opcode consumes (0, 1 or 2).
+func (op Opcode) Arity() int {
+	switch op {
+	case OpNop, OpHalt:
+		return 0
+	case OpMov, OpNot:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Eval computes the opcode over two words. For unary and nullary opcodes
+// the unused operands are ignored.
+func (op Opcode) Eval(a, b Word) Word {
+	switch op {
+	case OpNop, OpHalt:
+		return 0
+	case OpMov:
+		return a
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpNot:
+		return ^a
+	case OpShl:
+		return a << (b & 31)
+	case OpShr:
+		return a >> (b & 31)
+	case OpSar:
+		return Word(int32(a) >> (b & 31))
+	case OpRotr:
+		s := b & 31
+		if s == 0 {
+			return a
+		}
+		return a>>s | a<<(32-s)
+	case OpEQ:
+		return boolWord(a == b)
+	case OpNE:
+		return boolWord(a != b)
+	case OpLTS:
+		return boolWord(int32(a) < int32(b))
+	case OpLES:
+		return boolWord(int32(a) <= int32(b))
+	case OpLTU:
+		return boolWord(a < b)
+	case OpLEU:
+		return boolWord(a <= b)
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("isa: Eval of invalid opcode %d", op))
+	}
+}
+
+func boolWord(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SrcKind discriminates the source-operand forms.
+type SrcKind uint8
+
+const (
+	// SrcNone marks an unused operand slot.
+	SrcNone SrcKind = iota
+	// SrcReg reads data register Index.
+	SrcReg
+	// SrcImm supplies the immediate Imm.
+	SrcImm
+	// SrcIn reads the data word at the head of input channel Index
+	// without dequeuing it.
+	SrcIn
+	// SrcInTag reads the tag at the head of input channel Index as a
+	// zero-extended word. Useful when tags carry routing information.
+	SrcInTag
+)
+
+// Src is one source operand of an instruction.
+type Src struct {
+	Kind  SrcKind
+	Index int  // register or input-channel index
+	Imm   Word // immediate value when Kind == SrcImm
+}
+
+// Reg returns a register source operand.
+func Reg(i int) Src { return Src{Kind: SrcReg, Index: i} }
+
+// Imm returns an immediate source operand.
+func Imm(v Word) Src { return Src{Kind: SrcImm, Imm: v} }
+
+// In returns an input-channel-head source operand.
+func In(ch int) Src { return Src{Kind: SrcIn, Index: ch} }
+
+// InTag returns an input-channel-head-tag source operand.
+func InTag(ch int) Src { return Src{Kind: SrcInTag, Index: ch} }
+
+// String renders the operand in assembly syntax, given optional symbol
+// tables (nil slices fall back to numeric names).
+func (s Src) String() string {
+	switch s.Kind {
+	case SrcNone:
+		return "_"
+	case SrcReg:
+		return fmt.Sprintf("r%d", s.Index)
+	case SrcImm:
+		return fmt.Sprintf("#%d", s.Imm)
+	case SrcIn:
+		return fmt.Sprintf("in%d", s.Index)
+	case SrcInTag:
+		return fmt.Sprintf("in%d.tag", s.Index)
+	default:
+		return fmt.Sprintf("src(%d)", s.Kind)
+	}
+}
+
+// DstKind discriminates the destination forms.
+type DstKind uint8
+
+const (
+	// DstReg writes data register Index.
+	DstReg DstKind = iota
+	// DstOut enqueues a token {result, Tag} on output channel Index.
+	DstOut
+	// DstPred writes predicate Index with (result != 0).
+	DstPred
+)
+
+// Dst is one destination of an instruction. An instruction may have
+// several destinations (e.g. a register and an output channel); they all
+// receive the same ALU result.
+type Dst struct {
+	Kind  DstKind
+	Index int
+	Tag   Tag // tag attached when Kind == DstOut
+}
+
+// DReg returns a register destination.
+func DReg(i int) Dst { return Dst{Kind: DstReg, Index: i} }
+
+// DOut returns an output-channel destination carrying the given tag.
+func DOut(ch int, tag Tag) Dst { return Dst{Kind: DstOut, Index: ch, Tag: tag} }
+
+// DPred returns a predicate destination: the predicate becomes result != 0.
+func DPred(p int) Dst { return Dst{Kind: DstPred, Index: p} }
+
+// String renders the destination in assembly syntax.
+func (d Dst) String() string {
+	switch d.Kind {
+	case DstReg:
+		return fmt.Sprintf("r%d", d.Index)
+	case DstOut:
+		if d.Tag == TagData {
+			return fmt.Sprintf("out%d", d.Index)
+		}
+		return fmt.Sprintf("out%d#%d", d.Index, d.Tag)
+	case DstPred:
+		return fmt.Sprintf("p:%d", d.Index)
+	default:
+		return fmt.Sprintf("dst(%d)", d.Kind)
+	}
+}
+
+// PredLit is one conjunct of a trigger over the predicate file: predicate
+// Index must equal Value for the trigger to hold.
+type PredLit struct {
+	Index int
+	Value bool
+}
+
+// P and NotP build positive and negated predicate literals.
+func P(i int) PredLit    { return PredLit{Index: i, Value: true} }
+func NotP(i int) PredLit { return PredLit{Index: i, Value: false} }
+
+func (p PredLit) String() string {
+	if p.Value {
+		return fmt.Sprintf("p%d", p.Index)
+	}
+	return fmt.Sprintf("!p%d", p.Index)
+}
+
+// TagCond is the kind of tag constraint an input-channel trigger imposes.
+type TagCond uint8
+
+const (
+	// TagAny requires only that the channel is not empty.
+	TagAny TagCond = iota
+	// TagEq additionally requires head.Tag == Tag.
+	TagEq
+	// TagNe additionally requires head.Tag != Tag.
+	TagNe
+)
+
+// InputCond is one conjunct of a trigger over an input channel: the channel
+// must be non-empty and its head tag must satisfy the tag condition.
+type InputCond struct {
+	Chan int
+	Cond TagCond
+	Tag  Tag
+}
+
+// InReady requires input channel ch to be non-empty.
+func InReady(ch int) InputCond { return InputCond{Chan: ch, Cond: TagAny} }
+
+// InTagEq requires input channel ch to be non-empty with head tag == t.
+func InTagEq(ch int, t Tag) InputCond { return InputCond{Chan: ch, Cond: TagEq, Tag: t} }
+
+// InTagNe requires input channel ch to be non-empty with head tag != t.
+func InTagNe(ch int, t Tag) InputCond { return InputCond{Chan: ch, Cond: TagNe, Tag: t} }
+
+func (c InputCond) String() string {
+	switch c.Cond {
+	case TagEq:
+		return fmt.Sprintf("in%d.tag==%d", c.Chan, c.Tag)
+	case TagNe:
+		return fmt.Sprintf("in%d.tag!=%d", c.Chan, c.Tag)
+	default:
+		return fmt.Sprintf("in%d", c.Chan)
+	}
+}
+
+// Trigger is the guard of a triggered instruction: the conjunction of all
+// predicate literals and all input-channel conditions. An empty trigger is
+// always true (the instruction is ready every cycle until the PE halts).
+type Trigger struct {
+	Preds  []PredLit
+	Inputs []InputCond
+}
+
+// When is a convenience constructor assembling a trigger from literals and
+// input conditions.
+func When(preds []PredLit, inputs []InputCond) Trigger {
+	return Trigger{Preds: preds, Inputs: inputs}
+}
+
+// String renders the trigger in assembly syntax ("p0 !p1 in0.tag==1").
+func (t Trigger) String() string {
+	parts := make([]string, 0, len(t.Preds)+len(t.Inputs))
+	for _, p := range t.Preds {
+		parts = append(parts, p.String())
+	}
+	for _, c := range t.Inputs {
+		parts = append(parts, c.String())
+	}
+	if len(parts) == 0 {
+		return "always"
+	}
+	return strings.Join(parts, " ")
+}
+
+// PredOp is an explicit predicate side effect carried by an instruction.
+type PredOp uint8
+
+const (
+	// PredSet sets the predicate to 1 when the instruction fires.
+	PredSet PredOp = iota
+	// PredClr clears the predicate to 0 when the instruction fires.
+	PredClr
+)
+
+// PredUpdate applies Op to predicate Index when the instruction fires.
+// Flag-derived predicate writes use a DstPred destination instead.
+type PredUpdate struct {
+	Index int
+	Op    PredOp
+}
+
+// SetP and ClrP build explicit predicate updates.
+func SetP(i int) PredUpdate { return PredUpdate{Index: i, Op: PredSet} }
+func ClrP(i int) PredUpdate { return PredUpdate{Index: i, Op: PredClr} }
+
+func (u PredUpdate) String() string {
+	if u.Op == PredSet {
+		return fmt.Sprintf("set p%d", u.Index)
+	}
+	return fmt.Sprintf("clr p%d", u.Index)
+}
+
+// Instruction is one triggered instruction.
+type Instruction struct {
+	// Label names the instruction for traces and disassembly.
+	Label string
+	// Trigger guards the instruction.
+	Trigger Trigger
+	// Op is the single ALU operation.
+	Op Opcode
+	// Srcs are the ALU sources; slots beyond Op.Arity() must be SrcNone.
+	Srcs [2]Src
+	// Dsts receive the ALU result. Output-channel destinations add an
+	// implicit "channel has space" condition to the trigger.
+	Dsts []Dst
+	// Deq lists input channels whose head token is consumed on fire.
+	// Every dequeued channel implicitly requires non-empty status, even
+	// if the trigger does not mention it.
+	Deq []int
+	// PredUpdates are explicit set/clear side effects, applied after any
+	// flag-derived DstPred writes (so an explicit update wins on the
+	// same predicate; validation rejects that overlap anyway).
+	PredUpdates []PredUpdate
+}
+
+// String renders the instruction in one-line assembly syntax.
+func (in Instruction) String() string {
+	var b strings.Builder
+	if in.Label != "" {
+		fmt.Fprintf(&b, "%s: ", in.Label)
+	}
+	fmt.Fprintf(&b, "when %s : %s", in.Trigger.String(), in.Op.String())
+	first := true
+	writePart := func(s string) {
+		if first {
+			b.WriteByte(' ')
+			first = false
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+	if len(in.Dsts) == 0 {
+		if in.Op.Arity() > 0 {
+			writePart("_")
+		}
+	} else {
+		for _, d := range in.Dsts {
+			writePart(d.String())
+		}
+	}
+	for i := 0; i < in.Op.Arity(); i++ {
+		writePart(in.Srcs[i].String())
+	}
+	for _, ch := range in.Deq {
+		fmt.Fprintf(&b, " ; deq in%d", ch)
+	}
+	for _, u := range in.PredUpdates {
+		fmt.Fprintf(&b, " ; %s", u.String())
+	}
+	return b.String()
+}
+
+// Config captures the architectural limits of a triggered PE, used to
+// validate programs. The zero value is not valid; use DefaultConfig.
+type Config struct {
+	NumRegs  int // data registers
+	NumPreds int // predicate registers
+	NumIn    int // input channels
+	NumOut   int // output channels
+	MaxInsts int // triggered-instruction pool size
+	MaxTag   Tag // largest representable tag
+}
+
+// DefaultConfig mirrors the paper's evaluated PE: 8 registers, 8
+// predicates, 16 triggered instructions, 4 input and 4 output channels,
+// 3-bit tags.
+func DefaultConfig() Config {
+	return Config{
+		NumRegs:  8,
+		NumPreds: 8,
+		NumIn:    4,
+		NumOut:   4,
+		MaxInsts: 16,
+		MaxTag:   7,
+	}
+}
+
+// Validate checks a single instruction against the configuration.
+func (c Config) Validate(in *Instruction) error {
+	seenPred := map[int]bool{}
+	for _, p := range in.Trigger.Preds {
+		if p.Index < 0 || p.Index >= c.NumPreds {
+			return fmt.Errorf("isa: %s: trigger predicate p%d out of range [0,%d)", in.Label, p.Index, c.NumPreds)
+		}
+		if prev, ok := seenPred[p.Index]; ok && prev != p.Value {
+			return fmt.Errorf("isa: %s: trigger requires both p%d and !p%d (never fires)", in.Label, p.Index, p.Index)
+		}
+		seenPred[p.Index] = p.Value
+	}
+	seenIn := map[int]InputCond{}
+	for _, ic := range in.Trigger.Inputs {
+		if ic.Chan < 0 || ic.Chan >= c.NumIn {
+			return fmt.Errorf("isa: %s: trigger input channel in%d out of range [0,%d)", in.Label, ic.Chan, c.NumIn)
+		}
+		if ic.Tag > c.MaxTag {
+			return fmt.Errorf("isa: %s: trigger tag %d exceeds max tag %d", in.Label, ic.Tag, c.MaxTag)
+		}
+		if prev, ok := seenIn[ic.Chan]; ok {
+			if prev.Cond == TagEq && ic.Cond == TagEq && prev.Tag != ic.Tag {
+				return fmt.Errorf("isa: %s: trigger requires in%d.tag==%d and ==%d (never fires)", in.Label, ic.Chan, prev.Tag, ic.Tag)
+			}
+		}
+		seenIn[ic.Chan] = ic
+	}
+	for i := 0; i < 2; i++ {
+		s := in.Srcs[i]
+		needed := i < in.Op.Arity()
+		if !needed {
+			if s.Kind != SrcNone {
+				return fmt.Errorf("isa: %s: %s takes %d sources but source %d is set", in.Label, in.Op, in.Op.Arity(), i)
+			}
+			continue
+		}
+		switch s.Kind {
+		case SrcNone:
+			return fmt.Errorf("isa: %s: %s needs %d sources but source %d is empty", in.Label, in.Op, in.Op.Arity(), i)
+		case SrcReg:
+			if s.Index < 0 || s.Index >= c.NumRegs {
+				return fmt.Errorf("isa: %s: source register r%d out of range [0,%d)", in.Label, s.Index, c.NumRegs)
+			}
+		case SrcIn, SrcInTag:
+			if s.Index < 0 || s.Index >= c.NumIn {
+				return fmt.Errorf("isa: %s: source channel in%d out of range [0,%d)", in.Label, s.Index, c.NumIn)
+			}
+		case SrcImm:
+			// always fine
+		default:
+			return fmt.Errorf("isa: %s: invalid source kind %d", in.Label, s.Kind)
+		}
+	}
+	outSeen := map[int]bool{}
+	predDst := map[int]bool{}
+	for _, d := range in.Dsts {
+		switch d.Kind {
+		case DstReg:
+			if d.Index < 0 || d.Index >= c.NumRegs {
+				return fmt.Errorf("isa: %s: destination register r%d out of range [0,%d)", in.Label, d.Index, c.NumRegs)
+			}
+		case DstOut:
+			if d.Index < 0 || d.Index >= c.NumOut {
+				return fmt.Errorf("isa: %s: destination channel out%d out of range [0,%d)", in.Label, d.Index, c.NumOut)
+			}
+			if d.Tag > c.MaxTag {
+				return fmt.Errorf("isa: %s: destination tag %d exceeds max tag %d", in.Label, d.Tag, c.MaxTag)
+			}
+			if outSeen[d.Index] {
+				return fmt.Errorf("isa: %s: output channel out%d written twice", in.Label, d.Index)
+			}
+			outSeen[d.Index] = true
+		case DstPred:
+			if d.Index < 0 || d.Index >= c.NumPreds {
+				return fmt.Errorf("isa: %s: destination predicate p%d out of range [0,%d)", in.Label, d.Index, c.NumPreds)
+			}
+			if predDst[d.Index] {
+				return fmt.Errorf("isa: %s: predicate p%d written twice by result", in.Label, d.Index)
+			}
+			predDst[d.Index] = true
+		default:
+			return fmt.Errorf("isa: %s: invalid destination kind %d", in.Label, d.Kind)
+		}
+	}
+	deqSeen := map[int]bool{}
+	for _, ch := range in.Deq {
+		if ch < 0 || ch >= c.NumIn {
+			return fmt.Errorf("isa: %s: dequeue channel in%d out of range [0,%d)", in.Label, ch, c.NumIn)
+		}
+		if deqSeen[ch] {
+			return fmt.Errorf("isa: %s: channel in%d dequeued twice", in.Label, ch)
+		}
+		deqSeen[ch] = true
+	}
+	updSeen := map[int]bool{}
+	for _, u := range in.PredUpdates {
+		if u.Index < 0 || u.Index >= c.NumPreds {
+			return fmt.Errorf("isa: %s: predicate update p%d out of range [0,%d)", in.Label, u.Index, c.NumPreds)
+		}
+		if updSeen[u.Index] {
+			return fmt.Errorf("isa: %s: predicate p%d updated twice", in.Label, u.Index)
+		}
+		if predDst[u.Index] {
+			return fmt.Errorf("isa: %s: predicate p%d written by both result and set/clr", in.Label, u.Index)
+		}
+		updSeen[u.Index] = true
+	}
+	return nil
+}
+
+// ValidateProgram checks a whole PE program against the configuration.
+func (c Config) ValidateProgram(prog []Instruction) error {
+	if len(prog) == 0 {
+		return fmt.Errorf("isa: empty program")
+	}
+	if len(prog) > c.MaxInsts {
+		return fmt.Errorf("isa: program has %d instructions, PE holds %d", len(prog), c.MaxInsts)
+	}
+	labels := map[string]bool{}
+	for i := range prog {
+		if err := c.Validate(&prog[i]); err != nil {
+			return fmt.Errorf("instruction %d: %w", i, err)
+		}
+		if l := prog[i].Label; l != "" {
+			if labels[l] {
+				return fmt.Errorf("isa: duplicate label %q", l)
+			}
+			labels[l] = true
+		}
+	}
+	return nil
+}
+
+// ImplicitInputs returns the set of input channels the instruction needs
+// to be non-empty: those in the trigger, those dequeued, and those read as
+// sources. The PE scheduler treats all of them as readiness conditions.
+func (in *Instruction) ImplicitInputs() []int {
+	set := map[int]bool{}
+	for _, ic := range in.Trigger.Inputs {
+		set[ic.Chan] = true
+	}
+	for _, ch := range in.Deq {
+		set[ch] = true
+	}
+	for i := 0; i < in.Op.Arity(); i++ {
+		if s := in.Srcs[i]; s.Kind == SrcIn || s.Kind == SrcInTag {
+			set[s.Index] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for ch := range set {
+		out = append(out, ch)
+	}
+	return out
+}
+
+// OutputChannels returns the output channels the instruction writes, which
+// must all have space for the instruction to fire.
+func (in *Instruction) OutputChannels() []int {
+	var out []int
+	for _, d := range in.Dsts {
+		if d.Kind == DstOut {
+			out = append(out, d.Index)
+		}
+	}
+	return out
+}

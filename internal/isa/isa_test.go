@@ -1,0 +1,300 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeEvalBasics(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b Word
+		want Word
+	}{
+		{OpMov, 42, 0, 42},
+		{OpAdd, 3, 4, 7},
+		{OpAdd, 0xFFFFFFFF, 1, 0}, // wraparound
+		{OpSub, 3, 4, 0xFFFFFFFF},
+		{OpMul, 6, 7, 42},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpNot, 0, 0, 0xFFFFFFFF},
+		{OpShl, 1, 4, 16},
+		{OpShr, 16, 4, 1},
+		{OpShr, 0x80000000, 31, 1},
+		{OpSar, 0x80000000, 31, 0xFFFFFFFF},
+		{OpRotr, 0x00000001, 1, 0x80000000},
+		{OpRotr, 0xDEADBEEF, 0, 0xDEADBEEF},
+		{OpEQ, 5, 5, 1},
+		{OpEQ, 5, 6, 0},
+		{OpNE, 5, 6, 1},
+		{OpLTS, 0xFFFFFFFF, 0, 1}, // -1 < 0 signed
+		{OpLTU, 0xFFFFFFFF, 0, 0}, // max > 0 unsigned
+		{OpLES, 7, 7, 1},
+		{OpLEU, 8, 7, 0},
+		{OpMin, 3, 9, 3},
+		{OpMax, 3, 9, 9},
+		{OpNop, 1, 2, 0},
+		{OpHalt, 1, 2, 0},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%s(%#x,%#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpcodeNamesRoundTrip(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		name := op.String()
+		if strings.HasPrefix(name, "op(") {
+			t.Fatalf("opcode %d has no mnemonic", op)
+		}
+		back, ok := OpcodeByName(name)
+		if !ok || back != op {
+			t.Errorf("OpcodeByName(%q) = %v,%v want %v", name, back, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName accepted bogus mnemonic")
+	}
+}
+
+// Property: rotr by s then rotl (via rotr by 32-s) is the identity.
+func TestRotrInverseProperty(t *testing.T) {
+	f := func(a Word, s uint8) bool {
+		sh := Word(s % 32)
+		r := OpRotr.Eval(a, sh)
+		back := OpRotr.Eval(r, (32-sh)%32)
+		return back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparison opcodes return only 0 or 1 and are consistent with
+// their Go counterparts.
+func TestComparisonProperty(t *testing.T) {
+	f := func(a, b Word) bool {
+		ok := OpEQ.Eval(a, b) == boolWord(a == b) &&
+			OpNE.Eval(a, b) == boolWord(a != b) &&
+			OpLTS.Eval(a, b) == boolWord(int32(a) < int32(b)) &&
+			OpLES.Eval(a, b) == boolWord(int32(a) <= int32(b)) &&
+			OpLTU.Eval(a, b) == boolWord(a < b) &&
+			OpLEU.Eval(a, b) == boolWord(a <= b)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min/max are commutative and ordered.
+func TestMinMaxProperty(t *testing.T) {
+	f := func(a, b Word) bool {
+		mn, mx := OpMin.Eval(a, b), OpMax.Eval(a, b)
+		return mn == OpMin.Eval(b, a) && mx == OpMax.Eval(b, a) && mn <= mx &&
+			(mn == a || mn == b) && (mx == a || mx == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func validInst() Instruction {
+	return Instruction{
+		Label:   "t",
+		Trigger: When([]PredLit{P(0), NotP(1)}, []InputCond{InTagEq(0, TagData)}),
+		Op:      OpAdd,
+		Srcs:    [2]Src{In(0), Reg(1)},
+		Dsts:    []Dst{DOut(0, TagData)},
+		Deq:     []int{0},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cfg := DefaultConfig()
+	in := validInst()
+	if err := cfg.Validate(&in); err != nil {
+		t.Fatalf("valid instruction rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cfg := DefaultConfig()
+	mutations := []struct {
+		name string
+		mut  func(*Instruction)
+	}{
+		{"pred out of range", func(in *Instruction) { in.Trigger.Preds = []PredLit{P(99)} }},
+		{"contradictory preds", func(in *Instruction) { in.Trigger.Preds = []PredLit{P(2), NotP(2)} }},
+		{"input chan out of range", func(in *Instruction) { in.Trigger.Inputs = []InputCond{InReady(9)} }},
+		{"tag too large", func(in *Instruction) { in.Trigger.Inputs = []InputCond{InTagEq(0, 200)} }},
+		{"contradictory tags", func(in *Instruction) {
+			in.Trigger.Inputs = []InputCond{InTagEq(0, 1), InTagEq(0, 2)}
+		}},
+		{"src reg out of range", func(in *Instruction) { in.Srcs[0] = Reg(99) }},
+		{"src chan out of range", func(in *Instruction) { in.Srcs[1] = In(9) }},
+		{"missing src", func(in *Instruction) { in.Srcs[1] = Src{} }},
+		{"extra src", func(in *Instruction) { in.Op = OpMov; in.Srcs[1] = Reg(0) }},
+		{"dst reg out of range", func(in *Instruction) { in.Dsts = []Dst{DReg(99)} }},
+		{"dst out out of range", func(in *Instruction) { in.Dsts = []Dst{DOut(9, 0)} }},
+		{"dst tag too large", func(in *Instruction) { in.Dsts = []Dst{DOut(0, 99)} }},
+		{"dst out twice", func(in *Instruction) { in.Dsts = []Dst{DOut(0, 0), DOut(0, 1)} }},
+		{"dst pred out of range", func(in *Instruction) { in.Dsts = []Dst{DPred(99)} }},
+		{"dst pred twice", func(in *Instruction) { in.Dsts = []Dst{DPred(1), DPred(1)} }},
+		{"deq out of range", func(in *Instruction) { in.Deq = []int{9} }},
+		{"deq twice", func(in *Instruction) { in.Deq = []int{0, 0} }},
+		{"pred update out of range", func(in *Instruction) { in.PredUpdates = []PredUpdate{SetP(99)} }},
+		{"pred update twice", func(in *Instruction) { in.PredUpdates = []PredUpdate{SetP(2), ClrP(2)} }},
+		{"pred result+update clash", func(in *Instruction) {
+			in.Dsts = []Dst{DPred(3)}
+			in.PredUpdates = []PredUpdate{SetP(3)}
+		}},
+	}
+	for _, m := range mutations {
+		in := validInst()
+		m.mut(&in)
+		if err := cfg.Validate(&in); err == nil {
+			t.Errorf("%s: expected validation error, got nil", m.name)
+		}
+	}
+}
+
+func TestValidateProgram(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.ValidateProgram(nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	big := make([]Instruction, cfg.MaxInsts+1)
+	for i := range big {
+		big[i] = Instruction{Op: OpNop}
+	}
+	if err := cfg.ValidateProgram(big); err == nil {
+		t.Error("oversized program accepted")
+	}
+	dup := []Instruction{
+		{Label: "a", Op: OpNop},
+		{Label: "a", Op: OpNop},
+	}
+	if err := cfg.ValidateProgram(dup); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	ok := []Instruction{validInst()}
+	if err := cfg.ValidateProgram(ok); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestImplicitInputs(t *testing.T) {
+	in := Instruction{
+		Trigger: When(nil, []InputCond{InReady(2)}),
+		Op:      OpAdd,
+		Srcs:    [2]Src{In(0), InTag(1)},
+		Deq:     []int{3},
+	}
+	got := in.ImplicitInputs()
+	want := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	if len(got) != len(want) {
+		t.Fatalf("ImplicitInputs = %v, want channels 0-3", got)
+	}
+	for _, ch := range got {
+		if !want[ch] {
+			t.Errorf("unexpected channel %d", ch)
+		}
+	}
+}
+
+func TestOutputChannels(t *testing.T) {
+	in := Instruction{
+		Op:   OpMov,
+		Srcs: [2]Src{Reg(0), {}},
+		Dsts: []Dst{DReg(1), DOut(2, 0), DPred(3), DOut(1, 1)},
+	}
+	got := in.OutputChannels()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("OutputChannels = %v, want [2 1]", got)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	in := validInst()
+	s := in.String()
+	for _, frag := range []string{"t:", "when", "p0", "!p1", "in0.tag==0", "add", "out0", "deq in0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	empty := Instruction{Op: OpNop}
+	if !strings.Contains(empty.String(), "always") {
+		t.Errorf("empty trigger should render as always: %q", empty.String())
+	}
+}
+
+func TestTriggerStringForms(t *testing.T) {
+	tr := When([]PredLit{P(1)}, []InputCond{InTagNe(0, 1), InReady(2)})
+	s := tr.String()
+	for _, frag := range []string{"p1", "in0.tag!=1", "in2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("trigger %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestSrcDstStrings(t *testing.T) {
+	cases := map[string]string{
+		Reg(3).String():        "r3",
+		Imm(7).String():        "#7",
+		In(2).String():         "in2",
+		InTag(1).String():      "in1.tag",
+		(Src{}).String():       "_",
+		DReg(4).String():       "r4",
+		DOut(0, 0).String():    "out0",
+		DOut(1, 3).String():    "out1#3",
+		DPred(5).String():      "p:5",
+		SetP(2).String():       "set p2",
+		ClrP(6).String():       "clr p6",
+		P(0).String():          "p0",
+		NotP(7).String():       "!p7",
+		InReady(1).String():    "in1",
+		InTagEq(0, 2).String(): "in0.tag==2",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+}
+
+// Fuzz-style property: Validate never panics on random instructions.
+func TestValidateNeverPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		in := Instruction{
+			Op: Opcode(rng.Intn(int(numOpcodes) + 3)),
+			Srcs: [2]Src{
+				{Kind: SrcKind(rng.Intn(6)), Index: rng.Intn(12) - 2, Imm: Word(rng.Uint32())},
+				{Kind: SrcKind(rng.Intn(6)), Index: rng.Intn(12) - 2},
+			},
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			in.Trigger.Preds = append(in.Trigger.Preds, PredLit{Index: rng.Intn(12) - 2, Value: rng.Intn(2) == 0})
+		}
+		for j := 0; j < rng.Intn(3); j++ {
+			in.Dsts = append(in.Dsts, Dst{Kind: DstKind(rng.Intn(4)), Index: rng.Intn(12) - 2, Tag: Tag(rng.Intn(16))})
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil && in.Op < numOpcodes {
+					t.Fatalf("Validate panicked on %+v: %v", in, r)
+				}
+			}()
+			_ = cfg.Validate(&in)
+		}()
+	}
+}

@@ -1,0 +1,233 @@
+// Package mem implements the scratchpad memory elements embedded in a
+// spatial fabric. Workloads keep lookup tables (S-boxes, twiddle factors,
+// CSR arrays, failure functions) and bulk data in scratchpads and access
+// them through latency-insensitive request/response channels, exactly as
+// PEs access the memory elements of the paper's fabric.
+package mem
+
+import (
+	"fmt"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+)
+
+// Port indices of a Scratchpad.
+const (
+	// PortReadAddr is input 0: each token's data is an address to read;
+	// the response on PortReadData carries the same tag as the request,
+	// so requesters can label and demultiplex responses.
+	PortReadAddr = 0
+	// PortWriteAddr is input 1: the address of a write. Writes commit
+	// when both an address and a data token are available.
+	PortWriteAddr = 1
+	// PortWriteData is input 2: the data of a write.
+	PortWriteData = 2
+	// PortReadData is output 0: read responses, in request order.
+	PortReadData = 0
+	// PortWriteAck is output 1 (optional): one token {1, TagData} per
+	// committed write, in commit order. Requesters use it to sequence
+	// reads after writes (read-after-write hazards) and to build stage
+	// barriers; when unconnected, writes are unacknowledged.
+	PortWriteAck = 1
+)
+
+// Scratchpad is a word-addressed memory element servicing at most one read
+// and one write per cycle.
+type Scratchpad struct {
+	name string
+	data []isa.Word
+
+	rdAddr *channel.Channel
+	wrAddr *channel.Channel
+	wrData *channel.Channel
+	rdResp *channel.Channel
+	wrAck  *channel.Channel
+
+	// readLatency adds pipeline stages to read accesses (0 = respond the
+	// cycle the request is serviced, the default). One request still
+	// enters the array per cycle: a banked SRAM pipeline, not a slower
+	// serial one.
+	readLatency int
+	rdPipe      []pendingRead
+
+	reads, writes int64
+	err           error
+
+	init []isa.Word
+}
+
+// New returns a scratchpad holding `words` zeroed words.
+func New(name string, words int) *Scratchpad {
+	if words <= 0 {
+		panic(fmt.Sprintf("scratchpad %s: size %d", name, words))
+	}
+	return &Scratchpad{name: name, data: make([]isa.Word, words), init: make([]isa.Word, words)}
+}
+
+// Load copies contents into the scratchpad starting at address 0 and
+// records it as the initial image restored by Reset.
+func (m *Scratchpad) Load(contents []isa.Word) {
+	if len(contents) > len(m.data) {
+		panic(fmt.Sprintf("scratchpad %s: load of %d words into %d-word memory", m.name, len(contents), len(m.data)))
+	}
+	copy(m.data, contents)
+	copy(m.init, contents)
+}
+
+type pendingRead struct {
+	tok       channel.Token
+	remaining int
+}
+
+// SetReadLatency adds n pipeline stages to every read access. Requests
+// are still accepted at one per cycle; responses come out n cycles later
+// (and in order). Latency-insensitive requesters need no changes.
+func (m *Scratchpad) SetReadLatency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.readLatency = n
+}
+
+// Name implements fabric.Element.
+func (m *Scratchpad) Name() string { return m.name }
+
+// Size returns the scratchpad capacity in words.
+func (m *Scratchpad) Size() int { return len(m.data) }
+
+// Word returns the current contents of address a (for tests and debug).
+func (m *Scratchpad) Word(a int) isa.Word { return m.data[a] }
+
+// ConnectIn implements fabric.InPort.
+func (m *Scratchpad) ConnectIn(idx int, ch *channel.Channel) {
+	switch idx {
+	case PortReadAddr:
+		m.connect(&m.rdAddr, ch)
+	case PortWriteAddr:
+		m.connect(&m.wrAddr, ch)
+	case PortWriteData:
+		m.connect(&m.wrData, ch)
+	default:
+		panic(fmt.Sprintf("scratchpad %s: input index %d out of range", m.name, idx))
+	}
+}
+
+// ConnectOut implements fabric.OutPort.
+func (m *Scratchpad) ConnectOut(idx int, ch *channel.Channel) {
+	switch idx {
+	case PortReadData:
+		m.connect(&m.rdResp, ch)
+	case PortWriteAck:
+		m.connect(&m.wrAck, ch)
+	default:
+		panic(fmt.Sprintf("scratchpad %s: output index %d out of range", m.name, idx))
+	}
+}
+
+func (m *Scratchpad) connect(slot **channel.Channel, ch *channel.Channel) {
+	if *slot != nil {
+		panic(fmt.Sprintf("scratchpad %s: port connected twice", m.name))
+	}
+	*slot = ch
+}
+
+// CheckConnections requires a response channel whenever reads are wired.
+func (m *Scratchpad) CheckConnections() error {
+	if m.rdAddr != nil && m.rdResp == nil {
+		return fmt.Errorf("scratchpad %s: read port wired without response channel", m.name)
+	}
+	if (m.wrAddr == nil) != (m.wrData == nil) {
+		return fmt.Errorf("scratchpad %s: write port needs both address and data channels", m.name)
+	}
+	return nil
+}
+
+// Step implements fabric.Element: service at most one read and one write.
+func (m *Scratchpad) Step(int64) bool {
+	if m.err != nil {
+		return false
+	}
+	worked := false
+	// Drain the read pipeline's head into the response channel.
+	if len(m.rdPipe) > 0 && m.rdPipe[0].remaining == 0 && m.rdResp.CanAccept() {
+		m.rdResp.Send(m.rdPipe[0].tok)
+		m.rdPipe = m.rdPipe[1:]
+		worked = true
+	}
+	for i := range m.rdPipe {
+		if m.rdPipe[i].remaining > 0 {
+			m.rdPipe[i].remaining--
+			worked = true // tokens advancing through the pipeline
+		}
+	}
+	if m.rdAddr != nil {
+		req, ok := m.rdAddr.Peek()
+		// With zero latency, respond directly (subject to response
+		// space); with pipelining, accept one request per cycle while
+		// the pipeline has room.
+		switch {
+		case ok && m.readLatency == 0 && len(m.rdPipe) == 0 && m.rdResp.CanAccept():
+			a := int(req.Data)
+			if a < 0 || a >= len(m.data) {
+				m.err = fmt.Errorf("read of address %d in %d-word scratchpad", a, len(m.data))
+				return true
+			}
+			m.rdAddr.Deq()
+			m.rdResp.Send(channel.Token{Data: m.data[a], Tag: req.Tag})
+			m.reads++
+			worked = true
+		case ok && m.readLatency > 0 && len(m.rdPipe) <= m.readLatency:
+			a := int(req.Data)
+			if a < 0 || a >= len(m.data) {
+				m.err = fmt.Errorf("read of address %d in %d-word scratchpad", a, len(m.data))
+				return true
+			}
+			m.rdAddr.Deq()
+			m.rdPipe = append(m.rdPipe, pendingRead{
+				tok:       channel.Token{Data: m.data[a], Tag: req.Tag},
+				remaining: m.readLatency - 1,
+			})
+			m.reads++
+			worked = true
+		}
+	}
+	if m.wrAddr != nil {
+		addr, okA := m.wrAddr.Peek()
+		val, okD := m.wrData.Peek()
+		if okA && okD && (m.wrAck == nil || m.wrAck.CanAccept()) {
+			a := int(addr.Data)
+			if a < 0 || a >= len(m.data) {
+				m.err = fmt.Errorf("write of address %d in %d-word scratchpad", a, len(m.data))
+				return true
+			}
+			m.wrAddr.Deq()
+			m.wrData.Deq()
+			m.data[a] = val.Data
+			if m.wrAck != nil {
+				m.wrAck.Send(channel.Data(1))
+			}
+			m.writes++
+			worked = true
+		}
+	}
+	return worked
+}
+
+// Done implements fabric.Element; a scratchpad is passive and never done.
+func (m *Scratchpad) Done() bool { return false }
+
+// Err surfaces out-of-range accesses to the fabric run loop.
+func (m *Scratchpad) Err() error { return m.err }
+
+// Reads and Writes return the cumulative serviced request counts.
+func (m *Scratchpad) Reads() int64  { return m.reads }
+func (m *Scratchpad) Writes() int64 { return m.writes }
+
+// Reset restores the initial memory image and clears counters.
+func (m *Scratchpad) Reset() {
+	copy(m.data, m.init)
+	m.reads, m.writes = 0, 0
+	m.rdPipe = nil
+	m.err = nil
+}

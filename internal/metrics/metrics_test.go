@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+func TestReduction(t *testing.T) {
+	cases := []struct {
+		base, improved, want float64
+	}{
+		{100, 38, 0.62},
+		{100, 100, 0},
+		{0, 5, 0},
+		{50, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Reduction(c.base, c.improved); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Reduction(%v,%v) = %v, want %v", c.base, c.improved, got, c.want)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{1, -1}); g != 0 {
+		t.Errorf("Geomean with negative = %v", g)
+	}
+}
+
+// Property: geomean is scale-equivariant and bounded by min/max.
+func TestGeomeanProperties(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		vals := []float64{float64(a%50) + 1, float64(b%50) + 1, float64(c%50) + 1}
+		g := Geomean(vals)
+		mn, mx := vals[0], vals[0]
+		for _, v := range vals {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if g < mn-1e-9 || g > mx+1e-9 {
+			return false
+		}
+		scaled := Geomean([]float64{2 * vals[0], 2 * vals[1], 2 * vals[2]})
+		return math.Abs(scaled-2*g) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationBreakdowns(t *testing.T) {
+	prog := []isa.Instruction{{
+		Label:   "fwd",
+		Trigger: isa.When(nil, []isa.InputCond{isa.InReady(0)}),
+		Op:      isa.OpMov,
+		Srcs:    [2]isa.Src{isa.In(0), {}},
+		Dsts:    []isa.Dst{isa.DReg(0)},
+		Deq:     []int{0},
+	}}
+	p, err := pe.New("u", isa.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := channel.New("in", 2, 0)
+	p.ConnectIn(0, in)
+	in.Send(channel.Data(1))
+	in.Tick()
+	p.Step(0) // fires
+	in.Tick()
+	p.Step(1) // input stall
+	in.Tick()
+	u := TIAUtilization(p)
+	if u.Fired != 1 || u.Cycles != 2 {
+		t.Fatalf("fired=%d cycles=%d", u.Fired, u.Cycles)
+	}
+	if math.Abs(u.Occupancy-0.5) > 1e-9 || math.Abs(u.InputStall-0.5) > 1e-9 {
+		t.Fatalf("breakdown %+v", u)
+	}
+	cp := TIACriticalPath(p)
+	if cp.Static != 1 || cp.Dynamic != 1 {
+		t.Fatalf("critical path %+v", cp)
+	}
+}
+
+func TestPCUtilization(t *testing.T) {
+	prog := []pcpe.Inst{
+		{Kind: pcpe.KindALU, Op: isa.OpMov, Dsts: []pcpe.Dst{pcpe.DReg(0)}, Srcs: [2]pcpe.Src{pcpe.ChanPop(0), {}}},
+		{Kind: pcpe.KindHalt},
+	}
+	p, err := pcpe.New("u", pcpe.DefaultConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := channel.New("in", 2, 0)
+	p.ConnectIn(0, in)
+	p.Step(0) // stalled on empty channel
+	in.Tick()
+	u := PCUtilization(p)
+	if u.Fired != 0 || u.InputStall != 1 {
+		t.Fatalf("pc breakdown %+v", u)
+	}
+	cp := PCCriticalPath(p)
+	if cp.Static != 2 || cp.Dynamic != 0 {
+		t.Fatalf("pc critical path %+v", cp)
+	}
+}

@@ -1,0 +1,37 @@
+package noc
+
+import (
+	"testing"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+)
+
+// BenchmarkMeshStep measures a 4x4 mesh under steady crossing traffic.
+func BenchmarkMeshStep(b *testing.B) {
+	m := New("mesh", DefaultConfig())
+	f1a, f1b := m.Bridge("f1", 0, 0, 3, 3, 4)
+	f2a, f2b := m.Bridge("f2", 3, 0, 0, 3, 4)
+	v := isa.Word(0)
+	for i := 0; i < b.N; i++ {
+		if f1a.CanAccept() {
+			f1a.Send(channel.Data(v))
+			v++
+		}
+		if f2a.CanAccept() {
+			f2a.Send(channel.Data(v))
+			v++
+		}
+		m.Step(int64(i))
+		if _, ok := f1b.Peek(); ok {
+			f1b.Deq()
+		}
+		if _, ok := f2b.Peek(); ok {
+			f2b.Deq()
+		}
+		f1a.Tick()
+		f1b.Tick()
+		f2a.Tick()
+		f2b.Tick()
+	}
+}

@@ -1,0 +1,41 @@
+package pcpe
+
+import (
+	"testing"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+)
+
+// BenchmarkSequentialStep measures the baseline PE on the merge kernel in
+// steady state, the direct counterpart of pe.BenchmarkSchedulerStep.
+func BenchmarkSequentialStep(b *testing.B) {
+	p, err := New("m", DefaultConfig(), MergeProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := channel.New("a", 4, 0)
+	bb := channel.New("b", 4, 0)
+	o := channel.New("o", 4, 0)
+	p.ConnectIn(0, a)
+	p.ConnectIn(1, bb)
+	p.ConnectOut(0, o)
+	v := isa.Word(0)
+	for i := 0; i < b.N; i++ {
+		if a.CanAccept() {
+			a.Send(channel.Data(v))
+			v++
+		}
+		if bb.CanAccept() {
+			bb.Send(channel.Data(v))
+			v++
+		}
+		p.Step(int64(i))
+		if _, ok := o.Peek(); ok {
+			o.Deq()
+		}
+		a.Tick()
+		bb.Tick()
+		o.Tick()
+	}
+}

@@ -1,0 +1,42 @@
+package pcpe
+
+import "tia/internal/isa"
+
+// MergeProgram returns the PC-style expression of the paper's running
+// example: merging two sorted EOD-terminated streams (in0, in1) into one
+// sorted stream on out0 followed by an EOD token.
+//
+// Contrast with pe.MergeProgram: the sequential version needs explicit
+// tag tests, compares, branches and jumps for every control decision that
+// the triggered version folds into the scheduler, so its static size and
+// per-element dynamic instruction count are both several times larger.
+func MergeProgram() []Inst {
+	return []Inst{
+		// Steady state: both streams must be inspected every iteration.
+		{Label: "loop", Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{ChanTag(0), Imm(isa.Word(isa.TagData))}, Target: "a_eod"},
+		{Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{ChanTag(1), Imm(isa.Word(isa.TagData))}, Target: "b_eod"},
+		{Kind: KindALU, Op: isa.OpLEU, Dsts: []Dst{DReg(0)}, Srcs: [2]Src{Chan(0), Chan(1)}},
+		{Kind: KindBr, BrOp: BrEQ, Srcs: [2]Src{Reg(0), Imm(0)}, Target: "take_b"},
+		{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, isa.TagData)}, Srcs: [2]Src{ChanPop(0), {}}},
+		{Kind: KindJmp, Target: "loop"},
+		{Label: "take_b", Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, isa.TagData)}, Srcs: [2]Src{ChanPop(1), {}}},
+		{Kind: KindJmp, Target: "loop"},
+
+		// Stream 0 ended: drain stream 1.
+		{Label: "a_eod", Kind: KindDeq, Chan: 0},
+		{Label: "a_drain", Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{ChanTag(1), Imm(isa.Word(isa.TagData))}, Target: "b_last"},
+		{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, isa.TagData)}, Srcs: [2]Src{ChanPop(1), {}}},
+		{Kind: KindJmp, Target: "a_drain"},
+		{Label: "b_last", Kind: KindDeq, Chan: 1},
+		{Kind: KindJmp, Target: "fin"},
+
+		// Stream 1 ended: drain stream 0.
+		{Label: "b_eod", Kind: KindDeq, Chan: 1},
+		{Label: "b_drain", Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{ChanTag(0), Imm(isa.Word(isa.TagData))}, Target: "a_last"},
+		{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, isa.TagData)}, Srcs: [2]Src{ChanPop(0), {}}},
+		{Kind: KindJmp, Target: "b_drain"},
+		{Label: "a_last", Kind: KindDeq, Chan: 0},
+
+		{Label: "fin", Kind: KindALU, Op: isa.OpHalt, Dsts: []Dst{DOut(0, isa.TagEOD)}},
+	}
+}

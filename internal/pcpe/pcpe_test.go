@@ -1,0 +1,352 @@
+package pcpe
+
+import (
+	"testing"
+
+	"tia/internal/channel"
+	"tia/internal/fabric"
+	"tia/internal/isa"
+	"tia/internal/pe"
+)
+
+func mustNew(t *testing.T, prog []Inst) *PE {
+	t.Helper()
+	p, err := New("test", DefaultConfig(), prog)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func TestStraightLineALU(t *testing.T) {
+	prog := []Inst{
+		{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(0)}, Srcs: [2]Src{Imm(5), {}}},
+		{Kind: KindALU, Op: isa.OpAdd, Dsts: []Dst{DReg(1)}, Srcs: [2]Src{Reg(0), Imm(3)}},
+		{Kind: KindHalt},
+	}
+	p := mustNew(t, prog)
+	for i := int64(0); i < 5 && !p.Done(); i++ {
+		p.Step(i)
+	}
+	if !p.Done() {
+		t.Fatal("did not halt")
+	}
+	if p.Reg(1) != 8 {
+		t.Fatalf("r1 = %d, want 8", p.Reg(1))
+	}
+	if p.Stats().Fired != 3 {
+		t.Fatalf("fired %d, want 3", p.Stats().Fired)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..5 with a loop.
+	prog := []Inst{
+		{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(0)}, Srcs: [2]Src{Imm(0), {}}}, // acc
+		{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(1)}, Srcs: [2]Src{Imm(1), {}}}, // i
+		{Label: "loop", Kind: KindBr, BrOp: BrLTU, Srcs: [2]Src{Imm(5), Reg(1)}, Target: "done"},
+		{Kind: KindALU, Op: isa.OpAdd, Dsts: []Dst{DReg(0)}, Srcs: [2]Src{Reg(0), Reg(1)}},
+		{Kind: KindALU, Op: isa.OpAdd, Dsts: []Dst{DReg(1)}, Srcs: [2]Src{Reg(1), Imm(1)}},
+		{Kind: KindJmp, Target: "loop"},
+		{Label: "done", Kind: KindHalt},
+	}
+	p := mustNew(t, prog)
+	for i := int64(0); i < 100 && !p.Done(); i++ {
+		p.Step(i)
+	}
+	if p.Reg(0) != 15 {
+		t.Fatalf("sum = %d, want 15", p.Reg(0))
+	}
+}
+
+func TestBlockingChannelRead(t *testing.T) {
+	prog := []Inst{
+		{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(0)}, Srcs: [2]Src{ChanPop(0), {}}},
+		{Kind: KindHalt},
+	}
+	p := mustNew(t, prog)
+	in := channel.New("in", 2, 0)
+	p.ConnectIn(0, in)
+	p.Step(0)
+	in.Tick()
+	if p.Stats().InputStall != 1 {
+		t.Fatal("no input stall recorded on empty channel")
+	}
+	if p.PC() != 0 {
+		t.Fatal("PC advanced while blocked")
+	}
+	in.Send(channel.Data(42))
+	in.Tick()
+	p.Step(1)
+	in.Tick()
+	if p.Reg(0) != 42 {
+		t.Fatalf("r0 = %d, want 42", p.Reg(0))
+	}
+	if in.Len() != 0 && in.InFlight() != 0 {
+		t.Fatal("pop did not consume token")
+	}
+}
+
+func TestBlockingOutputWrite(t *testing.T) {
+	prog := []Inst{
+		{Label: "l", Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, 0)}, Srcs: [2]Src{Imm(1), {}}},
+		{Kind: KindJmp, Target: "l"},
+	}
+	p := mustNew(t, prog)
+	out := channel.New("out", 1, 0)
+	p.ConnectOut(0, out)
+	for i := int64(0); i < 6; i++ {
+		p.Step(i)
+		out.Tick()
+	}
+	s := p.Stats()
+	if s.OutputStall == 0 {
+		t.Fatal("no output stall on full channel")
+	}
+	if out.Len() != 1 {
+		t.Fatalf("channel holds %d tokens, want 1", out.Len())
+	}
+}
+
+func TestTakenPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TakenPenalty = 2
+	prog := []Inst{
+		{Label: "l", Kind: KindJmp, Target: "m"},
+		{Label: "m", Kind: KindHalt},
+	}
+	p, err := New("pen", cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := int64(0)
+	for !p.Done() {
+		p.Step(cycles)
+		cycles++
+		if cycles > 20 {
+			t.Fatal("never halted")
+		}
+	}
+	// jmp (1) + 2 penalty + halt (1) = 4 cycles.
+	if cycles != 4 {
+		t.Fatalf("took %d cycles, want 4", cycles)
+	}
+	if p.Stats().PenaltyStall != 2 {
+		t.Fatalf("PenaltyStall = %d, want 2", p.Stats().PenaltyStall)
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	prog := []Inst{{Kind: KindALU, Op: isa.OpNop}}
+	p := mustNew(t, prog)
+	p.Step(0)
+	if !p.Done() {
+		t.Fatal("PE did not halt after last instruction")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Inst
+	}{
+		{"empty", nil},
+		{"unknown target", []Inst{{Kind: KindJmp, Target: "nowhere"}}},
+		{"dup label", []Inst{{Label: "x", Kind: KindHalt}, {Label: "x", Kind: KindHalt}}},
+		{"bad reg", []Inst{{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(99)}, Srcs: [2]Src{Imm(0), {}}}}},
+		{"bad chan", []Inst{{Kind: KindDeq, Chan: 99}}},
+		{"missing src", []Inst{{Kind: KindALU, Op: isa.OpAdd, Dsts: []Dst{DReg(0)}}}},
+		{"branch pop", []Inst{{Label: "x", Kind: KindBr, BrOp: BrEQ, Srcs: [2]Src{ChanPop(0), Imm(0)}, Target: "x"}}},
+		{"double pop", []Inst{{Kind: KindALU, Op: isa.OpAdd, Dsts: []Dst{DReg(0)}, Srcs: [2]Src{ChanPop(0), ChanPop(0)}}}},
+		{"bad tag", []Inst{{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, 99)}, Srcs: [2]Src{Imm(0), {}}}}},
+	}
+	for _, c := range cases {
+		if _, err := New("bad", DefaultConfig(), c.prog); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestBrOpNames(t *testing.T) {
+	for b := BrEQ; b <= BrGEU; b++ {
+		back, ok := BrOpByName(b.String())
+		if !ok || back != b {
+			t.Errorf("round trip failed for %s", b)
+		}
+	}
+}
+
+func TestMergeMatchesTriggeredMerge(t *testing.T) {
+	left := []isa.Word{2, 3, 5, 8, 13, 21}
+	right := []isa.Word{1, 4, 6, 7, 9, 10, 40}
+
+	run := func(makeFabric func(f *fabric.Fabric) *fabric.Sink) []isa.Word {
+		f := fabric.New(fabric.DefaultConfig())
+		snk := makeFabric(f)
+		if _, err := f.Run(100000); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return snk.Words()
+	}
+
+	tiaOut := run(func(f *fabric.Fabric) *fabric.Sink {
+		a := fabric.NewWordSource("a", left, true)
+		b := fabric.NewWordSource("b", right, true)
+		m, err := pe.New("m", isa.DefaultConfig(), pe.MergeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snk := fabric.NewSink("snk")
+		f.Add(a)
+		f.Add(b)
+		f.Add(m)
+		f.Add(snk)
+		f.Wire(a, 0, m, 0)
+		f.Wire(b, 0, m, 1)
+		f.Wire(m, 0, snk, 0)
+		return snk
+	})
+
+	pcOut := run(func(f *fabric.Fabric) *fabric.Sink {
+		a := fabric.NewWordSource("a", left, true)
+		b := fabric.NewWordSource("b", right, true)
+		m, err := New("m", DefaultConfig(), MergeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snk := fabric.NewSink("snk")
+		f.Add(a)
+		f.Add(b)
+		f.Add(m)
+		f.Add(snk)
+		f.Wire(a, 0, m, 0)
+		f.Wire(b, 0, m, 1)
+		f.Wire(m, 0, snk, 0)
+		return snk
+	})
+
+	if len(tiaOut) != len(pcOut) || len(tiaOut) != len(left)+len(right) {
+		t.Fatalf("lengths differ: tia=%d pc=%d", len(tiaOut), len(pcOut))
+	}
+	for i := range tiaOut {
+		if tiaOut[i] != pcOut[i] {
+			t.Fatalf("outputs differ at %d: tia=%v pc=%v", i, tiaOut, pcOut)
+		}
+	}
+}
+
+// TestMergeSpeedAdvantage checks the paper's core claim in miniature: the
+// triggered merge completes in fewer cycles than the PC merge on the same
+// input, because compares/branches/jumps are folded into triggers.
+func TestMergeSpeedAdvantage(t *testing.T) {
+	n := 64
+	left := make([]isa.Word, n)
+	right := make([]isa.Word, n)
+	for i := 0; i < n; i++ {
+		left[i] = isa.Word(2 * i)
+		right[i] = isa.Word(2*i + 1)
+	}
+
+	runCycles := func(tia bool) int64 {
+		f := fabric.New(fabric.DefaultConfig())
+		a := fabric.NewWordSource("a", left, true)
+		b := fabric.NewWordSource("b", right, true)
+		snk := fabric.NewSink("snk")
+		f.Add(a)
+		f.Add(b)
+		f.Add(snk)
+		if tia {
+			m, err := pe.New("m", isa.DefaultConfig(), pe.MergeProgram())
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Add(m)
+			f.Wire(a, 0, m, 0)
+			f.Wire(b, 0, m, 1)
+			f.Wire(m, 0, snk, 0)
+		} else {
+			m, err := New("m", DefaultConfig(), MergeProgram())
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Add(m)
+			f.Wire(a, 0, m, 0)
+			f.Wire(b, 0, m, 1)
+			f.Wire(m, 0, snk, 0)
+		}
+		res, err := f.Run(1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+
+	tiaCycles := runCycles(true)
+	pcCycles := runCycles(false)
+	if tiaCycles >= pcCycles {
+		t.Fatalf("triggered merge (%d cycles) not faster than PC merge (%d cycles)", tiaCycles, pcCycles)
+	}
+	speedup := float64(pcCycles) / float64(tiaCycles)
+	if speedup < 1.5 {
+		t.Errorf("merge speedup %.2fx below 1.5x, paper shape not reproduced", speedup)
+	}
+	t.Logf("merge speedup: %.2fx (tia=%d pc=%d cycles)", speedup, tiaCycles, pcCycles)
+}
+
+func TestInstStrings(t *testing.T) {
+	cases := map[string]string{
+		(&Inst{Kind: KindALU, Op: isa.OpAdd, Dsts: []Dst{DReg(1)}, Srcs: [2]Src{Reg(2), Imm(3)}}).String():     "add r1, r2, #3",
+		(&Inst{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, 2)}, Srcs: [2]Src{ChanPop(1), {}}}).String():  "mov out0#2, in1.pop",
+		(&Inst{Kind: KindDeq, Chan: 3}).String():                                                               "deq in3",
+		(&Inst{Label: "l", Kind: KindBr, BrOp: BrLTU, Srcs: [2]Src{ChanTag(0), Imm(1)}, Target: "x"}).String(): "l: bltu in0.tag, #1, x",
+		(&Inst{Kind: KindJmp, Target: "loop"}).String():                                                        "jmp loop",
+		(&Inst{Kind: KindHalt}).String():                                                                       "halt",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPlainMergeMatchesEnhanced(t *testing.T) {
+	left := []isa.Word{1, 5, 9}
+	right := []isa.Word{2, 4, 6, 8}
+	plain, err := New("plain", DefaultConfig(), MergePlainProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enhanced, err := New("enh", DefaultConfig(), MergeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(elem *PE) []isa.Word {
+		f := fabric.New(fabric.DefaultConfig())
+		a := fabric.NewWordSource("a", left, true)
+		b := fabric.NewWordSource("b", right, true)
+		snk := fabric.NewSink("snk")
+		f.Add(a)
+		f.Add(b)
+		f.Add(elem)
+		f.Add(snk)
+		f.Wire(a, 0, elem, 0)
+		f.Wire(b, 0, elem, 1)
+		f.Wire(elem, 0, snk, 0)
+		if _, err := f.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		return snk.Words()
+	}
+	gp, ge := run(plain), run(enhanced)
+	if len(gp) != len(ge) {
+		t.Fatalf("plain %v vs enhanced %v", gp, ge)
+	}
+	for i := range gp {
+		if gp[i] != ge[i] {
+			t.Fatalf("plain %v vs enhanced %v", gp, ge)
+		}
+	}
+	if plain.StaticInstructions() <= enhanced.StaticInstructions() {
+		t.Error("plain program should be longer")
+	}
+}

@@ -1,0 +1,56 @@
+package pcpe
+
+import "tia/internal/isa"
+
+// MergePlainProgram is the merge kernel in the *plain* sequential style:
+// every channel access is its own instruction (an explicit move of head
+// data or tag into a register, with separate dequeues) and instructions
+// have a single destination. This is the paper's unenhanced PC baseline;
+// MergeProgram is the enhanced baseline with channel-mapped operands.
+// Together they bracket the critical-path instruction-count comparison of
+// experiment E2.
+func MergePlainProgram() []Inst {
+	mv := func(rd int, s Src) Inst {
+		return Inst{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(rd)}, Srcs: [2]Src{s, {}}}
+	}
+	out := func(s Src) Inst {
+		return Inst{Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, isa.TagData)}, Srcs: [2]Src{s, {}}}
+	}
+	return []Inst{
+		{Label: "loop", Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(2)}, Srcs: [2]Src{ChanTag(0), {}}},
+		{Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{Reg(2), Imm(0)}, Target: "a_eod"},
+		mv(3, ChanTag(1)),
+		{Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{Reg(3), Imm(0)}, Target: "b_eod"},
+		mv(0, Chan(0)),
+		mv(1, Chan(1)),
+		{Kind: KindALU, Op: isa.OpLEU, Dsts: []Dst{DReg(2)}, Srcs: [2]Src{Reg(0), Reg(1)}},
+		{Kind: KindBr, BrOp: BrEQ, Srcs: [2]Src{Reg(2), Imm(0)}, Target: "take_b"},
+		out(Reg(0)),
+		{Kind: KindDeq, Chan: 0},
+		{Kind: KindJmp, Target: "loop"},
+		{Label: "take_b", Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DOut(0, isa.TagData)}, Srcs: [2]Src{Reg(1), {}}},
+		{Kind: KindDeq, Chan: 1},
+		{Kind: KindJmp, Target: "loop"},
+
+		{Label: "a_eod", Kind: KindDeq, Chan: 0},
+		{Label: "a_drain", Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(3)}, Srcs: [2]Src{ChanTag(1), {}}},
+		{Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{Reg(3), Imm(0)}, Target: "b_last"},
+		mv(1, Chan(1)),
+		out(Reg(1)),
+		{Kind: KindDeq, Chan: 1},
+		{Kind: KindJmp, Target: "a_drain"},
+		{Label: "b_last", Kind: KindDeq, Chan: 1},
+		{Kind: KindJmp, Target: "fin"},
+
+		{Label: "b_eod", Kind: KindDeq, Chan: 1},
+		{Label: "b_drain", Kind: KindALU, Op: isa.OpMov, Dsts: []Dst{DReg(2)}, Srcs: [2]Src{ChanTag(0), {}}},
+		{Kind: KindBr, BrOp: BrNE, Srcs: [2]Src{Reg(2), Imm(0)}, Target: "a_last"},
+		mv(0, Chan(0)),
+		out(Reg(0)),
+		{Kind: KindDeq, Chan: 0},
+		{Kind: KindJmp, Target: "b_drain"},
+		{Label: "a_last", Kind: KindDeq, Chan: 0},
+
+		{Label: "fin", Kind: KindALU, Op: isa.OpHalt, Dsts: []Dst{DOut(0, isa.TagEOD)}},
+	}
+}

@@ -1,0 +1,98 @@
+package pe
+
+import "tia/internal/isa"
+
+// MergeProgram returns the paper's running example: a triggered program
+// that merges two sorted input streams (in0, in1, EOD-terminated) into one
+// sorted output stream on out0, followed by an EOD token.
+//
+// The program is eight static instructions. In steady state each merged
+// element costs exactly two fires (one compare that writes predicate p0
+// from the ALU result, one data move); the drain phase after one stream
+// ends costs one fire per element. A program-counter expression of the
+// same kernel needs explicit peeks, compares, and branches — see package
+// pcpe for the baseline used in the paper's comparison.
+//
+// Predicate roles: p0 = comparison outcome (in0 <= in1), p1 = comparison
+// valid, p2 = in0 exhausted, p3 = in1 exhausted.
+func MergeProgram() []isa.Instruction {
+	return []isa.Instruction{
+		{
+			Label: "cmp",
+			Trigger: isa.When(
+				[]isa.PredLit{isa.NotP(1), isa.NotP(2), isa.NotP(3)},
+				[]isa.InputCond{isa.InTagEq(0, isa.TagData), isa.InTagEq(1, isa.TagData)},
+			),
+			Op:          isa.OpLEU,
+			Srcs:        [2]isa.Src{isa.In(0), isa.In(1)},
+			Dsts:        []isa.Dst{isa.DPred(0)},
+			PredUpdates: []isa.PredUpdate{isa.SetP(1)},
+		},
+		{
+			Label:       "sendA",
+			Trigger:     isa.When([]isa.PredLit{isa.P(1), isa.P(0)}, nil),
+			Op:          isa.OpMov,
+			Srcs:        [2]isa.Src{isa.In(0), {}},
+			Dsts:        []isa.Dst{isa.DOut(0, isa.TagData)},
+			Deq:         []int{0},
+			PredUpdates: []isa.PredUpdate{isa.ClrP(1)},
+		},
+		{
+			Label:       "sendB",
+			Trigger:     isa.When([]isa.PredLit{isa.P(1), isa.NotP(0)}, nil),
+			Op:          isa.OpMov,
+			Srcs:        [2]isa.Src{isa.In(1), {}},
+			Dsts:        []isa.Dst{isa.DOut(0, isa.TagData)},
+			Deq:         []int{1},
+			PredUpdates: []isa.PredUpdate{isa.ClrP(1)},
+		},
+		{
+			Label: "eodA",
+			Trigger: isa.When(
+				[]isa.PredLit{isa.NotP(1), isa.NotP(2)},
+				[]isa.InputCond{isa.InTagEq(0, isa.TagEOD)},
+			),
+			Op:          isa.OpNop,
+			Deq:         []int{0},
+			PredUpdates: []isa.PredUpdate{isa.SetP(2)},
+		},
+		{
+			Label: "eodB",
+			Trigger: isa.When(
+				[]isa.PredLit{isa.NotP(1), isa.NotP(3)},
+				[]isa.InputCond{isa.InTagEq(1, isa.TagEOD)},
+			),
+			Op:          isa.OpNop,
+			Deq:         []int{1},
+			PredUpdates: []isa.PredUpdate{isa.SetP(3)},
+		},
+		{
+			Label: "drainA",
+			Trigger: isa.When(
+				[]isa.PredLit{isa.P(3), isa.NotP(2)},
+				[]isa.InputCond{isa.InTagEq(0, isa.TagData)},
+			),
+			Op:   isa.OpMov,
+			Srcs: [2]isa.Src{isa.In(0), {}},
+			Dsts: []isa.Dst{isa.DOut(0, isa.TagData)},
+			Deq:  []int{0},
+		},
+		{
+			Label: "drainB",
+			Trigger: isa.When(
+				[]isa.PredLit{isa.P(2), isa.NotP(3)},
+				[]isa.InputCond{isa.InTagEq(1, isa.TagData)},
+			),
+			Op:   isa.OpMov,
+			Srcs: [2]isa.Src{isa.In(1), {}},
+			Dsts: []isa.Dst{isa.DOut(0, isa.TagData)},
+			Deq:  []int{1},
+		},
+		{
+			Label:   "fin",
+			Trigger: isa.When([]isa.PredLit{isa.P(2), isa.P(3)}, nil),
+			Op:      isa.OpHalt,
+			Dsts:    []isa.Dst{isa.DOut(0, isa.TagEOD)},
+		},
+	}
+}

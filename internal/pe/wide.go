@@ -1,0 +1,154 @@
+package pe
+
+import (
+	"tia/internal/channel"
+	"tia/internal/isa"
+)
+
+// stepWide is the superscalar trigger scheduler: fire up to issueWidth
+// ready, non-conflicting instructions in one cycle with parallel
+// semantics (see SetIssueWidth).
+func (p *PE) stepWide(cycle int64) bool {
+	p.stats.Cycles++
+	n := len(p.prog)
+
+	usedOut := map[int]bool{}
+	usedDeq := map[int]bool{}
+	writtenRegs := map[int]bool{}
+	writtenPreds := map[int]bool{}
+
+	type regWrite struct {
+		idx int
+		val isa.Word
+	}
+	type predWrite struct {
+		idx int
+		val bool
+	}
+	var regWrites []regWrite
+	var predWrites []predWrite
+	halting := false
+
+	fired := 0
+	sawInputWait, sawOutputWait := false, false
+	for k := 0; k < n && fired < p.issueWidth; k++ {
+		idx := k
+		if p.policy == SchedRoundRobin {
+			idx = (k + p.rrOffset) % n
+		}
+		ci := &p.prog[idx]
+		// Triggers evaluate against start-of-cycle predicate state:
+		// predicate writes are deferred, so p.preds is unchanged here.
+		switch p.classify(ci) {
+		case waitingInput:
+			sawInputWait = true
+			continue
+		case waitingOut:
+			sawOutputWait = true
+			continue
+		case notTriggered:
+			continue
+		}
+		// Structural conflicts with already-issued instructions.
+		conflict := false
+		for _, ch := range ci.outputs {
+			if usedOut[ch] {
+				conflict = true
+			}
+		}
+		for _, ch := range ci.inst.Deq {
+			if usedDeq[ch] {
+				conflict = true
+			}
+		}
+		for _, d := range ci.inst.Dsts {
+			switch d.Kind {
+			case isa.DstReg:
+				if writtenRegs[d.Index] {
+					conflict = true
+				}
+			case isa.DstPred:
+				if writtenPreds[d.Index] {
+					conflict = true
+				}
+			}
+		}
+		for _, u := range ci.inst.PredUpdates {
+			if writtenPreds[u.Index] {
+				conflict = true
+			}
+		}
+		if conflict {
+			continue
+		}
+
+		// Fire with deferred architectural writes. Channel effects
+		// stage immediately (the channel layer is already two-phase).
+		inst := &ci.inst
+		var a, b isa.Word
+		if inst.Op.Arity() >= 1 {
+			a = p.readSrc(inst.Srcs[0])
+		}
+		if inst.Op.Arity() >= 2 {
+			b = p.readSrc(inst.Srcs[1])
+		}
+		result := inst.Op.Eval(a, b)
+		for _, d := range inst.Dsts {
+			switch d.Kind {
+			case isa.DstReg:
+				regWrites = append(regWrites, regWrite{d.Index, result})
+				writtenRegs[d.Index] = true
+			case isa.DstOut:
+				p.out[d.Index].Send(channel.Token{Data: result, Tag: d.Tag})
+				usedOut[d.Index] = true
+			case isa.DstPred:
+				predWrites = append(predWrites, predWrite{d.Index, result != 0})
+				writtenPreds[d.Index] = true
+			}
+		}
+		for _, ch := range inst.Deq {
+			p.in[ch].Deq()
+			usedDeq[ch] = true
+		}
+		for _, u := range inst.PredUpdates {
+			predWrites = append(predWrites, predWrite{u.Index, u.Op == isa.PredSet})
+			writtenPreds[u.Index] = true
+		}
+		if inst.Op == isa.OpHalt {
+			halting = true
+		}
+		p.stats.Fired++
+		p.stats.PerInst[idx]++
+		if p.Trace != nil {
+			p.Trace(cycle, idx, result)
+		}
+		fired++
+		if p.policy == SchedRoundRobin {
+			p.rrOffset = (idx + 1) % n
+		}
+	}
+
+	// Commit architectural state.
+	for _, w := range regWrites {
+		p.regs[w.idx] = w.val
+	}
+	for _, w := range predWrites {
+		p.preds[w.idx] = w.val
+	}
+	if halting {
+		p.halted = true
+	}
+
+	if fired > 0 {
+		return true
+	}
+	switch {
+	case sawOutputWait:
+		p.stats.OutputStall++
+	case sawInputWait:
+		p.stats.InputStall++
+	default:
+		p.stats.IdleCycles++
+	}
+	return false
+}

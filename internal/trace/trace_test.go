@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tia/internal/fabric"
+	"tia/internal/isa"
+	"tia/internal/pe"
+)
+
+func mergeFabric(t *testing.T) (*fabric.Fabric, *pe.PE, *fabric.Sink) {
+	t.Helper()
+	f := fabric.New(fabric.DefaultConfig())
+	a := fabric.NewWordSource("a", []isa.Word{1, 3}, true)
+	b := fabric.NewWordSource("b", []isa.Word{2, 4}, true)
+	m, err := pe.New("merge", isa.DefaultConfig(), pe.MergeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snk := fabric.NewSink("snk")
+	f.Add(a)
+	f.Add(b)
+	f.Add(m)
+	f.Add(snk)
+	f.Wire(a, 0, m, 0)
+	f.Wire(b, 0, m, 1)
+	f.Wire(m, 0, snk, 0)
+	return f, m, snk
+}
+
+func TestRecorderCapturesFires(t *testing.T) {
+	f, m, _ := mergeFabric(t)
+	r := New(0)
+	r.Attach(m)
+	if _, err := f.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(r.Events())) != m.DynamicInstructions() {
+		t.Fatalf("recorded %d events, PE fired %d", len(r.Events()), m.DynamicInstructions())
+	}
+	// First fire of the merge program must be the compare.
+	if r.Events()[0].Label != "cmp" {
+		t.Errorf("first event %+v, want cmp", r.Events()[0])
+	}
+	var sb strings.Builder
+	r.WriteLog(&sb)
+	if !strings.Contains(sb.String(), "cmp") || !strings.Contains(sb.String(), "merge") {
+		t.Errorf("log missing expected fields:\n%s", sb.String())
+	}
+}
+
+func TestBoundedRecorderDropsOldest(t *testing.T) {
+	f, m, _ := mergeFabric(t)
+	r := New(3)
+	r.Attach(m)
+	if _, err := f.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("bounded recorder kept %d events", len(r.Events()))
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	// The last event must be the halting fin.
+	last := r.Events()[2]
+	if last.Label != "fin" {
+		t.Errorf("last event %+v, want fin", last)
+	}
+}
+
+func TestTimelineAndHistogram(t *testing.T) {
+	f, m, _ := mergeFabric(t)
+	r := New(0)
+	r.Attach(m)
+	if _, err := f.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	r.WriteTimeline(&sb, 0, 10)
+	out := sb.String()
+	if !strings.Contains(out, "merge") || !strings.Contains(out, "cmp") {
+		t.Errorf("timeline missing content:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 11 {
+		t.Errorf("timeline should have header + 10 rows:\n%s", out)
+	}
+	h := r.Histogram()
+	if len(h) == 0 {
+		t.Fatal("empty histogram")
+	}
+	total := int64(0)
+	for _, fc := range h {
+		total += fc.Count
+	}
+	if total != m.DynamicInstructions() {
+		t.Errorf("histogram total %d, fired %d", total, m.DynamicInstructions())
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Count > h[i-1].Count {
+			t.Fatal("histogram not sorted by count")
+		}
+	}
+}
+
+func TestChromeJSONExport(t *testing.T) {
+	f, m, _ := mergeFabric(t)
+	r := New(0)
+	r.Attach(m)
+	if _, err := f.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteChromeJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	evs, ok := doc["traceEvents"].([]any)
+	if !ok || int64(len(evs)) != m.DynamicInstructions() {
+		t.Fatalf("traceEvents count %d, want %d", len(evs), m.DynamicInstructions())
+	}
+	first := evs[0].(map[string]any)
+	if first["tid"] != "merge" || first["ph"] != "X" {
+		t.Fatalf("unexpected event shape: %v", first)
+	}
+}

@@ -1,0 +1,785 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tia/internal/asm"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// aes encrypts independent 16-byte blocks with AES-128 (ECB over a
+// byte-per-token stream). The S-box, the expanded round keys (computed by
+// the host, as accelerator deployments do) and the state all live in
+// scratchpads. A controller PE sequences load → nine full rounds → final
+// round per block, folding ShiftRows into the state-read address stream
+// and separating rounds with write-acknowledge barriers; an S-box
+// forwarding PE turns state bytes into table lookups (copying tags so the
+// final round bypasses MixColumns); a MixColumns PE combines columns with
+// an xtime helper PE and applies AddRoundKey; final-round bytes leave
+// directly as ciphertext. Size is the number of blocks.
+//
+// The controller's phase structure needs 16 predicates and a 48-entry
+// trigger pool (cf. sensitivity experiments E6/E7).
+func init() {
+	register(&Spec{
+		Name:        "aes",
+		Description: "AES-128 block encryption, 4-PE pipeline over S-box/key scratchpads",
+		DefaultSize: 4,
+		BuildTIA:    aesTIA,
+		BuildPC:     aesPC,
+		RunGPP:      aesGPP,
+		Reference:   aesRef,
+		WorkUnits:   func(p Params) int64 { return int64(aesBlocks(p)) * 160 },
+	})
+}
+
+// aesTagFinal marks final-round state reads (and their S-box lookups and
+// key bytes), which bypass MixColumns.
+const (
+	aesTagLoadKey isa.Tag = 0
+	aesTagFinal   isa.Tag = 2
+)
+
+var aesSbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+func aesBlocks(p Params) int {
+	n := p.Size
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// aesKey returns the seeded cipher key.
+func aesKey(p Params) [16]byte {
+	r := rng(p)
+	var k [16]byte
+	for i := range k {
+		k[i] = byte(r.Intn(256))
+	}
+	return k
+}
+
+func aesInput(p Params) []isa.Word {
+	r := rng(p)
+	_ = aesKey(p) // consume the key's draws first so inputs are stable
+	bytes := make([]isa.Word, 16*aesBlocks(p))
+	for i := range bytes {
+		bytes[i] = isa.Word(r.Intn(256))
+	}
+	return bytes
+}
+
+func aesXtime(x byte) byte {
+	v := int(x) << 1
+	if x&0x80 != 0 {
+		v ^= 0x1B
+	}
+	return byte(v)
+}
+
+// aesExpandKey flattens the 11 round keys into 176 bytes in state order.
+func aesExpandKey(key [16]byte) []isa.Word {
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			t = [4]byte{aesSbox[t[1]] ^ rcon, aesSbox[t[2]], aesSbox[t[3]], aesSbox[t[0]]}
+			rcon = aesXtime(rcon)
+		}
+		for b := 0; b < 4; b++ {
+			w[i][b] = w[i-4][b] ^ t[b]
+		}
+	}
+	out := make([]isa.Word, 176)
+	for r := 0; r < 11; r++ {
+		for c := 0; c < 4; c++ {
+			for row := 0; row < 4; row++ {
+				out[16*r+4*c+row] = isa.Word(w[4*r+c][row])
+			}
+		}
+	}
+	return out
+}
+
+// aesShiftSrc gives the ShiftRows source index for output byte i in the
+// column-major flat state.
+func aesShiftSrc(i int) int {
+	c, row := i/4, i%4
+	return 4*((c+row)%4) + row
+}
+
+// aesEncryptBlock is the golden byte-wise AES-128 encryption.
+func aesEncryptBlock(pt [16]byte, rk []isa.Word) [16]byte {
+	var s [16]byte
+	for i := range s {
+		s[i] = pt[i] ^ byte(rk[i])
+	}
+	shiftSub := func(in [16]byte) (out [16]byte) {
+		for i := range out {
+			out[i] = aesSbox[in[aesShiftSrc(i)]]
+		}
+		return
+	}
+	for r := 1; r <= 9; r++ {
+		s = shiftSub(s)
+		var m [16]byte
+		for c := 0; c < 4; c++ {
+			b := s[4*c : 4*c+4]
+			t := b[0] ^ b[1] ^ b[2] ^ b[3]
+			m[4*c+0] = b[0] ^ t ^ aesXtime(b[0]^b[1])
+			m[4*c+1] = b[1] ^ t ^ aesXtime(b[1]^b[2])
+			m[4*c+2] = b[2] ^ t ^ aesXtime(b[2]^b[3])
+			m[4*c+3] = b[3] ^ t ^ aesXtime(b[3]^b[0])
+		}
+		for i := range s {
+			s[i] = m[i] ^ byte(rk[16*r+i])
+		}
+	}
+	s = shiftSub(s)
+	for i := range s {
+		s[i] ^= byte(rk[160+i])
+	}
+	return s
+}
+
+func aesRef(p Params) []isa.Word {
+	rk := aesExpandKey(aesKey(p))
+	msg := aesInput(p)
+	var out []isa.Word
+	for b := 0; b+16 <= len(msg); b += 16 {
+		var pt [16]byte
+		for i := range pt {
+			pt[i] = byte(msg[b+i])
+		}
+		ct := aesEncryptBlock(pt, rk)
+		for _, v := range ct {
+			out = append(out, isa.Word(v))
+		}
+	}
+	return out
+}
+
+func aesCfg(p Params) isa.Config {
+	cfg := p.TIACfg
+	if cfg.MaxInsts < 48 {
+		cfg.MaxInsts = 48
+	}
+	if cfg.NumPreds < 16 {
+		cfg.NumPreds = 16
+	}
+	return cfg
+}
+
+// aesCtrl sequences the per-block phases and folds ShiftRows into the
+// state-read address stream.
+func aesCtrl(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("ctrl", cfg).ShareChainPhases()
+	b.In("wack", "done").Out("srq", "swa", "krq")
+	// The state scratchpad is double-buffered (halves at 0 and 16):
+	// every phase writes the wrb half and reads the rdb half, and the
+	// between-rounds chain swaps them, so a round's ShiftRows reads can
+	// never observe its own writes.
+	b.Reg("i").Reg("kbase").Reg("rcnt", 10).Reg("ackcnt", 16).Reg("r").Reg("c").
+		Reg("rdb", 0).Reg("wrb", 16)
+	b.Pred("lg", true).Pred("rg").Pred("fg").Pred("rag").Pred("nbg").
+		Pred("barw").Pred("ragd").Pred("wdone").
+		Pred("morep").Pred("morer").Pred("ackpend", true)
+
+	b.Rule("ackr").OnIn("wack").
+		Op(isa.OpSub).DstReg("ackcnt").DstPred("ackpend").
+		Srcs(SReg("ackcnt"), SImm(1)).Deq("wack").Done()
+	b.Rule("barr").When("barw", "!ackpend").Op(isa.OpNop).Clr("barw").Set("rag").Done()
+	b.Rule("tor").When("ragd", "morer").Op(isa.OpNop).Clr("ragd").Set("rg").Done()
+	b.Rule("tof").When("ragd", "!morer").Op(isa.OpNop).Clr("ragd").Set("fg").Done()
+	b.Rule("dner").When("wdone").OnIn("done").
+		Op(isa.OpNop).Deq("done").Clr("wdone").Set("nbg").Done()
+
+	// Load: key bytes 0..15 pair with the incoming plaintext at the mix
+	// PE; write addresses 0..15 receive the whitened state.
+	lg := b.Chain("lg")
+	lg.Step("lk").Op(isa.OpMov).DstOut("krq", aesTagLoadKey).Srcs(SReg("i"))
+	lg.Step("lw").Op(isa.OpAdd).DstOut("swa", isa.TagData).Srcs(SReg("i"), SReg("wrb"))
+	lg.Step("li").Op(isa.OpAdd).DstReg("i").Srcs(SReg("i"), SImm(1))
+	lg.Step("lm").Op(isa.OpLTU).DstPred("morep").Srcs(SReg("i"), SImm(16))
+	lg.LoopWhile("morep", []string{"barw"}, nil)
+
+	// One full round: ShiftRows-permuted state reads, round-key bytes,
+	// and write-back addresses.
+	sr := func(ch *Chain, pfx string, tag isa.Tag) {
+		ch.Step(pfx+"r").Op(isa.OpAnd).DstReg("r").Srcs(SReg("i"), SImm(3))
+		ch.Step(pfx+"c1").Op(isa.OpShr).DstReg("c").Srcs(SReg("i"), SImm(2))
+		ch.Step(pfx+"c2").Op(isa.OpAdd).DstReg("c").Srcs(SReg("c"), SReg("r"))
+		ch.Step(pfx+"c3").Op(isa.OpAnd).DstReg("c").Srcs(SReg("c"), SImm(3))
+		ch.Step(pfx+"c4").Op(isa.OpShl).DstReg("c").Srcs(SReg("c"), SImm(2))
+		ch.Step(pfx+"c5").Op(isa.OpAdd).DstReg("c").Srcs(SReg("c"), SReg("r"))
+		ch.Step(pfx+"rq").Op(isa.OpAdd).DstOut("srq", tag).Srcs(SReg("c"), SReg("rdb"))
+		ch.Step(pfx+"kq").Op(isa.OpAdd).DstOut("krq", aesTagFinal).Srcs(SReg("kbase"), SReg("i"))
+	}
+	rg := b.Chain("rg")
+	sr(rg, "r", isa.TagData)
+	rg.Step("rw").Op(isa.OpAdd).DstOut("swa", isa.TagData).Srcs(SReg("i"), SReg("wrb"))
+	rg.Step("ri").Op(isa.OpAdd).DstReg("i").Srcs(SReg("i"), SImm(1))
+	rg.Step("rm").Op(isa.OpLTU).DstPred("morep").Srcs(SReg("i"), SImm(16))
+	rg.LoopWhile("morep", []string{"barw"}, nil)
+
+	// Final round: no write-back; ciphertext leaves via the mix PE.
+	fg := b.Chain("fg")
+	sr(fg, "f", aesTagFinal)
+	fg.Step("fi").Op(isa.OpAdd).DstReg("i").Srcs(SReg("i"), SImm(1))
+	fg.Step("fm").Op(isa.OpLTU).DstPred("morep").Srcs(SReg("i"), SImm(16))
+	fg.LoopWhile("morep", []string{"wdone"}, nil)
+
+	// Between rounds: advance the key window, rearm the barrier.
+	rag := b.Chain("rag")
+	rag.Step("ak").Op(isa.OpAdd).DstReg("kbase").Srcs(SReg("kbase"), SImm(16))
+	rag.Step("ac").Op(isa.OpMov).DstReg("ackcnt").DstPred("ackpend").Srcs(SImm(16))
+	rag.Step("zi").Op(isa.OpMov).DstReg("i").Srcs(SImm(0))
+	rag.Step("sw1").Op(isa.OpXor).DstReg("rdb").Srcs(SReg("rdb"), SImm(16))
+	rag.Step("sw2").Op(isa.OpXor).DstReg("wrb").Srcs(SReg("wrb"), SImm(16))
+	rag.Step("dr").Op(isa.OpSub).DstReg("rcnt").DstPred("morer").Srcs(SReg("rcnt"), SImm(1))
+	rag.EndOnce([]string{"ragd"}, nil)
+
+	// Between blocks: reset everything for the next load phase.
+	nb := b.Chain("nbg")
+	nb.Step("ni").Op(isa.OpMov).DstReg("i").Srcs(SImm(0))
+	nb.Step("nk").Op(isa.OpMov).DstReg("kbase").Srcs(SImm(0))
+	nb.Step("nr").Op(isa.OpMov).DstReg("rcnt").Srcs(SImm(10))
+	nb.Step("na").Op(isa.OpMov).DstReg("ackcnt").DstPred("ackpend").Srcs(SImm(16))
+	nb.Step("nd").Op(isa.OpMov).DstReg("rdb").Srcs(SImm(0))
+	nb.Step("nw").Op(isa.OpMov).DstReg("wrb").Srcs(SImm(16))
+	nb.EndOnce([]string{"lg"}, nil)
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// aesSboxFwd turns state bytes into S-box lookups, copying the tag.
+func aesSboxFwd(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("sboxfwd", cfg)
+	b.In("sresp").Out("brq")
+	b.Rule("f0").OnTag("sresp", isa.TagData).
+		Op(isa.OpMov).DstOut("brq", isa.TagData).Srcs(SIn("sresp")).Deq("sresp").Done()
+	b.Rule("f2").OnTag("sresp", aesTagFinal).
+		Op(isa.OpMov).DstOut("brq", aesTagFinal).Srcs(SIn("sresp")).Deq("sresp").Done()
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// aesXt computes the GF(2^8) xtime of each request.
+func aesXt(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("xt", cfg)
+	b.In("x").Out("o")
+	b.Reg("v").Reg("t").Reg("u")
+	b.Pred("g", true).Pred("alw", true)
+	c := b.Chain("g")
+	c.Step("l").OnIn("x").Op(isa.OpMov).DstReg("v").Srcs(SIn("x")).Deq("x")
+	c.Step("s").Op(isa.OpShl).DstReg("t").Srcs(SReg("v"), SImm(1))
+	c.Step("h").Op(isa.OpShr).DstReg("u").Srcs(SReg("v"), SImm(7))
+	c.Step("m").Op(isa.OpMul).DstReg("u").Srcs(SReg("u"), SImm(0x1B))
+	c.Step("x").Op(isa.OpXor).DstReg("t").Srcs(SReg("t"), SReg("u"))
+	c.Step("e").Op(isa.OpAnd).DstOut("o", isa.TagData).Srcs(SReg("t"), SImm(0xFF))
+	c.LoopWhile("alw", nil, nil)
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// aesMix combines S-boxed columns (MixColumns via the xtime PE), applies
+// AddRoundKey, whitens incoming plaintext, emits final-round ciphertext,
+// and signals block completion to the controller.
+func aesMix(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("mix", cfg).ShareChainPhases()
+	b.In("sbresp", "kresp", "min", "xtresp").Out("swd", "xtrq", "o", "done")
+	b.Reg("b0").Reg("b1").Reg("b2").Reg("b3").Reg("t").Reg("v").Reg("fcnt", 16)
+	b.Pred("g", true).Pred("alw", true).
+		Pred("fp").Pred("fmore", true).Pred("f2p")
+
+	// Load whitening: plaintext ⊕ K0.
+	b.Rule("load").OnIn("min").OnTag("kresp", aesTagLoadKey).
+		Op(isa.OpXor).DstOut("swd", isa.TagData).Srcs(SIn("min"), SIn("kresp")).
+		Deq("min", "kresp").Done()
+	// Final round: ciphertext byte straight to the sink.
+	b.Rule("final").When("!fp").OnTag("sbresp", aesTagFinal).OnTag("kresp", aesTagFinal).
+		Op(isa.OpXor).DstOut("o", isa.TagData).Srcs(SIn("sbresp"), SIn("kresp")).
+		Deq("sbresp", "kresp").Set("fp").Done()
+	b.Rule("fdec").When("fp").
+		Op(isa.OpSub).DstReg("fcnt").DstPred("fmore").Srcs(SReg("fcnt"), SImm(1)).Clr("fp").Done()
+	b.Rule("fd1").When("!fmore", "!fp", "!f2p").
+		Op(isa.OpMov).DstOut("done", isa.TagData).Srcs(SImm(1)).Set("f2p").Done()
+	b.Rule("fd2").When("f2p").
+		Op(isa.OpMov).DstReg("fcnt").DstPred("fmore").Srcs(SImm(16)).Clr("f2p").Done()
+
+	c := b.Chain("g")
+	for i, reg := range []string{"b0", "b1", "b2", "b3"} {
+		c.Step(fmt.Sprintf("l%d", i)).OnTag("sbresp", isa.TagData).
+			Op(isa.OpMov).DstReg(reg).Srcs(SIn("sbresp")).Deq("sbresp")
+	}
+	c.Step("t1").Op(isa.OpXor).DstReg("t").Srcs(SReg("b0"), SReg("b1"))
+	c.Step("t2").Op(isa.OpXor).DstReg("v").Srcs(SReg("b2"), SReg("b3"))
+	c.Step("t3").Op(isa.OpXor).DstReg("t").Srcs(SReg("t"), SReg("v"))
+	c.Step("q0").Op(isa.OpXor).DstOut("xtrq", isa.TagData).Srcs(SReg("b0"), SReg("b1"))
+	c.Step("q1").Op(isa.OpXor).DstOut("xtrq", isa.TagData).Srcs(SReg("b1"), SReg("b2"))
+	c.Step("q2").Op(isa.OpXor).DstOut("xtrq", isa.TagData).Srcs(SReg("b2"), SReg("b3"))
+	c.Step("q3").Op(isa.OpXor).DstOut("xtrq", isa.TagData).Srcs(SReg("b3"), SReg("b0"))
+	for i, reg := range []string{"b0", "b1", "b2", "b3"} {
+		c.Step(fmt.Sprintf("m%da", i)).Op(isa.OpXor).DstReg("v").Srcs(SReg(reg), SReg("t"))
+		c.Step(fmt.Sprintf("m%db", i)).OnIn("xtresp").
+			Op(isa.OpXor).DstReg("v").Srcs(SReg("v"), SIn("xtresp")).Deq("xtresp")
+		c.Step(fmt.Sprintf("m%dc", i)).OnTag("kresp", aesTagFinal).
+			Op(isa.OpXor).DstOut("swd", isa.TagData).Srcs(SReg("v"), SIn("kresp")).Deq("kresp")
+	}
+	c.LoopWhile("alw", nil, nil)
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+func aesTIA(p Params) (*Instance, error) {
+	blocks := aesBlocks(p)
+	cfg := aesCfg(p)
+	rk := aesExpandKey(aesKey(p))
+	msg := aesInput(p)
+
+	ctrl, cb, err := aesCtrl(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sfwd, fb, err := aesSboxFwd(cfg)
+	if err != nil {
+		return nil, err
+	}
+	xt, xb, err := aesXt(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mix, mb, err := aesMix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pes := []*pe.PE{ctrl, sfwd, xt, mix}
+	p.apply(pes...)
+
+	st := mem.New("state", 32) // double-buffered: halves swap each round
+	sbox := mem.New("sbox", 256)
+	sb := make([]isa.Word, 256)
+	for i, v := range aesSbox {
+		sb[i] = isa.Word(v)
+	}
+	sbox.Load(sb)
+	keys := mem.New("roundkeys", 176)
+	keys.Load(rk)
+	p.applyMems(st, sbox, keys)
+
+	f := fabric.New(p.FabricCfg)
+	src := fabric.NewWordSource("plaintext", msg, false)
+	snk := fabric.NewCountingSink("ciphertext", 16*blocks)
+	for _, e := range []fabric.Element{src, ctrl, sfwd, xt, mix, st, sbox, keys, snk} {
+		f.Add(e)
+	}
+	f.Wire(ctrl, cb.OutIdx("srq"), st, mem.PortReadAddr)
+	f.Wire(ctrl, cb.OutIdx("swa"), st, mem.PortWriteAddr)
+	f.Wire(ctrl, cb.OutIdx("krq"), keys, mem.PortReadAddr)
+	f.Wire(st, mem.PortReadData, sfwd, fb.InIdx("sresp"))
+	f.Wire(sfwd, fb.OutIdx("brq"), sbox, mem.PortReadAddr)
+	f.Wire(sbox, mem.PortReadData, mix, mb.InIdx("sbresp"))
+	f.Wire(keys, mem.PortReadData, mix, mb.InIdx("kresp"))
+	f.Wire(src, 0, mix, mb.InIdx("min"))
+	f.Wire(mix, mb.OutIdx("xtrq"), xt, xb.InIdx("x"))
+	f.Wire(xt, xb.OutIdx("o"), mix, mb.InIdx("xtresp"))
+	f.Wire(mix, mb.OutIdx("swd"), st, mem.PortWriteData)
+	f.Wire(st, mem.PortWriteAck, ctrl, cb.InIdx("wack"))
+	f.Wire(mix, mb.OutIdx("done"), ctrl, cb.InIdx("done"))
+	f.Wire(mix, mb.OutIdx("o"), snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalTIA:     ctrl,
+		PEs:             pes,
+		ScratchpadWords: st.Size() + sbox.Size() + keys.Size(),
+	}, nil
+}
+
+const aesSboxFwdPC = `
+in sresp
+out brq
+loop:   bne sresp.tag, #0, f2
+        mov brq, sresp.pop
+        jmp loop
+f2:     mov brq#2, sresp.pop
+        jmp loop
+`
+
+const aesXtPC = `
+in x
+out o
+reg v t u
+loop:   mov v, x.pop
+        shl t, v, #1
+        shr u, v, #7
+        mul u, u, #0x1B
+        xor t, t, u
+        and o, t, #0xFF
+        jmp loop
+`
+
+func aesPC(p Params) (*Instance, error) {
+	blocks := aesBlocks(p)
+	rk := aesExpandKey(aesKey(p))
+	msg := aesInput(p)
+
+	build := func(name, text string) (*pcpe.PE, error) {
+		prog, err := asm.ParsePC(name, text)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Build(p.PCCfg)
+	}
+	ctrl, err := build("ctrl", aesCtrlPCText())
+	if err != nil {
+		return nil, err
+	}
+	sfwd, err := build("sboxfwd", aesSboxFwdPC)
+	if err != nil {
+		return nil, err
+	}
+	xt, err := build("xt", aesXtPC)
+	if err != nil {
+		return nil, err
+	}
+	mix, err := build("mix", aesMixPCText())
+	if err != nil {
+		return nil, err
+	}
+
+	st := mem.New("state", 32)
+	sbox := mem.New("sbox", 256)
+	sb := make([]isa.Word, 256)
+	for i, v := range aesSbox {
+		sb[i] = isa.Word(v)
+	}
+	sbox.Load(sb)
+	keys := mem.New("roundkeys", 176)
+	keys.Load(rk)
+	p.applyMems(st, sbox, keys)
+
+	f := fabric.New(p.FabricCfg)
+	src := fabric.NewWordSource("plaintext", msg, false)
+	snk := fabric.NewCountingSink("ciphertext", 16*blocks)
+	for _, e := range []fabric.Element{src, ctrl, sfwd, xt, mix, st, sbox, keys, snk} {
+		f.Add(e)
+	}
+	f.Wire(ctrl, 0, st, mem.PortReadAddr)
+	f.Wire(ctrl, 1, st, mem.PortWriteAddr)
+	f.Wire(ctrl, 2, keys, mem.PortReadAddr)
+	f.Wire(st, mem.PortReadData, sfwd, 0)
+	f.Wire(sfwd, 0, sbox, mem.PortReadAddr)
+	f.Wire(sbox, mem.PortReadData, mix, 0)
+	f.Wire(keys, mem.PortReadData, mix, 1)
+	f.Wire(src, 0, mix, 2)
+	f.Wire(mix, 1, xt, 0)
+	f.Wire(xt, 0, mix, 3)
+	f.Wire(mix, 0, st, mem.PortWriteData)
+	// The PC controller drains write acks only at round boundaries.
+	f.WireOpt(st, mem.PortWriteAck, ctrl, 0, 24, p.FabricCfg.ChannelLatency)
+	f.Wire(mix, 3, ctrl, 1)
+	f.Wire(mix, 2, snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalPC:      ctrl,
+		PCPEs:           []*pcpe.PE{ctrl, sfwd, xt, mix},
+		ScratchpadWords: st.Size() + sbox.Size() + keys.Size(),
+	}, nil
+}
+
+// aesCtrlPCText is the sequential controller program.
+func aesCtrlPCText() string {
+	return `
+in wack done
+out srq swa krq
+reg i kbase rcnt ack r c rdb wrb
+
+block:  mov kbase, #0
+        mov i, #0
+        mov rdb, #0
+        mov wrb, #16
+load:   mov krq, i
+        add swa, i, wrb
+        add i, i, #1
+        bltu i, #16, load
+        mov ack, #16
+bar1:   deq wack
+        sub ack, ack, #1
+        bne ack, #0, bar1
+        xor rdb, rdb, #16
+        xor wrb, wrb, #16
+        mov rcnt, #9
+rloop:  add kbase, kbase, #16
+        mov i, #0
+riter:  and r, i, #3
+        shr c, i, #2
+        add c, c, r
+        and c, c, #3
+        shl c, c, #2
+        add c, c, r
+        add srq, c, rdb
+        add krq#2, kbase, i
+        add swa, i, wrb
+        add i, i, #1
+        bltu i, #16, riter
+        mov ack, #16
+bar2:   deq wack
+        sub ack, ack, #1
+        bne ack, #0, bar2
+        xor rdb, rdb, #16
+        xor wrb, wrb, #16
+        sub rcnt, rcnt, #1
+        bne rcnt, #0, rloop
+        add kbase, kbase, #16
+        mov i, #0
+fiter:  and r, i, #3
+        shr c, i, #2
+        add c, c, r
+        and c, c, #3
+        shl c, c, #2
+        add c, c, r
+        add srq#2, c, rdb
+        add krq#2, kbase, i
+        add i, i, #1
+        bltu i, #16, fiter
+        deq done
+        jmp block
+`
+}
+
+// aesMixPCText is the sequential mix program; block structure is counted,
+// so no tag dispatch is needed.
+func aesMixPCText() string {
+	return `
+in sbresp kresp min xtresp
+out swd xtrq o done
+reg b0 b1 b2 b3 t v cnt rnd
+
+block:  mov cnt, #0
+load:   xor swd, min.pop, kresp.pop
+        add cnt, cnt, #1
+        bltu cnt, #16, load
+        mov rnd, #0
+rloop:  mov cnt, #0
+citer:  mov b0, sbresp.pop
+        mov b1, sbresp.pop
+        mov b2, sbresp.pop
+        mov b3, sbresp.pop
+        xor t, b0, b1
+        xor v, b2, b3
+        xor t, t, v
+        xor xtrq, b0, b1
+        xor xtrq, b1, b2
+        xor xtrq, b2, b3
+        xor xtrq, b3, b0
+        xor v, b0, t
+        xor v, v, xtresp.pop
+        xor swd, v, kresp.pop
+        xor v, b1, t
+        xor v, v, xtresp.pop
+        xor swd, v, kresp.pop
+        xor v, b2, t
+        xor v, v, xtresp.pop
+        xor swd, v, kresp.pop
+        xor v, b3, t
+        xor v, v, xtresp.pop
+        xor swd, v, kresp.pop
+        add cnt, cnt, #1
+        bltu cnt, #4, citer
+        add rnd, rnd, #1
+        bltu rnd, #9, rloop
+        mov cnt, #0
+fin:    xor o, sbresp.pop, kresp.pop
+        add cnt, cnt, #1
+        bltu cnt, #16, fin
+        mov done, #1
+        jmp block
+`
+}
+
+// aesGPP runs byte-wise AES-128 on the core model: S-box, round keys,
+// state and a ShiftRows/SubBytes temporary all in memory.
+func aesGPP(p Params) (*GPPResult, error) {
+	blocks := aesBlocks(p)
+	rk := aesExpandKey(aesKey(p))
+	msg := aesInput(p)
+
+	sboxBase := 0
+	keyBase := 256
+	stBase := keyBase + 176
+	tmpBase := stBase + 16
+	msgBase := tmpBase + 16
+	outBase := msgBase + len(msg)
+
+	const (
+		rI, rJ, rRnd, rT1, rT2, rT3, rAddr   = 1, 2, 3, 4, 5, 6, 7
+		rBase, rOut, rBlk, rC, rR            = 8, 9, 10, 11, 12
+		rB0, rB1, rB2, rB3, rT, rV, rP, rKey = 13, 14, 15, 16, 17, 18, 19, 20
+	)
+	b := gpp.NewBuilder()
+	b.Li(rBase, isa.Word(msgBase))
+	b.Li(rOut, isa.Word(outBase))
+	b.Li(rBlk, isa.Word(blocks))
+
+	// subShift emits tmp-or-output generation: dst[i] = sbox[state[sr(i)]]
+	// ^ optional key, storing via the provided body.
+	srIdx := func() { // computes state source address into rAddr from rI
+		b.And(rR, gpp.R(rI), gpp.I(3))
+		b.Shr(rC, gpp.R(rI), gpp.I(2))
+		b.Add(rC, gpp.R(rC), gpp.R(rR))
+		b.And(rC, gpp.R(rC), gpp.I(3))
+		b.Shl(rC, gpp.R(rC), gpp.I(2))
+		b.Add(rAddr, gpp.R(rC), gpp.R(rR))
+		b.Add(rAddr, gpp.R(rAddr), gpp.I(isa.Word(stBase)))
+	}
+	xtime := func(src int) { // rT1 = xtime(reg src), clobbers rT2
+		b.Shl(rT1, gpp.R(src), gpp.I(1))
+		b.Shr(rT2, gpp.R(src), gpp.I(7))
+		b.Mul(rT2, gpp.R(rT2), gpp.I(0x1B))
+		b.Xor(rT1, gpp.R(rT1), gpp.R(rT2))
+		b.And(rT1, gpp.R(rT1), gpp.I(0xFF))
+	}
+
+	b.Label("blk")
+	b.Br(gpp.BrEQ, gpp.R(rBlk), gpp.I(0), "done")
+	// Whitening: state = plaintext ^ K0.
+	b.Li(rI, 0)
+	b.Label("wh")
+	b.Br(gpp.BrGEU, gpp.R(rI), gpp.I(16), "whend")
+	b.Add(rAddr, gpp.R(rBase), gpp.R(rI))
+	b.Lw(rT1, rAddr, 0)
+	b.Lw(rT2, rI, isa.Word(keyBase))
+	b.Xor(rT1, gpp.R(rT1), gpp.R(rT2))
+	b.Add(rAddr, gpp.R(rI), gpp.I(isa.Word(stBase)))
+	b.Sw(rT1, rAddr, 0)
+	b.Add(rI, gpp.R(rI), gpp.I(1))
+	b.Jmp("wh")
+	b.Label("whend")
+
+	b.Li(rRnd, 1)
+	b.Label("round")
+	b.Br(gpp.BrGEU, gpp.R(rRnd), gpp.I(10), "final")
+	// tmp = SubBytes(ShiftRows(state))
+	b.Li(rI, 0)
+	b.Label("ss")
+	b.Br(gpp.BrGEU, gpp.R(rI), gpp.I(16), "ssend")
+	srIdx()
+	b.Lw(rT1, rAddr, 0)
+	b.Lw(rT1, rT1, isa.Word(sboxBase))
+	b.Add(rAddr, gpp.R(rI), gpp.I(isa.Word(tmpBase)))
+	b.Sw(rT1, rAddr, 0)
+	b.Add(rI, gpp.R(rI), gpp.I(1))
+	b.Jmp("ss")
+	b.Label("ssend")
+	// state = MixColumns(tmp) ^ roundkey
+	b.Mul(rKey, gpp.R(rRnd), gpp.I(16))
+	b.Add(rKey, gpp.R(rKey), gpp.I(isa.Word(keyBase)))
+	b.Li(rJ, 0)
+	b.Label("mc")
+	b.Br(gpp.BrGEU, gpp.R(rJ), gpp.I(4), "mcend")
+	b.Shl(rAddr, gpp.R(rJ), gpp.I(2))
+	b.Add(rAddr, gpp.R(rAddr), gpp.I(isa.Word(tmpBase)))
+	b.Lw(rB0, rAddr, 0)
+	b.Lw(rB1, rAddr, 1)
+	b.Lw(rB2, rAddr, 2)
+	b.Lw(rB3, rAddr, 3)
+	b.Xor(rT, gpp.R(rB0), gpp.R(rB1))
+	b.Xor(rV, gpp.R(rB2), gpp.R(rB3))
+	b.Xor(rT, gpp.R(rT), gpp.R(rV))
+	cols := [4][2]int{{rB0, rB1}, {rB1, rB2}, {rB2, rB3}, {rB3, rB0}}
+	for i, pair := range cols {
+		b.Xor(rP, gpp.R(pair[0]), gpp.R(pair[1]))
+		xtime(rP)
+		b.Xor(rV, gpp.R(pair[0]), gpp.R(rT))
+		b.Xor(rV, gpp.R(rV), gpp.R(rT1))
+		// key byte: keys[16*rnd + 4*j + i]
+		b.Shl(rT2, gpp.R(rJ), gpp.I(2))
+		b.Add(rT2, gpp.R(rT2), gpp.I(isa.Word(i)))
+		b.Add(rT2, gpp.R(rT2), gpp.R(rKey))
+		b.Lw(rT2, rT2, 0)
+		b.Xor(rV, gpp.R(rV), gpp.R(rT2))
+		b.Shl(rT2, gpp.R(rJ), gpp.I(2))
+		b.Add(rT2, gpp.R(rT2), gpp.I(isa.Word(stBase+i)))
+		b.Sw(rV, rT2, 0)
+	}
+	b.Add(rJ, gpp.R(rJ), gpp.I(1))
+	b.Jmp("mc")
+	b.Label("mcend")
+	b.Add(rRnd, gpp.R(rRnd), gpp.I(1))
+	b.Jmp("round")
+
+	// Final round: ciphertext = sbox[state[sr(i)]] ^ K10.
+	b.Label("final")
+	b.Li(rI, 0)
+	b.Label("fr")
+	b.Br(gpp.BrGEU, gpp.R(rI), gpp.I(16), "frend")
+	srIdx()
+	b.Lw(rT1, rAddr, 0)
+	b.Lw(rT1, rT1, isa.Word(sboxBase))
+	b.Lw(rT2, rI, isa.Word(keyBase+160))
+	b.Xor(rT1, gpp.R(rT1), gpp.R(rT2))
+	b.Add(rAddr, gpp.R(rOut), gpp.R(rI))
+	b.Sw(rT1, rAddr, 0)
+	b.Add(rI, gpp.R(rI), gpp.I(1))
+	b.Jmp("fr")
+	b.Label("frend")
+	b.Add(rOut, gpp.R(rOut), gpp.I(16))
+	b.Add(rBase, gpp.R(rBase), gpp.I(16))
+	b.Sub(rBlk, gpp.R(rBlk), gpp.I(1))
+	b.Jmp("blk")
+	b.Label("done")
+	b.Halt()
+	_ = rT3
+
+	core, err := gpp.New(gpp.DefaultConfig(outBase+16*blocks+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	sb := make([]isa.Word, 256)
+	for i, v := range aesSbox {
+		sb[i] = isa.Word(v)
+	}
+	core.LoadMem(sboxBase, sb)
+	core.LoadMem(keyBase, rk)
+	core.LoadMem(msgBase, msg)
+	if err := core.Run(int64(20000*blocks) + 10000); err != nil {
+		return nil, err
+	}
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(outBase, 16*blocks)}, nil
+}

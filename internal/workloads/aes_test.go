@@ -1,0 +1,56 @@
+package workloads
+
+import (
+	"crypto/aes"
+	"testing"
+)
+
+func TestAESRefKnownAnswer(t *testing.T) {
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	var pt [16]byte
+	copy(pt[:], []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34})
+	rk := aesExpandKey(key)
+	got := aesEncryptBlock(pt, rk)
+	c, _ := aes.NewCipher(key[:])
+	var want [16]byte
+	c.Encrypt(want[:], pt[:])
+	if got != want {
+		t.Fatalf("ref mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestAESPCAndGPPAgainstRef(t *testing.T) {
+	p := (&Spec{DefaultSize: 2}).Normalize(Params{Seed: 1, Size: 2})
+	want := aesRef(p)
+	g, err := aesGPP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalWords(g.Output, want) {
+		t.Fatalf("gpp:\n got %v\nwant %v", g.Output, want)
+	}
+	pc, err := aesPC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Fabric.Run(1000000); err != nil {
+		t.Fatal(err)
+	}
+	if !equalWords(pc.Sink.Words(), want) {
+		t.Fatalf("pc:\n got %v\nwant %v", pc.Sink.Words(), want)
+	}
+}
+
+func TestAESGPPOneBlock(t *testing.T) {
+	p := (&Spec{DefaultSize: 1}).Normalize(Params{Seed: 1, Size: 1})
+	want := aesRef(p)
+	g, err := aesGPP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("got  %v", g.Output)
+	t.Logf("want %v", want)
+	if !equalWords(g.Output, want) {
+		t.Fail()
+	}
+}

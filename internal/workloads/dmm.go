@@ -1,0 +1,438 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tia/internal/asm"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// dmm is dense matrix multiplication C = A×B. A is stored row-major and B
+// column-major in scratchpads; two address-generator PEs stream the
+// operand sequences (row i of A repeated n times; all of B, column-major,
+// once per i), a multiplier PE forms products and an accumulator reduces
+// groups of n into C elements, emitted row-major. End-of-data flows
+// through the scratchpads as tagged address tokens, so the pipeline drains
+// itself. Size is the matrix dimension n (clamped to [2,16]).
+func init() {
+	register(&Spec{
+		Name:         "dmm",
+		Description:  "dense matrix multiply, addr-gen + mul + reduce pipeline",
+		DefaultSize:  8,
+		BuildTIA:     dmmTIA,
+		BuildPC:      dmmPC,
+		BuildPCPlain: dmmPCPlain,
+		RunGPP:       dmmGPP,
+		Reference:    dmmRef,
+		WorkUnits: func(p Params) int64 {
+			n := int64(dmmN(p))
+			return n * n * n
+		},
+	})
+}
+
+func dmmN(p Params) int {
+	n := p.Size
+	if n < 2 {
+		n = 2
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// dmmInput returns A row-major and B column-major.
+func dmmInput(p Params) (a, bCol []isa.Word) {
+	n := dmmN(p)
+	r := rng(p)
+	a = make([]isa.Word, n*n)
+	bCol = make([]isa.Word, n*n)
+	for i := range a {
+		a[i] = isa.Word(r.Intn(64))
+	}
+	for i := range bCol {
+		bCol[i] = isa.Word(r.Intn(64))
+	}
+	return a, bCol
+}
+
+func dmmRef(p Params) []isa.Word {
+	n := dmmN(p)
+	a, bCol := dmmInput(p)
+	out := make([]isa.Word, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc isa.Word
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * bCol[j*n+k]
+			}
+			out = append(out, acc)
+		}
+	}
+	return out
+}
+
+// dmmAddrA streams the A addresses: row i (addresses i*n..i*n+n-1)
+// repeated n times, for each i, then EOD.
+func dmmAddrA(p Params, n int) (*pe.PE, *TB, error) {
+	nn := isa.Word(n * n)
+	b := NewTB("addrA", p.TIACfg)
+	b.Out("rq")
+	b.Reg("addr", 0xFFFFFFFF).Reg("rowend", isa.Word(n-1)).
+		Reg("basem1", 0xFFFFFFFF).Reg("rep", isa.Word(n)).
+		Reg("n", isa.Word(n)).Reg("lastb", nn-1)
+	b.Pred("gop", true).Pred("tstp").Pred("b2").Pred("b3p").Pred("b4p").
+		Pred("b5p").Pred("b6p").Pred("contp")
+
+	b.Rule("emit").When("gop").
+		Op(isa.OpAdd).DstReg("addr").DstOut("rq", isa.TagData).
+		Srcs(SReg("addr"), SImm(1)).Clr("gop").Set("tstp").Done()
+	b.Rule("tst").When("tstp").
+		Op(isa.OpNE).DstPred("gop").Srcs(SReg("addr"), SReg("rowend")).Clr("tstp").Done()
+	// Row finished: one fewer repetition remains.
+	b.Rule("rowdone").When("!gop", "!tstp", "!b2", "!b3p", "!b4p", "!b5p", "!b6p").
+		Op(isa.OpSub).DstReg("rep").DstPred("contp").Srcs(SReg("rep"), SImm(1)).Set("b2").Done()
+	b.Rule("jcont").When("b2", "contp").
+		Op(isa.OpMov).DstReg("addr").Srcs(SReg("basem1")).Clr("b2").Set("gop").Done()
+	// All repetitions done: advance to the next row of A.
+	b.Rule("jdone").When("b2", "!contp").
+		Op(isa.OpAdd).DstReg("basem1").Srcs(SReg("basem1"), SReg("n")).Clr("b2").Set("b3p").Done()
+	b.Rule("b3").When("b3p").
+		Op(isa.OpAdd).DstReg("rowend").Srcs(SReg("rowend"), SReg("n")).Clr("b3p").Set("b4p").Done()
+	b.Rule("b4").When("b4p").
+		Op(isa.OpMov).DstReg("rep").Srcs(SReg("n")).Clr("b4p").Set("b5p").Done()
+	b.Rule("b5").When("b5p").
+		Op(isa.OpNE).DstPred("contp").Srcs(SReg("basem1"), SReg("lastb")).Clr("b5p").Set("b6p").Done()
+	b.Rule("b6cont").When("b6p", "contp").
+		Op(isa.OpMov).DstReg("addr").Srcs(SReg("basem1")).Clr("b6p").Set("gop").Done()
+	b.Rule("fin").When("b6p", "!contp").
+		Op(isa.OpHalt).DstOut("rq", isa.TagEOD).Done()
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// dmmAddrB streams all of column-major B (addresses 0..n*n-1) n times,
+// then EOD.
+func dmmAddrB(p Params, n int) (*pe.PE, *TB, error) {
+	b := NewTB("addrB", p.TIACfg)
+	b.Out("rq")
+	b.Reg("addr", 0xFFFFFFFF).Reg("last", isa.Word(n*n-1)).Reg("rep", isa.Word(n))
+	b.Pred("gop", true).Pred("tstp").Pred("b2").Pred("contp")
+
+	b.Rule("emit").When("gop").
+		Op(isa.OpAdd).DstReg("addr").DstOut("rq", isa.TagData).
+		Srcs(SReg("addr"), SImm(1)).Clr("gop").Set("tstp").Done()
+	b.Rule("tst").When("tstp").
+		Op(isa.OpNE).DstPred("gop").Srcs(SReg("addr"), SReg("last")).Clr("tstp").Done()
+	b.Rule("sweepdone").When("!gop", "!tstp", "!b2").
+		Op(isa.OpSub).DstReg("rep").DstPred("contp").Srcs(SReg("rep"), SImm(1)).Set("b2").Done()
+	b.Rule("cont").When("b2", "contp").
+		Op(isa.OpMov).DstReg("addr").Srcs(SImm(0xFFFFFFFF)).Clr("b2").Set("gop").Done()
+	b.Rule("fin").When("b2", "!contp").
+		Op(isa.OpHalt).DstOut("rq", isa.TagEOD).Done()
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// dmmMul multiplies operand pairs; the EOD from the A side drains through.
+func dmmMul(p Params) (*pe.PE, *TB, error) {
+	b := NewTB("mul", p.TIACfg)
+	b.In("av", "bv").Out("t")
+	b.Rule("mul").OnTag("av", isa.TagData).OnTag("bv", isa.TagData).
+		Op(isa.OpMul).DstOut("t", isa.TagData).Srcs(SIn("av"), SIn("bv")).
+		Deq("av", "bv").Done()
+	b.Rule("fin").OnTag("av", isa.TagEOD).
+		Op(isa.OpHalt).DstOut("t", isa.TagEOD).Deq("av").Done()
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// dmmAcc reduces fixed-size groups of n products into C elements.
+func dmmAcc(p Params, n int) (*pe.PE, *TB, error) {
+	b := NewTB("acc", p.TIACfg)
+	b.In("t").Out("y")
+	b.Reg("acc").Reg("rem", isa.Word(n)).Reg("n", isa.Word(n))
+	b.Pred("ph").Pred("morep", true).Pred("rstp").Pred("rst2p")
+
+	b.Rule("add").When("!ph", "morep").OnTag("t", isa.TagData).
+		Op(isa.OpAdd).DstReg("acc").Srcs(SReg("acc"), SIn("t")).Deq("t").Set("ph").Done()
+	b.Rule("dec").When("ph").
+		Op(isa.OpSub).DstReg("rem").DstPred("morep").Srcs(SReg("rem"), SImm(1)).Clr("ph").Done()
+	b.Rule("emit").When("!ph", "!morep", "!rstp", "!rst2p").
+		Op(isa.OpMov).DstOut("y", isa.TagData).Srcs(SReg("acc")).Set("rstp").Done()
+	b.Rule("rst").When("rstp").
+		Op(isa.OpMov).DstReg("acc").Srcs(SImm(0)).Clr("rstp").Set("rst2p").Done()
+	b.Rule("rst2").When("rst2p").
+		Op(isa.OpMov).DstReg("rem").Srcs(SReg("n")).Clr("rst2p").Set("morep").Done()
+	b.Rule("fin").When("!ph", "morep").OnTag("t", isa.TagEOD).
+		Op(isa.OpHalt).DstOut("y", isa.TagEOD).Deq("t").Done()
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+func dmmTIA(p Params) (*Instance, error) {
+	n := dmmN(p)
+	aData, bData := dmmInput(p)
+
+	addrA, ab, err := dmmAddrA(p, n)
+	if err != nil {
+		return nil, err
+	}
+	addrB, bb, err := dmmAddrB(p, n)
+	if err != nil {
+		return nil, err
+	}
+	mul, mb, err := dmmMul(p)
+	if err != nil {
+		return nil, err
+	}
+	acc, cb, err := dmmAcc(p, n)
+	if err != nil {
+		return nil, err
+	}
+	pes := []*pe.PE{addrA, addrB, mul, acc}
+	p.apply(pes...)
+
+	f := fabric.New(p.FabricCfg)
+	aM := mem.New("amat", len(aData))
+	aM.Load(aData)
+	bM := mem.New("bmat", len(bData))
+	bM.Load(bData)
+	p.applyMems(aM, bM)
+	snk := fabric.NewSink("c")
+	f.Add(addrA)
+	f.Add(addrB)
+	f.Add(mul)
+	f.Add(acc)
+	f.Add(aM)
+	f.Add(bM)
+	f.Add(snk)
+	f.Wire(addrA, ab.OutIdx("rq"), aM, mem.PortReadAddr)
+	f.Wire(addrB, bb.OutIdx("rq"), bM, mem.PortReadAddr)
+	f.Wire(aM, mem.PortReadData, mul, mb.InIdx("av"))
+	f.Wire(bM, mem.PortReadData, mul, mb.InIdx("bv"))
+	f.Wire(mul, mb.OutIdx("t"), acc, cb.InIdx("t"))
+	f.Wire(acc, cb.OutIdx("y"), snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalTIA:     acc, // touches every product and every C element
+		PEs:             pes,
+		ScratchpadWords: aM.Size() + bM.Size(),
+	}, nil
+}
+
+const dmmAddrAPC = `
+out rq
+reg addr rowend basem1 rep
+
+init:   mov addr, #0
+        mov rowend, #%d
+        mov basem1, #0
+        mov rep, #%d
+rowrep: mov addr, basem1
+inner:  mov rq, addr
+        add addr, addr, #1
+        bne addr, rowend, inner
+        sub rep, rep, #1
+        bne rep, #0, rowrep
+        add basem1, basem1, #%d
+        add rowend, rowend, #%d
+        mov rep, #%d
+        bne basem1, #%d, rowrep
+        halt rq#eod
+`
+
+const dmmAddrBPC = `
+out rq
+reg addr rep
+
+init:   mov rep, #%d
+sweep:  mov addr, #0
+inner:  mov rq, addr
+        add addr, addr, #1
+        bne addr, #%d, inner
+        sub rep, rep, #1
+        bne rep, #0, sweep
+        halt rq#eod
+`
+
+const dmmMulPC = `
+in av bv
+out t
+loop:  bne av.tag, #0, done
+       mul t, av.pop, bv.pop
+       jmp loop
+done:  halt t#eod
+`
+
+const dmmAccPC = `
+in t
+out y
+reg acc c
+
+loop:   bne t.tag, #0, done
+        mov acc, #0
+        mov c, #0
+inner:  add acc, acc, t.pop
+        add c, c, #1
+        bne c, #%d, inner
+        mov y, acc
+        jmp loop
+done:   halt y#eod
+`
+
+// dmmAccPlainPC is the unenhanced expression of the reducer.
+const dmmAccPlainPC = `
+in t
+out y
+reg acc c v
+
+loop:   mov c, t.tag
+        bne c, #0, done
+        mov acc, #0
+        mov c, #0
+inner:  mov v, t
+        deq t
+        add acc, acc, v
+        add c, c, #1
+        bne c, #%d, inner
+        mov y, acc
+        jmp loop
+done:   deq t
+        mov y#eod, #0
+        halt
+`
+
+func dmmPC(p Params) (*Instance, error) {
+	return dmmPCWith(p, dmmAccPC)
+}
+
+// dmmPCPlain swaps the critical reducer for its plain expression.
+func dmmPCPlain(p Params) (*Instance, error) {
+	return dmmPCWith(p, dmmAccPlainPC)
+}
+
+func dmmPCWith(p Params, accText string) (*Instance, error) {
+	n := dmmN(p)
+	aData, bData := dmmInput(p)
+
+	build := func(name, text string) (*pcpe.PE, error) {
+		prog, err := asm.ParsePC(name, text)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Build(p.PCCfg)
+	}
+	addrA, err := build("addrA", fmt.Sprintf(dmmAddrAPC, n, n, n, n, n, n*n))
+	if err != nil {
+		return nil, err
+	}
+	addrB, err := build("addrB", fmt.Sprintf(dmmAddrBPC, n, n*n))
+	if err != nil {
+		return nil, err
+	}
+	mul, err := build("mul", dmmMulPC)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := build("acc", fmt.Sprintf(accText, n))
+	if err != nil {
+		return nil, err
+	}
+
+	f := fabric.New(p.FabricCfg)
+	aM := mem.New("amat", len(aData))
+	aM.Load(aData)
+	bM := mem.New("bmat", len(bData))
+	bM.Load(bData)
+	p.applyMems(aM, bM)
+	snk := fabric.NewSink("c")
+	f.Add(addrA)
+	f.Add(addrB)
+	f.Add(mul)
+	f.Add(acc)
+	f.Add(aM)
+	f.Add(bM)
+	f.Add(snk)
+	f.Wire(addrA, 0, aM, mem.PortReadAddr)
+	f.Wire(addrB, 0, bM, mem.PortReadAddr)
+	f.Wire(aM, mem.PortReadData, mul, 0)
+	f.Wire(bM, mem.PortReadData, mul, 1)
+	f.Wire(mul, 0, acc, 0)
+	f.Wire(acc, 0, snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalPC:      acc,
+		PCPEs:           []*pcpe.PE{addrA, addrB, mul, acc},
+		ScratchpadWords: aM.Size() + bM.Size(),
+	}, nil
+}
+
+func dmmGPP(p Params) (*GPPResult, error) {
+	n := dmmN(p)
+	aData, bData := dmmInput(p)
+
+	aBase := 0
+	bBase := n * n
+	cBase := 2 * n * n
+
+	const (
+		ri, rj, rk, rAcc, rA, rB, rT, rN, rAI, rBI, rC = 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11
+	)
+	b := gpp.NewBuilder()
+	b.Li(rN, isa.Word(n))
+	b.Label("iloop")
+	b.Br(gpp.BrGEU, gpp.R(ri), gpp.R(rN), "done")
+	b.Li(rj, 0)
+	b.Label("jloop")
+	b.Br(gpp.BrGEU, gpp.R(rj), gpp.R(rN), "inext")
+	b.Li(rAcc, 0)
+	b.Li(rk, 0)
+	b.Mul(rAI, gpp.R(ri), gpp.R(rN)) // row base of A
+	b.Mul(rBI, gpp.R(rj), gpp.R(rN)) // column base of B (column-major)
+	b.Label("kloop")
+	b.Br(gpp.BrGEU, gpp.R(rk), gpp.R(rN), "kdone")
+	b.Add(rT, gpp.R(rAI), gpp.R(rk))
+	b.Lw(rA, rT, isa.Word(aBase))
+	b.Add(rT, gpp.R(rBI), gpp.R(rk))
+	b.Lw(rB, rT, isa.Word(bBase))
+	b.Mul(rA, gpp.R(rA), gpp.R(rB))
+	b.Add(rAcc, gpp.R(rAcc), gpp.R(rA))
+	b.Add(rk, gpp.R(rk), gpp.I(1))
+	b.Jmp("kloop")
+	b.Label("kdone")
+	b.Mul(rT, gpp.R(ri), gpp.R(rN))
+	b.Add(rT, gpp.R(rT), gpp.R(rj))
+	b.Add(rC, gpp.R(rT), gpp.I(isa.Word(cBase)))
+	b.Sw(rAcc, rC, 0)
+	b.Add(rj, gpp.R(rj), gpp.I(1))
+	b.Jmp("jloop")
+	b.Label("inext")
+	b.Add(ri, gpp.R(ri), gpp.I(1))
+	b.Jmp("iloop")
+	b.Label("done")
+	b.Halt()
+
+	core, err := gpp.New(gpp.DefaultConfig(3*n*n+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	core.LoadMem(aBase, aData)
+	core.LoadMem(bBase, bData)
+	if err := core.Run(int64(100*n*n*n) + 10000); err != nil {
+		return nil, err
+	}
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(cBase, n*n)}, nil
+}

@@ -1,0 +1,509 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"tia/internal/asm"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// fft is an in-place radix-2 decimation-in-time FFT in Q14 fixed point.
+// The complex data array (interleaved re/im, bit-reverse-ordered input)
+// and the twiddle table live in scratchpads. A control PE walks the
+// stage/group/butterfly loop nest, issuing operand reads and result-write
+// addresses; a butterfly PE computes the complex multiply-accumulate with
+// per-stage scaling by 1/2 (so the result is FFT(x)/N, the standard
+// fixed-point discipline). Stages are separated by a barrier built from
+// the data scratchpad's write-acknowledge stream, which the triggered
+// controller drains reactively while the loop nest keeps running; the PC
+// controller can only drain it at the stage boundary, so its ack link
+// needs a stage-sized buffer.
+//
+// The controller's loop nest needs more predicates than the default 8 and
+// more trigger slots than the default 16, so this workload raises the PE
+// configuration to 16 predicates / 40 slots (see sensitivity experiments
+// E6/E7). Size is the transform length, rounded up to a power of two in
+// [8, 256].
+func init() {
+	register(&Spec{
+		Name:        "fft",
+		Description: "radix-2 Q14 FFT, control PE + butterfly PE over scratchpads",
+		DefaultSize: 64,
+		BuildTIA:    fftTIA,
+		BuildPC:     fftPC,
+		RunGPP:      fftGPP,
+		Reference:   fftRef,
+		WorkUnits: func(p Params) int64 {
+			n, logN := fftN(p)
+			return int64(n/2) * int64(logN)
+		},
+	})
+}
+
+func fftN(p Params) (n, logN int) {
+	n = 8
+	for n < p.Size && n < 256 {
+		n <<= 1
+	}
+	logN = 0
+	for 1<<logN < n {
+		logN++
+	}
+	return n, logN
+}
+
+// fftInput returns the bit-reverse-permuted interleaved complex input.
+func fftInput(p Params) []isa.Word {
+	n, logN := fftN(p)
+	r := rng(p)
+	natural := make([]isa.Word, 2*n)
+	for i := range natural {
+		natural[i] = isa.Word(int32(r.Intn(1<<14) - 1<<13))
+	}
+	out := make([]isa.Word, 2*n)
+	for i := 0; i < n; i++ {
+		rev := 0
+		for b := 0; b < logN; b++ {
+			if i&(1<<b) != 0 {
+				rev |= 1 << (logN - 1 - b)
+			}
+		}
+		out[2*rev] = natural[2*i]
+		out[2*rev+1] = natural[2*i+1]
+	}
+	return out
+}
+
+// fftTwiddles returns the Q14 twiddle table, interleaved re/im, for
+// w^k = exp(-2πik/N), k = 0..N/2-1.
+func fftTwiddles(n int) []isa.Word {
+	tw := make([]isa.Word, n)
+	for k := 0; k < n/2; k++ {
+		ang := 2 * math.Pi * float64(k) / float64(n)
+		tw[2*k] = isa.Word(int32(math.Round(math.Cos(ang) * 16384)))
+		tw[2*k+1] = isa.Word(int32(math.Round(-math.Sin(ang) * 16384)))
+	}
+	return tw
+}
+
+// fftRef mirrors the hardware arithmetic exactly (32-bit wraparound
+// multiply, arithmetic shifts) so fabric output matches bit for bit.
+func fftRef(p Params) []isa.Word {
+	n, logN := fftN(p)
+	d := append([]isa.Word(nil), fftInput(p)...)
+	tw := fftTwiddles(n)
+	mul := isa.OpMul.Eval
+	sar := isa.OpSar.Eval
+	for s := 0; s < logN; s++ {
+		half := 1 << s
+		shift := logN - 1 - s
+		for base := 0; base < n; base += 2 * half {
+			for off := 0; off < half; off++ {
+				ia, ib := base+off, base+off+half
+				ti := off << shift
+				ar, ai := d[2*ia], d[2*ia+1]
+				br, bi := d[2*ib], d[2*ib+1]
+				wr, wi := tw[2*ti], tw[2*ti+1]
+				t1 := sar(mul(br, wr)-mul(bi, wi), 14)
+				t2 := sar(mul(br, wi)+mul(bi, wr), 14)
+				d[2*ia] = sar(ar+t1, 1)
+				d[2*ia+1] = sar(ai+t2, 1)
+				d[2*ib] = sar(ar-t1, 1)
+				d[2*ib+1] = sar(ai-t2, 1)
+			}
+		}
+	}
+	return d
+}
+
+// fftTag marks output-phase data reads so the butterfly PE forwards them
+// to the sink instead of latching them as operands.
+const fftTag isa.Tag = 2
+
+// fftCfg widens the PE for the controller's loop nest.
+func fftCfg(p Params) isa.Config {
+	cfg := p.TIACfg
+	if cfg.MaxInsts < 40 {
+		cfg.MaxInsts = 40
+	}
+	if cfg.NumPreds < 16 {
+		cfg.NumPreds = 16
+	}
+	return cfg
+}
+
+// fftCtrl builds the controller PE.
+func fftCtrl(cfg isa.Config, n, logN int) (*pe.PE, *TB, error) {
+	nw := isa.Word(n)
+	b := NewTB("ctrl", cfg).ShareChainPhases()
+	b.In("wack").Out("drq", "trq", "dwa")
+	b.Reg("off").Reg("base").Reg("half", 1).Reg("shift", isa.Word(logN-1)).
+		Reg("ackcnt", 2*nw).Reg("t1").Reg("t2").Reg("t3")
+	b.Pred("bfg", true).Pred("nbg").Pred("nsg").Pred("outg").
+		Pred("barg").Pred("bdec").Pred("sdec").Pred("odone").
+		Pred("morep").Pred("basemore").Pred("ackpend", true)
+
+	// Reactive: count down write acks the cycle they arrive.
+	b.Rule("ackr").OnIn("wack").
+		Op(isa.OpSub).DstReg("ackcnt").DstPred("ackpend").
+		Srcs(SReg("ackcnt"), SImm(1)).Deq("wack").Done()
+
+	// Decision rules between chains.
+	b.Rule("contb").When("bdec", "basemore").Op(isa.OpNop).Clr("bdec").Set("bfg").Done()
+	b.Rule("stdone").When("bdec", "!basemore").Op(isa.OpNop).Clr("bdec").Set("barg").Done()
+	b.Rule("bar").When("barg", "!ackpend").Op(isa.OpNop).Clr("barg").Set("nsg").Done()
+	b.Rule("conts").When("sdec", "basemore").Op(isa.OpNop).Clr("sdec").Set("bfg").Done()
+	b.Rule("alldone").When("sdec", "!basemore").
+		Op(isa.OpMov).DstReg("t1").Srcs(SImm(0xFFFFFFFF)).Clr("sdec").Set("outg").Done()
+	b.Rule("fin").When("odone").Op(isa.OpHalt).Done()
+
+	// Butterfly loop: one iteration issues all six operand reads and all
+	// four result-write addresses.
+	bf := b.Chain("bfg")
+	bf.Step("ia").Op(isa.OpAdd).DstReg("t1").Srcs(SReg("base"), SReg("off"))
+	bf.Step("ib").Op(isa.OpAdd).DstReg("t2").Srcs(SReg("t1"), SReg("half"))
+	bf.Step("are").Op(isa.OpShl).DstReg("t1").DstOut("drq", isa.TagData).Srcs(SReg("t1"), SImm(1))
+	bf.Step("aim").Op(isa.OpAdd).DstOut("drq", isa.TagData).Srcs(SReg("t1"), SImm(1))
+	bf.Step("bre").Op(isa.OpShl).DstReg("t2").DstOut("drq", isa.TagData).Srcs(SReg("t2"), SImm(1))
+	bf.Step("bim").Op(isa.OpAdd).DstOut("drq", isa.TagData).Srcs(SReg("t2"), SImm(1))
+	bf.Step("ti").Op(isa.OpShl).DstReg("t3").Srcs(SReg("off"), SReg("shift"))
+	bf.Step("twr").Op(isa.OpShl).DstReg("t3").DstOut("trq", isa.TagData).Srcs(SReg("t3"), SImm(1))
+	bf.Step("twi").Op(isa.OpAdd).DstOut("trq", isa.TagData).Srcs(SReg("t3"), SImm(1))
+	bf.Step("wa1").Op(isa.OpMov).DstOut("dwa", isa.TagData).Srcs(SReg("t1"))
+	bf.Step("wa2").Op(isa.OpAdd).DstOut("dwa", isa.TagData).Srcs(SReg("t1"), SImm(1))
+	bf.Step("wa3").Op(isa.OpMov).DstOut("dwa", isa.TagData).Srcs(SReg("t2"))
+	bf.Step("wa4").Op(isa.OpAdd).DstOut("dwa", isa.TagData).Srcs(SReg("t2"), SImm(1))
+	bf.Step("noff").Op(isa.OpAdd).DstReg("off").Srcs(SReg("off"), SImm(1))
+	bf.Step("mor").Op(isa.OpLTU).DstPred("morep").Srcs(SReg("off"), SReg("half"))
+	bf.LoopWhile("morep", []string{"nbg"}, nil)
+
+	// Next group of butterflies within the stage.
+	nb := b.Chain("nbg")
+	nb.Step("z").Op(isa.OpMov).DstReg("off").Srcs(SImm(0))
+	nb.Step("st").Op(isa.OpShl).DstReg("t1").Srcs(SReg("half"), SImm(1))
+	nb.Step("adv").Op(isa.OpAdd).DstReg("base").Srcs(SReg("base"), SReg("t1"))
+	nb.Step("tst").Op(isa.OpLTU).DstPred("basemore").Srcs(SReg("base"), SImm(nw))
+	nb.EndOnce([]string{"bdec"}, nil)
+
+	// Next stage: after the barrier, double the span, reset counters.
+	ns := b.Chain("nsg")
+	ns.Step("h2").Op(isa.OpShl).DstReg("half").Srcs(SReg("half"), SImm(1))
+	ns.Step("sh").Op(isa.OpSub).DstReg("shift").Srcs(SReg("shift"), SImm(1))
+	ns.Step("bz").Op(isa.OpMov).DstReg("base").Srcs(SImm(0))
+	ns.Step("oz").Op(isa.OpMov).DstReg("off").Srcs(SImm(0))
+	ns.Step("ak").Op(isa.OpMov).DstReg("ackcnt").DstPred("ackpend").Srcs(SImm(2 * nw))
+	ns.Step("ts").Op(isa.OpLTU).DstPred("basemore").Srcs(SReg("half"), SImm(nw))
+	ns.EndOnce([]string{"sdec"}, nil)
+
+	// Output sweep: read the whole array with the forwarding tag.
+	out := b.Chain("outg")
+	out.Step("oa").Op(isa.OpAdd).DstReg("t1").DstOut("drq", fftTag).Srcs(SReg("t1"), SImm(1))
+	out.Step("om").Op(isa.OpNE).DstPred("morep").Srcs(SReg("t1"), SImm(2*nw-1))
+	out.LoopWhile("morep", []string{"odone"}, nil)
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// fftBfly builds the butterfly datapath PE.
+func fftBfly(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("bfly", cfg)
+	b.In("dresp", "tresp").Out("dwd", "o")
+	b.Reg("ar").Reg("ai").Reg("br").Reg("bi").Reg("wr").Reg("wi").Reg("t1").Reg("t2")
+	b.Pred("g", true).Pred("alw", true)
+
+	// Output-phase forwarding outranks the butterfly chain.
+	b.Rule("fwd").OnTag("dresp", fftTag).
+		Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SIn("dresp")).Deq("dresp").Done()
+
+	c := b.Chain("g")
+	c.Step("lar").OnTag("dresp", isa.TagData).Op(isa.OpMov).DstReg("ar").Srcs(SIn("dresp")).Deq("dresp")
+	c.Step("lai").OnTag("dresp", isa.TagData).Op(isa.OpMov).DstReg("ai").Srcs(SIn("dresp")).Deq("dresp")
+	c.Step("lbr").OnTag("dresp", isa.TagData).Op(isa.OpMov).DstReg("br").Srcs(SIn("dresp")).Deq("dresp")
+	c.Step("lbi").OnTag("dresp", isa.TagData).Op(isa.OpMov).DstReg("bi").Srcs(SIn("dresp")).Deq("dresp")
+	c.Step("lwr").OnIn("tresp").Op(isa.OpMov).DstReg("wr").Srcs(SIn("tresp")).Deq("tresp")
+	c.Step("lwi").OnIn("tresp").Op(isa.OpMov).DstReg("wi").Srcs(SIn("tresp")).Deq("tresp")
+	c.Step("m1").Op(isa.OpMul).DstReg("t1").Srcs(SReg("br"), SReg("wr"))
+	c.Step("m2").Op(isa.OpMul).DstReg("t2").Srcs(SReg("bi"), SReg("wi"))
+	c.Step("sub").Op(isa.OpSub).DstReg("t1").Srcs(SReg("t1"), SReg("t2"))
+	c.Step("sc1").Op(isa.OpSar).DstReg("t1").Srcs(SReg("t1"), SImm(14))
+	c.Step("m3").Op(isa.OpMul).DstReg("t2").Srcs(SReg("br"), SReg("wi"))
+	c.Step("m4").Op(isa.OpMul).DstReg("br").Srcs(SReg("bi"), SReg("wr"))
+	c.Step("add").Op(isa.OpAdd).DstReg("t2").Srcs(SReg("t2"), SReg("br"))
+	c.Step("sc2").Op(isa.OpSar).DstReg("t2").Srcs(SReg("t2"), SImm(14))
+	c.Step("o1a").Op(isa.OpAdd).DstReg("br").Srcs(SReg("ar"), SReg("t1"))
+	c.Step("o1b").Op(isa.OpSar).DstOut("dwd", isa.TagData).Srcs(SReg("br"), SImm(1))
+	c.Step("o2a").Op(isa.OpAdd).DstReg("br").Srcs(SReg("ai"), SReg("t2"))
+	c.Step("o2b").Op(isa.OpSar).DstOut("dwd", isa.TagData).Srcs(SReg("br"), SImm(1))
+	c.Step("o3a").Op(isa.OpSub).DstReg("br").Srcs(SReg("ar"), SReg("t1"))
+	c.Step("o3b").Op(isa.OpSar).DstOut("dwd", isa.TagData).Srcs(SReg("br"), SImm(1))
+	c.Step("o4a").Op(isa.OpSub).DstReg("br").Srcs(SReg("ai"), SReg("t2"))
+	c.Step("o4b").Op(isa.OpSar).DstOut("dwd", isa.TagData).Srcs(SReg("br"), SImm(1))
+	c.LoopWhile("alw", nil, nil)
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+func fftTIA(p Params) (*Instance, error) {
+	n, logN := fftN(p)
+	cfg := fftCfg(p)
+	ctrl, cb, err := fftCtrl(cfg, n, logN)
+	if err != nil {
+		return nil, err
+	}
+	bfly, bb, err := fftBfly(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.apply(ctrl, bfly)
+
+	dmem := mem.New("data", 2*n)
+	dmem.Load(fftInput(p))
+	tmem := mem.New("twiddle", n)
+	tmem.Load(fftTwiddles(n))
+	p.applyMems(dmem, tmem)
+
+	f := fabric.New(p.FabricCfg)
+	snk := fabric.NewCountingSink("spectrum", 2*n)
+	for _, e := range []fabric.Element{ctrl, bfly, dmem, tmem, snk} {
+		f.Add(e)
+	}
+	f.Wire(ctrl, cb.OutIdx("drq"), dmem, mem.PortReadAddr)
+	f.Wire(ctrl, cb.OutIdx("trq"), tmem, mem.PortReadAddr)
+	f.Wire(ctrl, cb.OutIdx("dwa"), dmem, mem.PortWriteAddr)
+	f.Wire(bfly, bb.OutIdx("dwd"), dmem, mem.PortWriteData)
+	f.Wire(dmem, mem.PortReadData, bfly, bb.InIdx("dresp"))
+	f.Wire(tmem, mem.PortReadData, bfly, bb.InIdx("tresp"))
+	f.Wire(dmem, mem.PortWriteAck, ctrl, cb.InIdx("wack"))
+	f.Wire(bfly, bb.OutIdx("o"), snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalTIA:     ctrl,
+		PEs:             []*pe.PE{ctrl, bfly},
+		ScratchpadWords: dmem.Size() + tmem.Size(),
+	}, nil
+}
+
+const fftCtrlPC = `
+in wack
+out drq trq dwa
+reg half = 1
+reg shift = %d
+reg off base ack t1 t2 t3
+
+stage:  mov base, #0
+bloop:  mov off, #0
+bfly:   add t1, base, off
+        add t2, t1, half
+        shl t1, t1, #1
+        mov drq, t1
+        add drq, t1, #1
+        shl t2, t2, #1
+        mov drq, t2
+        add drq, t2, #1
+        shl t3, off, shift
+        shl t3, t3, #1
+        mov trq, t3
+        add trq, t3, #1
+        mov dwa, t1
+        add dwa, t1, #1
+        mov dwa, t2
+        add dwa, t2, #1
+        add off, off, #1
+        bltu off, half, bfly
+        shl t1, half, #1
+        add base, base, t1
+        bltu base, #%d, bloop
+        mov ack, #%d
+barloop: deq wack
+        sub ack, ack, #1
+        bne ack, #0, barloop
+        shl half, half, #1
+        sub shift, shift, #1
+        bltu half, #%d, stage
+        mov t1, #0
+outloop: mov drq#2, t1
+        add t1, t1, #1
+        bltu t1, #%d, outloop
+        halt
+`
+
+const fftBflyPC = `
+in dresp tresp
+out dwd o
+reg ar ai br bi wr wi t1 t2
+
+loop:   bne dresp.tag, #0, fwd
+        mov ar, dresp.pop
+        mov ai, dresp.pop
+        mov br, dresp.pop
+        mov bi, dresp.pop
+        mov wr, tresp.pop
+        mov wi, tresp.pop
+        mul t1, br, wr
+        mul t2, bi, wi
+        sub t1, t1, t2
+        sar t1, t1, #14
+        mul t2, br, wi
+        mul br, bi, wr
+        add t2, t2, br
+        sar t2, t2, #14
+        add br, ar, t1
+        sar dwd, br, #1
+        add br, ai, t2
+        sar dwd, br, #1
+        sub br, ar, t1
+        sar dwd, br, #1
+        sub br, ai, t2
+        sar dwd, br, #1
+        jmp loop
+fwd:    mov o, dresp.pop
+        jmp loop
+`
+
+func fftPC(p Params) (*Instance, error) {
+	n, logN := fftN(p)
+	ctrlProg, err := asm.ParsePC("ctrl", fmt.Sprintf(fftCtrlPC, logN-1, n, 2*n, n, 2*n))
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := ctrlProg.Build(p.PCCfg)
+	if err != nil {
+		return nil, err
+	}
+	bflyProg, err := asm.ParsePC("bfly", fftBflyPC)
+	if err != nil {
+		return nil, err
+	}
+	bfly, err := bflyProg.Build(p.PCCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	dmem := mem.New("data", 2*n)
+	dmem.Load(fftInput(p))
+	tmem := mem.New("twiddle", n)
+	tmem.Load(fftTwiddles(n))
+	p.applyMems(dmem, tmem)
+
+	f := fabric.New(p.FabricCfg)
+	snk := fabric.NewCountingSink("spectrum", 2*n)
+	for _, e := range []fabric.Element{ctrl, bfly, dmem, tmem, snk} {
+		f.Add(e)
+	}
+	f.Wire(ctrl, 0, dmem, mem.PortReadAddr)
+	f.Wire(ctrl, 1, tmem, mem.PortReadAddr)
+	f.Wire(ctrl, 2, dmem, mem.PortWriteAddr)
+	f.Wire(bfly, 0, dmem, mem.PortWriteData)
+	f.Wire(dmem, mem.PortReadData, bfly, 0)
+	f.Wire(tmem, mem.PortReadData, bfly, 1)
+	// The PC controller drains acks only at the stage boundary, so the
+	// ack link must buffer a whole stage of writes.
+	f.WireOpt(dmem, mem.PortWriteAck, ctrl, 0, 2*n+4, p.FabricCfg.ChannelLatency)
+	f.Wire(bfly, 1, snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalPC:      ctrl,
+		PCPEs:           []*pcpe.PE{ctrl, bfly},
+		ScratchpadWords: dmem.Size() + tmem.Size(),
+	}, nil
+}
+
+func fftGPP(p Params) (*GPPResult, error) {
+	n, logN := fftN(p)
+	input := fftInput(p)
+	tw := fftTwiddles(n)
+
+	dBase := 0
+	tBase := 2 * n
+
+	const (
+		rS, rHalf, rShift, rBase, rOff           = 1, 2, 3, 4, 5
+		rIA, rIB, rTI, rAR, rAI, rBR, rBI        = 6, 7, 8, 9, 10, 11, 12
+		rWR, rWI, rT1, rT2, rAddr, rN, rStep, r3 = 13, 14, 15, 16, 17, 18, 19, 20
+	)
+	b := gpp.NewBuilder()
+	b.Li(rN, isa.Word(n))
+	b.Li(rHalf, 1)
+	b.Li(rShift, isa.Word(logN-1))
+	b.Label("stage")
+	b.Br(gpp.BrGEU, gpp.R(rHalf), gpp.R(rN), "output")
+	b.Li(rBase, 0)
+	b.Label("bloop")
+	b.Br(gpp.BrGEU, gpp.R(rBase), gpp.R(rN), "stageend")
+	b.Li(rOff, 0)
+	b.Label("bfly")
+	b.Br(gpp.BrGEU, gpp.R(rOff), gpp.R(rHalf), "bloopend")
+	b.Add(rIA, gpp.R(rBase), gpp.R(rOff))
+	b.Add(rIB, gpp.R(rIA), gpp.R(rHalf))
+	b.Shl(rIA, gpp.R(rIA), gpp.I(1))
+	b.Shl(rIB, gpp.R(rIB), gpp.I(1))
+	b.Shl(rTI, gpp.R(rOff), gpp.R(rShift))
+	b.Shl(rTI, gpp.R(rTI), gpp.I(1))
+	b.Lw(rAR, rIA, isa.Word(dBase))
+	b.Add(rAddr, gpp.R(rIA), gpp.I(1))
+	b.Lw(rAI, rAddr, isa.Word(dBase))
+	b.Lw(rBR, rIB, isa.Word(dBase))
+	b.Add(rAddr, gpp.R(rIB), gpp.I(1))
+	b.Lw(rBI, rAddr, isa.Word(dBase))
+	b.Lw(rWR, rTI, isa.Word(tBase))
+	b.Add(rAddr, gpp.R(rTI), gpp.I(1))
+	b.Lw(rWI, rAddr, isa.Word(tBase))
+	b.Mul(rT1, gpp.R(rBR), gpp.R(rWR))
+	b.Mul(rT2, gpp.R(rBI), gpp.R(rWI))
+	b.Sub(rT1, gpp.R(rT1), gpp.R(rT2))
+	b.ALU(isa.OpSar, rT1, gpp.R(rT1), gpp.I(14))
+	b.Mul(rT2, gpp.R(rBR), gpp.R(rWI))
+	b.Mul(r3, gpp.R(rBI), gpp.R(rWR))
+	b.Add(rT2, gpp.R(rT2), gpp.R(r3))
+	b.ALU(isa.OpSar, rT2, gpp.R(rT2), gpp.I(14))
+	b.Add(r3, gpp.R(rAR), gpp.R(rT1))
+	b.ALU(isa.OpSar, r3, gpp.R(r3), gpp.I(1))
+	b.Sw(r3, rIA, isa.Word(dBase))
+	b.Add(r3, gpp.R(rAI), gpp.R(rT2))
+	b.ALU(isa.OpSar, r3, gpp.R(r3), gpp.I(1))
+	b.Add(rAddr, gpp.R(rIA), gpp.I(1))
+	b.Sw(r3, rAddr, isa.Word(dBase))
+	b.Sub(r3, gpp.R(rAR), gpp.R(rT1))
+	b.ALU(isa.OpSar, r3, gpp.R(r3), gpp.I(1))
+	b.Sw(r3, rIB, isa.Word(dBase))
+	b.Sub(r3, gpp.R(rAI), gpp.R(rT2))
+	b.ALU(isa.OpSar, r3, gpp.R(r3), gpp.I(1))
+	b.Add(rAddr, gpp.R(rIB), gpp.I(1))
+	b.Sw(r3, rAddr, isa.Word(dBase))
+	b.Add(rOff, gpp.R(rOff), gpp.I(1))
+	b.Jmp("bfly")
+	b.Label("bloopend")
+	b.Shl(rStep, gpp.R(rHalf), gpp.I(1))
+	b.Add(rBase, gpp.R(rBase), gpp.R(rStep))
+	b.Jmp("bloop")
+	b.Label("stageend")
+	b.Shl(rHalf, gpp.R(rHalf), gpp.I(1))
+	b.Sub(rShift, gpp.R(rShift), gpp.I(1))
+	b.Jmp("stage")
+	b.Label("output")
+	b.Halt()
+	_ = rS
+
+	core, err := gpp.New(gpp.DefaultConfig(tBase+n+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	core.LoadMem(dBase, input)
+	core.LoadMem(tBase, tw)
+	if err := core.Run(int64(2000*n*logN) + 10000); err != nil {
+		return nil, err
+	}
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(dBase, 2*n)}, nil
+}

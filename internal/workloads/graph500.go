@@ -1,0 +1,522 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tia/internal/asm"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// graph500 is the breadth-first-search kernel of the Graph500 benchmark:
+// a BFS over a CSR graph held in fabric scratchpads, emitting vertices in
+// visitation order. The frontier queue, the visited set and the CSR
+// arrays all live in scratchpads; a walker PE pops vertices and streams
+// their adjacency, a checker PE filters visited vertices (using the
+// scratchpad's write-acknowledge port to order read-after-write), and an
+// enqueuer PE appends new vertices. The triggered walker reacts to memory
+// responses while further requests are in flight; the PC walker
+// serializes one scratchpad round trip per edge. Size is the vertex
+// count; graphs are connected by construction.
+func init() {
+	register(&Spec{
+		Name:         "graph500",
+		Description:  "BFS over CSR graph in scratchpads (queue + visited set)",
+		DefaultSize:  64,
+		BuildTIA:     graphTIA,
+		BuildPC:      graphPC,
+		BuildPCPlain: graphPCPlain,
+		RunGPP:       graphGPP,
+		Reference:    graphRef,
+		WorkUnits: func(p Params) int64 {
+			g := graphInput(p)
+			return int64(len(g.adj))
+		},
+	})
+}
+
+type graphData struct {
+	n      int
+	rowptr []isa.Word // n+1 entries
+	adj    []isa.Word
+}
+
+// graphInput builds a connected undirected graph: a random tree plus
+// random extra edges, in CSR form.
+func graphInput(p Params) *graphData {
+	n := p.Size
+	if n < 2 {
+		n = 2
+	}
+	r := rng(p)
+	lists := make([][]int, n)
+	addEdge := func(a, b int) {
+		lists[a] = append(lists[a], b)
+		lists[b] = append(lists[b], a)
+	}
+	for v := 1; v < n; v++ {
+		addEdge(r.Intn(v), v)
+	}
+	for i := 0; i < n; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			addEdge(a, b)
+		}
+	}
+	g := &graphData{n: n, rowptr: make([]isa.Word, n+1)}
+	for v, l := range lists {
+		g.rowptr[v] = isa.Word(len(g.adj))
+		for _, w := range l {
+			g.adj = append(g.adj, isa.Word(w))
+		}
+		_ = v
+	}
+	g.rowptr[n] = isa.Word(len(g.adj))
+	return g
+}
+
+func graphRef(p Params) []isa.Word {
+	g := graphInput(p)
+	visited := make([]bool, g.n)
+	queue := []isa.Word{0}
+	visited[0] = true
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for e := g.rowptr[u]; e < g.rowptr[u+1]; e++ {
+			v := g.adj[e]
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return queue
+}
+
+// graphWalkTIA builds the walker PE: pops frontier vertices, fetches row
+// pointers, streams adjacency requests, and forwards candidates — all
+// reactive, with acks and adjacency responses handled at top priority so
+// the pipeline never clogs.
+func graphWalkTIA(p Params, n int) (*pe.PE, *TB, error) {
+	b := NewTB("walk", p.TIACfg)
+	b.In("qresp", "rresp", "aresp", "ack").Out("qrq", "rrq", "arq", "vcand")
+	b.Reg("head", 0xFFFFFFFF). // last popped queue slot
+					Reg("avail", 1). // enqueued-but-unpopped vertices
+					Reg("left", isa.Word(n)).
+					Reg("u").Reg("e").Reg("eend")
+	b.Pred("availp", true).Pred("morev", true).
+		Pred("active").Pred("mode").
+		Pred("b0").Pred("b1").Pred("b2").Pred("tkn")
+
+	// Reactive rules, highest priority: drain enqueue acks and forward
+	// adjacency responses the cycle they arrive.
+	b.Rule("ack").OnIn("ack").
+		Op(isa.OpAdd).DstReg("avail").DstPred("availp").
+		Srcs(SReg("avail"), SIn("ack")).Deq("ack").Done()
+	b.Rule("fwd").OnIn("aresp").
+		Op(isa.OpMov).DstOut("vcand", isa.TagData).Srcs(SIn("aresp")).Deq("aresp").Done()
+
+	// Pop sequence (mode=0), phases 0-6 over three phase bits.
+	b.Rule("go").When("!active", "availp", "morev").
+		Op(isa.OpAdd).DstReg("head").DstOut("qrq", isa.TagData).
+		Srcs(SReg("head"), SImm(1)).Set("active").Done()
+	b.Rule("decav").When("active", "!mode", "!b2", "!b1", "!b0").
+		Op(isa.OpSub).DstReg("avail").DstPred("availp").
+		Srcs(SReg("avail"), SImm(1)).Set("b0").Done()
+	b.Rule("decleft").When("active", "!mode", "!b2", "!b1", "b0").
+		Op(isa.OpSub).DstReg("left").DstPred("morev").
+		Srcs(SReg("left"), SImm(1)).Clr("b0").Set("b1").Done()
+	b.Rule("recvU").When("active", "!mode", "!b2", "b1", "!b0").OnIn("qresp").
+		Op(isa.OpMov).DstReg("u").Srcs(SIn("qresp")).Deq("qresp").Set("b0").Done()
+	b.Rule("reqR1").When("active", "!mode", "!b2", "b1", "b0").
+		Op(isa.OpMov).DstOut("rrq", isa.TagData).Srcs(SReg("u")).
+		Clr("b0", "b1").Set("b2").Done()
+	b.Rule("reqR2").When("active", "!mode", "b2", "!b1", "!b0").
+		Op(isa.OpAdd).DstOut("rrq", isa.TagData).Srcs(SReg("u"), SImm(1)).Set("b0").Done()
+	b.Rule("recvS").When("active", "!mode", "b2", "!b1", "b0").OnIn("rresp").
+		Op(isa.OpSub).DstReg("e").Srcs(SIn("rresp"), SImm(1)).Deq("rresp").
+		Clr("b0").Set("b1").Done()
+	b.Rule("recvE").When("active", "!mode", "b2", "b1", "!b0").OnIn("rresp").
+		Op(isa.OpSub).DstReg("eend").Srcs(SIn("rresp"), SImm(1)).Deq("rresp").
+		Clr("b1", "b2").Set("mode").Done()
+
+	// Edge loop (mode=1): issue one adjacency request per iteration.
+	b.Rule("tst").When("active", "mode", "!b0").
+		Op(isa.OpNE).DstPred("tkn").Srcs(SReg("e"), SReg("eend")).Set("b0").Done()
+	b.Rule("req").When("active", "mode", "b0", "tkn").
+		Op(isa.OpAdd).DstReg("e").DstOut("arq", isa.TagData).
+		Srcs(SReg("e"), SImm(1)).Clr("b0").Done()
+	b.Rule("lexit").When("active", "mode", "b0", "!tkn").
+		Op(isa.OpNop).Clr("active", "mode", "b0").Done()
+
+	b.Rule("done").When("!active", "!morev").
+		Op(isa.OpHalt).DstOut("vcand", isa.TagEOD).Done()
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// graphVchkTIA filters candidates against the visited set, forwarding
+// only new vertices and waiting for the visited-bit write to commit
+// before checking the next candidate.
+func graphVchkTIA(p Params) (*pe.PE, *TB, error) {
+	b := NewTB("vchk", p.TIACfg)
+	b.In("vcand", "vresp", "wack").Out("vrq", "nv")
+	b.Pred("wait").Pred("decp").Pred("oldp").Pred("w4w")
+
+	b.Rule("wackr").OnIn("wack").
+		Op(isa.OpNop).Deq("wack").Clr("w4w").Done()
+	b.Rule("req").When("!wait", "!decp", "!w4w").OnTag("vcand", isa.TagData).
+		Op(isa.OpMov).DstOut("vrq", isa.TagData).Srcs(SIn("vcand")).Set("wait").Done()
+	b.Rule("chk").When("wait").OnIn("vresp").
+		Op(isa.OpMov).DstPred("oldp").Srcs(SIn("vresp")).Deq("vresp").
+		Clr("wait").Set("decp").Done()
+	b.Rule("fwdnew").When("decp", "!oldp").
+		Op(isa.OpMov).DstOut("nv", isa.TagData).Srcs(SIn("vcand")).Deq("vcand").
+		Clr("decp").Set("w4w").Done()
+	b.Rule("drop").When("decp", "oldp").
+		Op(isa.OpNop).Deq("vcand").Clr("decp").Done()
+	b.Rule("fin").When("!wait", "!decp", "!w4w").OnTag("vcand", isa.TagEOD).
+		Op(isa.OpHalt).DstOut("nv", isa.TagEOD).Deq("vcand").Done()
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// graphVenqTIA marks new vertices visited, appends them to the frontier
+// queue and emits them in BFS order.
+func graphVenqTIA(p Params) (*pe.PE, *TB, error) {
+	b := NewTB("venq", p.TIACfg)
+	b.In("nv").Out("vwa", "qwa", "qwd", "bfsout")
+	b.Reg("tail", 0) // last used queue slot (slot 0 holds the source)
+	b.Pred("initp", true).Pred("ph1").Pred("ph2")
+
+	b.Rule("init").When("initp").
+		Op(isa.OpMov).DstOut("bfsout", isa.TagData).Srcs(SImm(0)).Clr("initp").Done()
+	b.Rule("mark").When("!initp", "!ph1", "!ph2").OnTag("nv", isa.TagData).
+		Op(isa.OpMov).DstOut("vwa", isa.TagData).Srcs(SIn("nv")).Set("ph1").Done()
+	b.Rule("slot").When("ph1").
+		Op(isa.OpAdd).DstReg("tail").DstOut("qwa", isa.TagData).
+		Srcs(SReg("tail"), SImm(1)).Clr("ph1").Set("ph2").Done()
+	b.Rule("store").When("ph2").
+		Op(isa.OpMov).DstOut("qwd", isa.TagData).DstOut("bfsout", isa.TagData).
+		Srcs(SIn("nv")).Deq("nv").Clr("ph2").Done()
+	b.Rule("fin").When("!initp", "!ph1", "!ph2").OnTag("nv", isa.TagEOD).
+		Op(isa.OpHalt).DstOut("bfsout", isa.TagEOD).Deq("nv").Done()
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// graphOnesTIA feeds the visited-set write-data port with constant ones.
+func graphOnesTIA(p Params) (*pe.PE, *TB, error) {
+	b := NewTB("ones", p.TIACfg)
+	b.Out("o")
+	b.Rule("one").Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SImm(1)).Done()
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// graphMems builds the four scratchpads with their initial images.
+func graphMems(p Params, g *graphData) (rmem, amem, vis, qmem *mem.Scratchpad) {
+	rmem = mem.New("rowptr", len(g.rowptr))
+	rmem.Load(g.rowptr)
+	amem = mem.New("adj", len(g.adj))
+	amem.Load(g.adj)
+	vis = mem.New("visited", g.n)
+	vis.Load([]isa.Word{1}) // source vertex 0 pre-visited
+	qmem = mem.New("queue", g.n)
+	qmem.Load([]isa.Word{0}) // queue slot 0 holds the source
+	p.applyMems(rmem, amem, vis, qmem)
+	return
+}
+
+func graphTIA(p Params) (*Instance, error) {
+	g := graphInput(p)
+	walk, wb, err := graphWalkTIA(p, g.n)
+	if err != nil {
+		return nil, err
+	}
+	vchk, cb, err := graphVchkTIA(p)
+	if err != nil {
+		return nil, err
+	}
+	venq, qb, err := graphVenqTIA(p)
+	if err != nil {
+		return nil, err
+	}
+	ones, ob, err := graphOnesTIA(p)
+	if err != nil {
+		return nil, err
+	}
+	pes := []*pe.PE{walk, vchk, venq, ones}
+	p.apply(pes...)
+	rmem, amem, vis, qmem := graphMems(p, g)
+
+	f := fabric.New(p.FabricCfg)
+	snk := fabric.NewSink("order")
+	for _, e := range []fabric.Element{walk, vchk, venq, ones, rmem, amem, vis, qmem, snk} {
+		f.Add(e)
+	}
+	f.Wire(walk, wb.OutIdx("qrq"), qmem, mem.PortReadAddr)
+	f.Wire(qmem, mem.PortReadData, walk, wb.InIdx("qresp"))
+	f.Wire(walk, wb.OutIdx("rrq"), rmem, mem.PortReadAddr)
+	f.Wire(rmem, mem.PortReadData, walk, wb.InIdx("rresp"))
+	f.Wire(walk, wb.OutIdx("arq"), amem, mem.PortReadAddr)
+	f.Wire(amem, mem.PortReadData, walk, wb.InIdx("aresp"))
+	f.Wire(walk, wb.OutIdx("vcand"), vchk, cb.InIdx("vcand"))
+	f.Wire(vchk, cb.OutIdx("vrq"), vis, mem.PortReadAddr)
+	f.Wire(vis, mem.PortReadData, vchk, cb.InIdx("vresp"))
+	f.Wire(vis, mem.PortWriteAck, vchk, cb.InIdx("wack"))
+	f.Wire(vchk, cb.OutIdx("nv"), venq, qb.InIdx("nv"))
+	f.Wire(venq, qb.OutIdx("vwa"), vis, mem.PortWriteAddr)
+	f.Wire(ones, ob.OutIdx("o"), vis, mem.PortWriteData)
+	f.Wire(venq, qb.OutIdx("qwa"), qmem, mem.PortWriteAddr)
+	f.Wire(venq, qb.OutIdx("qwd"), qmem, mem.PortWriteData)
+	f.Wire(qmem, mem.PortWriteAck, walk, wb.InIdx("ack"))
+	f.Wire(venq, qb.OutIdx("bfsout"), snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalTIA:     walk,
+		PEs:             pes,
+		ScratchpadWords: rmem.Size() + amem.Size() + vis.Size() + qmem.Size(),
+	}, nil
+}
+
+const graphWalkPC = `
+in qresp rresp aresp ack
+out qrq rrq arq vcand
+reg head = -1
+reg avail = 1
+reg left = %d
+reg u e eend t
+
+vloop:  beq left, #0, done
+        bne avail, #0, pop
+        mov t, ack.pop
+        add avail, avail, t
+pop:    add head, head, #1
+        mov qrq, head
+        sub avail, avail, #1
+        sub left, left, #1
+        mov u, qresp.pop
+        mov rrq, u
+        add rrq, u, #1
+        mov e, rresp.pop
+        mov eend, rresp.pop
+eloop:  bgeu e, eend, vloop
+        mov arq, e
+        add e, e, #1
+        mov vcand, aresp.pop
+        jmp eloop
+done:   halt vcand#eod
+`
+
+// graphWalkPlainPC is the unenhanced walker: every channel access is its
+// own single-destination instruction.
+const graphWalkPlainPC = `
+in qresp rresp aresp ack
+out qrq rrq arq vcand
+reg head = -1
+reg avail = 1
+reg left = %d
+reg u e eend t
+
+vloop:  beq left, #0, done
+        bne avail, #0, pop
+        mov t, ack
+        deq ack
+        add avail, avail, t
+pop:    add head, head, #1
+        mov qrq, head
+        sub avail, avail, #1
+        sub left, left, #1
+        mov u, qresp
+        deq qresp
+        mov rrq, u
+        add t, u, #1
+        mov rrq, t
+        mov e, rresp
+        deq rresp
+        mov eend, rresp
+        deq rresp
+eloop:  bgeu e, eend, vloop
+        mov arq, e
+        add e, e, #1
+        mov t, aresp
+        deq aresp
+        mov vcand, t
+        jmp eloop
+done:   mov vcand#eod, #0
+        halt
+`
+
+const graphVchkPC = `
+in vcand vresp wack
+out vrq nv
+reg t
+
+loop:   bne vcand.tag, #0, done
+        mov vrq, vcand
+        mov t, vresp.pop
+        bne t, #0, old
+        mov nv, vcand.pop
+        deq wack
+        jmp loop
+old:    deq vcand
+        jmp loop
+done:   deq vcand
+        halt nv#eod
+`
+
+const graphVenqPC = `
+in nv
+out vwa qwa qwd bfsout
+reg tail = 0
+
+        mov bfsout, #0
+loop:   bne nv.tag, #0, done
+        mov vwa, nv
+        add tail, tail, #1
+        mov qwa, tail
+        mov qwd, bfsout, nv.pop
+        jmp loop
+done:   halt bfsout#eod
+`
+
+const graphOnesPC = `
+out o
+loop:   mov o, #1
+        jmp loop
+`
+
+func graphPC(p Params) (*Instance, error) {
+	return graphPCWith(p, graphWalkPC)
+}
+
+// graphPCPlain swaps the critical walker for its plain expression.
+func graphPCPlain(p Params) (*Instance, error) {
+	return graphPCWith(p, graphWalkPlainPC)
+}
+
+func graphPCWith(p Params, walkText string) (*Instance, error) {
+	g := graphInput(p)
+	build := func(name, text string) (*pcpe.PE, error) {
+		prog, err := asm.ParsePC(name, text)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Build(p.PCCfg)
+	}
+	walk, err := build("walk", fmt.Sprintf(walkText, g.n))
+	if err != nil {
+		return nil, err
+	}
+	vchk, err := build("vchk", graphVchkPC)
+	if err != nil {
+		return nil, err
+	}
+	venq, err := build("venq", graphVenqPC)
+	if err != nil {
+		return nil, err
+	}
+	ones, err := build("ones", graphOnesPC)
+	if err != nil {
+		return nil, err
+	}
+	rmem, amem, vis, qmem := graphMems(p, g)
+
+	f := fabric.New(p.FabricCfg)
+	snk := fabric.NewSink("order")
+	for _, e := range []fabric.Element{walk, vchk, venq, ones, rmem, amem, vis, qmem, snk} {
+		f.Add(e)
+	}
+	f.Wire(walk, 0, qmem, mem.PortReadAddr)
+	f.Wire(qmem, mem.PortReadData, walk, 0)
+	f.Wire(walk, 1, rmem, mem.PortReadAddr)
+	f.Wire(rmem, mem.PortReadData, walk, 1)
+	f.Wire(walk, 2, amem, mem.PortReadAddr)
+	f.Wire(amem, mem.PortReadData, walk, 2)
+	f.Wire(walk, 3, vchk, 0)
+	f.Wire(vchk, 0, vis, mem.PortReadAddr)
+	f.Wire(vis, mem.PortReadData, vchk, 1)
+	f.Wire(vis, mem.PortWriteAck, vchk, 2)
+	f.Wire(vchk, 1, venq, 0)
+	f.Wire(venq, 0, vis, mem.PortWriteAddr)
+	f.Wire(ones, 0, vis, mem.PortWriteData)
+	f.Wire(venq, 1, qmem, mem.PortWriteAddr)
+	f.Wire(venq, 2, qmem, mem.PortWriteData)
+	// The PC walker cannot drain enqueue acks while it is busy inside its
+	// edge loop, so the ack link needs enough buffering for a whole
+	// frontier; the triggered walker drains acks reactively and lives
+	// with the default depth.
+	f.WireOpt(qmem, mem.PortWriteAck, walk, 3, g.n+4, p.FabricCfg.ChannelLatency)
+	f.Wire(venq, 3, snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalPC:      walk,
+		PCPEs:           []*pcpe.PE{walk, vchk, venq, ones},
+		ScratchpadWords: rmem.Size() + amem.Size() + vis.Size() + qmem.Size(),
+	}, nil
+}
+
+func graphGPP(p Params) (*GPPResult, error) {
+	g := graphInput(p)
+	n := g.n
+	rBase := 0
+	aBase := n + 1
+	vBase := aBase + len(g.adj)
+	qBase := vBase + n
+
+	const (
+		rHead, rTail, rU, rE, rEnd, rV, rT, rOne = 1, 2, 3, 4, 5, 6, 7, 8
+	)
+	b := gpp.NewBuilder()
+	b.Li(rTail, 1)
+	b.Li(rOne, 1)
+	// visited[0]=1; queue[0] stays 0 (the source vertex).
+	b.Sw(rOne, 0, isa.Word(vBase))
+	b.Label("loop")
+	b.Br(gpp.BrGEU, gpp.R(rHead), gpp.R(rTail), "done")
+	b.Add(rT, gpp.R(rHead), gpp.I(isa.Word(qBase)))
+	b.Lw(rU, rT, 0)
+	b.Add(rHead, gpp.R(rHead), gpp.I(1))
+	b.Lw(rE, rU, isa.Word(rBase))
+	b.Add(rT, gpp.R(rU), gpp.I(1))
+	b.Lw(rEnd, rT, isa.Word(rBase))
+	b.Label("eloop")
+	b.Br(gpp.BrGEU, gpp.R(rE), gpp.R(rEnd), "loop")
+	b.Lw(rV, rE, isa.Word(aBase))
+	b.Add(rE, gpp.R(rE), gpp.I(1))
+	b.Add(rT, gpp.R(rV), gpp.I(isa.Word(vBase)))
+	b.Lw(rT, rT, 0)
+	b.Br(gpp.BrNE, gpp.R(rT), gpp.I(0), "eloop")
+	// new vertex: mark and enqueue
+	b.Add(rT, gpp.R(rV), gpp.I(isa.Word(vBase)))
+	b.Sw(rOne, rT, 0)
+	b.Add(rT, gpp.R(rTail), gpp.I(isa.Word(qBase)))
+	b.Sw(rV, rT, 0)
+	b.Add(rTail, gpp.R(rTail), gpp.I(1))
+	b.Jmp("eloop")
+	b.Label("done")
+	b.Halt()
+
+	core, err := gpp.New(gpp.DefaultConfig(qBase+n+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	core.LoadMem(rBase, g.rowptr)
+	core.LoadMem(aBase, g.adj)
+	if err := core.Run(int64(500*len(g.adj)) + 10000); err != nil {
+		return nil, err
+	}
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(qBase, n)}, nil
+}

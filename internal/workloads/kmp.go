@@ -1,0 +1,305 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tia/internal/asm"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// kmp is Knuth-Morris-Pratt string search compiled to its DFA form: the
+// pattern's failure function becomes a dense next-state table δ[state][c]
+// held in a fabric scratchpad, the text streams in, and match positions
+// stream out. The triggered version exploits reactivity: the next text
+// character is latched while the state-machine lookup for the previous
+// one is still in flight, hiding part of the scratchpad round trip that
+// fully serializes the PC baseline. Size is the text length.
+func init() {
+	register(&Spec{
+		Name:         "kmp",
+		Description:  "KMP string search via DFA table in a scratchpad",
+		DefaultSize:  512,
+		BuildTIA:     kmpTIA,
+		BuildPC:      kmpPC,
+		BuildPCPlain: kmpPCPlain,
+		RunGPP:       kmpGPP,
+		Reference:    kmpRef,
+		WorkUnits:    func(p Params) int64 { return int64(p.Size) },
+	})
+}
+
+const (
+	kmpAlphabet = 2 // binary alphabet keeps match density interesting
+	kmpPatLen   = 5
+)
+
+// kmpPattern returns the search pattern for the given seed.
+func kmpPattern(p Params) []int {
+	r := rng(p)
+	pat := make([]int, kmpPatLen)
+	for i := range pat {
+		pat[i] = r.Intn(kmpAlphabet)
+	}
+	return pat
+}
+
+// kmpText returns the text with a few planted pattern occurrences so every
+// run has matches.
+func kmpText(p Params) []isa.Word {
+	r := rng(p)
+	pat := kmpPattern(p)
+	n := p.Size
+	if n < 4*kmpPatLen {
+		n = 4 * kmpPatLen
+	}
+	text := make([]isa.Word, n)
+	for i := range text {
+		text[i] = isa.Word(r.Intn(kmpAlphabet))
+	}
+	for k := 1; k <= 3; k++ {
+		pos := (n * k / 4) - kmpPatLen
+		for i, c := range pat {
+			text[pos+i] = isa.Word(c)
+		}
+	}
+	return text
+}
+
+// kmpDFA builds the KMP automaton with rows premultiplied by the alphabet
+// size, so a fabric lookup is a single add: next = δ[state + char]. The
+// accepting value is kmpPatLen*kmpAlphabet.
+func kmpDFA(pat []int) []isa.Word {
+	m := len(pat)
+	a := kmpAlphabet
+	dfa := make([][]int, m+1)
+	for j := range dfa {
+		dfa[j] = make([]int, a)
+	}
+	dfa[0][pat[0]] = 1
+	x := 0
+	for j := 1; j <= m; j++ {
+		copy(dfa[j], dfa[x])
+		if j < m {
+			dfa[j][pat[j]] = j + 1
+			x = dfa[x][pat[j]]
+		}
+	}
+	flat := make([]isa.Word, (m+1)*a)
+	for j := range dfa {
+		for c, v := range dfa[j] {
+			flat[j*a+c] = isa.Word(v * a) // premultiplied next state
+		}
+	}
+	return flat
+}
+
+func kmpRef(p Params) []isa.Word {
+	text := kmpText(p)
+	pat := kmpPattern(p)
+	var out []isa.Word
+	for i := 0; i+len(pat) <= len(text); i++ {
+		ok := true
+		for j, c := range pat {
+			if text[i+j] != isa.Word(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, isa.Word(i))
+		}
+	}
+	return out
+}
+
+// kmpTIA builds: text source -> kmp PE <-> DFA scratchpad -> match sink.
+func kmpTIA(p Params) (*Instance, error) {
+	text := kmpText(p)
+	dfa := kmpDFA(kmpPattern(p))
+	accept := isa.Word(kmpPatLen * kmpAlphabet)
+
+	b := NewTB("kmp", p.TIACfg)
+	b.In("t", "m").Out("rq", "o")
+	b.Reg("j").Reg("c").Reg("i").Reg("acc", accept).Reg("m1", kmpPatLen-1)
+	b.Pred("cbuf").Pred("wait").Pred("chk").Pred("nxt").Pred("hit")
+
+	// Latch the next character whenever the buffer is free — including
+	// while the previous lookup is still in flight.
+	b.Rule("grab").When("!cbuf").OnTag("t", isa.TagData).
+		Op(isa.OpMov).DstReg("c").Srcs(SIn("t")).Deq("t").Set("cbuf").Done()
+	// Issue the DFA lookup once the previous character fully retired.
+	b.Rule("req").When("cbuf", "!wait", "!chk", "!nxt").
+		Op(isa.OpAdd).DstOut("rq", isa.TagData).Srcs(SReg("j"), SReg("c")).
+		Clr("cbuf").Set("wait").Done()
+	b.Rule("upd").When("wait").OnIn("m").
+		Op(isa.OpMov).DstReg("j").Srcs(SIn("m")).Deq("m").Clr("wait").Set("chk").Done()
+	b.Rule("chk").When("chk").
+		Op(isa.OpEQ).DstPred("hit").Srcs(SReg("j"), SReg("acc")).Clr("chk").Set("nxt").Done()
+	b.Rule("emit").When("nxt", "hit").
+		Op(isa.OpSub).DstOut("o", isa.TagData).Srcs(SReg("i"), SReg("m1")).Clr("hit").Done()
+	b.Rule("inc").When("nxt", "!hit").
+		Op(isa.OpAdd).DstReg("i").Srcs(SReg("i"), SImm(1)).Clr("nxt").Done()
+	// End of text: only when the pipeline is drained.
+	b.Rule("fin").When("!cbuf", "!wait", "!chk", "!nxt").OnTag("t", isa.TagEOD).
+		Op(isa.OpHalt).DstOut("o", isa.TagEOD).Deq("t").Done()
+
+	proc, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.apply(proc)
+
+	f := fabric.New(p.FabricCfg)
+	src := fabric.NewWordSource("text", text, true)
+	table := mem.New("dfa", len(dfa))
+	table.Load(dfa)
+	p.applyMems(table)
+	snk := fabric.NewSink("matches")
+	f.Add(src)
+	f.Add(table)
+	f.Add(proc)
+	f.Add(snk)
+	f.Wire(src, 0, proc, b.InIdx("t"))
+	f.Wire(proc, b.OutIdx("rq"), table, mem.PortReadAddr)
+	f.Wire(table, mem.PortReadData, proc, b.InIdx("m"))
+	f.Wire(proc, b.OutIdx("o"), snk, 0)
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalTIA:     proc,
+		PEs:             []*pe.PE{proc},
+		ScratchpadWords: table.Size(),
+	}, nil
+}
+
+func kmpPC(p Params) (*Instance, error) {
+	accept := kmpPatLen * kmpAlphabet
+	return kmpPCWith(p, fmt.Sprintf(`
+in t m
+out rq o
+reg j i tmp
+
+loop:   bne t.tag, #0, done
+        add rq, j, t.pop
+        mov j, m.pop
+        bne j, #%d, noemit
+        sub o, i, #%d
+noemit: add i, i, #1
+        jmp loop
+done:   halt o#eod
+`, accept, kmpPatLen-1))
+}
+
+// kmpPCPlain is the unenhanced baseline: every channel access is its own
+// single-destination instruction.
+func kmpPCPlain(p Params) (*Instance, error) {
+	accept := kmpPatLen * kmpAlphabet
+	return kmpPCWith(p, fmt.Sprintf(`
+in t m
+out rq o
+reg j i c tmp
+
+loop:   mov tmp, t.tag
+        bne tmp, #0, done
+        mov c, t
+        deq t
+        add tmp, j, c
+        mov rq, tmp
+        mov j, m
+        deq m
+        bne j, #%d, noemit
+        sub tmp, i, #%d
+        mov o, tmp
+noemit: add i, i, #1
+        jmp loop
+done:   deq t
+        mov o#eod, #0
+        halt
+`, accept, kmpPatLen-1))
+}
+
+func kmpPCWith(p Params, progText string) (*Instance, error) {
+	text := kmpText(p)
+	dfa := kmpDFA(kmpPattern(p))
+
+	prog, err := asm.ParsePC("kmp", progText)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := prog.Build(p.PCCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	f := fabric.New(p.FabricCfg)
+	src := fabric.NewWordSource("text", text, true)
+	table := mem.New("dfa", len(dfa))
+	table.Load(dfa)
+	p.applyMems(table)
+	snk := fabric.NewSink("matches")
+	f.Add(src)
+	f.Add(table)
+	f.Add(proc)
+	f.Add(snk)
+	f.Wire(src, 0, proc, 0)
+	f.Wire(proc, 0, table, mem.PortReadAddr)
+	f.Wire(table, mem.PortReadData, proc, 1)
+	f.Wire(proc, 1, snk, 0)
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalPC:      proc,
+		PCPEs:           []*pcpe.PE{proc},
+		ScratchpadWords: table.Size(),
+	}, nil
+}
+
+// kmpGPP runs the DFA scan over text in core memory, appending match
+// positions to an output region.
+func kmpGPP(p Params) (*GPPResult, error) {
+	text := kmpText(p)
+	dfa := kmpDFA(kmpPattern(p))
+	accept := isa.Word(kmpPatLen * kmpAlphabet)
+
+	dfaBase := 0
+	textBase := len(dfa)
+	outBase := textBase + len(text)
+
+	const (
+		rj, ri, rc, rk, rn, rt = 1, 2, 3, 4, 5, 6
+	)
+	b := gpp.NewBuilder()
+	b.Li(rn, isa.Word(len(text)))
+	b.Li(rk, isa.Word(outBase))
+	b.Label("loop")
+	b.Br(gpp.BrGEU, gpp.R(ri), gpp.R(rn), "done")
+	b.Lw(rc, ri, isa.Word(textBase))
+	b.Add(rt, gpp.R(rj), gpp.R(rc))
+	b.Lw(rj, rt, isa.Word(dfaBase))
+	b.Br(gpp.BrNE, gpp.R(rj), gpp.I(accept), "noemit")
+	b.Sub(rt, gpp.R(ri), gpp.I(kmpPatLen-1))
+	b.Sw(rt, rk, 0)
+	b.Add(rk, gpp.R(rk), gpp.I(1))
+	b.Label("noemit")
+	b.Add(ri, gpp.R(ri), gpp.I(1))
+	b.Jmp("loop")
+	b.Label("done")
+	b.Halt()
+
+	core, err := gpp.New(gpp.DefaultConfig(outBase+len(text)+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	core.LoadMem(dfaBase, dfa)
+	core.LoadMem(textBase, text)
+	if err := core.Run(int64(100*len(text)) + 10000); err != nil {
+		return nil, err
+	}
+	count := int(core.Reg(rk)) - outBase
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(outBase, count)}, nil
+}

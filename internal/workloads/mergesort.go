@@ -1,0 +1,226 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// mergesort reproduces the paper's running example at workload scale: a
+// tree of 2-way merge kernels producing one fully sorted stream from four
+// pre-sorted substreams (the earlier sorting passes of a full merge sort,
+// which the fabric would run the same way, are done by the host so the
+// evaluation focuses on the steady-state merge kernel). Size is the total
+// element count (rounded up to a multiple of 4).
+func init() {
+	register(&Spec{
+		Name:         "mergesort",
+		Description:  "4-way merge tree over sorted substreams (paper's running example)",
+		DefaultSize:  256,
+		BuildTIA:     mergesortTIA,
+		BuildPC:      mergesortPC,
+		BuildPCPlain: mergesortPCPlain,
+		RunGPP:       mergesortGPP,
+		Reference:    mergesortRef,
+		WorkUnits:    func(p Params) int64 { return int64(mergesortQuarters(p)[4]) },
+	})
+}
+
+// mergesortQuarters returns the four sorted substreams concatenated plus
+// the total length in slot 4 of the returned lengths header. The layout is
+// quarters[0..3] slices plus total in the 5th element of the sizes array.
+func mergesortQuarters(p Params) [5]int {
+	n := p.Size
+	if n < 4 {
+		n = 4
+	}
+	n = (n + 3) &^ 3
+	q := n / 4
+	return [5]int{q, q, q, q, n}
+}
+
+func mergesortInput(p Params) [4][]isa.Word {
+	sizes := mergesortQuarters(p)
+	r := rng(p)
+	var out [4][]isa.Word
+	for i := 0; i < 4; i++ {
+		s := make([]isa.Word, sizes[i])
+		for j := range s {
+			s[j] = isa.Word(r.Intn(1 << 20))
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		out[i] = s
+	}
+	return out
+}
+
+func mergesortRef(p Params) []isa.Word {
+	qs := mergesortInput(p)
+	var all []isa.Word
+	for _, q := range qs {
+		all = append(all, q...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	return all
+}
+
+func mergesortTIA(p Params) (*Instance, error) {
+	qs := mergesortInput(p)
+	f := fabric.New(p.FabricCfg)
+	var srcs [4]*fabric.Source
+	for i := range srcs {
+		srcs[i] = fabric.NewWordSource(fmt.Sprintf("q%d", i), qs[i], true)
+		f.Add(srcs[i])
+	}
+	var merges [3]*pe.PE
+	for i := range merges {
+		m, err := pe.New(fmt.Sprintf("merge%d", i), p.TIACfg, pe.MergeProgram())
+		if err != nil {
+			return nil, err
+		}
+		p.apply(m)
+		merges[i] = m
+		f.Add(m)
+	}
+	snk := fabric.NewSink("out")
+	f.Add(snk)
+	f.Wire(srcs[0], 0, merges[0], 0)
+	f.Wire(srcs[1], 0, merges[0], 1)
+	f.Wire(srcs[2], 0, merges[1], 0)
+	f.Wire(srcs[3], 0, merges[1], 1)
+	f.Wire(merges[0], 0, merges[2], 0)
+	f.Wire(merges[1], 0, merges[2], 1)
+	f.Wire(merges[2], 0, snk, 0)
+	return &Instance{
+		Fabric:      f,
+		Sink:        snk,
+		CriticalTIA: merges[2], // the root merges every element
+		PEs:         merges[:],
+	}, nil
+}
+
+func mergesortPC(p Params) (*Instance, error) {
+	return mergesortPCWith(p, pcpe.MergeProgram())
+}
+
+// mergesortPCPlain uses the plain sequential expression of the merge
+// kernel on every tree node.
+func mergesortPCPlain(p Params) (*Instance, error) {
+	return mergesortPCWith(p, pcpe.MergePlainProgram())
+}
+
+func mergesortPCWith(p Params, prog []pcpe.Inst) (*Instance, error) {
+	qs := mergesortInput(p)
+	f := fabric.New(p.FabricCfg)
+	var srcs [4]*fabric.Source
+	for i := range srcs {
+		srcs[i] = fabric.NewWordSource(fmt.Sprintf("q%d", i), qs[i], true)
+		f.Add(srcs[i])
+	}
+	var merges [3]*pcpe.PE
+	for i := range merges {
+		m, err := pcpe.New(fmt.Sprintf("merge%d", i), p.PCCfg, prog)
+		if err != nil {
+			return nil, err
+		}
+		merges[i] = m
+		f.Add(m)
+	}
+	snk := fabric.NewSink("out")
+	f.Add(snk)
+	f.Wire(srcs[0], 0, merges[0], 0)
+	f.Wire(srcs[1], 0, merges[0], 1)
+	f.Wire(srcs[2], 0, merges[1], 0)
+	f.Wire(srcs[3], 0, merges[1], 1)
+	f.Wire(merges[0], 0, merges[2], 0)
+	f.Wire(merges[1], 0, merges[2], 1)
+	f.Wire(merges[2], 0, snk, 0)
+	return &Instance{
+		Fabric:     f,
+		Sink:       snk,
+		CriticalPC: merges[2],
+		PCPEs:      merges[:],
+	}, nil
+}
+
+// mergesortGPP runs the same merge tree sequentially on the core model:
+// two leaf merges into temporaries, then the root merge.
+func mergesortGPP(p Params) (*GPPResult, error) {
+	qs := mergesortInput(p)
+	sizes := mergesortQuarters(p)
+	q, n := sizes[0], sizes[4]
+
+	// Memory layout: quarters at 0, q, 2q, 3q; temps at n and n+2q;
+	// output at 2n.
+	base := [4]int{0, q, 2 * q, 3 * q}
+	t1, t2, out := n, n+2*q, 2*n
+
+	b := gpp.NewBuilder()
+	emitMerge(b, "m0", base[0], q, base[1], q, t1)
+	emitMerge(b, "m1", base[2], q, base[3], q, t2)
+	emitMerge(b, "m2", t1, 2*q, t2, 2*q, out)
+	b.Halt()
+
+	core, err := gpp.New(gpp.DefaultConfig(3*n+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	for i, qd := range qs {
+		core.LoadMem(base[i], qd)
+	}
+	if err := core.Run(int64(200*n) + 10000); err != nil {
+		return nil, err
+	}
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(out, n)}, nil
+}
+
+// emitMerge emits a standard two-pointer merge of mem[a:a+an] and
+// mem[b:b+bn] into mem[o:]. Registers 1-9 are clobbered.
+func emitMerge(b *gpp.Builder, pfx string, a, an, bn2, bl, o int) {
+	const (
+		ri, rj, ro   = 1, 2, 3
+		rv1, rv2     = 4, 5
+		rEndA, rEndB = 6, 7
+	)
+	b.Li(ri, isa.Word(a))
+	b.Li(rj, isa.Word(bn2))
+	b.Li(ro, isa.Word(o))
+	b.Li(rEndA, isa.Word(a+an))
+	b.Li(rEndB, isa.Word(bn2+bl))
+	b.Label(pfx + "_loop")
+	b.Br(gpp.BrGEU, gpp.R(ri), gpp.R(rEndA), pfx+"_drainB")
+	b.Br(gpp.BrGEU, gpp.R(rj), gpp.R(rEndB), pfx+"_drainA")
+	b.Lw(rv1, ri, 0)
+	b.Lw(rv2, rj, 0)
+	b.Br(gpp.BrLTU, gpp.R(rv2), gpp.R(rv1), pfx+"_takeB")
+	b.Sw(rv1, ro, 0)
+	b.Add(ri, gpp.R(ri), gpp.I(1))
+	b.Add(ro, gpp.R(ro), gpp.I(1))
+	b.Jmp(pfx + "_loop")
+	b.Label(pfx + "_takeB")
+	b.Sw(rv2, ro, 0)
+	b.Add(rj, gpp.R(rj), gpp.I(1))
+	b.Add(ro, gpp.R(ro), gpp.I(1))
+	b.Jmp(pfx + "_loop")
+	b.Label(pfx + "_drainA")
+	b.Br(gpp.BrGEU, gpp.R(ri), gpp.R(rEndA), pfx+"_done")
+	b.Lw(rv1, ri, 0)
+	b.Sw(rv1, ro, 0)
+	b.Add(ri, gpp.R(ri), gpp.I(1))
+	b.Add(ro, gpp.R(ro), gpp.I(1))
+	b.Jmp(pfx + "_drainA")
+	b.Label(pfx + "_drainB")
+	b.Br(gpp.BrGEU, gpp.R(rj), gpp.R(rEndB), pfx+"_done")
+	b.Lw(rv2, rj, 0)
+	b.Sw(rv2, ro, 0)
+	b.Add(rj, gpp.R(rj), gpp.I(1))
+	b.Add(ro, gpp.R(ro), gpp.I(1))
+	b.Jmp(pfx + "_drainB")
+	b.Label(pfx + "_done")
+	b.ALU(isa.OpNop, 0, gpp.I(0), gpp.I(0))
+}

@@ -1,0 +1,294 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"tia/internal/asm"
+	"tia/internal/isa"
+)
+
+// TestInputsDeterministic: identical params must generate identical
+// inputs and references for every kernel (the whole verification story
+// depends on it).
+func TestInputsDeterministic(t *testing.T) {
+	for _, spec := range All() {
+		p := Params{Seed: 99, Size: 24}
+		a := spec.Reference(p)
+		b := spec.Reference(p)
+		if !equalWords(a, b) {
+			t.Errorf("%s: reference not deterministic", spec.Name)
+		}
+	}
+}
+
+// TestKMPDFAMatchesNaive: the premultiplied DFA scanner agrees with a
+// naive quadratic matcher on random texts.
+func TestKMPDFAMatchesNaive(t *testing.T) {
+	f := func(seed int64, sizeSeed uint8) bool {
+		p := Params{Seed: seed, Size: 20 + int(sizeSeed)}
+		text := kmpText(p)
+		pat := kmpPattern(p)
+		dfa := kmpDFA(pat)
+		accept := isa.Word(kmpPatLen * kmpAlphabet)
+
+		// DFA scan.
+		var dfaMatches []isa.Word
+		j := isa.Word(0)
+		for i, c := range text {
+			j = dfa[int(j)+int(c)]
+			if j == accept {
+				dfaMatches = append(dfaMatches, isa.Word(i-kmpPatLen+1))
+			}
+		}
+		// Naive scan (the registered reference).
+		naive := kmpRef(p)
+		return equalWords(dfaMatches, naive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGraphConnectedProperty: generated graphs are connected, so BFS must
+// visit every vertex exactly once.
+func TestGraphConnectedProperty(t *testing.T) {
+	f := func(seed int64, sizeSeed uint8) bool {
+		p := Params{Seed: seed, Size: 2 + int(sizeSeed%120)}
+		g := graphInput(p)
+		order := graphRef(p)
+		if len(order) != g.n {
+			return false
+		}
+		seen := map[isa.Word]bool{}
+		for _, v := range order {
+			if seen[v] || int(v) >= g.n {
+				return false
+			}
+			seen[v] = true
+		}
+		// CSR well-formedness.
+		if g.rowptr[0] != 0 || int(g.rowptr[g.n]) != len(g.adj) {
+			return false
+		}
+		for i := 0; i < g.n; i++ {
+			if g.rowptr[i] > g.rowptr[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFFTAgainstFloatDFT: the fixed-point FFT (with its 1/N scaling) must
+// approximate the naive float DFT within quantization error.
+func TestFFTAgainstFloatDFT(t *testing.T) {
+	p := Params{Seed: 5, Size: 32}
+	n, _ := fftN(p)
+	input := fftInput(p) // bit-reversed
+	got := fftRef(p)
+
+	// Reconstruct the natural-order input.
+	natural := make([]complex128, n)
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	for i := 0; i < n; i++ {
+		rev := 0
+		for b := 0; b < logN; b++ {
+			if i&(1<<b) != 0 {
+				rev |= 1 << (logN - 1 - b)
+			}
+		}
+		natural[i] = complex(float64(int32(input[2*rev])), float64(int32(input[2*rev+1])))
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			acc += natural[j] * cmplx.Exp(complex(0, ang))
+		}
+		want := acc / complex(float64(n), 0) // hardware scales by 1/N
+		gr := float64(int32(got[2*k]))
+		gi := float64(int32(got[2*k+1]))
+		// Q14 twiddles + per-stage truncation: allow a small absolute
+		// error relative to the input magnitude.
+		tol := 4.0 + math.Abs(real(want))/256 + math.Abs(imag(want))/256
+		if math.Abs(gr-real(want)) > tol || math.Abs(gi-imag(want)) > tol {
+			t.Fatalf("bin %d: got (%g,%g) want (%g,%g)", k, gr, gi, real(want), imag(want))
+		}
+	}
+}
+
+// TestAESBlocksIndependent: in ECB mode, each block's ciphertext depends
+// only on its own plaintext.
+func TestAESBlocksIndependent(t *testing.T) {
+	p := Params{Seed: 3, Size: 4}
+	rk := aesExpandKey(aesKey(p))
+	msg := aesInput(p)
+	full := aesRef(p)
+	for b := 0; b+16 <= len(msg); b += 16 {
+		var pt [16]byte
+		for i := range pt {
+			pt[i] = byte(msg[b+i])
+		}
+		ct := aesEncryptBlock(pt, rk)
+		for i, v := range ct {
+			if full[b+i] != isa.Word(v) {
+				t.Fatalf("block %d byte %d differs", b/16, i)
+			}
+		}
+	}
+}
+
+// TestSMVMReferenceAgainstDense: densifying the CSR matrix and doing a
+// straightforward matrix-vector product agrees with the CSR reference.
+func TestSMVMReferenceAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Params{Seed: seed, Size: 16}
+		d := smvmMatrix(p)
+		n := len(d.rowLen)
+		dense := make([][]isa.Word, n)
+		for i := range dense {
+			dense[i] = make([]isa.Word, n)
+		}
+		k := 0
+		for row, l := range d.rowLen {
+			for e := 0; e < int(l); e++ {
+				dense[row][d.cols[k]] += d.vals[k]
+				k++
+			}
+		}
+		want := smvmRef(p)
+		for i := 0; i < n; i++ {
+			var acc isa.Word
+			for j := 0; j < n; j++ {
+				acc += dense[i][j] * d.x[j]
+			}
+			if acc != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDMMReferenceAgainstTransposed computes the product with the inner
+// loops restructured (j-k interchange) and compares.
+func TestDMMReferenceAgainstTransposed(t *testing.T) {
+	p := Params{Seed: 7, Size: 8}
+	n := dmmN(p)
+	a, bCol := dmmInput(p)
+	want := dmmRef(p)
+	got := make([]isa.Word, n*n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			av := a[i*n+k]
+			for j := 0; j < n; j++ {
+				got[i*n+j] += av * bCol[j*n+k]
+			}
+		}
+	}
+	if !equalWords(got, want) {
+		t.Fatal("loop-interchanged product differs from reference")
+	}
+}
+
+// TestMergesortReferenceSorted: the reference output is a sorted
+// permutation of the four substreams.
+func TestMergesortReferenceSorted(t *testing.T) {
+	f := func(seed int64, sizeSeed uint8) bool {
+		p := Params{Seed: seed, Size: 4 + int(sizeSeed)}
+		out := mergesortRef(p)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				return false
+			}
+		}
+		qs := mergesortInput(p)
+		total := 0
+		for _, q := range qs {
+			total += len(q)
+		}
+		return len(out) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSHA256MultiBlockIndependence: per-record hashing means each
+// 16-word block contributes exactly its own digest words.
+func TestSHA256MultiBlockIndependence(t *testing.T) {
+	p := Params{Seed: 11, Size: 3}
+	msg := sha256Input(p)
+	ref := sha256Ref(p)
+	for b := 0; b*16 < len(msg); b++ {
+		d := sha256Compress(msg[b*16 : b*16+16])
+		for i, w := range d {
+			if ref[b*8+i] != w {
+				t.Fatalf("block %d word %d differs", b, i)
+			}
+		}
+	}
+}
+
+// TestDefaultConfigKernelsEncode: every kernel that fits the default PE
+// configuration must pack into the modeled 130-bit instruction store.
+func TestDefaultConfigKernelsEncode(t *testing.T) {
+	cfg := isa.DefaultConfig()
+	for _, name := range []string{"mergesort", "kmp", "smvm", "dmm", "graph500"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := spec.BuildTIA(spec.Normalize(Params{Seed: 1, Size: 8}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range inst.PEs {
+			if _, err := cfg.EncodeProgram(p.Program()); err != nil {
+				t.Errorf("%s/%s does not encode: %v", name, p.Name(), err)
+			}
+		}
+	}
+}
+
+// TestKernelProgramsFormatRoundTrip: every triggered kernel program must
+// survive the disassembler round trip (format → parse → rebuild) — the
+// listings in docs/listings are therefore faithful, executable assembly.
+func TestKernelProgramsFormatRoundTrip(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			p := spec.Normalize(Params{Seed: 1, Size: 8})
+			inst, err := spec.BuildTIA(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pr := range inst.PEs {
+				text := asm.FormatTIA(pr.Program())
+				prog, err := asm.ParseTIA(pr.Name(), text)
+				if err != nil {
+					t.Fatalf("%s: reparse failed: %v", pr.Name(), err)
+				}
+				if len(prog.Insts) != pr.StaticInstructions() {
+					t.Fatalf("%s: %d instructions reparsed, want %d",
+						pr.Name(), len(prog.Insts), pr.StaticInstructions())
+				}
+				if _, err := prog.Build(pr.Config()); err != nil {
+					t.Fatalf("%s: rebuild failed: %v", pr.Name(), err)
+				}
+			}
+		})
+	}
+}

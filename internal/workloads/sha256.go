@@ -1,0 +1,766 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tia/internal/asm"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// sha256 applies the SHA-256 compression function to a stream of
+// independent 512-bit blocks (fixed-record hashing), emitting the eight
+// digest words per block. The spatial mapping pipelines the message
+// schedule (schedule PE + σ-function PE + W-ring scratchpad + K-constant
+// generator) against a pair of round PEs that split the working state
+// (a-d and e-h) across their register files and exchange T1/d tokens
+// each round; a merge PE interleaves the two digest halves.
+//
+// This is the suite's compute-dense, control-light kernel: round bodies
+// are straight-line, so the triggered version's win over the PC baseline
+// is small — exactly the behaviour the paper reports for such kernels.
+// The round PEs need a larger trigger pool than the default 16 (they hold
+// a 19-step round chain plus a 9-step block-boundary chain), so this
+// workload raises MaxInsts to 32 — see the trigger-count sensitivity
+// experiment (E6). Size is the number of blocks.
+func init() {
+	register(&Spec{
+		Name:        "sha256",
+		Description: "SHA-256 compression over independent blocks, 6-PE pipeline",
+		DefaultSize: 4,
+		BuildTIA:    sha256TIA,
+		BuildPC:     sha256PC,
+		RunGPP:      sha256GPP,
+		Reference:   sha256Ref,
+		WorkUnits:   func(p Params) int64 { return int64(sha256Blocks(p)) * 64 },
+	})
+}
+
+// SHA-256 constants (FIPS 180-4).
+var shaK = []isa.Word{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+const (
+	shaH0 isa.Word = 0x6a09e667
+	shaH1 isa.Word = 0xbb67ae85
+	shaH2 isa.Word = 0x3c6ef372
+	shaH3 isa.Word = 0xa54ff53a
+	shaH4 isa.Word = 0x510e527f
+	shaH5 isa.Word = 0x9b05688c
+	shaH6 isa.Word = 0x1f83d9ab
+	shaH7 isa.Word = 0x5be0cd19
+)
+
+// Message-schedule request tags: the schedule PE tags W-ring reads with
+// the σ function the response must pass through.
+const (
+	shaTagPlain  isa.Tag = 0
+	shaTagSigma0 isa.Tag = 2
+	shaTagSigma1 isa.Tag = 3
+)
+
+func sha256Blocks(p Params) int {
+	n := p.Size
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+func sha256Input(p Params) []isa.Word {
+	r := rng(p)
+	words := make([]isa.Word, 16*sha256Blocks(p))
+	for i := range words {
+		words[i] = isa.Word(r.Uint32())
+	}
+	return words
+}
+
+func rotr(x isa.Word, s uint) isa.Word { return x>>s | x<<(32-s) }
+
+// sha256Compress is the golden Go implementation of one compression.
+func sha256Compress(block []isa.Word) [8]isa.Word {
+	var w [64]isa.Word
+	copy(w[:16], block)
+	for t := 16; t < 64; t++ {
+		s0 := rotr(w[t-15], 7) ^ rotr(w[t-15], 18) ^ (w[t-15] >> 3)
+		s1 := rotr(w[t-2], 17) ^ rotr(w[t-2], 19) ^ (w[t-2] >> 10)
+		w[t] = w[t-16] + s0 + w[t-7] + s1
+	}
+	a, b, c, d := shaH0, shaH1, shaH2, shaH3
+	e, f, g, h := shaH4, shaH5, shaH6, shaH7
+	for t := 0; t < 64; t++ {
+		S1 := rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + S1 + ch + shaK[t] + w[t]
+		S0 := rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := S0 + maj
+		h, g, f, e = g, f, e, d+t1
+		d, c, b, a = c, b, a, t1+t2
+	}
+	return [8]isa.Word{shaH0 + a, shaH1 + b, shaH2 + c, shaH3 + d,
+		shaH4 + e, shaH5 + f, shaH6 + g, shaH7 + h}
+}
+
+func sha256Ref(p Params) []isa.Word {
+	msg := sha256Input(p)
+	var out []isa.Word
+	for b := 0; b < len(msg); b += 16 {
+		d := sha256Compress(msg[b : b+16])
+		out = append(out, d[:]...)
+	}
+	return out
+}
+
+// shaTIACfg widens the trigger pool for the chain-heavy SHA PEs.
+func shaTIACfg(p Params) isa.Config {
+	cfg := p.TIACfg
+	if cfg.MaxInsts < 32 {
+		cfg.MaxInsts = 32
+	}
+	return cfg
+}
+
+// sha256Sched builds the message-schedule PE: 16 loads per block, then 48
+// generated words; σ transforms are offloaded to the sigma PE via tagged
+// W-ring reads.
+func sha256Sched(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("sched", cfg).ShareChainPhases()
+	b.In("msg", "sresp").Out("wrq", "wwa", "wwd", "wout")
+	b.Reg("i").Reg("cnt16", 16).Reg("gcnt", 48).Reg("t3").Reg("acc").Reg("t1")
+	b.Pred("lg", true).Pred("gg").Pred("morep")
+
+	load := b.Chain("lg")
+	load.Step("l_wa").Op(isa.OpAnd).DstOut("wwa", isa.TagData).Srcs(SReg("i"), SImm(15))
+	load.Step("l_wd").OnIn("msg").Op(isa.OpMov).
+		DstOut("wwd", isa.TagData).DstOut("wout", isa.TagData).Srcs(SIn("msg")).Deq("msg")
+	load.Step("l_inc").Op(isa.OpAdd).DstReg("i").Srcs(SReg("i"), SImm(1))
+	load.Step("l_dec").Op(isa.OpSub).DstReg("cnt16").DstPred("morep").Srcs(SReg("cnt16"), SImm(1))
+	load.Step("l_rst").Op(isa.OpMov).DstReg("gcnt").Srcs(SImm(48))
+	load.LoopWhile("morep", []string{"gg"}, nil)
+
+	gen := b.Chain("gg")
+	gen.Step("g_r16").Op(isa.OpAnd).DstReg("t3").DstOut("wrq", shaTagPlain).Srcs(SReg("i"), SImm(15))
+	gen.Step("g_a15").Op(isa.OpAdd).DstReg("t1").Srcs(SReg("i"), SImm(1))
+	gen.Step("g_r15").Op(isa.OpAnd).DstOut("wrq", shaTagSigma0).Srcs(SReg("t1"), SImm(15))
+	gen.Step("g_a7").Op(isa.OpAdd).DstReg("t1").Srcs(SReg("i"), SImm(9))
+	gen.Step("g_r7").Op(isa.OpAnd).DstOut("wrq", shaTagPlain).Srcs(SReg("t1"), SImm(15))
+	gen.Step("g_a2").Op(isa.OpAdd).DstReg("t1").Srcs(SReg("i"), SImm(14))
+	gen.Step("g_r2").Op(isa.OpAnd).DstOut("wrq", shaTagSigma1).Srcs(SReg("t1"), SImm(15))
+	gen.Step("g_s1").OnIn("sresp").Op(isa.OpMov).DstReg("acc").Srcs(SIn("sresp")).Deq("sresp")
+	gen.Step("g_s2").OnIn("sresp").Op(isa.OpAdd).DstReg("acc").Srcs(SReg("acc"), SIn("sresp")).Deq("sresp")
+	gen.Step("g_s3").OnIn("sresp").Op(isa.OpAdd).DstReg("acc").Srcs(SReg("acc"), SIn("sresp")).Deq("sresp")
+	gen.Step("g_s4").OnIn("sresp").Op(isa.OpAdd).DstReg("acc").Srcs(SReg("acc"), SIn("sresp")).Deq("sresp")
+	gen.Step("g_wa").Op(isa.OpMov).DstOut("wwa", isa.TagData).Srcs(SReg("t3"))
+	gen.Step("g_wd").Op(isa.OpMov).DstOut("wwd", isa.TagData).DstOut("wout", isa.TagData).Srcs(SReg("acc"))
+	gen.Step("g_inc").Op(isa.OpAdd).DstReg("i").Srcs(SReg("i"), SImm(1))
+	gen.Step("g_dec").Op(isa.OpSub).DstReg("gcnt").DstPred("morep").Srcs(SReg("gcnt"), SImm(1))
+	gen.Step("g_rst").Op(isa.OpMov).DstReg("cnt16").Srcs(SImm(16))
+	gen.LoopWhile("morep", []string{"lg"}, nil)
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// sha256Sigma builds the σ-function PE: plain responses pass through,
+// tagged responses are transformed by σ0 or σ1.
+func sha256Sigma(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("sigma", cfg)
+	b.In("resp").Out("o")
+	b.Reg("r").Reg("t1").Reg("t2")
+	b.Pred("act").Pred("sel").Pred("b0").Pred("b1").Pred("b2")
+
+	b.Rule("fwd").When("!act").OnTag("resp", shaTagPlain).
+		Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SIn("resp")).Deq("resp").Done()
+	b.Rule("l0").When("!act").OnTag("resp", shaTagSigma0).
+		Op(isa.OpMov).DstReg("r").Srcs(SIn("resp")).Deq("resp").Set("act").Done()
+	b.Rule("l1").When("!act").OnTag("resp", shaTagSigma1).
+		Op(isa.OpMov).DstReg("r").Srcs(SIn("resp")).Deq("resp").Set("act", "sel").Done()
+
+	type sig struct{ r1, r2, sh isa.Word }
+	params := map[bool]sig{false: {7, 18, 3}, true: {17, 19, 10}}
+	for _, s1 := range []bool{false, true} {
+		sg := params[s1]
+		sel := "!sel"
+		pfx := "s0"
+		if s1 {
+			sel = "sel"
+			pfx = "s1"
+		}
+		b.Rule(pfx+"a").When("act", sel, "!b2", "!b1", "!b0").
+			Op(isa.OpRotr).DstReg("t1").Srcs(SReg("r"), SImm(sg.r1)).Set("b0").Done()
+		b.Rule(pfx+"b").When("act", sel, "!b2", "!b1", "b0").
+			Op(isa.OpRotr).DstReg("t2").Srcs(SReg("r"), SImm(sg.r2)).Clr("b0").Set("b1").Done()
+		b.Rule(pfx+"c").When("act", sel, "!b2", "b1", "!b0").
+			Op(isa.OpXor).DstReg("t1").Srcs(SReg("t1"), SReg("t2")).Set("b0").Done()
+		b.Rule(pfx+"d").When("act", sel, "!b2", "b1", "b0").
+			Op(isa.OpShr).DstReg("t2").Srcs(SReg("r"), SImm(sg.sh)).Clr("b0", "b1").Set("b2").Done()
+		b.Rule(pfx+"e").When("act", sel, "b2", "!b1", "!b0").
+			Op(isa.OpXor).DstOut("o", isa.TagData).Srcs(SReg("t1"), SReg("t2")).
+			Clr("act", "sel", "b2").Done()
+	}
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// sha256KGen streams the K-table addresses 0..63 cyclically.
+func sha256KGen(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("kgen", cfg)
+	b.Out("krq")
+	b.Reg("i")
+	b.Pred("ph")
+	b.Rule("emit").When("!ph").
+		Op(isa.OpAnd).DstOut("krq", isa.TagData).Srcs(SReg("i"), SImm(63)).Set("ph").Done()
+	b.Rule("inc").When("ph").
+		Op(isa.OpAdd).DstReg("i").Srcs(SReg("i"), SImm(1)).Clr("ph").Done()
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// sha256Round1 holds e,f,g,h: computes Σ1, ch and T1, updates e from d.
+func sha256Round1(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("round1", cfg).ShareChainPhases()
+	b.In("win", "kin", "din").Out("t1out", "dig")
+	b.Reg("e", shaH4).Reg("f", shaH5).Reg("g", shaH6).Reg("h", shaH7).
+		Reg("t1").Reg("t2").Reg("rounds", 64)
+	b.Pred("rg", true).Pred("bg").Pred("morep")
+
+	r := b.Chain("rg")
+	r.Step("s1a").Op(isa.OpRotr).DstReg("t1").Srcs(SReg("e"), SImm(6))
+	r.Step("s1b").Op(isa.OpRotr).DstReg("t2").Srcs(SReg("e"), SImm(11))
+	r.Step("s1c").Op(isa.OpXor).DstReg("t1").Srcs(SReg("t1"), SReg("t2"))
+	r.Step("s1d").Op(isa.OpRotr).DstReg("t2").Srcs(SReg("e"), SImm(25))
+	r.Step("s1e").Op(isa.OpXor).DstReg("t1").Srcs(SReg("t1"), SReg("t2"))
+	r.Step("hs1").Op(isa.OpAdd).DstReg("h").Srcs(SReg("h"), SReg("t1"))
+	r.Step("cha").Op(isa.OpAnd).DstReg("t1").Srcs(SReg("e"), SReg("f"))
+	r.Step("chb").Op(isa.OpNot).DstReg("t2").Srcs(SReg("e"))
+	r.Step("chc").Op(isa.OpAnd).DstReg("t2").Srcs(SReg("t2"), SReg("g"))
+	r.Step("chd").Op(isa.OpXor).DstReg("t1").Srcs(SReg("t1"), SReg("t2"))
+	r.Step("hch").Op(isa.OpAdd).DstReg("h").Srcs(SReg("h"), SReg("t1"))
+	r.Step("hw").OnIn("win").Op(isa.OpAdd).DstReg("h").Srcs(SReg("h"), SIn("win")).Deq("win")
+	r.Step("hk").OnIn("kin").Op(isa.OpAdd).DstReg("h").DstOut("t1out", isa.TagData).
+		Srcs(SReg("h"), SIn("kin")).Deq("kin") // T1 complete, shipped to round2
+	r.Step("newe").OnIn("din").Op(isa.OpAdd).DstReg("t1").Srcs(SReg("h"), SIn("din")).Deq("din")
+	r.Step("rh").Op(isa.OpMov).DstReg("h").Srcs(SReg("g"))
+	r.Step("rg2").Op(isa.OpMov).DstReg("g").Srcs(SReg("f"))
+	r.Step("rf").Op(isa.OpMov).DstReg("f").Srcs(SReg("e"))
+	r.Step("re").Op(isa.OpMov).DstReg("e").Srcs(SReg("t1"))
+	r.Step("dec").Op(isa.OpSub).DstReg("rounds").DstPred("morep").Srcs(SReg("rounds"), SImm(1))
+	r.LoopWhile("morep", []string{"bg"}, nil)
+
+	bd := b.Chain("bg")
+	bd.Step("d4").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("e"), SImm(shaH4))
+	bd.Step("d5").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("f"), SImm(shaH5))
+	bd.Step("d6").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("g"), SImm(shaH6))
+	bd.Step("d7").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("h"), SImm(shaH7))
+	bd.Step("ie").Op(isa.OpMov).DstReg("e").Srcs(SImm(shaH4))
+	bd.Step("if").Op(isa.OpMov).DstReg("f").Srcs(SImm(shaH5))
+	bd.Step("ig").Op(isa.OpMov).DstReg("g").Srcs(SImm(shaH6))
+	bd.Step("ih").Op(isa.OpMov).DstReg("h").Srcs(SImm(shaH7))
+	bd.Step("ir").Op(isa.OpMov).DstReg("rounds").Srcs(SImm(64))
+	bd.EndOnce([]string{"rg", "morep"}, nil)
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// sha256Round2 holds a,b,c,d: computes Σ0, maj, T2 and the new a.
+func sha256Round2(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("round2", cfg).ShareChainPhases()
+	b.In("t1in").Out("dout", "dig")
+	b.Reg("a", shaH0).Reg("b", shaH1).Reg("c", shaH2).Reg("d", shaH3).
+		Reg("t1").Reg("t2").Reg("t3").Reg("rounds", 64)
+	b.Pred("rg", true).Pred("bg").Pred("morep")
+
+	r := b.Chain("rg")
+	r.Step("s0a").Op(isa.OpRotr).DstReg("t1").Srcs(SReg("a"), SImm(2))
+	r.Step("s0b").Op(isa.OpRotr).DstReg("t2").Srcs(SReg("a"), SImm(13))
+	r.Step("s0c").Op(isa.OpXor).DstReg("t1").Srcs(SReg("t1"), SReg("t2"))
+	r.Step("s0d").Op(isa.OpRotr).DstReg("t2").Srcs(SReg("a"), SImm(22))
+	r.Step("s0e").Op(isa.OpXor).DstReg("t1").Srcs(SReg("t1"), SReg("t2"))
+	r.Step("mja").Op(isa.OpAnd).DstReg("t2").Srcs(SReg("a"), SReg("b"))
+	r.Step("mjb").Op(isa.OpAnd).DstReg("t3").Srcs(SReg("a"), SReg("c"))
+	r.Step("mjc").Op(isa.OpXor).DstReg("t2").Srcs(SReg("t2"), SReg("t3"))
+	r.Step("mjd").Op(isa.OpAnd).DstReg("t3").Srcs(SReg("b"), SReg("c"))
+	r.Step("mje").Op(isa.OpXor).DstReg("t2").Srcs(SReg("t2"), SReg("t3"))
+	r.Step("t2s").Op(isa.OpAdd).DstReg("t1").Srcs(SReg("t1"), SReg("t2")) // T2
+	r.Step("sd").Op(isa.OpMov).DstOut("dout", isa.TagData).Srcs(SReg("d"))
+	r.Step("rd").Op(isa.OpMov).DstReg("d").Srcs(SReg("c"))
+	r.Step("rc").Op(isa.OpMov).DstReg("c").Srcs(SReg("b"))
+	r.Step("rb").Op(isa.OpMov).DstReg("b").Srcs(SReg("a"))
+	r.Step("ra").OnIn("t1in").Op(isa.OpAdd).DstReg("a").Srcs(SReg("t1"), SIn("t1in")).Deq("t1in")
+	r.Step("dec").Op(isa.OpSub).DstReg("rounds").DstPred("morep").Srcs(SReg("rounds"), SImm(1))
+	r.LoopWhile("morep", []string{"bg"}, nil)
+
+	bd := b.Chain("bg")
+	bd.Step("d0").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("a"), SImm(shaH0))
+	bd.Step("d1").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("b"), SImm(shaH1))
+	bd.Step("d2").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("c"), SImm(shaH2))
+	bd.Step("d3").Op(isa.OpAdd).DstOut("dig", isa.TagData).Srcs(SReg("d"), SImm(shaH3))
+	bd.Step("ia").Op(isa.OpMov).DstReg("a").Srcs(SImm(shaH0))
+	bd.Step("ib").Op(isa.OpMov).DstReg("b").Srcs(SImm(shaH1))
+	bd.Step("ic").Op(isa.OpMov).DstReg("c").Srcs(SImm(shaH2))
+	bd.Step("id").Op(isa.OpMov).DstReg("d").Srcs(SImm(shaH3))
+	bd.Step("ir").Op(isa.OpMov).DstReg("rounds").Srcs(SImm(64))
+	bd.EndOnce([]string{"rg", "morep"}, nil)
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// sha256Merge interleaves the two digest halves into H0..H7 order.
+func sha256Merge(cfg isa.Config) (*pe.PE, *TB, error) {
+	b := NewTB("dmerge", cfg)
+	b.In("da", "db").Out("o")
+	b.Pred("g", true).Pred("alw", true)
+	c := b.Chain("g")
+	for i := 0; i < 4; i++ {
+		c.Step(fmt.Sprintf("a%d", i)).OnIn("da").
+			Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SIn("da")).Deq("da")
+	}
+	for i := 0; i < 4; i++ {
+		c.Step(fmt.Sprintf("b%d", i)).OnIn("db").
+			Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SIn("db")).Deq("db")
+	}
+	c.LoopWhile("alw", nil, nil)
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+func sha256TIA(p Params) (*Instance, error) {
+	blocks := sha256Blocks(p)
+	msg := sha256Input(p)
+	cfg := shaTIACfg(p)
+
+	sched, sb, err := sha256Sched(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sigma, gb, err := sha256Sigma(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kgen, kb, err := sha256KGen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r1, r1b, err := sha256Round1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r2, r2b, err := sha256Round2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mg, mb, err := sha256Merge(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pes := []*pe.PE{sched, sigma, kgen, r1, r2, mg}
+	p.apply(pes...)
+
+	wmem := mem.New("wring", 16)
+	kmem := mem.New("ktab", 64)
+	kmem.Load(shaK)
+	p.applyMems(wmem, kmem)
+
+	f := fabric.New(p.FabricCfg)
+	src := fabric.NewWordSource("msg", msg, false)
+	snk := fabric.NewCountingSink("digest", 8*blocks)
+	for _, e := range []fabric.Element{src, sched, sigma, kgen, r1, r2, mg, wmem, kmem, snk} {
+		f.Add(e)
+	}
+	f.Wire(src, 0, sched, sb.InIdx("msg"))
+	f.Wire(sched, sb.OutIdx("wrq"), wmem, mem.PortReadAddr)
+	f.Wire(sched, sb.OutIdx("wwa"), wmem, mem.PortWriteAddr)
+	f.Wire(sched, sb.OutIdx("wwd"), wmem, mem.PortWriteData)
+	f.Wire(wmem, mem.PortReadData, sigma, gb.InIdx("resp"))
+	f.Wire(sigma, gb.OutIdx("o"), sched, sb.InIdx("sresp"))
+	f.Wire(kgen, kb.OutIdx("krq"), kmem, mem.PortReadAddr)
+	f.Wire(kmem, mem.PortReadData, r1, r1b.InIdx("kin"))
+	f.Wire(sched, sb.OutIdx("wout"), r1, r1b.InIdx("win"))
+	f.Wire(r1, r1b.OutIdx("t1out"), r2, r2b.InIdx("t1in"))
+	f.Wire(r2, r2b.OutIdx("dout"), r1, r1b.InIdx("din"))
+	f.Wire(r2, r2b.OutIdx("dig"), mg, mb.InIdx("da"))
+	f.Wire(r1, r1b.OutIdx("dig"), mg, mb.InIdx("db"))
+	f.Wire(mg, mb.OutIdx("o"), snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalTIA:     r1,
+		PEs:             pes,
+		ScratchpadWords: wmem.Size() + kmem.Size(),
+	}, nil
+}
+
+const shaSchedPC = `
+in msg wresp
+out wrq wwa wwd wout
+reg i cnt acc t1 t2 t3
+
+block:  mov cnt, #16
+load:   and wwa, i, #15
+        mov wwd, wout, msg.pop
+        add i, i, #1
+        sub cnt, cnt, #1
+        bne cnt, #0, load
+        mov cnt, #48
+gen:    and wrq, i, #15
+        add t1, i, #1
+        and wrq, t1, #15
+        add t1, i, #9
+        and wrq, t1, #15
+        add t1, i, #14
+        and wrq, t1, #15
+        mov acc, wresp.pop
+        mov t1, wresp.pop
+        rotr t2, t1, #7
+        rotr t3, t1, #18
+        xor t2, t2, t3
+        shr t3, t1, #3
+        xor t2, t2, t3
+        add acc, acc, t2
+        add acc, acc, wresp.pop
+        mov t1, wresp.pop
+        rotr t2, t1, #17
+        rotr t3, t1, #19
+        xor t2, t2, t3
+        shr t3, t1, #10
+        xor t2, t2, t3
+        add acc, acc, t2
+        and wwa, i, #15
+        mov wwd, wout, acc
+        add i, i, #1
+        sub cnt, cnt, #1
+        bne cnt, #0, gen
+        jmp block
+`
+
+const shaKGenPC = `
+out krq
+reg i
+loop:   and krq, i, #63
+        add i, i, #1
+        jmp loop
+`
+
+const shaRound1PC = `
+in win kin din
+out t1out dig
+reg e = 0x510e527f
+reg f = 0x9b05688c
+reg g = 0x1f83d9ab
+reg h = 0x5be0cd19
+reg t1 t2 cnt
+
+block:  mov cnt, #64
+round:  rotr t1, e, #6
+        rotr t2, e, #11
+        xor t1, t1, t2
+        rotr t2, e, #25
+        xor t1, t1, t2
+        add h, h, t1
+        and t1, e, f
+        not t2, e
+        and t2, t2, g
+        xor t1, t1, t2
+        add h, h, t1
+        add h, h, win.pop
+        add h, t1out, h, kin.pop
+        add t1, h, din.pop
+        mov h, g
+        mov g, f
+        mov f, e
+        mov e, t1
+        sub cnt, cnt, #1
+        bne cnt, #0, round
+        add dig, e, #0x510e527f
+        add dig, f, #0x9b05688c
+        add dig, g, #0x1f83d9ab
+        add dig, h, #0x5be0cd19
+        mov e, #0x510e527f
+        mov f, #0x9b05688c
+        mov g, #0x1f83d9ab
+        mov h, #0x5be0cd19
+        jmp block
+`
+
+const shaMergePC = `
+in da db
+out o
+reg c
+
+block:  mov c, #0
+la:     mov o, da.pop
+        add c, c, #1
+        bne c, #4, la
+        mov c, #0
+lb:     mov o, db.pop
+        add c, c, #1
+        bne c, #4, lb
+        jmp block
+`
+
+func sha256PC(p Params) (*Instance, error) {
+	blocks := sha256Blocks(p)
+	msg := sha256Input(p)
+
+	build := func(name, text string) (*pcpe.PE, error) {
+		prog, err := asm.ParsePC(name, text)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Build(p.PCCfg)
+	}
+	sched, err := build("sched", shaSchedPC)
+	if err != nil {
+		return nil, err
+	}
+	kgen, err := build("kgen", shaKGenPC)
+	if err != nil {
+		return nil, err
+	}
+	r1, err := build("round1", shaRound1PC)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := build("round2", shaRound2PCText())
+	if err != nil {
+		return nil, err
+	}
+	mg, err := build("dmerge", shaMergePC)
+	if err != nil {
+		return nil, err
+	}
+
+	wmem := mem.New("wring", 16)
+	kmem := mem.New("ktab", 64)
+	kmem.Load(shaK)
+	p.applyMems(wmem, kmem)
+
+	f := fabric.New(p.FabricCfg)
+	src := fabric.NewWordSource("msg", msg, false)
+	snk := fabric.NewCountingSink("digest", 8*blocks)
+	for _, e := range []fabric.Element{src, sched, kgen, r1, r2, mg, wmem, kmem, snk} {
+		f.Add(e)
+	}
+	f.Wire(src, 0, sched, 0)
+	f.Wire(sched, 0, wmem, mem.PortReadAddr)
+	f.Wire(sched, 1, wmem, mem.PortWriteAddr)
+	f.Wire(sched, 2, wmem, mem.PortWriteData)
+	f.Wire(wmem, mem.PortReadData, sched, 1)
+	f.Wire(kgen, 0, kmem, mem.PortReadAddr)
+	f.Wire(kmem, mem.PortReadData, r1, 1)
+	f.Wire(sched, 3, r1, 0)
+	f.Wire(r1, 0, r2, 0)
+	f.Wire(r2, 0, r1, 2)
+	f.Wire(r2, 1, mg, 0)
+	f.Wire(r1, 1, mg, 1)
+	f.Wire(mg, 0, snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalPC:      r1,
+		PCPEs:           []*pcpe.PE{sched, kgen, r1, r2, mg},
+		ScratchpadWords: wmem.Size() + kmem.Size(),
+	}, nil
+}
+
+// shaRound2PCText generates the a-d round program (kept in Go to avoid a
+// stale constant above).
+func shaRound2PCText() string {
+	return `
+in t1in
+out dout dig
+reg a = 0x6a09e667
+reg b = 0xbb67ae85
+reg c = 0x3c6ef372
+reg d = 0xa54ff53a
+reg t1 t2 t3
+reg cnt
+
+block:  mov cnt, #64
+round:  rotr t1, a, #2
+        rotr t2, a, #13
+        xor t1, t1, t2
+        rotr t2, a, #22
+        xor t1, t1, t2
+        and t2, a, b
+        and t3, a, c
+        xor t2, t2, t3
+        and t3, b, c
+        xor t2, t2, t3
+        add t1, t1, t2
+        mov dout, d
+        mov d, c
+        mov c, b
+        mov b, a
+        add a, t1, t1in.pop
+        sub cnt, cnt, #1
+        bne cnt, #0, round
+        add dig, a, #0x6a09e667
+        add dig, b, #0xbb67ae85
+        add dig, c, #0x3c6ef372
+        add dig, d, #0xa54ff53a
+        mov a, #0x6a09e667
+        mov b, #0xbb67ae85
+        mov c, #0x3c6ef372
+        mov d, #0xa54ff53a
+        jmp block
+`
+}
+
+func sha256GPP(p Params) (*GPPResult, error) {
+	blocks := sha256Blocks(p)
+	msg := sha256Input(p)
+
+	kBase := 0
+	wBase := 64
+	msgBase := wBase + 16
+	outBase := msgBase + len(msg)
+
+	const (
+		rA, rB, rC, rD, rE, rF, rG, rH           = 1, 2, 3, 4, 5, 6, 7, 8
+		rT1, rT2, rT3, rW, rI, rAddr, rBse, rOut = 9, 10, 11, 12, 13, 14, 15, 16
+		rBlk, rEnd                               = 17, 18
+	)
+	b := gpp.NewBuilder()
+	b.Li(rBse, isa.Word(msgBase))
+	b.Li(rOut, isa.Word(outBase))
+	b.Li(rBlk, isa.Word(blocks))
+	b.Label("blk")
+	b.Br(gpp.BrEQ, gpp.R(rBlk), gpp.I(0), "done")
+	for i, iv := range []isa.Word{shaH0, shaH1, shaH2, shaH3, shaH4, shaH5, shaH6, shaH7} {
+		b.Li(rA+i, iv)
+	}
+	// W[0..15] = message words.
+	b.Li(rI, 0)
+	b.Label("wload")
+	b.Br(gpp.BrGEU, gpp.R(rI), gpp.I(16), "rounds")
+	b.Add(rAddr, gpp.R(rBse), gpp.R(rI))
+	b.Lw(rT1, rAddr, 0)
+	b.Add(rAddr, gpp.R(rI), gpp.I(isa.Word(wBase)))
+	b.Sw(rT1, rAddr, 0)
+	b.Add(rI, gpp.R(rI), gpp.I(1))
+	b.Jmp("wload")
+	// 64 rounds, extending the schedule in place.
+	b.Label("rounds")
+	b.Li(rI, 0)
+	b.Label("round")
+	b.Br(gpp.BrGEU, gpp.R(rI), gpp.I(64), "blkend")
+	b.Br(gpp.BrLTU, gpp.R(rI), gpp.I(16), "wfetch")
+	// W[i] = W[i-16] + sigma0(W[i-15]) + W[i-7] + sigma1(W[i-2])
+	wslot := func(off isa.Word) {
+		b.Add(rAddr, gpp.R(rI), gpp.I(off))
+		b.And(rAddr, gpp.R(rAddr), gpp.I(15))
+		b.Add(rAddr, gpp.R(rAddr), gpp.I(isa.Word(wBase)))
+	}
+	wslot(0)
+	b.Lw(rW, rAddr, 0) // W[i-16]
+	wslot(1)
+	b.Lw(rT1, rAddr, 0) // W[i-15]
+	b.Rotr(rT2, gpp.R(rT1), gpp.I(7))
+	b.Rotr(rT3, gpp.R(rT1), gpp.I(18))
+	b.Xor(rT2, gpp.R(rT2), gpp.R(rT3))
+	b.Shr(rT3, gpp.R(rT1), gpp.I(3))
+	b.Xor(rT2, gpp.R(rT2), gpp.R(rT3))
+	b.Add(rW, gpp.R(rW), gpp.R(rT2))
+	wslot(9)
+	b.Lw(rT1, rAddr, 0) // W[i-7]
+	b.Add(rW, gpp.R(rW), gpp.R(rT1))
+	wslot(14)
+	b.Lw(rT1, rAddr, 0) // W[i-2]
+	b.Rotr(rT2, gpp.R(rT1), gpp.I(17))
+	b.Rotr(rT3, gpp.R(rT1), gpp.I(19))
+	b.Xor(rT2, gpp.R(rT2), gpp.R(rT3))
+	b.Shr(rT3, gpp.R(rT1), gpp.I(10))
+	b.Xor(rT2, gpp.R(rT2), gpp.R(rT3))
+	b.Add(rW, gpp.R(rW), gpp.R(rT2))
+	wslot(0)
+	b.Sw(rW, rAddr, 0)
+	b.Jmp("compress")
+	b.Label("wfetch")
+	b.Add(rAddr, gpp.R(rI), gpp.I(isa.Word(wBase)))
+	b.Lw(rW, rAddr, 0)
+	b.Label("compress")
+	// T1 = h + Sigma1(e) + ch(e,f,g) + K[i] + W
+	b.Rotr(rT1, gpp.R(rE), gpp.I(6))
+	b.Rotr(rT2, gpp.R(rE), gpp.I(11))
+	b.Xor(rT1, gpp.R(rT1), gpp.R(rT2))
+	b.Rotr(rT2, gpp.R(rE), gpp.I(25))
+	b.Xor(rT1, gpp.R(rT1), gpp.R(rT2))
+	b.Add(rT1, gpp.R(rT1), gpp.R(rH))
+	b.And(rT2, gpp.R(rE), gpp.R(rF))
+	b.ALU(isa.OpNot, rT3, gpp.R(rE), gpp.I(0))
+	b.And(rT3, gpp.R(rT3), gpp.R(rG))
+	b.Xor(rT2, gpp.R(rT2), gpp.R(rT3))
+	b.Add(rT1, gpp.R(rT1), gpp.R(rT2))
+	b.Add(rAddr, gpp.R(rI), gpp.I(isa.Word(kBase)))
+	b.Lw(rT2, rAddr, 0)
+	b.Add(rT1, gpp.R(rT1), gpp.R(rT2))
+	b.Add(rT1, gpp.R(rT1), gpp.R(rW))
+	// T2 = Sigma0(a) + maj(a,b,c)
+	b.Rotr(rT2, gpp.R(rA), gpp.I(2))
+	b.Rotr(rT3, gpp.R(rA), gpp.I(13))
+	b.Xor(rT2, gpp.R(rT2), gpp.R(rT3))
+	b.Rotr(rT3, gpp.R(rA), gpp.I(22))
+	b.Xor(rT2, gpp.R(rT2), gpp.R(rT3))
+	b.And(rT3, gpp.R(rA), gpp.R(rB))
+	b.And(rW, gpp.R(rA), gpp.R(rC))
+	b.Xor(rT3, gpp.R(rT3), gpp.R(rW))
+	b.And(rW, gpp.R(rB), gpp.R(rC))
+	b.Xor(rT3, gpp.R(rT3), gpp.R(rW))
+	b.Add(rT2, gpp.R(rT2), gpp.R(rT3))
+	// rotate state
+	b.Mv(rH, rG)
+	b.Mv(rG, rF)
+	b.Mv(rF, rE)
+	b.Add(rE, gpp.R(rD), gpp.R(rT1))
+	b.Mv(rD, rC)
+	b.Mv(rC, rB)
+	b.Mv(rB, rA)
+	b.Add(rA, gpp.R(rT1), gpp.R(rT2))
+	b.Add(rI, gpp.R(rI), gpp.I(1))
+	b.Jmp("round")
+	b.Label("blkend")
+	for i, iv := range []isa.Word{shaH0, shaH1, shaH2, shaH3, shaH4, shaH5, shaH6, shaH7} {
+		b.Add(rT1, gpp.R(rA+i), gpp.I(iv))
+		b.Sw(rT1, rOut, isa.Word(i))
+	}
+	b.Add(rOut, gpp.R(rOut), gpp.I(8))
+	b.Add(rBse, gpp.R(rBse), gpp.I(16))
+	b.Sub(rBlk, gpp.R(rBlk), gpp.I(1))
+	b.Jmp("blk")
+	b.Label("done")
+	b.Halt()
+	_ = rEnd
+
+	core, err := gpp.New(gpp.DefaultConfig(outBase+8*blocks+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	core.LoadMem(kBase, shaK)
+	core.LoadMem(msgBase, msg)
+	if err := core.Run(int64(20000*blocks) + 10000); err != nil {
+		return nil, err
+	}
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(outBase, 8*blocks)}, nil
+}

@@ -1,0 +1,31 @@
+package workloads
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"tia/internal/isa"
+)
+
+// TestSHA256KnownAnswer pins the golden compression against the standard
+// library: the padded one-block message for "abc" must produce the
+// well-known digest.
+func TestSHA256KnownAnswer(t *testing.T) {
+	var block [64]byte
+	copy(block[:], "abc")
+	block[3] = 0x80
+	binary.BigEndian.PutUint64(block[56:], 24) // bit length
+	var words [16]isa.Word
+	for i := range words {
+		words[i] = isa.Word(binary.BigEndian.Uint32(block[4*i:]))
+	}
+	got := sha256Compress(words[:])
+	want := sha256.Sum256([]byte("abc"))
+	for i := 0; i < 8; i++ {
+		w := isa.Word(binary.BigEndian.Uint32(want[4*i:]))
+		if got[i] != w {
+			t.Fatalf("digest word %d = %#x, want %#x", i, got[i], w)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package workloads
+
+import (
+	"tia/internal/asm"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+)
+
+// smvm is sparse matrix-vector multiplication over a CSR matrix. The
+// fabric holds the column indices, the values and the x vector in three
+// scratchpads; a source streams per-row nonzero counts; and a three-stage
+// PE pipeline (address fetch → multiply → accumulate) emits one y value
+// per row. Both spatial versions use the same decomposition; the triggered
+// one needs fewer fires per nonzero because loop tests and request fan-out
+// fold into triggers and multi-destination writes. Size is the row count;
+// every row has 1-4 nonzeros.
+func init() {
+	register(&Spec{
+		Name:         "smvm",
+		Description:  "CSR sparse matrix-vector multiply, 3-PE pipeline",
+		DefaultSize:  128,
+		BuildTIA:     smvmTIA,
+		BuildPC:      smvmPC,
+		BuildPCPlain: smvmPCPlain,
+		RunGPP:       smvmGPP,
+		Reference:    smvmRef,
+		WorkUnits: func(p Params) int64 {
+			m := smvmMatrix(p)
+			return int64(len(m.cols))
+		},
+	})
+}
+
+type smvmData struct {
+	rowLen []isa.Word // nonzeros per row (all >= 1)
+	cols   []isa.Word
+	vals   []isa.Word
+	x      []isa.Word
+}
+
+func smvmMatrix(p Params) *smvmData {
+	r := rng(p)
+	n := p.Size
+	if n < 2 {
+		n = 2
+	}
+	d := &smvmData{x: make([]isa.Word, n)}
+	for i := range d.x {
+		d.x[i] = isa.Word(r.Intn(64))
+	}
+	for row := 0; row < n; row++ {
+		nnz := 1 + r.Intn(4)
+		d.rowLen = append(d.rowLen, isa.Word(nnz))
+		for e := 0; e < nnz; e++ {
+			d.cols = append(d.cols, isa.Word(r.Intn(n)))
+			d.vals = append(d.vals, isa.Word(r.Intn(64)))
+		}
+	}
+	return d
+}
+
+func smvmRef(p Params) []isa.Word {
+	d := smvmMatrix(p)
+	out := make([]isa.Word, 0, len(d.rowLen))
+	k := 0
+	for _, l := range d.rowLen {
+		var acc isa.Word
+		for e := 0; e < int(l); e++ {
+			acc += d.vals[k] * d.x[d.cols[k]]
+			k++
+		}
+		out = append(out, acc)
+	}
+	return out
+}
+
+// smvmFetchTIA builds the address-generation PE: for each row length it
+// forwards the count to the accumulator and emits one address per nonzero
+// to both the column and value scratchpads with a single multi-destination
+// fire.
+func smvmFetchTIA(p Params) (*pe.PE, *TB, error) {
+	b := NewTB("fetch", p.TIACfg)
+	b.In("rows", "ci").Out("crq", "vrq", "xrq", "cnt")
+	b.Reg("k", 0xFFFFFFFF). // last issued nonzero index; first address is 0
+				Reg("end")
+	b.Pred("latched").Pred("busy").Pred("gop").Pred("tstp").Pred("finp")
+
+	// Forward the row's nonzero count to the accumulator.
+	b.Rule("fwd").When("!busy", "!latched").OnTag("rows", isa.TagData).
+		Op(isa.OpMov).DstOut("cnt", isa.TagData).Srcs(SIn("rows")).Set("latched").Done()
+	// Record where the row's addresses stop, consume the count token.
+	b.Rule("end").When("latched").
+		Op(isa.OpAdd).DstReg("end").Srcs(SReg("k"), SIn("rows")).Deq("rows").
+		Clr("latched").Set("busy", "gop").Done()
+	// One fire issues the next address to both scratchpads and bumps k.
+	b.Rule("rq").When("busy", "gop").
+		Op(isa.OpAdd).DstReg("k").DstOut("crq", isa.TagData).DstOut("vrq", isa.TagData).
+		Srcs(SReg("k"), SImm(1)).Clr("gop").Set("tstp").Done()
+	b.Rule("tst").When("busy", "tstp").
+		Op(isa.OpNE).DstPred("gop").Srcs(SReg("k"), SReg("end")).Clr("tstp").Done()
+	b.Rule("rowdone").When("busy", "!gop", "!tstp").
+		Op(isa.OpNop).Clr("busy").Done()
+	// Column index responses become x-vector requests, fully reactive.
+	b.Rule("xreq").OnTag("ci", isa.TagData).
+		Op(isa.OpMov).DstOut("xrq", isa.TagData).Srcs(SIn("ci")).Deq("ci").Done()
+	// End of rows: flow an EOD-tagged read through the column scratchpad
+	// so it arrives behind every outstanding response, then halt only
+	// when it comes back — correct at any memory latency.
+	b.Rule("fin1").When("!busy", "!latched", "!finp").OnTag("rows", isa.TagEOD).
+		Op(isa.OpMov).DstOut("crq", isa.TagEOD).Srcs(SImm(0)).Deq("rows").Set("finp").Done()
+	b.Rule("fin2").When("finp").OnTag("ci", isa.TagEOD).
+		Op(isa.OpHalt).DstOut("cnt", isa.TagEOD).Deq("ci").Done()
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// smvmMulTIA multiplies paired x values and matrix values.
+func smvmMulTIA(p Params) (*pe.PE, *TB, error) {
+	b := NewTB("mul", p.TIACfg)
+	b.In("xv", "vv").Out("t")
+	b.Rule("mul").OnIn("xv", "vv").
+		Op(isa.OpMul).DstOut("t", isa.TagData).Srcs(SIn("xv"), SIn("vv")).
+		Deq("xv", "vv").Done()
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+// smvmAccTIA accumulates products per row and emits y values.
+func smvmAccTIA(p Params) (*pe.PE, *TB, error) {
+	b := NewTB("acc", p.TIACfg)
+	b.In("cnt", "t").Out("y")
+	b.Reg("acc").Reg("rem")
+	b.Pred("mbusy").Pred("ph").Pred("morep", true).Pred("rstp")
+
+	// latch waits for morep so a fresh row cannot slip in between the
+	// emit and reset fires of the previous row.
+	b.Rule("latch").When("!mbusy", "morep").OnTag("cnt", isa.TagData).
+		Op(isa.OpMov).DstReg("rem").Srcs(SIn("cnt")).Deq("cnt").Set("mbusy").Done()
+	b.Rule("emit").When("mbusy", "!ph", "!morep").
+		Op(isa.OpMov).DstOut("y", isa.TagData).Srcs(SReg("acc")).Set("rstp").Clr("mbusy").Done()
+	b.Rule("rst").When("rstp").
+		Op(isa.OpMov).DstReg("acc").Srcs(SImm(0)).Clr("rstp").Set("morep").Done()
+	b.Rule("add").When("mbusy", "!ph", "morep").OnIn("t").
+		Op(isa.OpAdd).DstReg("acc").Srcs(SReg("acc"), SIn("t")).Deq("t").Set("ph").Done()
+	b.Rule("dec").When("mbusy", "ph").
+		Op(isa.OpSub).DstReg("rem").DstPred("morep").Srcs(SReg("rem"), SImm(1)).Clr("ph").Done()
+	b.Rule("fin").When("!mbusy", "!rstp").OnTag("cnt", isa.TagEOD).
+		Op(isa.OpHalt).DstOut("y", isa.TagEOD).Deq("cnt").Done()
+
+	proc, err := b.Build()
+	return proc, b, err
+}
+
+func smvmWire(p Params, d *smvmData, fetch, mul, acc fabric.Element,
+	fetchPorts, mulPorts, accPorts map[string]int) (*fabric.Fabric, *fabric.Sink, int) {
+
+	f := fabric.New(p.FabricCfg)
+	rows := fabric.NewWordSource("rows", d.rowLen, true)
+	colsM := mem.New("cols", len(d.cols))
+	colsM.Load(d.cols)
+	valsM := mem.New("vals", len(d.vals))
+	valsM.Load(d.vals)
+	xM := mem.New("xvec", len(d.x))
+	xM.Load(d.x)
+	p.applyMems(colsM, valsM, xM)
+	snk := fabric.NewSink("y")
+	f.Add(rows)
+	f.Add(colsM)
+	f.Add(valsM)
+	f.Add(xM)
+	f.Add(fetch)
+	f.Add(mul)
+	f.Add(acc)
+	f.Add(snk)
+
+	fe := fetch.(fabric.InPort)
+	feo := fetch.(fabric.OutPort)
+	mi := mul.(fabric.InPort)
+	mo := mul.(fabric.OutPort)
+	ai := acc.(fabric.InPort)
+	ao := acc.(fabric.OutPort)
+
+	f.Wire(rows, 0, fe, fetchPorts["rows"])
+	f.Wire(feo, fetchPorts["crq"], colsM, mem.PortReadAddr)
+	f.Wire(colsM, mem.PortReadData, fe, fetchPorts["ci"])
+	f.Wire(feo, fetchPorts["vrq"], valsM, mem.PortReadAddr)
+	f.Wire(feo, fetchPorts["xrq"], xM, mem.PortReadAddr)
+	f.Wire(xM, mem.PortReadData, mi, mulPorts["xv"])
+	f.Wire(valsM, mem.PortReadData, mi, mulPorts["vv"])
+	f.Wire(feo, fetchPorts["cnt"], ai, accPorts["cnt"])
+	f.Wire(mo, mulPorts["t"], ai, accPorts["t"])
+	f.Wire(ao, accPorts["y"], snk, 0)
+
+	words := colsM.Size() + valsM.Size() + xM.Size()
+	return f, snk, words
+}
+
+func smvmTIA(p Params) (*Instance, error) {
+	d := smvmMatrix(p)
+	fetch, fb, err := smvmFetchTIA(p)
+	if err != nil {
+		return nil, err
+	}
+	mul, mb, err := smvmMulTIA(p)
+	if err != nil {
+		return nil, err
+	}
+	acc, ab, err := smvmAccTIA(p)
+	if err != nil {
+		return nil, err
+	}
+	p.apply(fetch, mul, acc)
+	fp := map[string]int{"rows": fb.InIdx("rows"), "ci": fb.InIdx("ci"),
+		"crq": fb.OutIdx("crq"), "vrq": fb.OutIdx("vrq"), "xrq": fb.OutIdx("xrq"), "cnt": fb.OutIdx("cnt")}
+	mp := map[string]int{"xv": mb.InIdx("xv"), "vv": mb.InIdx("vv"), "t": mb.OutIdx("t")}
+	ap := map[string]int{"cnt": ab.InIdx("cnt"), "t": ab.InIdx("t"), "y": ab.OutIdx("y")}
+	f, snk, words := smvmWire(p, d, fetch, mul, acc, fp, mp, ap)
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalTIA:     acc, // the accumulator touches every nonzero and every row
+		PEs:             []*pe.PE{fetch, mul, acc},
+		ScratchpadWords: words,
+	}, nil
+}
+
+const smvmFetchPC = `
+in rows ci
+out crq vrq xrq cnt
+reg k = -1
+reg end
+
+loop:   bne rows.tag, #0, done
+        mov cnt, rows
+        add end, k, rows.pop
+inner:  add k, k, #1
+        mov crq, vrq, k
+        bne k, end, inner
+        jmp loop
+done:   halt cnt#eod
+`
+
+const smvmFetchXPC = `
+in ci
+out xrq
+loop:  mov xrq, ci.pop
+       jmp loop
+`
+
+const smvmMulPC = `
+in xv vv
+out t
+loop:  mul t, xv.pop, vv.pop
+       jmp loop
+`
+
+const smvmAccPC = `
+in cnt t
+out y
+reg acc rem c
+
+loop:   bne cnt.tag, #0, done
+        mov rem, cnt.pop
+        mov acc, #0
+        mov c, #0
+inner:  add acc, acc, t.pop
+        add c, c, #1
+        bne c, rem, inner
+        mov y, acc
+        jmp loop
+done:   halt y#eod
+`
+
+// smvmAccPlainPC is the unenhanced expression of the accumulator: every
+// channel access is an explicit single-destination move.
+const smvmAccPlainPC = `
+in cnt t
+out y
+reg acc rem c v
+
+loop:   mov c, cnt.tag
+        bne c, #0, done
+        mov rem, cnt
+        deq cnt
+        mov acc, #0
+        mov c, #0
+inner:  mov v, t
+        deq t
+        add acc, acc, v
+        add c, c, #1
+        bne c, rem, inner
+        mov y, acc
+        jmp loop
+done:   deq cnt
+        mov y#eod, #0
+        halt
+`
+
+func smvmPC(p Params) (*Instance, error) {
+	return smvmPCWith(p, smvmAccPC)
+}
+
+// smvmPCPlain swaps the critical accumulator for its plain expression.
+func smvmPCPlain(p Params) (*Instance, error) {
+	return smvmPCWith(p, smvmAccPlainPC)
+}
+
+func smvmPCWith(p Params, accText string) (*Instance, error) {
+	d := smvmMatrix(p)
+	// The PC fetch PE cannot react to two token streams at once, so the
+	// x-vector request forwarding becomes a fourth, dedicated PE; this
+	// keeps the baseline deadlock-free and is charitable to it (more
+	// parallel hardware than the triggered version uses).
+	fetchProg, err := asm.ParsePC("fetch", smvmFetchPC)
+	if err != nil {
+		return nil, err
+	}
+	fetch, err := fetchProg.Build(p.PCCfg)
+	if err != nil {
+		return nil, err
+	}
+	xfProg, err := asm.ParsePC("xfwd", smvmFetchXPC)
+	if err != nil {
+		return nil, err
+	}
+	xf, err := xfProg.Build(p.PCCfg)
+	if err != nil {
+		return nil, err
+	}
+	mulProg, err := asm.ParsePC("mul", smvmMulPC)
+	if err != nil {
+		return nil, err
+	}
+	mul, err := mulProg.Build(p.PCCfg)
+	if err != nil {
+		return nil, err
+	}
+	accProg, err := asm.ParsePC("acc", accText)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := accProg.Build(p.PCCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	f := fabric.New(p.FabricCfg)
+	rows := fabric.NewWordSource("rows", d.rowLen, true)
+	colsM := mem.New("cols", len(d.cols))
+	colsM.Load(d.cols)
+	valsM := mem.New("vals", len(d.vals))
+	valsM.Load(d.vals)
+	xM := mem.New("xvec", len(d.x))
+	xM.Load(d.x)
+	p.applyMems(colsM, valsM, xM)
+	snk := fabric.NewSink("y")
+	f.Add(rows)
+	f.Add(colsM)
+	f.Add(valsM)
+	f.Add(xM)
+	f.Add(fetch)
+	f.Add(xf)
+	f.Add(mul)
+	f.Add(acc)
+	f.Add(snk)
+
+	f.Wire(rows, 0, fetch, 0)
+	f.Wire(fetch, 0, colsM, mem.PortReadAddr)
+	f.Wire(colsM, mem.PortReadData, xf, 0)
+	f.Wire(fetch, 1, valsM, mem.PortReadAddr)
+	f.Wire(xf, 0, xM, mem.PortReadAddr)
+	f.Wire(xM, mem.PortReadData, mul, 0)
+	f.Wire(valsM, mem.PortReadData, mul, 1)
+	f.Wire(fetch, 3, acc, 0)
+	f.Wire(mul, 0, acc, 1)
+	f.Wire(acc, 0, snk, 0)
+
+	return &Instance{
+		Fabric:          f,
+		Sink:            snk,
+		CriticalPC:      acc,
+		PCPEs:           []*pcpe.PE{fetch, xf, mul, acc},
+		ScratchpadWords: colsM.Size() + valsM.Size() + xM.Size(),
+	}, nil
+}
+
+func smvmGPP(p Params) (*GPPResult, error) {
+	d := smvmMatrix(p)
+	n := len(d.rowLen)
+	nnz := len(d.cols)
+
+	lenBase := 0
+	colBase := n
+	valBase := colBase + nnz
+	xBase := valBase + nnz
+	outBase := xBase + len(d.x)
+
+	const (
+		rRow, rK, rAcc, rE, rL, rCol, rV, rX, rN = 1, 2, 3, 4, 5, 6, 7, 8, 9
+	)
+	b := gpp.NewBuilder()
+	b.Li(rN, isa.Word(n))
+	b.Label("rows")
+	b.Br(gpp.BrGEU, gpp.R(rRow), gpp.R(rN), "done")
+	b.Lw(rL, rRow, isa.Word(lenBase))
+	b.Li(rAcc, 0)
+	b.Li(rE, 0)
+	b.Label("inner")
+	b.Br(gpp.BrGEU, gpp.R(rE), gpp.R(rL), "row_done")
+	b.Lw(rCol, rK, isa.Word(colBase))
+	b.Lw(rV, rK, isa.Word(valBase))
+	b.Add(rCol, gpp.R(rCol), gpp.I(isa.Word(xBase)))
+	b.Lw(rX, rCol, 0)
+	b.Mul(rX, gpp.R(rX), gpp.R(rV))
+	b.Add(rAcc, gpp.R(rAcc), gpp.R(rX))
+	b.Add(rK, gpp.R(rK), gpp.I(1))
+	b.Add(rE, gpp.R(rE), gpp.I(1))
+	b.Jmp("inner")
+	b.Label("row_done")
+	b.Add(rCol, gpp.R(rRow), gpp.I(isa.Word(outBase)))
+	b.Sw(rAcc, rCol, 0)
+	b.Add(rRow, gpp.R(rRow), gpp.I(1))
+	b.Jmp("rows")
+	b.Label("done")
+	b.Halt()
+
+	core, err := gpp.New(gpp.DefaultConfig(outBase+n+16), b.Program())
+	if err != nil {
+		return nil, err
+	}
+	core.LoadMem(lenBase, d.rowLen)
+	core.LoadMem(colBase, d.cols)
+	core.LoadMem(valBase, d.vals)
+	core.LoadMem(xBase, d.x)
+	if err := core.Run(int64(200*nnz) + 10000); err != nil {
+		return nil, err
+	}
+	return &GPPResult{Stats: core.Stats(), Output: core.MemSlice(outBase, n)}, nil
+}

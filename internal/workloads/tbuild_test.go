@@ -1,0 +1,245 @@
+package workloads
+
+import (
+	"testing"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+	"tia/internal/pe"
+)
+
+func tbCfg() isa.Config {
+	cfg := isa.DefaultConfig()
+	cfg.MaxInsts = 32
+	return cfg
+}
+
+// stepPE runs the PE with its channels for one cycle.
+func stepPE(p *pe.PE, cyc int64, chans ...*channel.Channel) {
+	p.Step(cyc)
+	for _, c := range chans {
+		c.Tick()
+	}
+}
+
+func TestTBNamedRule(t *testing.T) {
+	b := NewTB("t", tbCfg())
+	b.In("a").Out("o")
+	b.Reg("x", 5)
+	b.Pred("go", true)
+	b.Rule("emit").When("go").OnTag("a", isa.TagData).
+		Op(isa.OpAdd).DstOut("o", isa.TagData).Srcs(SReg("x"), SIn("a")).
+		Deq("a").Clr("go").Done()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := channel.New("a", 2, 0)
+	out := channel.New("o", 2, 0)
+	p.ConnectIn(b.InIdx("a"), in)
+	p.ConnectOut(b.OutIdx("o"), out)
+	in.Send(channel.Data(3))
+	in.Tick()
+	stepPE(p, 0, in, out)
+	stepPE(p, 1, in, out)
+	tok, ok := out.Peek()
+	if !ok || tok.Data != 8 {
+		t.Fatalf("got %v,%v want 8", tok, ok)
+	}
+	if p.Pred(0) {
+		t.Fatal("Clr did not clear the gate")
+	}
+}
+
+func TestTBChainOnce(t *testing.T) {
+	b := NewTB("t", tbCfg())
+	b.Out("o")
+	b.Reg("x")
+	b.Pred("g", true).Pred("done")
+	c := b.Chain("g")
+	c.Step("s1").Op(isa.OpMov).DstReg("x").Srcs(SImm(7))
+	c.Step("s2").Op(isa.OpAdd).DstReg("x").Srcs(SReg("x"), SImm(1))
+	c.Step("s3").Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SReg("x"))
+	c.EndOnce([]string{"done"}, nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := channel.New("o", 2, 0)
+	p.ConnectOut(b.OutIdx("o"), out)
+	for i := int64(0); i < 10; i++ {
+		stepPE(p, i, out)
+	}
+	tok, ok := out.Peek()
+	if !ok || tok.Data != 8 {
+		t.Fatalf("chain produced %v,%v want 8", tok, ok)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("once-chain emitted %d tokens, want 1", out.Len())
+	}
+	// done set, gate cleared.
+	if p.Pred(0) || !p.Pred(1) {
+		t.Fatalf("exit predicates wrong: g=%v done=%v", p.Pred(0), p.Pred(1))
+	}
+}
+
+// TestTBChainLoopFireCount pins the lowering's efficiency contract: a
+// looping K-step chain costs exactly K fires per iteration plus one exit
+// fire.
+func TestTBChainLoopFireCount(t *testing.T) {
+	const iters = 5
+	b := NewTB("t", tbCfg())
+	b.Out("o")
+	b.Reg("cnt", iters)
+	b.Pred("g", true).Pred("more")
+	c := b.Chain("g")
+	c.Step("emit").Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SReg("cnt"))
+	c.Step("dec").Op(isa.OpSub).DstReg("cnt").DstPred("more").Srcs(SReg("cnt"), SImm(1))
+	c.LoopWhile("more", nil, nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := channel.New("o", 8, 0)
+	p.ConnectOut(b.OutIdx("o"), out)
+	for i := int64(0); i < 40 && !qDone(p); i++ {
+		stepPE(p, i, out)
+		if tok, ok := out.Peek(); ok {
+			_ = tok
+			out.Deq()
+		}
+	}
+	s := p.Stats()
+	want := int64(2*iters + 1) // K fires per iteration + 1 exit
+	if s.Fired != want {
+		t.Fatalf("fired %d, want %d", s.Fired, want)
+	}
+	if !p.Pred(1) {
+		t.Fatal("exit must re-arm the loop predicate")
+	}
+	if p.Pred(0) {
+		t.Fatal("exit must clear the gate")
+	}
+}
+
+func qDone(p *pe.PE) bool {
+	// Chain is finished when the gate predicate (index 0) clears.
+	return !p.Pred(0)
+}
+
+func TestTBSharedPhasesAlternatingGates(t *testing.T) {
+	b := NewTB("t", tbCfg()).ShareChainPhases()
+	b.Out("o")
+	b.Reg("x")
+	b.Pred("g1", true).Pred("g2").Pred("m1").Pred("m2")
+	c1 := b.Chain("g1")
+	c1.Step("a1").Op(isa.OpAdd).DstReg("x").Srcs(SReg("x"), SImm(1))
+	c1.Step("a2").Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SReg("x"))
+	c1.Step("a3").Op(isa.OpLTU).DstPred("m1").Srcs(SReg("x"), SImm(3))
+	c1.LoopWhile("m1", []string{"g2"}, nil)
+	c2 := b.Chain("g2")
+	c2.Step("b1").Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SImm(99))
+	c2.EndOnce(nil, nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := channel.New("o", 16, 0)
+	p.ConnectOut(b.OutIdx("o"), out)
+	var got []isa.Word
+	for i := int64(0); i < 60; i++ {
+		stepPE(p, i, out)
+		if tok, ok := out.Peek(); ok {
+			got = append(got, tok.Data)
+			out.Deq()
+		}
+	}
+	want := []isa.Word{1, 2, 3, 99}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestTBErrors(t *testing.T) {
+	build := func(mut func(b *TB)) error {
+		b := NewTB("t", tbCfg())
+		mut(b)
+		_, err := b.Build()
+		return err
+	}
+	cases := []struct {
+		name string
+		mut  func(b *TB)
+	}{
+		{"duplicate name", func(b *TB) {
+			b.Reg("x").Reg("x")
+			b.Rule("r").Op(isa.OpNop).Done()
+		}},
+		{"unknown register", func(b *TB) {
+			b.Rule("r").Op(isa.OpMov).DstReg("ghost").Srcs(SImm(0)).Done()
+		}},
+		{"unknown predicate", func(b *TB) {
+			b.Rule("r").Op(isa.OpNop).Set("ghost").Done()
+		}},
+		{"unknown channel", func(b *TB) {
+			b.Rule("r").Op(isa.OpNop).Deq("ghost").Done()
+		}},
+		{"three sources", func(b *TB) {
+			b.Reg("x")
+			b.Rule("r").Op(isa.OpAdd).DstReg("x").Srcs(SImm(0), SImm(1), SImm(2)).Done()
+		}},
+		{"empty chain", func(b *TB) {
+			b.Pred("g")
+			c := b.Chain("g")
+			c.EndOnce(nil, nil)
+		}},
+		{"unfinished chain", func(b *TB) {
+			b.Pred("g")
+			c := b.Chain("g")
+			c.Step("s").Op(isa.OpNop)
+		}},
+		{"program too large", func(b *TB) {
+			b.Pred("g", true)
+			c := b.Chain("g")
+			for i := 0; i < 40; i++ {
+				c.Step("s").Op(isa.OpNop)
+			}
+			c.EndOnce(nil, nil)
+		}},
+	}
+	for _, tc := range cases {
+		if err := build(tc.mut); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestTBLoopPredAutoInit: declaring the loop predicate without an initial
+// value must still let the chain's first iteration start.
+func TestTBLoopPredAutoInit(t *testing.T) {
+	b := NewTB("t", tbCfg())
+	b.Out("o")
+	b.Reg("cnt", 2)
+	b.Pred("g", true).Pred("more") // no explicit init
+	c := b.Chain("g")
+	c.Step("e").Op(isa.OpMov).DstOut("o", isa.TagData).Srcs(SReg("cnt"))
+	c.Step("d").Op(isa.OpSub).DstReg("cnt").DstPred("more").Srcs(SReg("cnt"), SImm(1))
+	c.LoopWhile("more", nil, nil)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := channel.New("o", 8, 0)
+	p.ConnectOut(b.OutIdx("o"), out)
+	for i := int64(0); i < 20; i++ {
+		stepPE(p, i, out)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("chain emitted %d tokens, want 2 (loop pred not auto-armed?)", out.Len())
+	}
+}

@@ -1,0 +1,165 @@
+// Package tia is a simulator and toolkit for triggered-instruction
+// spatial architectures, reproducing "Triggered Instructions: A Control
+// Paradigm for Spatially-Programmed Architectures" (ISCA 2013).
+//
+// A spatial fabric is a graph of processing elements, scratchpad
+// memories, sources and sinks connected by latency-insensitive tagged
+// channels. Triggered PEs have no program counter: a hardware scheduler
+// fires, each cycle, any instruction whose trigger — a conjunction over
+// predicate registers and input-channel status/tags — holds. A PC-style
+// baseline PE, a general-purpose core model, textual assemblers, the
+// paper's eight-kernel workload suite and the full experiment harness are
+// included; this package re-exports the stable surface of those internal
+// packages.
+//
+// Quick start (the paper's running example, merging two sorted streams):
+//
+//	f := tia.NewFabric(tia.DefaultFabricConfig())
+//	a := tia.NewWordSource("a", []tia.Word{1, 3, 5}, true)
+//	b := tia.NewWordSource("b", []tia.Word{2, 4, 6}, true)
+//	m, _ := tia.NewPE("merge", tia.DefaultConfig(), tia.MergeProgram())
+//	out := tia.NewSink("out")
+//	f.Add(a); f.Add(b); f.Add(m); f.Add(out)
+//	f.Wire(a, 0, m, 0)
+//	f.Wire(b, 0, m, 1)
+//	f.Wire(m, 0, out, 0)
+//	f.Run(10000)
+//	fmt.Println(out.Words()) // [1 2 3 4 5 6]
+package tia
+
+import (
+	"tia/internal/asm"
+	"tia/internal/channel"
+	"tia/internal/fabric"
+	"tia/internal/gpp"
+	"tia/internal/isa"
+	"tia/internal/mem"
+	"tia/internal/pcpe"
+	"tia/internal/pe"
+	"tia/internal/trace"
+)
+
+// Core ISA types.
+type (
+	// Word is the 32-bit datapath word.
+	Word = isa.Word
+	// Tag is the small out-of-band token tag.
+	Tag = isa.Tag
+	// Opcode is a single-cycle ALU operation.
+	Opcode = isa.Opcode
+	// Instruction is one triggered instruction.
+	Instruction = isa.Instruction
+	// Trigger is the guard of a triggered instruction.
+	Trigger = isa.Trigger
+	// Config is a triggered PE's architectural configuration.
+	Config = isa.Config
+)
+
+// Fabric types.
+type (
+	// Fabric is a spatial array under construction or simulation.
+	Fabric = fabric.Fabric
+	// FabricConfig holds fabric-wide channel defaults.
+	FabricConfig = fabric.Config
+	// Element is anything the fabric steps each cycle.
+	Element = fabric.Element
+	// Source feeds a token stream into the fabric.
+	Source = fabric.Source
+	// Sink drains and records tokens at the fabric boundary.
+	Sink = fabric.Sink
+	// Channel is one latency-insensitive link.
+	Channel = channel.Channel
+	// Token is the unit of communication.
+	Token = channel.Token
+	// PE is a triggered-instruction processing element.
+	PE = pe.PE
+	// PCPE is the program-counter-style baseline processing element.
+	PCPE = pcpe.PE
+	// Scratchpad is a word-addressed fabric memory element.
+	Scratchpad = mem.Scratchpad
+	// GPP is the in-order general-purpose core model.
+	GPP = gpp.Core
+)
+
+// TraceRecorder collects per-cycle instruction-fire events from PEs and
+// renders logs, waterfall timelines and Chrome trace-event JSON.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder bounded to limit events (0 =
+// unbounded). Attach it to PEs before running the fabric.
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.New(limit) }
+
+// Assembler types.
+type (
+	// TIAProgram is a parsed triggered-instruction program.
+	TIAProgram = asm.TIAProgram
+	// PCProgram is a parsed sequential program.
+	PCProgram = asm.PCProgram
+	// Netlist is a fabric built from a textual description.
+	Netlist = asm.Netlist
+)
+
+// Conventional tags.
+const (
+	TagData = isa.TagData
+	TagEOD  = isa.TagEOD
+)
+
+// DefaultConfig returns the paper's evaluated PE configuration.
+func DefaultConfig() Config { return isa.DefaultConfig() }
+
+// DefaultFabricConfig returns the default channel configuration.
+func DefaultFabricConfig() FabricConfig { return fabric.DefaultConfig() }
+
+// NewFabric returns an empty fabric.
+func NewFabric(cfg FabricConfig) *Fabric { return fabric.New(cfg) }
+
+// NewPE compiles a triggered program into a processing element.
+func NewPE(name string, cfg Config, prog []Instruction) (*PE, error) {
+	return pe.New(name, cfg, prog)
+}
+
+// NewPCPE compiles a sequential program into a baseline element.
+func NewPCPE(name string, cfg pcpe.Config, prog []pcpe.Inst) (*PCPE, error) {
+	return pcpe.New(name, cfg, prog)
+}
+
+// NewSource returns a source emitting toks in order.
+func NewSource(name string, toks []Token) *Source { return fabric.NewSource(name, toks) }
+
+// NewWordSource returns a source emitting words as data tokens, with an
+// optional trailing end-of-data token.
+func NewWordSource(name string, words []Word, eod bool) *Source {
+	return fabric.NewWordSource(name, words, eod)
+}
+
+// NewSink returns a sink that completes after one end-of-data token.
+func NewSink(name string) *Sink { return fabric.NewSink(name) }
+
+// NewCountingSink returns a sink that completes after n tokens.
+func NewCountingSink(name string, n int) *Sink { return fabric.NewCountingSink(name, n) }
+
+// NewScratchpad returns a zeroed scratchpad of the given word count.
+func NewScratchpad(name string, words int) *Scratchpad { return mem.New(name, words) }
+
+// MergeProgram returns the paper's running example: the triggered 2-way
+// sorted-stream merge kernel.
+func MergeProgram() []Instruction { return pe.MergeProgram() }
+
+// ParseTIA parses a triggered-instruction program (see internal/asm for
+// the grammar).
+func ParseTIA(name, body string) (*TIAProgram, error) { return asm.ParseTIA(name, body) }
+
+// ParsePC parses a sequential baseline program.
+func ParsePC(name, body string) (*PCProgram, error) { return asm.ParsePC(name, body) }
+
+// ParseNetlist builds a complete runnable fabric from a textual
+// description of sources, sinks, scratchpads, PEs and wires.
+func ParseNetlist(src string) (*Netlist, error) {
+	return asm.ParseNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig())
+}
+
+// Data wraps a word in an ordinary data token; EOD returns the
+// conventional end-of-data token.
+func Data(w Word) Token { return channel.Data(w) }
+func EOD() Token        { return channel.EOD() }

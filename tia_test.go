@@ -1,0 +1,70 @@
+package tia_test
+
+import (
+	"testing"
+
+	"tia"
+)
+
+// TestQuickstart exercises the package-level example from the doc comment.
+func TestQuickstart(t *testing.T) {
+	f := tia.NewFabric(tia.DefaultFabricConfig())
+	a := tia.NewWordSource("a", []tia.Word{1, 3, 5}, true)
+	b := tia.NewWordSource("b", []tia.Word{2, 4, 6}, true)
+	m, err := tia.NewPE("merge", tia.DefaultConfig(), tia.MergeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tia.NewSink("out")
+	f.Add(a)
+	f.Add(b)
+	f.Add(m)
+	f.Add(out)
+	f.Wire(a, 0, m, 0)
+	f.Wire(b, 0, m, 1)
+	f.Wire(m, 0, out, 0)
+	if _, err := f.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	got := out.Words()
+	want := []tia.Word{1, 2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestNetlistFacade drives the textual front door.
+func TestNetlistFacade(t *testing.T) {
+	nl, err := tia.ParseNetlist(`
+source s : 4 5 6 eod
+sink k
+
+pe double
+in a
+out o
+fwd: when a.tag==0 : add o, a, a ; deq a
+fin: when a.tag==eod : halt o#eod ; deq a
+end
+
+wire s.0 -> double.a
+wire double.o -> k.0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.Fabric.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	got := nl.Sinks["k"].Words()
+	want := []tia.Word{8, 10, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
