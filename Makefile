@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark: catches bit-rot in bench harnesses
+# without paying for a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full experiment benchmarks (the paper tables come from cmd/tiabench;
+# these are the perf-tracking targets).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 2s .
+
+check: vet race bench-smoke

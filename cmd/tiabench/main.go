@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tia/internal/core"
 	"tia/internal/workloads"
@@ -27,7 +29,39 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment to run (all, e1..e8)")
 	listing := flag.String("listing", "", "print a kernel's compiled programs instead of running experiments")
 	jsonOut := flag.Bool("json", false, "emit the suite results as JSON instead of tables")
+	workers := flag.Int("workers", 0, "max concurrent design-point simulations (0 = GOMAXPROCS)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	core.MaxWorkers = *workers
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tiabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tiabench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tiabench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tiabench:", err)
+			}
+		}()
+	}
 
 	p := workloads.Params{Size: *size, Seed: *seed}
 	if *jsonOut {

@@ -47,14 +47,23 @@ type flight struct {
 
 // Channel is one latency-insensitive link. The zero value is unusable; use
 // New.
+//
+// Credit-based flow control bounds every buffer by the FIFO capacity
+// (queued + in flight + staged <= capacity), so the receiver FIFO and the
+// wire are fixed-size rings allocated once at New: steady-state simulation
+// does not allocate.
 type Channel struct {
 	name     string
 	capacity int
 	latency  int
 
-	queue      []Token // arrived, visible to the receiver
-	inflight   []flight
-	stagedSend []Token
+	queue      []Token  // ring: receiver FIFO, len == capacity
+	qHead      int
+	qLen       int
+	inflight   []flight // ring: tokens on the wire, len == capacity
+	ifHead     int
+	ifLen      int
+	stagedSend []Token  // this cycle's sends, cap == capacity
 	stagedDeq  bool
 
 	// Stats, cumulative since construction.
@@ -73,7 +82,13 @@ func New(name string, capacity, latency int) *Channel {
 	if latency < 0 {
 		panic(fmt.Sprintf("channel %s: negative latency %d", name, latency))
 	}
-	return &Channel{name: name, capacity: capacity, latency: latency}
+	c := &Channel{name: name, capacity: capacity, latency: latency}
+	c.queue = make([]Token, capacity)
+	if latency > 0 {
+		c.inflight = make([]flight, capacity)
+	}
+	c.stagedSend = make([]Token, 0, capacity)
+	return c
 }
 
 // Name returns the channel's debug name.
@@ -86,15 +101,15 @@ func (c *Channel) Cap() int { return c.capacity }
 func (c *Channel) Latency() int { return c.latency }
 
 // Len returns the number of committed tokens visible to the receiver.
-func (c *Channel) Len() int { return len(c.queue) }
+func (c *Channel) Len() int { return c.qLen }
 
 // InFlight returns the number of tokens on the wire, not yet visible.
-func (c *Channel) InFlight() int { return len(c.inflight) }
+func (c *Channel) InFlight() int { return c.ifLen }
 
 // CanAccept reports whether the sender holds a credit: the FIFO has room
 // for everything already queued, in flight, and staged this cycle.
 func (c *Channel) CanAccept() bool {
-	return len(c.queue)+len(c.inflight)+len(c.stagedSend) < c.capacity
+	return c.qLen+c.ifLen+len(c.stagedSend) < c.capacity
 }
 
 // Send stages a token for transmission this cycle. The caller must have
@@ -109,17 +124,17 @@ func (c *Channel) Send(tok Token) {
 
 // Peek returns the committed head token without consuming it.
 func (c *Channel) Peek() (Token, bool) {
-	if len(c.queue) == 0 {
+	if c.qLen == 0 {
 		return Token{}, false
 	}
-	return c.queue[0], true
+	return c.queue[c.qHead], true
 }
 
 // Deq stages consumption of the head token this cycle. At most one dequeue
 // per channel per cycle is legal (one receiver); a second is a simulator
 // bug and panics, as is dequeuing an empty channel.
 func (c *Channel) Deq() {
-	if len(c.queue) == 0 {
+	if c.qLen == 0 {
 		panic(fmt.Sprintf("channel %s: dequeue of empty channel", c.name))
 	}
 	if c.stagedDeq {
@@ -131,36 +146,98 @@ func (c *Channel) Deq() {
 
 // Tick commits the cycle: applies the staged dequeue, moves staged sends
 // onto the wire, and delivers arrivals. Call exactly once per fabric cycle.
-func (c *Channel) Tick() {
+//
+// It reports whether committed state visible to an endpoint changed: a
+// dequeue was applied (the head changed and a sender credit was freed) or
+// tokens were delivered (the receiver gained a head). Tokens merely
+// advancing along the wire are invisible — Peek, CanAccept and Len all
+// count in-flight and queued tokens the same way — so they do not count
+// as a change. The fabric's event-driven stepper wakes a channel's
+// endpoints exactly when Tick reports a change.
+func (c *Channel) Tick() bool {
+	changed := false
 	if c.stagedDeq {
-		c.queue = c.queue[1:]
+		c.qHead++
+		if c.qHead == c.capacity {
+			c.qHead = 0
+		}
+		c.qLen--
 		c.stagedDeq = false
+		changed = true
 	}
-	for _, tok := range c.stagedSend {
-		c.inflight = append(c.inflight, flight{tok: tok, remaining: c.latency})
+	if c.latency == 0 {
+		// Zero-latency fast path: a token staged this cycle arrives this
+		// tick (visible next cycle), so the wire ring is never touched.
+		if len(c.stagedSend) > 0 {
+			for _, tok := range c.stagedSend {
+				c.enqueue(tok)
+			}
+			c.delivered += int64(len(c.stagedSend))
+			c.stagedSend = c.stagedSend[:0]
+			changed = true
+		}
+	} else {
+		for _, tok := range c.stagedSend {
+			i := c.ifHead + c.ifLen
+			if i >= c.capacity {
+				i -= c.capacity
+			}
+			c.inflight[i] = flight{tok: tok, remaining: c.latency}
+			c.ifLen++
+		}
+		c.stagedSend = c.stagedSend[:0]
+		// Deliver in-flight tokens in order; tokens never reorder, so only
+		// a prefix of the wire ring can arrive.
+		for c.ifLen > 0 && c.inflight[c.ifHead].remaining == 0 {
+			c.enqueue(c.inflight[c.ifHead].tok)
+			c.delivered++
+			c.ifHead++
+			if c.ifHead == c.capacity {
+				c.ifHead = 0
+			}
+			c.ifLen--
+			changed = true
+		}
+		i := c.ifHead
+		for k := 0; k < c.ifLen; k++ {
+			c.inflight[i].remaining--
+			i++
+			if i == c.capacity {
+				i = 0
+			}
+		}
 	}
-	c.stagedSend = c.stagedSend[:0]
-	// Deliver in-flight tokens in order; tokens never reorder, so only a
-	// prefix of the inflight slice can arrive.
-	n := 0
-	for n < len(c.inflight) && c.inflight[n].remaining == 0 {
-		c.queue = append(c.queue, c.inflight[n].tok)
-		c.delivered++
-		n++
+	if c.qLen > c.maxOcc {
+		c.maxOcc = c.qLen
 	}
-	c.inflight = c.inflight[n:]
-	for i := range c.inflight {
-		c.inflight[i].remaining--
+	return changed
+}
+
+// enqueue appends a token to the receiver FIFO ring. Flow control
+// guarantees room.
+func (c *Channel) enqueue(tok Token) {
+	i := c.qHead + c.qLen
+	if i >= c.capacity {
+		i -= c.capacity
 	}
-	if occ := len(c.queue); occ > c.maxOcc {
-		c.maxOcc = occ
-	}
+	c.queue[i] = tok
+	c.qLen++
+}
+
+// Quiet reports that ticking the channel would be a no-op: nothing is
+// staged and nothing is in flight. A quiet channel may still hold queued
+// tokens (so it is not necessarily Idle); its committed state simply
+// cannot change until an endpoint stages a new send or dequeue. The
+// fabric's event-driven stepper drops quiet channels from its per-cycle
+// tick list.
+func (c *Channel) Quiet() bool {
+	return c.ifLen == 0 && len(c.stagedSend) == 0 && !c.stagedDeq
 }
 
 // Idle reports whether the channel holds no tokens anywhere (queued, in
 // flight, or staged). Fabric quiescence detection uses this.
 func (c *Channel) Idle() bool {
-	return len(c.queue) == 0 && len(c.inflight) == 0 && len(c.stagedSend) == 0 && !c.stagedDeq
+	return c.qLen == 0 && c.ifLen == 0 && len(c.stagedSend) == 0 && !c.stagedDeq
 }
 
 // Stats is a snapshot of the channel's cumulative counters.
@@ -179,8 +256,8 @@ func (c *Channel) Stats() Stats {
 // Reset empties the channel and zeroes its statistics, keeping the
 // configuration. Used when re-running a program on the same fabric.
 func (c *Channel) Reset() {
-	c.queue = c.queue[:0]
-	c.inflight = c.inflight[:0]
+	c.qHead, c.qLen = 0, 0
+	c.ifHead, c.ifLen = 0, 0
 	c.stagedSend = c.stagedSend[:0]
 	c.stagedDeq = false
 	c.sent, c.delivered, c.consumed, c.maxOcc = 0, 0, 0, 0

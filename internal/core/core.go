@@ -7,7 +7,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tia/internal/area"
 	"tia/internal/fabric"
@@ -56,29 +58,72 @@ type Row struct {
 	TIAUtil []metrics.Utilization
 }
 
-// verifyFirst guards every measurement run: outputs must match the
-// golden reference before cycles are trusted.
-func verifyFirst(spec *workloads.Spec, p workloads.Params) error {
-	return spec.Verify(p)
+// MaxWorkers bounds the concurrency of suite-level fan-out (RunSuite and
+// the sensitivity sweeps). Zero or negative means GOMAXPROCS. Each fabric
+// simulation itself stays single-threaded and deterministic; only
+// independent design points run concurrently.
+var MaxWorkers int
+
+// forEach runs fn(i) for every i in [0, n) on a bounded worker pool.
+// Workers pull indices from a shared counter, so results land in
+// caller-owned slices at deterministic positions regardless of schedule.
+func forEach(n int, fn func(int)) {
+	w := MaxWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
-// RunWorkload measures one kernel at the given parameters.
+// firstErr returns the first non-nil error in slice order, keeping sweep
+// error reporting deterministic under the worker pool.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWorkload measures one kernel at the given parameters. Verification
+// guards every measurement — outputs must match the golden reference
+// before cycles are trusted — and because simulations are deterministic,
+// the verified runs double as the measured runs (see workloads.Verified).
 func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
 	p = spec.Normalize(p)
-	if err := verifyFirst(spec, p); err != nil {
+	v, err := spec.VerifyFull(p)
+	if err != nil {
 		return nil, err
 	}
 	row := &Row{Name: spec.Name, WorkUnits: spec.WorkUnits(p)}
 
-	tia, err := spec.BuildTIA(p)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := tia.Fabric.Run(spec.MaxCycles(p))
-	if err != nil {
-		return nil, fmt.Errorf("%s: TIA run: %w", spec.Name, err)
-	}
-	row.TIACycles = rt.Cycles
+	tia := v.TIA
+	row.TIACycles = v.TIARes.Cycles
 	cp := metrics.TIACriticalPath(tia.CriticalTIA)
 	row.TIAStatic, row.TIADynamic = cp.Static, cp.Dynamic
 	for _, pr := range tia.PEs {
@@ -102,28 +147,22 @@ func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
 		}
 		return res.Cycles, inst, nil
 	}
-	pcIdeal, pcInst, err := runPC(0)
-	if err != nil {
-		return nil, err
+	// The verified PC run already measured the requested taken-penalty
+	// design point; only the free-branch ideal needs a fresh simulation
+	// (and not even that when the requested penalty is already zero).
+	pcIdeal, pcInst := v.PCRes.Cycles, v.PC
+	if p.PCCfg.TakenPenalty != 0 {
+		if pcIdeal, pcInst, err = runPC(0); err != nil {
+			return nil, err
+		}
 	}
 	row.PCIdealCycles = pcIdeal
 	pcp := metrics.PCCriticalPath(pcInst.CriticalPC)
 	row.PCStatic, row.PCDynamic = pcp.Static, pcp.Dynamic
-	pcMain, _, err := runPC(p.PCCfg.TakenPenalty)
-	if err != nil {
-		return nil, err
-	}
-	row.PCCycles = pcMain
+	row.PCCycles = v.PCRes.Cycles
 
-	if spec.BuildPCPlain != nil {
-		plain, err := spec.BuildPCPlain(p)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := plain.Fabric.Run(spec.MaxCycles(p) * 2); err != nil {
-			return nil, fmt.Errorf("%s: plain PC run: %w", spec.Name, err)
-		}
-		pcp := metrics.PCCriticalPath(plain.CriticalPC)
+	if v.Plain != nil {
+		pcp := metrics.PCCriticalPath(v.Plain.CriticalPC)
 		row.PlainStatic, row.PlainDynamic = pcp.Static, pcp.Dynamic
 	}
 
@@ -132,11 +171,7 @@ func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
 	row.StaticReduction = metrics.Reduction(float64(row.PCStatic), float64(row.TIAStatic))
 	row.DynamicReduction = metrics.Reduction(float64(row.PCDynamic), float64(row.TIADynamic))
 
-	g, err := spec.RunGPP(p)
-	if err != nil {
-		return nil, err
-	}
-	row.GPPCycles = g.Stats.Cycles
+	row.GPPCycles = v.GPP.Stats.Cycles
 
 	// The gpp package models a 1-IPC-peak in-order core; the paper's
 	// comparison target is superscalar, so its effective cycle count is
@@ -149,25 +184,18 @@ func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
 }
 
 // RunSuite measures every kernel. Kernels are independent, so they run
-// concurrently (each fabric simulation is single-threaded and
-// deterministic; only the suite-level fan-out is parallel).
+// concurrently on the bounded worker pool (each fabric simulation is
+// single-threaded and deterministic; only the suite-level fan-out is
+// parallel, and results land in canonical order).
 func RunSuite(p workloads.Params) ([]*Row, error) {
 	specs := workloads.All()
 	rows := make([]*Row, len(specs))
 	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec *workloads.Spec) {
-			defer wg.Done()
-			rows[i], errs[i] = RunWorkload(spec, p)
-		}(i, spec)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	forEach(len(specs), func(i int) {
+		rows[i], errs[i] = RunWorkload(specs[i], p)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -208,40 +236,56 @@ type SweepPoint struct {
 	Cycles int64
 }
 
-// DepthSweep measures one kernel across channel depths (E7).
+// DepthSweep measures one kernel across channel depths (E7). Design
+// points are independent simulations, so they run on the worker pool.
 func DepthSweep(spec *workloads.Spec, p workloads.Params, depths []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, d := range depths {
+	out := make([]SweepPoint, len(depths))
+	errs := make([]error, len(depths))
+	forEach(len(depths), func(i int) {
+		d := depths[i]
 		pp := spec.Normalize(p)
 		pp.FabricCfg.ChannelCapacity = d
 		inst, err := spec.BuildTIA(pp)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		res, err := inst.Fabric.Run(spec.MaxCycles(pp))
 		if err != nil {
-			return nil, fmt.Errorf("%s depth %d: %w", spec.Name, d, err)
+			errs[i] = fmt.Errorf("%s depth %d: %w", spec.Name, d, err)
+			return
 		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("depth=%d", d), Cycles: res.Cycles})
+		out[i] = SweepPoint{Label: fmt.Sprintf("depth=%d", d), Cycles: res.Cycles}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// LatencySweep measures one kernel across extra link latencies (E8).
+// LatencySweep measures one kernel across extra link latencies (E8),
+// one worker-pool task per latency point.
 func LatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, l := range lats {
+	out := make([]SweepPoint, len(lats))
+	errs := make([]error, len(lats))
+	forEach(len(lats), func(i int) {
+		l := lats[i]
 		pp := spec.Normalize(p)
 		pp.FabricCfg.ChannelLatency = l
 		inst, err := spec.BuildTIA(pp)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		res, err := inst.Fabric.Run(spec.MaxCycles(pp) * int64(l+1))
 		if err != nil {
-			return nil, fmt.Errorf("%s latency %d: %w", spec.Name, l, err)
+			errs[i] = fmt.Errorf("%s latency %d: %w", spec.Name, l, err)
+			return
 		}
-		out = append(out, SweepPoint{Label: fmt.Sprintf("lat=%d", l), Cycles: res.Cycles})
+		out[i] = SweepPoint{Label: fmt.Sprintf("lat=%d", l), Cycles: res.Cycles}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -259,30 +303,39 @@ type MemLatencyPoint struct {
 // curve is flatter than the PC baseline's — the paper's reactivity
 // argument made quantitative.
 func MemLatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]MemLatencyPoint, error) {
-	var out []MemLatencyPoint
-	for _, l := range lats {
+	out := make([]MemLatencyPoint, len(lats))
+	errs := make([]error, len(lats))
+	forEach(len(lats), func(i int) {
+		l := lats[i]
 		pp := spec.Normalize(p)
 		pp.MemLatency = l
 		pt := MemLatencyPoint{Latency: l}
 		tia, err := spec.BuildTIA(pp)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		rt, err := tia.Fabric.Run(spec.MaxCycles(pp) * int64(l+1))
 		if err != nil {
-			return nil, fmt.Errorf("%s mem latency %d (tia): %w", spec.Name, l, err)
+			errs[i] = fmt.Errorf("%s mem latency %d (tia): %w", spec.Name, l, err)
+			return
 		}
 		pt.TIACycles = rt.Cycles
 		pc, err := spec.BuildPC(pp)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		rp, err := pc.Fabric.Run(spec.MaxCycles(pp) * int64(l+1))
 		if err != nil {
-			return nil, fmt.Errorf("%s mem latency %d (pc): %w", spec.Name, l, err)
+			errs[i] = fmt.Errorf("%s mem latency %d (pc): %w", spec.Name, l, err)
+			return
 		}
 		pt.PCCycles = rp.Cycles
-		out = append(out, pt)
+		out[i] = pt
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -342,14 +395,19 @@ type Requirements struct {
 	MaxPreds int
 }
 
-// SuiteRequirements inspects every kernel's triggered instance.
+// SuiteRequirements inspects every kernel's triggered instance, one
+// worker-pool task per kernel.
 func SuiteRequirements(p workloads.Params) ([]Requirements, error) {
-	var out []Requirements
-	for _, spec := range workloads.All() {
+	specs := workloads.All()
+	out := make([]Requirements, len(specs))
+	errs := make([]error, len(specs))
+	forEach(len(specs), func(i int) {
+		spec := specs[i]
 		pp := spec.Normalize(p)
 		inst, err := spec.BuildTIA(pp)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		req := Requirements{Name: spec.Name, PEs: len(inst.PEs)}
 		for _, pr := range inst.PEs {
@@ -360,7 +418,10 @@ func SuiteRequirements(p workloads.Params) ([]Requirements, error) {
 				req.MaxPreds = n
 			}
 		}
-		out = append(out, req)
+		out[i] = req
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

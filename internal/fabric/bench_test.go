@@ -8,6 +8,61 @@ import (
 	"tia/internal/pe"
 )
 
+// BenchmarkFabricStep_Idle measures per-cycle overhead on a mostly-idle
+// fabric: one heartbeat PE fires every cycle (so the fabric never
+// quiesces) while eight merge PEs sit stalled behind exhausted sources
+// and never-completing sinks. Event-driven stepping should pay only for
+// the heartbeat; dense stepping re-polls every idle element and channel.
+func BenchmarkFabricStep_Idle(b *testing.B) {
+	heartbeat := []isa.Instruction{{
+		Op:   isa.OpAdd,
+		Srcs: [2]isa.Src{isa.Reg(0), isa.Imm(1)},
+		Dsts: []isa.Dst{isa.DReg(0)},
+	}}
+	for _, mode := range []struct {
+		name  string
+		dense bool
+	}{{"event", false}, {"dense", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := New(DefaultConfig())
+			hb, err := pe.New("hb", isa.DefaultConfig(), heartbeat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.Add(hb)
+			for i := 0; i < 8; i++ {
+				m, err := pe.New("idle"+string(rune('0'+i)), isa.DefaultConfig(), pe.MergeProgram())
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Add(m)
+				sa := NewWordSource("sa"+string(rune('0'+i)), nil, false)
+				sb := NewWordSource("sb"+string(rune('0'+i)), nil, false)
+				snk := NewSink("snk" + string(rune('0'+i)))
+				f.Add(sa)
+				f.Add(sb)
+				f.Add(snk)
+				f.Wire(sa, 0, m, 0)
+				f.Wire(sb, 0, m, 1)
+				f.Wire(m, 0, snk, 0)
+			}
+			f.SetDenseStepping(mode.dense)
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				res, err := f.Run(int64(b.N - done))
+				if err != nil && !errors.Is(err, ErrTimeout) {
+					b.Fatal(err)
+				}
+				if res.Cycles == 0 {
+					b.Fatal("fabric made no progress")
+				}
+				done += int(res.Cycles)
+			}
+		})
+	}
+}
+
 // BenchmarkFabricCycle measures whole-fabric cycles on the 3-PE merge
 // tree, the end-to-end simulator hot loop.
 func BenchmarkFabricCycle(b *testing.B) {

@@ -6,11 +6,22 @@
 // the end of the previous cycle and stages its effects; the fabric then
 // commits all channels. Element step order therefore cannot affect
 // results, and simulations are bit-reproducible.
+//
+// The simulator is event-driven: an element that did no work goes to
+// sleep and is only stepped again when one of its attached channels
+// commits a change (spatial fabrics are mostly idle, so most elements
+// sleep most cycles), and only channels with staged or in-flight tokens
+// are ticked. The two-phase channel protocol is what makes the skip
+// sound — see DESIGN.md's "Simulator fast path" section. A dense
+// reference stepper that walks every element and channel each cycle is
+// kept behind SetDenseStepping for the differential tests; both must
+// produce bit-identical results.
 package fabric
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"tia/internal/channel"
 )
@@ -23,6 +34,13 @@ type Element interface {
 	// Step runs one cycle against committed channel state, staging any
 	// channel effects. It returns true if the element did work (fired an
 	// instruction, moved a token, serviced a request).
+	//
+	// The event-driven stepper relies on two properties of Step: a call
+	// that returns false must stage no channel effects, and it must be a
+	// pure function of the element's state and the committed channel
+	// state (so re-running it with neither changed returns false again).
+	// An element whose state advances even when it reports no work (e.g.
+	// a draining branch-penalty counter) must implement NeedsStep.
 	Step(cycle int64) bool
 	// Done reports that the element will never do work again.
 	Done() bool
@@ -55,6 +73,26 @@ type resettable interface {
 	Reset()
 }
 
+// skipAware elements are told how many cycles the event-driven stepper
+// skipped them for, so per-cycle statistics stay bit-identical with
+// dense stepping.
+type skipAware interface {
+	SkipCycles(n int64)
+}
+
+// wakeHinter elements can demand to be stepped even after a no-work
+// cycle with no channel changes (e.g. a PC-style PE draining a
+// taken-branch penalty, or a mesh with buffered flits).
+type wakeHinter interface {
+	NeedsStep() bool
+}
+
+// stateDumper lets elements contribute a one-line state summary to
+// deadlock reports.
+type stateDumper interface {
+	DumpState() string
+}
+
 // Config holds fabric-wide defaults.
 type Config struct {
 	// ChannelCapacity is the default receiver-FIFO depth for Wire.
@@ -81,7 +119,40 @@ type Fabric struct {
 	sinks []*Sink
 	names map[string]bool
 	place map[Element]point
+	binds []bind
 	cycle int64
+	dense bool
+
+	prep prepared
+}
+
+// bind records a channel's endpoint elements, declared by Wire or
+// BindChannel; nil endpoints mean "unknown" and are handled
+// conservatively by the event-driven stepper.
+type bind struct {
+	ch               *channel.Channel
+	sender, receiver Element
+}
+
+// prepared caches everything the run loop would otherwise re-derive per
+// cycle: interface assertions, channel endpoints and the element→channel
+// adjacency. Built once per Run by prepare().
+type prepared struct {
+	valid bool
+
+	faulties []faultyElem
+	dumpers  []stateDumper
+	resets   []resettable
+	skips    []skipAware   // indexed by element, nil when unimplemented
+	hints    []wakeHinter  // indexed by element, nil when unimplemented
+	sinkOf   []*Sink       // indexed by element, nil for non-sinks
+	elemCh   [][]int       // channel indices attached to each element
+	ends     [][2]int      // per channel: sender/receiver element index, -1 unknown
+}
+
+type faultyElem struct {
+	f faulty
+	e Element
 }
 
 type point struct{ x, y int }
@@ -100,6 +171,13 @@ func New(cfg Config) *Fabric {
 // Config returns the fabric's defaults.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// SetDenseStepping switches the simulator to the dense reference loop
+// that steps every element and ticks every channel each cycle. Results
+// are bit-identical with the default event-driven stepper (the
+// differential tests in package workloads assert it); dense stepping
+// exists as that test's baseline and as a debugging aid.
+func (f *Fabric) SetDenseStepping(on bool) { f.dense = on }
+
 // Add registers an element. Names must be unique.
 func (f *Fabric) Add(e Element) {
 	if f.names[e.Name()] {
@@ -110,6 +188,7 @@ func (f *Fabric) Add(e Element) {
 	if s, ok := e.(*Sink); ok {
 		f.sinks = append(f.sinks, s)
 	}
+	f.prep.valid = false
 }
 
 // Elements returns the registered elements in registration order.
@@ -127,17 +206,31 @@ func (f *Fabric) Place(e Element, x, y int) {
 
 // NewChannel creates a channel registered for fabric ticking but not
 // attached to anything; callers wire it manually (e.g. to drive a PE from
-// a test).
+// a test). Its endpoints are unknown to the event-driven stepper, which
+// therefore ticks it every cycle and wakes every element when it changes;
+// use BindChannel to declare endpoints when they exist.
 func (f *Fabric) NewChannel(name string, capacity, latency int) *channel.Channel {
 	ch := channel.New(name, capacity, latency)
 	f.chans = append(f.chans, ch)
+	f.prep.valid = false
 	return ch
 }
 
 // AdoptChannel registers an externally created channel (e.g. the endpoint
-// of a NoC flow) for fabric ticking.
+// of a NoC flow) for fabric ticking. See NewChannel about endpoints.
 func (f *Fabric) AdoptChannel(ch *channel.Channel) {
 	f.chans = append(f.chans, ch)
+	f.prep.valid = false
+}
+
+// BindChannel declares a registered channel's endpoint elements for the
+// event-driven stepper: when the channel commits a change, exactly these
+// elements are woken. Pass nil for an endpoint that is not a fabric
+// element; the stepper then falls back to waking everything for that
+// channel.
+func (f *Fabric) BindChannel(ch *channel.Channel, sender, receiver Element) {
+	f.binds = append(f.binds, bind{ch: ch, sender: sender, receiver: receiver})
+	f.prep.valid = false
 }
 
 // Wire connects src's output port outIdx to dst's input port inIdx with a
@@ -167,6 +260,10 @@ func (f *Fabric) WireOpt(src OutPort, outIdx int, dst InPort, inIdx int, capacit
 	src.ConnectOut(outIdx, ch)
 	dst.ConnectIn(inIdx, ch)
 	f.chans = append(f.chans, ch)
+	se, _ := src.(Element)
+	de, _ := dst.(Element)
+	f.binds = append(f.binds, bind{ch: ch, sender: se, receiver: de})
+	f.prep.valid = false
 	return ch
 }
 
@@ -197,6 +294,82 @@ func (f *Fabric) Validate() error {
 	return nil
 }
 
+// prepare builds the run caches: hoisted interface assertions, channel
+// endpoint tables and element→channel adjacency. Idempotent until the
+// fabric's structure changes.
+func (f *Fabric) prepare() {
+	if f.prep.valid {
+		return
+	}
+	p := &f.prep
+	n := len(f.elems)
+	elemIdx := make(map[Element]int, n)
+	for i, e := range f.elems {
+		elemIdx[e] = i
+	}
+	chanIdx := make(map[*channel.Channel]int, len(f.chans))
+	for i, ch := range f.chans {
+		chanIdx[ch] = i
+	}
+
+	p.faulties = p.faulties[:0]
+	p.dumpers = p.dumpers[:0]
+	p.resets = p.resets[:0]
+	p.skips = make([]skipAware, n)
+	p.hints = make([]wakeHinter, n)
+	p.sinkOf = make([]*Sink, n)
+	p.elemCh = make([][]int, n)
+	for i, e := range f.elems {
+		if ft, ok := e.(faulty); ok {
+			p.faulties = append(p.faulties, faultyElem{f: ft, e: e})
+		}
+		if d, ok := e.(stateDumper); ok {
+			p.dumpers = append(p.dumpers, d)
+		}
+		if r, ok := e.(resettable); ok {
+			p.resets = append(p.resets, r)
+		}
+		if s, ok := e.(skipAware); ok {
+			p.skips[i] = s
+		}
+		if h, ok := e.(wakeHinter); ok {
+			p.hints[i] = h
+		}
+		if s, ok := e.(*Sink); ok {
+			p.sinkOf[i] = s
+		}
+	}
+
+	p.ends = make([][2]int, len(f.chans))
+	for i := range p.ends {
+		p.ends[i] = [2]int{-1, -1}
+	}
+	for _, b := range f.binds {
+		ci, ok := chanIdx[b.ch]
+		if !ok {
+			continue // bound but not fabric-ticked; nothing to wake
+		}
+		if b.sender != nil {
+			if si, ok := elemIdx[b.sender]; ok {
+				p.ends[ci][0] = si
+			}
+		}
+		if b.receiver != nil {
+			if ri, ok := elemIdx[b.receiver]; ok {
+				p.ends[ci][1] = ri
+			}
+		}
+	}
+	for ci, ends := range p.ends {
+		for _, ei := range ends {
+			if ei >= 0 {
+				p.elemCh[ei] = append(p.elemCh[ei], ci)
+			}
+		}
+	}
+	p.valid = true
+}
+
 // Result summarizes a simulation run.
 type Result struct {
 	// Cycles is the number of cycles simulated.
@@ -222,6 +395,16 @@ func (f *Fabric) Run(maxCycles int64) (Result, error) {
 	if err := f.Validate(); err != nil {
 		return Result{}, err
 	}
+	f.prepare()
+	if f.dense {
+		return f.runDense(maxCycles)
+	}
+	return f.runEvent(maxCycles)
+}
+
+// runDense is the reference stepper: every element stepped and every
+// channel ticked, every cycle.
+func (f *Fabric) runDense(maxCycles int64) (Result, error) {
 	idleStreak := 0
 	for n := int64(0); n < maxCycles; n++ {
 		worked := false
@@ -232,17 +415,15 @@ func (f *Fabric) Run(maxCycles int64) (Result, error) {
 		}
 		busyChans := false
 		for _, ch := range f.chans {
-			if !ch.Idle() {
+			if !busyChans && !ch.Idle() {
 				busyChans = true
 			}
 			ch.Tick()
 		}
 		f.cycle++
-		for _, e := range f.elems {
-			if ft, ok := e.(faulty); ok {
-				if err := ft.Err(); err != nil {
-					return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: element %s: %w", f.cycle, e.Name(), err)
-				}
+		for _, fe := range f.prep.faulties {
+			if err := fe.f.Err(); err != nil {
+				return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: element %s: %w", f.cycle, fe.e.Name(), err)
 			}
 		}
 		if f.sinksDone() {
@@ -265,6 +446,179 @@ func (f *Fabric) Run(maxCycles int64) (Result, error) {
 	return Result{Cycles: f.cycle}, fmt.Errorf("after %d cycles: %w", f.cycle, ErrTimeout)
 }
 
+// runState is the event-driven stepper's per-run bookkeeping.
+type runState struct {
+	awake       []bool
+	asleepSince []int64
+	active      []bool // channel is in the tick list
+	activeList  []int
+	spare       []int
+	isBusy      []bool // channel is not Idle (for quiescence detection)
+	busyCount   int
+	sinkDone    []bool
+	sinksLeft   int
+}
+
+// runEvent is the event-driven stepper. Invariants (see DESIGN.md):
+//
+//   - An element is asleep only if its last Step returned false and no
+//     attached channel has committed a change since. Step is pure for
+//     unchanged inputs, so every skipped cycle would have been a no-work
+//     cycle with the same outcome; SkipCycles backfills the counters.
+//   - A channel is outside the tick list only if it is Quiet (nothing
+//     staged, nothing in flight), in which case Tick would be a no-op.
+//     Elements stage effects only in cycles where Step returns true, so
+//     re-activating the channels of every worked element restores the
+//     invariant before the next tick phase.
+func (f *Fabric) runEvent(maxCycles int64) (Result, error) {
+	ne, nc := len(f.elems), len(f.chans)
+	st := &runState{
+		awake:       make([]bool, ne),
+		asleepSince: make([]int64, ne),
+		active:      make([]bool, nc),
+		activeList:  make([]int, 0, nc),
+		spare:       make([]int, 0, nc),
+		isBusy:      make([]bool, nc),
+		sinkDone:    make([]bool, ne),
+	}
+	for i := range st.awake {
+		st.awake[i] = true
+	}
+	for ci, ch := range f.chans {
+		st.active[ci] = true
+		st.activeList = append(st.activeList, ci)
+		if !ch.Idle() {
+			st.isBusy[ci] = true
+			st.busyCount++
+		}
+	}
+	for i, s := range f.prep.sinkOf {
+		if s == nil {
+			continue
+		}
+		if s.Completed() {
+			st.sinkDone[i] = true
+		} else {
+			st.sinksLeft++
+		}
+	}
+
+	// backfill accounts the skipped cycles of every still-sleeping
+	// element before Run returns, so statistics match dense stepping on
+	// every exit path.
+	backfill := func() {
+		last := f.cycle - 1
+		for i := range st.awake {
+			if st.awake[i] {
+				continue
+			}
+			if sk := f.prep.skips[i]; sk != nil {
+				sk.SkipCycles(last - st.asleepSince[i])
+			}
+		}
+	}
+
+	elems, chans, prep := f.elems, f.chans, &f.prep
+	idleStreak := 0
+	for n := int64(0); n < maxCycles; n++ {
+		cur := f.cycle
+		worked := false
+		for i, e := range elems {
+			if !st.awake[i] {
+				continue
+			}
+			if e.Step(cur) {
+				worked = true
+				for _, ci := range prep.elemCh[i] {
+					if !st.active[ci] {
+						st.active[ci] = true
+						st.activeList = append(st.activeList, ci)
+					}
+				}
+				if s := prep.sinkOf[i]; s != nil && !st.sinkDone[i] && s.Completed() {
+					st.sinkDone[i] = true
+					st.sinksLeft--
+				}
+			} else if h := prep.hints[i]; h == nil || !h.NeedsStep() {
+				st.awake[i] = false
+				st.asleepSince[i] = cur
+			}
+		}
+
+		next := st.spare[:0]
+		for _, ci := range st.activeList {
+			ch := chans[ci]
+			ends := prep.ends[ci]
+			if ch.Tick() {
+				if ends[0] < 0 || ends[1] < 0 {
+					// Unknown endpoint: wake everything attached anywhere.
+					for ei := range st.awake {
+						f.wake(st, ei, cur)
+					}
+				} else {
+					f.wake(st, ends[0], cur)
+					f.wake(st, ends[1], cur)
+				}
+			}
+			if busy := !ch.Idle(); busy != st.isBusy[ci] {
+				st.isBusy[ci] = busy
+				if busy {
+					st.busyCount++
+				} else {
+					st.busyCount--
+				}
+			}
+			if ends[0] >= 0 && ends[1] >= 0 && ch.Quiet() {
+				st.active[ci] = false
+			} else {
+				next = append(next, ci)
+			}
+		}
+		st.spare = st.activeList[:0]
+		st.activeList = next
+
+		f.cycle++
+		for _, fe := range f.prep.faulties {
+			if err := fe.f.Err(); err != nil {
+				backfill()
+				return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: element %s: %w", f.cycle, fe.e.Name(), err)
+			}
+		}
+		if len(f.sinks) > 0 && st.sinksLeft == 0 {
+			backfill()
+			return Result{Cycles: f.cycle, Completed: true}, nil
+		}
+		if !worked && st.busyCount == 0 {
+			idleStreak++
+			if idleStreak >= f.cfg.QuiescenceWindow {
+				backfill()
+				res := Result{Cycles: f.cycle, Quiesced: true}
+				if len(f.sinks) == 0 {
+					res.Completed = true
+					return res, nil
+				}
+				return res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.describeStall())
+			}
+		} else {
+			idleStreak = 0
+		}
+	}
+	backfill()
+	return Result{Cycles: f.cycle}, fmt.Errorf("after %d cycles: %w", f.cycle, ErrTimeout)
+}
+
+// wake marks an element runnable again, backfilling the cycles it slept
+// through.
+func (f *Fabric) wake(st *runState, ei int, cur int64) {
+	if st.awake[ei] {
+		return
+	}
+	st.awake[ei] = true
+	if sk := f.prep.skips[ei]; sk != nil {
+		sk.SkipCycles(cur - st.asleepSince[ei])
+	}
+}
+
 func (f *Fabric) sinksDone() bool {
 	if len(f.sinks) == 0 {
 		return false
@@ -277,36 +631,42 @@ func (f *Fabric) sinksDone() bool {
 	return true
 }
 
-// stateDumper lets elements contribute a one-line state summary to
-// deadlock reports.
-type stateDumper interface {
-	DumpState() string
-}
-
 // describeStall summarizes which sinks are unfinished, which channels
 // still hold tokens, and what each dumpable element is waiting on, to
-// make deadlock reports actionable.
+// make deadlock reports actionable. The channel dump is capped so
+// reports on large fabrics stay readable.
 func (f *Fabric) describeStall() string {
-	msg := ""
+	const maxChans = 32
+	var b strings.Builder
 	for _, s := range f.sinks {
 		if !s.Completed() {
-			msg += fmt.Sprintf(" sink %s received %d tokens;", s.Name(), len(s.Tokens()))
+			fmt.Fprintf(&b, " sink %s received %d tokens;", s.Name(), len(s.Tokens()))
 		}
 	}
+	shown, busy := 0, 0
 	for _, ch := range f.chans {
-		if ch.Len() > 0 {
-			msg += fmt.Sprintf(" channel %s holds %d tokens;", ch.Name(), ch.Len())
+		if ch.Len() == 0 {
+			continue
+		}
+		busy++
+		if shown < maxChans {
+			fmt.Fprintf(&b, " channel %s holds %d tokens;", ch.Name(), ch.Len())
+			shown++
 		}
 	}
-	for _, e := range f.elems {
-		if d, ok := e.(stateDumper); ok {
-			msg += " [" + d.DumpState() + "]"
-		}
+	if busy > shown {
+		fmt.Fprintf(&b, " (+%d more channels with tokens)", busy-shown)
 	}
-	if msg == "" {
+	f.prepare()
+	for _, d := range f.prep.dumpers {
+		b.WriteString(" [")
+		b.WriteString(d.DumpState())
+		b.WriteString("]")
+	}
+	if b.Len() == 0 {
 		return "no tokens anywhere (starvation)"
 	}
-	return msg
+	return b.String()
 }
 
 // Cycle returns the current simulation time.
@@ -315,10 +675,9 @@ func (f *Fabric) Cycle() int64 { return f.cycle }
 // Reset restores every resettable element and empties every channel so
 // the same fabric can run again.
 func (f *Fabric) Reset() {
-	for _, e := range f.elems {
-		if r, ok := e.(resettable); ok {
-			r.Reset()
-		}
+	f.prepare()
+	for _, r := range f.prep.resets {
+		r.Reset()
 	}
 	for _, ch := range f.chans {
 		ch.Reset()

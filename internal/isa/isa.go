@@ -12,6 +12,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -592,8 +593,29 @@ func (c Config) Validate(in *Instruction) error {
 	return nil
 }
 
+// CheckLimits validates the configuration itself against the packed
+// representation the PE scheduler compiles triggers into: predicate files,
+// register files and channel sets are stored as single uint64 bitmaps, so
+// none of them may exceed 64 entries (the paper's PEs use 8/8/4/4).
+func (c Config) CheckLimits() error {
+	switch {
+	case c.NumPreds > 64:
+		return fmt.Errorf("isa: %d predicates exceed the packed predicate file's 64-entry cap", c.NumPreds)
+	case c.NumRegs > 64:
+		return fmt.Errorf("isa: %d registers exceed the packed register bitmap's 64-entry cap", c.NumRegs)
+	case c.NumIn > 64:
+		return fmt.Errorf("isa: %d input channels exceed the packed channel bitmap's 64-entry cap", c.NumIn)
+	case c.NumOut > 64:
+		return fmt.Errorf("isa: %d output channels exceed the packed channel bitmap's 64-entry cap", c.NumOut)
+	}
+	return nil
+}
+
 // ValidateProgram checks a whole PE program against the configuration.
 func (c Config) ValidateProgram(prog []Instruction) error {
+	if err := c.CheckLimits(); err != nil {
+		return err
+	}
 	if len(prog) == 0 {
 		return fmt.Errorf("isa: empty program")
 	}
@@ -618,6 +640,7 @@ func (c Config) ValidateProgram(prog []Instruction) error {
 // ImplicitInputs returns the set of input channels the instruction needs
 // to be non-empty: those in the trigger, those dequeued, and those read as
 // sources. The PE scheduler treats all of them as readiness conditions.
+// The result is sorted ascending.
 func (in *Instruction) ImplicitInputs() []int {
 	set := map[int]bool{}
 	for _, ic := range in.Trigger.Inputs {
@@ -635,6 +658,7 @@ func (in *Instruction) ImplicitInputs() []int {
 	for ch := range set {
 		out = append(out, ch)
 	}
+	sort.Ints(out)
 	return out
 }
 

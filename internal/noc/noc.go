@@ -132,7 +132,19 @@ func (m *Mesh) WireOver(f *fabric.Fabric, name string,
 	f.AdoptChannel(to)
 	src.ConnectOut(outIdx, from)
 	dst.ConnectIn(inIdx, to)
+	// Declare endpoints so the event-driven stepper wakes exactly the
+	// producer, the mesh, and the consumer instead of everything.
+	se, _ := src.(fabric.Element)
+	de, _ := dst.(fabric.Element)
+	f.BindChannel(from, se, m)
+	f.BindChannel(to, m, de)
 }
+
+// NeedsStep implements the fabric's wake hint: while flits are buffered
+// in routers the mesh must be stepped every cycle even after a no-move
+// cycle, since hops between routers depend only on internal buffer state
+// and not on any fabric channel the stepper could watch.
+func (m *Mesh) NeedsStep() bool { return m.InFlight() > 0 }
 
 // route returns the output direction for a flit at router (x,y): X first,
 // then Y, then local.

@@ -244,6 +244,57 @@ type Stats struct {
 type compiled struct {
 	inst   Inst
 	target int // resolved branch target
+
+	// Readiness sets derived once at New, so Step checks channel status
+	// directly instead of re-deriving which operands touch channels on
+	// every cycle (the same compile-the-control-conditions move the
+	// triggered PE makes with its bitmasks).
+	needIn  []int // input channels that must be non-empty
+	needOut []int // output channels that must have space
+	pops    []int // input channels dequeued after an ALU read
+}
+
+// stallKind records why the last unretired cycle blocked, so skipped
+// cycles can be accounted identically (see SkipCycles).
+type stallKind uint8
+
+const (
+	stallInput stallKind = iota
+	stallOutput
+)
+
+// compileReadiness fills the compiled readiness sets for one instruction.
+func (ci *compiled) compileReadiness() {
+	in := &ci.inst
+	addIn := func(ch int) {
+		for _, c := range ci.needIn {
+			if c == ch {
+				return
+			}
+		}
+		ci.needIn = append(ci.needIn, ch)
+	}
+	for k := 0; k < 2; k++ {
+		if s := in.Srcs[k]; s.Kind == SrcChan || s.Kind == SrcChanTag {
+			if used := in.Kind == KindALU && k < in.Op.Arity() || in.Kind == KindBr; !used {
+				continue
+			}
+			addIn(s.Index)
+			if s.Kind == SrcChan && s.Pop {
+				ci.pops = append(ci.pops, s.Index)
+			}
+		}
+	}
+	if in.Kind == KindDeq {
+		addIn(in.Chan)
+	}
+	if in.Kind == KindALU {
+		for _, d := range in.Dsts {
+			if d.Kind == DstOut {
+				ci.needOut = append(ci.needOut, d.Index)
+			}
+		}
+	}
 }
 
 // PE is one PC-style processing element.
@@ -252,16 +303,18 @@ type PE struct {
 	cfg  Config
 	prog []compiled
 
-	regs    []isa.Word
-	pc      int
-	halted  bool
-	penalty int // remaining penalty stall cycles
+	regs       []isa.Word
+	pc         int
+	halted     bool
+	penalty    int  // remaining penalty stall cycles
+	penaltyHot bool // last Step consumed a penalty cycle
 
 	in  []*channel.Channel
 	out []*channel.Channel
 
-	stats    Stats
-	initRegs []isa.Word
+	stats     Stats
+	lastStall stallKind
+	initRegs  []isa.Word
 }
 
 // New compiles and validates a sequential program.
@@ -300,6 +353,7 @@ func New(name string, cfg Config, prog []Inst) (*PE, error) {
 		if err := p.validate(i, &in); err != nil {
 			return nil, err
 		}
+		ci.compileReadiness()
 		p.prog = append(p.prog, ci)
 	}
 	return p, nil
@@ -463,6 +517,31 @@ func (p *PE) Stats() Stats {
 // DynamicInstructions returns the number of instructions retired.
 func (p *PE) DynamicInstructions() int64 { return p.stats.Fired }
 
+// SkipCycles accounts for n cycles during which the fabric's event-driven
+// stepper did not call Step because neither the PE's state nor any
+// attached channel's committed state could have changed. Each skipped
+// cycle would have blocked exactly like the last stepped one, so the
+// counters advance as if Step had run, keeping statistics bit-identical
+// with dense stepping.
+func (p *PE) SkipCycles(n int64) {
+	if n <= 0 || p.halted {
+		return
+	}
+	p.stats.Cycles += n
+	if p.lastStall == stallOutput {
+		p.stats.OutputStall += n
+	} else {
+		p.stats.InputStall += n
+	}
+}
+
+// NeedsStep reports that the PE must keep being stepped even though it
+// did no observable work: a taken-branch penalty is draining, so its
+// state advances every cycle without any channel activity. The flag
+// covers the final drain cycle too (penalty just hit zero), because the
+// next cycle executes an instruction regardless of channel activity.
+func (p *PE) NeedsStep() bool { return !p.halted && p.penaltyHot }
+
 // StaticInstructions returns the program size.
 func (p *PE) StaticInstructions() int { return len(p.prog) }
 
@@ -481,6 +560,8 @@ func (p *PE) Reset() {
 	p.pc = 0
 	p.halted = false
 	p.penalty = 0
+	p.penaltyHot = false
+	p.lastStall = stallInput
 	p.stats = Stats{PerInst: make([]int64, len(p.prog))}
 }
 
@@ -495,36 +576,27 @@ func (p *PE) Step(cycle int64) bool {
 	if p.penalty > 0 {
 		p.penalty--
 		p.stats.PenaltyStall++
+		p.penaltyHot = true
 		return false
 	}
+	p.penaltyHot = false
 	ci := &p.prog[p.pc]
 	in := &ci.inst
 
-	// Readiness: every channel operand must be non-empty, every output
-	// destination must have space.
-	for k := 0; k < 2; k++ {
-		if s := in.Srcs[k]; s.Kind == SrcChan || s.Kind == SrcChanTag {
-			if used := in.Kind == KindALU && k < in.Op.Arity() || in.Kind == KindBr; !used {
-				continue
-			}
-			if _, ok := p.in[s.Index].Peek(); !ok {
-				p.stats.InputStall++
-				return false
-			}
-		}
-	}
-	if in.Kind == KindDeq {
-		if _, ok := p.in[in.Chan].Peek(); !ok {
+	// Readiness over the precompiled sets: every channel operand must be
+	// non-empty, every output destination must have space.
+	for _, ch := range ci.needIn {
+		if p.in[ch].Len() == 0 {
 			p.stats.InputStall++
+			p.lastStall = stallInput
 			return false
 		}
 	}
-	if in.Kind == KindALU {
-		for _, d := range in.Dsts {
-			if d.Kind == DstOut && !p.out[d.Index].CanAccept() {
-				p.stats.OutputStall++
-				return false
-			}
+	for _, ch := range ci.needOut {
+		if !p.out[ch].CanAccept() {
+			p.stats.OutputStall++
+			p.lastStall = stallOutput
+			return false
 		}
 	}
 
@@ -546,10 +618,8 @@ func (p *PE) Step(cycle int64) bool {
 				p.out[d.Index].Send(channel.Token{Data: result, Tag: d.Tag})
 			}
 		}
-		for k := 0; k < in.Op.Arity(); k++ {
-			if s := in.Srcs[k]; s.Kind == SrcChan && s.Pop {
-				p.in[s.Index].Deq()
-			}
+		for _, ch := range ci.pops {
+			p.in[ch].Deq()
 		}
 		if in.Op == isa.OpHalt {
 			p.halted = true

@@ -10,6 +10,15 @@
 // operation, routes the result to registers, output channels and/or a
 // predicate, dequeues input channels, and applies explicit predicate
 // set/clear side effects — all in one cycle.
+//
+// The paper's point is that this trigger resolution is a handful of gates
+// in hardware, so the simulator models it the same way: at compile time
+// (New) every trigger is packed into uint64 masks over the predicate file
+// and the channel status bitmaps, and classification is a few word
+// compares against per-cycle cached channel status (see classifyFast). A
+// slice-walking reference scheduler is kept alongside and must produce
+// bit-identical results; the differential tests in package workloads hold
+// the two paths to that.
 package pe
 
 import (
@@ -49,12 +58,57 @@ type Stats struct {
 	PerInst     []int64
 }
 
-// compiled caches per-instruction derived readiness sets.
+// tagCheck is one compiled head-tag condition: the head tag of input
+// channel ch must equal (eq) or differ from (!eq) tag.
+type tagCheck struct {
+	ch  int
+	tag isa.Tag
+	eq  bool
+}
+
+// compiled caches per-instruction derived readiness sets: the slice form
+// used by the reference scheduler and the packed form used by the bitmask
+// scheduler (the hardware model: trigger resolution as word compares).
 type compiled struct {
 	inst    isa.Instruction
-	inputs  []int // channels that must be non-empty
-	outputs []int // channels that must have space
+	inputs  []int // channels that must be non-empty (reference path)
+	outputs []int // channels that must have space (reference path)
+
+	predMask uint64 // predicate literals: predBits&predMask must equal predVal
+	predVal  uint64
+	inMask   uint64 // input channels that must be non-empty
+	outMask  uint64 // output channels that must have space
+	deqMask  uint64 // input channels dequeued on fire
+	regWMask uint64 // data registers written by the result
+	prWMask  uint64 // predicates written (result or set/clr)
+	tagConds []tagCheck
+
+	// Destinations and predicate updates flattened by kind, so fire()
+	// avoids re-dispatching on Dst.Kind every cycle. Splitting by kind is
+	// order-safe: the three destination spaces are disjoint, and
+	// validation forbids writing one destination twice per instruction.
+	regDsts   []int    // register indices receiving the result
+	outDsts   []outDst // output channels receiving the result
+	prDstMask uint64   // predicates receiving result != 0
+	prUpdSet  uint64   // predicates unconditionally set on fire
+	prUpdClr  uint64   // predicates unconditionally cleared on fire
 }
+
+// outDst is one compiled output-channel destination.
+type outDst struct {
+	ch  int
+	tag isa.Tag
+}
+
+// stallKind records why the last unfired cycle did not fire, so skipped
+// cycles can be accounted identically (see SkipCycles).
+type stallKind uint8
+
+const (
+	stallIdle stallKind = iota
+	stallInput
+	stallOutput
+)
 
 // PE is one triggered-instruction processing element.
 type PE struct {
@@ -62,9 +116,9 @@ type PE struct {
 	cfg  isa.Config
 	prog []compiled
 
-	regs   []isa.Word
-	preds  []bool
-	halted bool
+	regs     []isa.Word
+	predBits uint64 // packed predicate file; bit i is predicate i
+	halted   bool
 
 	in  []*channel.Channel
 	out []*channel.Channel
@@ -73,40 +127,118 @@ type PE struct {
 	rrOffset   int
 	issueWidth int // max instructions fired per cycle (default 1)
 
+	// Per-cycle channel status caches rebuilt by refreshStatus at the top
+	// of each stepped cycle. Committed channel state cannot change within
+	// a cycle (package channel's two-phase protocol), so one pass over the
+	// ports replaces a Peek/CanAccept per trigger condition.
+	inReady  uint64
+	outReady uint64
+	headTags []isa.Tag
+	scanIn   []int // input channels some trigger references
+	scanOut  []int // output channels some instruction writes
+
+	reference bool // slice-walking reference scheduler (differential tests)
+	lastStall stallKind
+
 	stats Stats
 
 	// initial state, kept for Reset
 	initRegs  []isa.Word
-	initPreds []bool
+	initPreds uint64
 
 	// Trace, when non-nil, is called once per fire with the cycle, the
 	// instruction index, and the ALU result.
 	Trace func(cycle int64, instIdx int, result isa.Word)
 }
 
-// New compiles a program into a PE. The program is validated against cfg.
+// New compiles a program into a PE. The program is validated against cfg,
+// and every trigger is compiled into its packed bitmask form.
 func New(name string, cfg isa.Config, prog []isa.Instruction) (*PE, error) {
 	if err := cfg.ValidateProgram(prog); err != nil {
 		return nil, fmt.Errorf("pe %s: %w", name, err)
 	}
 	p := &PE{
-		name:      name,
-		cfg:       cfg,
-		regs:      make([]isa.Word, cfg.NumRegs),
-		preds:     make([]bool, cfg.NumPreds),
-		in:        make([]*channel.Channel, cfg.NumIn),
-		out:       make([]*channel.Channel, cfg.NumOut),
-		initRegs:  make([]isa.Word, cfg.NumRegs),
-		initPreds: make([]bool, cfg.NumPreds),
+		name:     name,
+		cfg:      cfg,
+		regs:     make([]isa.Word, cfg.NumRegs),
+		in:       make([]*channel.Channel, cfg.NumIn),
+		out:      make([]*channel.Channel, cfg.NumOut),
+		headTags: make([]isa.Tag, cfg.NumIn),
+		initRegs: make([]isa.Word, cfg.NumRegs),
 	}
 	p.stats.PerInst = make([]int64, len(prog))
 	for i := range prog {
 		inst := prog[i]
-		p.prog = append(p.prog, compiled{
+		ci := compiled{
 			inst:    inst,
 			inputs:  inst.ImplicitInputs(),
 			outputs: inst.OutputChannels(),
-		})
+		}
+		for _, lit := range inst.Trigger.Preds {
+			ci.predMask |= 1 << uint(lit.Index)
+			if lit.Value {
+				ci.predVal |= 1 << uint(lit.Index)
+			}
+		}
+		for _, ch := range ci.inputs {
+			ci.inMask |= 1 << uint(ch)
+		}
+		for _, ch := range ci.outputs {
+			ci.outMask |= 1 << uint(ch)
+		}
+		for _, ch := range inst.Deq {
+			ci.deqMask |= 1 << uint(ch)
+		}
+		for _, d := range inst.Dsts {
+			switch d.Kind {
+			case isa.DstReg:
+				ci.regWMask |= 1 << uint(d.Index)
+				ci.regDsts = append(ci.regDsts, d.Index)
+			case isa.DstOut:
+				ci.outDsts = append(ci.outDsts, outDst{ch: d.Index, tag: d.Tag})
+			case isa.DstPred:
+				ci.prWMask |= 1 << uint(d.Index)
+				ci.prDstMask |= 1 << uint(d.Index)
+			}
+		}
+		for _, u := range inst.PredUpdates {
+			ci.prWMask |= 1 << uint(u.Index)
+			if u.Op == isa.PredSet {
+				ci.prUpdSet |= 1 << uint(u.Index)
+			} else {
+				ci.prUpdClr |= 1 << uint(u.Index)
+			}
+		}
+		for _, cond := range inst.Trigger.Inputs {
+			if cond.Cond == isa.TagAny {
+				continue
+			}
+			ci.tagConds = append(ci.tagConds, tagCheck{
+				ch: cond.Chan, tag: cond.Tag, eq: cond.Cond == isa.TagEq,
+			})
+		}
+		p.prog = append(p.prog, ci)
+	}
+	// refreshStatus only needs the channels some instruction can observe;
+	// everything else stays out of the per-cycle scan.
+	var inU, outU uint64
+	for i := range p.prog {
+		ci := &p.prog[i]
+		inU |= ci.inMask | ci.deqMask
+		for _, tc := range ci.tagConds {
+			inU |= 1 << uint(tc.ch)
+		}
+		outU |= ci.outMask
+	}
+	for i := 0; i < cfg.NumIn; i++ {
+		if inU&(1<<uint(i)) != 0 {
+			p.scanIn = append(p.scanIn, i)
+		}
+	}
+	for i := 0; i < cfg.NumOut; i++ {
+		if outU&(1<<uint(i)) != 0 {
+			p.scanOut = append(p.scanOut, i)
+		}
 	}
 	return p, nil
 }
@@ -130,7 +262,18 @@ func (p *PE) Program() []isa.Instruction {
 func (p *PE) StaticInstructions() int { return len(p.prog) }
 
 // SetPolicy selects the scheduler tie-break policy.
-func (p *PE) SetPolicy(pol SchedPolicy) { p.policy = pol }
+func (p *PE) SetPolicy(pol SchedPolicy) {
+	p.policy = pol
+	if pol != SchedRoundRobin {
+		p.rrOffset = 0
+	}
+}
+
+// SetReferenceScheduler switches the PE between the compiled bitmask
+// scheduler (default) and the slice-walking reference scheduler that
+// evaluates triggers the way the original simulator did. The two are
+// required to be bit-identical; the differential tests run both.
+func (p *PE) SetReferenceScheduler(on bool) { p.reference = on }
 
 // SetIssueWidth lets the scheduler fire up to w ready instructions per
 // cycle — a superscalar trigger scheduler, one of the paper's natural
@@ -155,15 +298,31 @@ func (p *PE) SetReg(i int, v isa.Word) {
 
 // SetPred establishes an initial predicate value (also restored by Reset).
 func (p *PE) SetPred(i int, v bool) {
-	p.preds[i] = v
-	p.initPreds[i] = v
+	p.checkPred(i)
+	bit := uint64(1) << uint(i)
+	if v {
+		p.predBits |= bit
+		p.initPreds |= bit
+	} else {
+		p.predBits &^= bit
+		p.initPreds &^= bit
+	}
+}
+
+func (p *PE) checkPred(i int) {
+	if i < 0 || i >= p.cfg.NumPreds {
+		panic(fmt.Sprintf("pe %s: predicate index %d out of range [0,%d)", p.name, i, p.cfg.NumPreds))
+	}
 }
 
 // Reg returns the current value of register i (for tests and debuggers).
 func (p *PE) Reg(i int) isa.Word { return p.regs[i] }
 
 // Pred returns the current value of predicate i.
-func (p *PE) Pred(i int) bool { return p.preds[i] }
+func (p *PE) Pred(i int) bool {
+	p.checkPred(i)
+	return p.predBits&(1<<uint(i)) != 0
+}
 
 // ConnectIn attaches ch as input channel idx.
 func (p *PE) ConnectIn(idx int, ch *channel.Channel) {
@@ -218,6 +377,28 @@ func (p *PE) Stats() Stats {
 // DynamicInstructions returns the total number of instructions fired.
 func (p *PE) DynamicInstructions() int64 { return p.stats.Fired }
 
+// SkipCycles accounts for n cycles during which the fabric's event-driven
+// stepper did not call Step because neither the PE's architectural state
+// nor any attached channel's committed state could have changed. Each
+// skipped cycle would have classified exactly like the last stepped one,
+// so the counters advance as if Step had been called, keeping statistics
+// bit-identical with dense stepping. A halted PE accrues nothing, exactly
+// as its Step would.
+func (p *PE) SkipCycles(n int64) {
+	if n <= 0 || p.halted {
+		return
+	}
+	p.stats.Cycles += n
+	switch p.lastStall {
+	case stallOutput:
+		p.stats.OutputStall += n
+	case stallInput:
+		p.stats.InputStall += n
+	default:
+		p.stats.IdleCycles += n
+	}
+}
+
 // DumpState renders the PE's architectural state on one line — the first
 // thing to look at when a fabric deadlocks.
 func (p *PE) DumpState() string {
@@ -234,21 +415,23 @@ func (p *PE) DumpState() string {
 		fmt.Fprintf(&b, "%d", r)
 	}
 	b.WriteString("] preds[")
-	for _, v := range p.preds {
-		if v {
+	for i := 0; i < p.cfg.NumPreds; i++ {
+		if p.predBits&(1<<uint(i)) != 0 {
 			b.WriteByte('1')
 		} else {
 			b.WriteByte('0')
 		}
 	}
 	b.WriteString("]")
-	// Which instruction is closest to firing?
+	// Which instruction is closest to firing? Classified with the live
+	// reference path: DumpState runs outside the cycle loop, where the
+	// status caches may be stale or the PE only partially connected.
 	for i := range p.prog {
 		if !p.connected(&p.prog[i]) {
 			fmt.Fprintf(&b, " %s:unconnected", labelOrIdx(&p.prog[i].inst, i))
 			return b.String()
 		}
-		switch p.classify(&p.prog[i]) {
+		switch p.classifyRef(&p.prog[i]) {
 		case waitingInput:
 			fmt.Fprintf(&b, " %s:awaiting-input", labelOrIdx(&p.prog[i].inst, i))
 			return b.String()
@@ -288,9 +471,10 @@ func labelOrIdx(in *isa.Instruction, i int) string {
 // Attached channels are not reset; the fabric owns them.
 func (p *PE) Reset() {
 	copy(p.regs, p.initRegs)
-	copy(p.preds, p.initPreds)
+	p.predBits = p.initPreds
 	p.halted = false
 	p.rrOffset = 0
+	p.lastStall = stallIdle
 	p.stats = Stats{PerInst: make([]int64, len(p.prog))}
 }
 
@@ -304,9 +488,43 @@ const (
 	fireable
 )
 
+// classify dispatches to the active scheduler implementation.
 func (p *PE) classify(ci *compiled) readiness {
+	if p.reference {
+		return p.classifyRef(ci)
+	}
+	return p.classifyFast(ci)
+}
+
+// classifyFast resolves the trigger the way the hardware does: word
+// compares against the packed predicate file and the per-cycle channel
+// status bitmaps, plus a (usually empty) compiled tag-condition table.
+// refreshStatus must have run this cycle.
+func (p *PE) classifyFast(ci *compiled) readiness {
+	if p.predBits&ci.predMask != ci.predVal {
+		return notTriggered
+	}
+	if ci.inMask&^p.inReady != 0 {
+		return waitingInput
+	}
+	for i := range ci.tagConds {
+		tc := &ci.tagConds[i]
+		if (p.headTags[tc.ch] == tc.tag) != tc.eq {
+			return notTriggered
+		}
+	}
+	if ci.outMask&^p.outReady != 0 {
+		return waitingOut
+	}
+	return fireable
+}
+
+// classifyRef is the reference scheduler: it walks the trigger's literal
+// slices and queries the channels directly, exactly as the original
+// simulator did. Kept for differential testing and cold paths.
+func (p *PE) classifyRef(ci *compiled) readiness {
 	for _, lit := range ci.inst.Trigger.Preds {
-		if p.preds[lit.Index] != lit.Value {
+		if p.predBits&(1<<uint(lit.Index)) != 0 != lit.Value {
 			return notTriggered
 		}
 	}
@@ -336,6 +554,29 @@ func (p *PE) classify(ci *compiled) readiness {
 	return fireable
 }
 
+// refreshStatus rebuilds the per-cycle channel status caches: one bit per
+// input channel that is non-empty (with its head tag), one bit per output
+// channel with send credit.
+func (p *PE) refreshStatus() {
+	var in, out uint64
+	for _, i := range p.scanIn {
+		ch := p.in[i]
+		if ch == nil {
+			continue
+		}
+		if tok, ok := ch.Peek(); ok {
+			in |= 1 << uint(i)
+			p.headTags[i] = tok.Tag
+		}
+	}
+	for _, i := range p.scanOut {
+		if ch := p.out[i]; ch != nil && ch.CanAccept() {
+			out |= 1 << uint(i)
+		}
+	}
+	p.inReady, p.outReady = in, out
+}
+
 // Step executes one cycle: the scheduler picks a ready instruction and
 // fires it (or up to the configured issue width). It returns true if an
 // instruction fired.
@@ -347,18 +588,32 @@ func (p *PE) Step(cycle int64) bool {
 		return p.stepWide(cycle)
 	}
 	p.stats.Cycles++
+	if !p.reference {
+		p.refreshStatus()
+	}
 	n := len(p.prog)
 	sawInputWait, sawOutputWait := false, false
+	// rrOffset is zero except under round-robin, so the scan starts at
+	// program order for priority scheduling; the wrap is an add-and-reset
+	// instead of a modulo per iteration.
+	idx := p.rrOffset
+	ref := p.reference
 	for k := 0; k < n; k++ {
-		idx := k
-		if p.policy == SchedRoundRobin {
-			idx = (k + p.rrOffset) % n
+		// Dispatch picked once outside the switch so the fast path inlines.
+		var r readiness
+		if ref {
+			r = p.classifyRef(&p.prog[idx])
+		} else {
+			r = p.classifyFast(&p.prog[idx])
 		}
-		switch p.classify(&p.prog[idx]) {
+		switch r {
 		case fireable:
 			p.fire(cycle, idx)
 			if p.policy == SchedRoundRobin {
-				p.rrOffset = (idx + 1) % n
+				p.rrOffset = idx + 1
+				if p.rrOffset == n {
+					p.rrOffset = 0
+				}
 			}
 			return true
 		case waitingInput:
@@ -366,14 +621,21 @@ func (p *PE) Step(cycle int64) bool {
 		case waitingOut:
 			sawOutputWait = true
 		}
+		idx++
+		if idx == n {
+			idx = 0
+		}
 	}
 	switch {
 	case sawOutputWait:
 		p.stats.OutputStall++
+		p.lastStall = stallOutput
 	case sawInputWait:
 		p.stats.InputStall++
+		p.lastStall = stallInput
 	default:
 		p.stats.IdleCycles++
+		p.lastStall = stallIdle
 	}
 	return false
 }
@@ -389,22 +651,21 @@ func (p *PE) fire(cycle int64, idx int) {
 		b = p.readSrc(inst.Srcs[1])
 	}
 	result := inst.Op.Eval(a, b)
-	for _, d := range inst.Dsts {
-		switch d.Kind {
-		case isa.DstReg:
-			p.regs[d.Index] = result
-		case isa.DstOut:
-			p.out[d.Index].Send(channel.Token{Data: result, Tag: d.Tag})
-		case isa.DstPred:
-			p.preds[d.Index] = result != 0
-		}
+	for _, r := range ci.regDsts {
+		p.regs[r] = result
+	}
+	for _, d := range ci.outDsts {
+		p.out[d.ch].Send(channel.Token{Data: result, Tag: d.tag})
+	}
+	if result != 0 {
+		p.predBits |= ci.prDstMask
+	} else {
+		p.predBits &^= ci.prDstMask
 	}
 	for _, ch := range inst.Deq {
 		p.in[ch].Deq()
 	}
-	for _, u := range inst.PredUpdates {
-		p.preds[u.Index] = u.Op == isa.PredSet
-	}
+	p.predBits = p.predBits&^ci.prUpdClr | ci.prUpdSet
 	if inst.Op == isa.OpHalt {
 		p.halted = true
 	}

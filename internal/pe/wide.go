@@ -7,26 +7,28 @@ import (
 
 // stepWide is the superscalar trigger scheduler: fire up to issueWidth
 // ready, non-conflicting instructions in one cycle with parallel
-// semantics (see SetIssueWidth).
+// semantics (see SetIssueWidth). Structural conflicts are resolved with
+// the compiled per-instruction bitmasks — one AND against the used-output
+// / used-dequeue / written-register / written-predicate accumulators
+// replaces the per-destination map lookups of the original scheduler.
 func (p *PE) stepWide(cycle int64) bool {
 	p.stats.Cycles++
+	if !p.reference {
+		p.refreshStatus()
+	}
 	n := len(p.prog)
 
-	usedOut := map[int]bool{}
-	usedDeq := map[int]bool{}
-	writtenRegs := map[int]bool{}
-	writtenPreds := map[int]bool{}
+	var usedOut, usedDeq, writtenRegs, writtenPreds uint64
 
 	type regWrite struct {
 		idx int
 		val isa.Word
 	}
-	type predWrite struct {
-		idx int
-		val bool
-	}
 	var regWrites []regWrite
-	var predWrites []predWrite
+	// Predicate writes commit as packed set/clear masks; conflict
+	// detection guarantees the two are disjoint across issued
+	// instructions, and validation forbids overlap within one.
+	var predSet, predClr uint64
 	halting := false
 
 	fired := 0
@@ -38,8 +40,14 @@ func (p *PE) stepWide(cycle int64) bool {
 		}
 		ci := &p.prog[idx]
 		// Triggers evaluate against start-of-cycle predicate state:
-		// predicate writes are deferred, so p.preds is unchanged here.
-		switch p.classify(ci) {
+		// predicate writes are deferred, so predBits is unchanged here.
+		var r readiness
+		if p.reference {
+			r = p.classifyRef(ci)
+		} else {
+			r = p.classifyFast(ci)
+		}
+		switch r {
 		case waitingInput:
 			sawInputWait = true
 			continue
@@ -50,35 +58,8 @@ func (p *PE) stepWide(cycle int64) bool {
 			continue
 		}
 		// Structural conflicts with already-issued instructions.
-		conflict := false
-		for _, ch := range ci.outputs {
-			if usedOut[ch] {
-				conflict = true
-			}
-		}
-		for _, ch := range ci.inst.Deq {
-			if usedDeq[ch] {
-				conflict = true
-			}
-		}
-		for _, d := range ci.inst.Dsts {
-			switch d.Kind {
-			case isa.DstReg:
-				if writtenRegs[d.Index] {
-					conflict = true
-				}
-			case isa.DstPred:
-				if writtenPreds[d.Index] {
-					conflict = true
-				}
-			}
-		}
-		for _, u := range ci.inst.PredUpdates {
-			if writtenPreds[u.Index] {
-				conflict = true
-			}
-		}
-		if conflict {
+		if ci.outMask&usedOut != 0 || ci.deqMask&usedDeq != 0 ||
+			ci.regWMask&writtenRegs != 0 || ci.prWMask&writtenPreds != 0 {
 			continue
 		}
 
@@ -93,27 +74,26 @@ func (p *PE) stepWide(cycle int64) bool {
 			b = p.readSrc(inst.Srcs[1])
 		}
 		result := inst.Op.Eval(a, b)
-		for _, d := range inst.Dsts {
-			switch d.Kind {
-			case isa.DstReg:
-				regWrites = append(regWrites, regWrite{d.Index, result})
-				writtenRegs[d.Index] = true
-			case isa.DstOut:
-				p.out[d.Index].Send(channel.Token{Data: result, Tag: d.Tag})
-				usedOut[d.Index] = true
-			case isa.DstPred:
-				predWrites = append(predWrites, predWrite{d.Index, result != 0})
-				writtenPreds[d.Index] = true
-			}
+		for _, r := range ci.regDsts {
+			regWrites = append(regWrites, regWrite{r, result})
+		}
+		for _, d := range ci.outDsts {
+			p.out[d.ch].Send(channel.Token{Data: result, Tag: d.tag})
+		}
+		if result != 0 {
+			predSet |= ci.prDstMask
+		} else {
+			predClr |= ci.prDstMask
 		}
 		for _, ch := range inst.Deq {
 			p.in[ch].Deq()
-			usedDeq[ch] = true
 		}
-		for _, u := range inst.PredUpdates {
-			predWrites = append(predWrites, predWrite{u.Index, u.Op == isa.PredSet})
-			writtenPreds[u.Index] = true
-		}
+		predSet |= ci.prUpdSet
+		predClr |= ci.prUpdClr
+		usedOut |= ci.outMask
+		usedDeq |= ci.deqMask
+		writtenRegs |= ci.regWMask
+		writtenPreds |= ci.prWMask
 		if inst.Op == isa.OpHalt {
 			halting = true
 		}
@@ -132,9 +112,7 @@ func (p *PE) stepWide(cycle int64) bool {
 	for _, w := range regWrites {
 		p.regs[w.idx] = w.val
 	}
-	for _, w := range predWrites {
-		p.preds[w.idx] = w.val
-	}
+	p.predBits = p.predBits&^predClr | predSet
 	if halting {
 		p.halted = true
 	}
@@ -145,10 +123,13 @@ func (p *PE) stepWide(cycle int64) bool {
 	switch {
 	case sawOutputWait:
 		p.stats.OutputStall++
+		p.lastStall = stallOutput
 	case sawInputWait:
 		p.stats.InputStall++
+		p.lastStall = stallInput
 	default:
 		p.stats.IdleCycles++
+		p.lastStall = stallIdle
 	}
 	return false
 }

@@ -188,53 +188,85 @@ func equalWords(a, b []isa.Word) bool {
 	return true
 }
 
+// Verified carries the artifacts of a verification pass: each form's
+// instance, already run to completion with its output checked against the
+// golden reference. Simulations are deterministic, so a measurement
+// harness can read cycle counts and statistics straight off these instead
+// of re-running identical simulations (package core does; it halves the
+// cost of every measured kernel).
+type Verified struct {
+	Params Params
+	// TIA is the triggered instance, post-run.
+	TIA    *Instance
+	TIARes fabric.Result
+	// PC is the baseline instance at Params.PCCfg.TakenPenalty, post-run.
+	PC    *Instance
+	PCRes fabric.Result
+	// Plain is the unenhanced baseline (nil if the kernel has none).
+	Plain    *Instance
+	PlainRes fabric.Result
+	// GPP is the general-purpose core run.
+	GPP *GPPResult
+}
+
 // Verify runs every form of the kernel and checks that all outputs match
 // the reference. It returns a descriptive error on the first mismatch.
 func (s *Spec) Verify(p Params) error {
+	_, err := s.VerifyFull(p)
+	return err
+}
+
+// VerifyFull is Verify returning the run artifacts for reuse.
+func (s *Spec) VerifyFull(p Params) (*Verified, error) {
 	p = s.Normalize(p)
 	want := s.Reference(p)
+	v := &Verified{Params: p}
 
 	tia, err := s.BuildTIA(p)
 	if err != nil {
-		return fmt.Errorf("%s: build TIA: %w", s.Name, err)
+		return nil, fmt.Errorf("%s: build TIA: %w", s.Name, err)
 	}
-	if _, err := tia.Fabric.Run(s.MaxCycles(p)); err != nil {
-		return fmt.Errorf("%s: run TIA: %w", s.Name, err)
+	if v.TIARes, err = tia.Fabric.Run(s.MaxCycles(p)); err != nil {
+		return nil, fmt.Errorf("%s: run TIA: %w", s.Name, err)
 	}
 	if got := tia.Sink.Words(); !equalWords(got, want) {
-		return fmt.Errorf("%s: TIA output mismatch:\n got %v\nwant %v", s.Name, got, want)
+		return nil, fmt.Errorf("%s: TIA output mismatch:\n got %v\nwant %v", s.Name, got, want)
 	}
+	v.TIA = tia
 
 	pc, err := s.BuildPC(p)
 	if err != nil {
-		return fmt.Errorf("%s: build PC: %w", s.Name, err)
+		return nil, fmt.Errorf("%s: build PC: %w", s.Name, err)
 	}
-	if _, err := pc.Fabric.Run(s.MaxCycles(p)); err != nil {
-		return fmt.Errorf("%s: run PC: %w", s.Name, err)
+	if v.PCRes, err = pc.Fabric.Run(s.MaxCycles(p)); err != nil {
+		return nil, fmt.Errorf("%s: run PC: %w", s.Name, err)
 	}
 	if got := pc.Sink.Words(); !equalWords(got, want) {
-		return fmt.Errorf("%s: PC output mismatch:\n got %v\nwant %v", s.Name, got, want)
+		return nil, fmt.Errorf("%s: PC output mismatch:\n got %v\nwant %v", s.Name, got, want)
 	}
+	v.PC = pc
 
 	if s.BuildPCPlain != nil {
 		plain, err := s.BuildPCPlain(p)
 		if err != nil {
-			return fmt.Errorf("%s: build plain PC: %w", s.Name, err)
+			return nil, fmt.Errorf("%s: build plain PC: %w", s.Name, err)
 		}
-		if _, err := plain.Fabric.Run(s.MaxCycles(p) * 2); err != nil {
-			return fmt.Errorf("%s: run plain PC: %w", s.Name, err)
+		if v.PlainRes, err = plain.Fabric.Run(s.MaxCycles(p) * 2); err != nil {
+			return nil, fmt.Errorf("%s: run plain PC: %w", s.Name, err)
 		}
 		if got := plain.Sink.Words(); !equalWords(got, want) {
-			return fmt.Errorf("%s: plain PC output mismatch:\n got %v\nwant %v", s.Name, got, want)
+			return nil, fmt.Errorf("%s: plain PC output mismatch:\n got %v\nwant %v", s.Name, got, want)
 		}
+		v.Plain = plain
 	}
 
 	g, err := s.RunGPP(p)
 	if err != nil {
-		return fmt.Errorf("%s: run GPP: %w", s.Name, err)
+		return nil, fmt.Errorf("%s: run GPP: %w", s.Name, err)
 	}
 	if !equalWords(g.Output, want) {
-		return fmt.Errorf("%s: GPP output mismatch:\n got %v\nwant %v", s.Name, g.Output, want)
+		return nil, fmt.Errorf("%s: GPP output mismatch:\n got %v\nwant %v", s.Name, g.Output, want)
 	}
-	return nil
+	v.GPP = g
+	return v, nil
 }
