@@ -7,12 +7,18 @@
 //
 // Usage:
 //
-//	tiabench [-size N] [-seed S] [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8]
+//	tiabench [-size N] [-seed S] [-timeout D] [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8]
 //	tiabench -listing <kernel>   # disassemble a kernel's programs
 //	tiabench -json               # machine-readable suite results
+//
+// -timeout bounds the total wall-clock time: when it expires, running
+// simulations are cancelled mid-flight and whatever finished is printed,
+// clearly labeled partial.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,7 @@ import (
 	"runtime/pprof"
 
 	"tia/internal/core"
+	"tia/internal/fabric"
 	"tia/internal/workloads"
 )
 
@@ -30,6 +37,7 @@ func main() {
 	listing := flag.String("listing", "", "print a kernel's compiled programs instead of running experiments")
 	jsonOut := flag.Bool("json", false, "emit the suite results as JSON instead of tables")
 	workers := flag.Int("workers", 0, "max concurrent design-point simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "total wall-clock budget; expiry cancels simulations and prints partial results (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -63,9 +71,16 @@ func main() {
 		}()
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	p := workloads.Params{Size: *size, Seed: *seed}
 	if *jsonOut {
-		if err := emitJSON(p); err != nil {
+		if err := emitJSON(ctx, p); err != nil {
 			fmt.Fprintln(os.Stderr, "tiabench:", err)
 			os.Exit(1)
 		}
@@ -78,32 +93,81 @@ func main() {
 		}
 		return
 	}
-	if err := run(p, *exp); err != nil {
+	if err := run(ctx, p, *exp); err != nil {
 		fmt.Fprintln(os.Stderr, "tiabench:", err)
 		os.Exit(1)
 	}
 }
 
-// emitJSON runs the full suite and writes machine-readable results.
-func emitJSON(p workloads.Params) error {
-	rows, err := core.RunSuite(p)
+// partialOK eats a pure cancellation/timeout error, reporting it as
+// "results are partial"; any other error is passed through.
+func partialOK(err error) (bool, error) {
+	if err == nil {
+		return false, nil
+	}
+	if errors.Is(err, fabric.ErrCancelled) {
+		return true, nil
+	}
+	return false, err
+}
+
+// liveRows drops the suite entries that never finished.
+func liveRows(rows []*core.Row) []*core.Row {
+	var out []*core.Row
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// livePoints drops sweep points that never finished.
+func livePoints(pts []core.SweepPoint) []core.SweepPoint {
+	var out []core.SweepPoint
+	for _, pt := range pts {
+		if pt.Label != "" {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// liveMemPoints drops memory-sweep points that never finished.
+func liveMemPoints(pts []core.MemLatencyPoint) []core.MemLatencyPoint {
+	var out []core.MemLatencyPoint
+	for _, pt := range pts {
+		if pt.TIACycles > 0 {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// emitJSON runs the full suite and writes machine-readable results. A
+// timeout yields whatever finished, with the payload marked partial.
+func emitJSON(ctx context.Context, p workloads.Params) error {
+	rows, err := core.RunSuiteContext(ctx, p)
+	partial, err := partialOK(err)
 	if err != nil {
 		return err
 	}
-	reqs, err := core.SuiteRequirements(p)
-	if err != nil {
-		return err
+	rows = liveRows(rows)
+	res := &core.Results{Rows: rows, Partial: partial}
+	if len(rows) > 0 { // Summarize divides by the row count
+		res.Summary = core.Summarize(rows)
 	}
-	bracket, err := core.RunMergeBracket(256, p.Seed)
-	if err != nil {
-		return err
+	if ctx.Err() == nil {
+		if res.Requirements, err = core.SuiteRequirements(p); err != nil {
+			return err
+		}
+		if res.MergeBracket, err = core.RunMergeBracket(256, p.Seed); err != nil {
+			return err
+		}
+	} else {
+		res.Partial = true
 	}
-	return core.WriteJSON(os.Stdout, &core.Results{
-		Rows:         rows,
-		Summary:      core.Summarize(rows),
-		Requirements: reqs,
-		MergeBracket: bracket,
-	})
+	return core.WriteJSON(os.Stdout, res)
 }
 
 // printListing disassembles one kernel's triggered and PC-style programs.
@@ -138,18 +202,37 @@ func printListing(p workloads.Params, name string) error {
 	return nil
 }
 
-func run(p workloads.Params, exp string) error {
+func run(ctx context.Context, p workloads.Params, exp string) error {
 	needSuite := map[string]bool{"all": true, "e1": true, "e2": true, "e3": true, "e5": true}
+	suitePartial := false
 	var rows []*core.Row
 	if needSuite[exp] {
-		var err error
-		rows, err = core.RunSuite(p)
+		all, err := core.RunSuiteContext(ctx, p)
+		suitePartial, err = partialOK(err)
 		if err != nil {
 			return err
+		}
+		rows = liveRows(all)
+		if suitePartial {
+			fmt.Printf("NOTE: -timeout expired; %d/%d workloads finished, tables below are partial\n",
+				len(rows), len(all))
 		}
 	}
 	section := func(id, title string) {
 		fmt.Printf("\n== %s: %s ==\n", id, title)
+		if suitePartial {
+			fmt.Println("(partial: -timeout expired before the full suite finished)")
+		}
+	}
+	// skipped reports (and announces) experiments the timeout preempted
+	// entirely; their simulations have no context-aware entry point or
+	// simply should not start once the budget is gone.
+	skipped := func(what string) bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		fmt.Printf("(%s skipped: -timeout expired)\n", what)
+		return true
 	}
 	if exp == "all" || exp == "e1" {
 		section("E1", "speedup of triggered control over the PC-style spatial baseline (paper: 2.0X geomean)")
@@ -157,11 +240,13 @@ func run(p workloads.Params, exp string) error {
 	}
 	if exp == "all" || exp == "e2" {
 		section("E2", "critical-path instruction counts (paper: 62% static / 64% dynamic reduction)")
-		bracket, err := core.RunMergeBracket(256, p.Seed)
-		if err != nil {
-			return err
+		if !skipped("merge bracket") {
+			bracket, err := core.RunMergeBracket(256, p.Seed)
+			if err != nil {
+				return err
+			}
+			core.WriteE2(os.Stdout, rows, bracket)
 		}
-		core.WriteE2(os.Stdout, rows, bracket)
 	}
 	if exp == "all" || exp == "e3" {
 		section("E3", "area-normalized performance vs general-purpose core (paper: 8X)")
@@ -181,11 +266,13 @@ func run(p workloads.Params, exp string) error {
 	}
 	if exp == "all" || exp == "e6" {
 		section("E6", "per-kernel trigger/predicate requirements (sensitivity to PE resources)")
-		reqs, err := core.SuiteRequirements(p)
-		if err != nil {
-			return err
+		if !skipped("requirements") {
+			reqs, err := core.SuiteRequirements(p)
+			if err != nil {
+				return err
+			}
+			core.WriteE6(os.Stdout, reqs)
 		}
-		core.WriteE6(os.Stdout, reqs)
 	}
 	if exp == "all" || exp == "e7" {
 		section("E7", "channel-depth and memory-latency sensitivity")
@@ -194,27 +281,40 @@ func run(p workloads.Params, exp string) error {
 			if err != nil {
 				return err
 			}
-			pts, err := core.DepthSweep(spec, p, []int{1, 2, 4, 8})
+			pts, err := core.DepthSweepContext(ctx, spec, p, []int{1, 2, 4, 8})
+			partial, err := partialOK(err)
 			if err != nil {
 				return err
 			}
-			core.WriteSweep(os.Stdout, name+" depth", pts)
+			core.WriteSweep(os.Stdout, name+" depth", livePoints(pts))
+			if partial {
+				fmt.Printf("(%s depth sweep partial: -timeout expired)\n", name)
+			}
 		}
 		for _, name := range []string{"kmp", "graph500", "smvm"} {
 			spec, err := workloads.ByName(name)
 			if err != nil {
 				return err
 			}
-			pts, err := core.MemLatencySweep(spec, p, []int{0, 2, 4, 8})
+			pts, err := core.MemLatencySweepContext(ctx, spec, p, []int{0, 2, 4, 8})
+			partial, err := partialOK(err)
 			if err != nil {
 				return err
 			}
+			live := liveMemPoints(pts)
+			if len(live) == 0 {
+				fmt.Printf("(%s mem-latency sweep skipped: -timeout expired)\n", name)
+				continue
+			}
 			fmt.Printf("%s mem latency:", name)
-			base := pts[0]
-			for _, pt := range pts {
+			base := live[0]
+			for _, pt := range live {
 				fmt.Printf("  lat=%d tia:%d(%.2fx) pc:%d(%.2fx)", pt.Latency,
 					pt.TIACycles, float64(pt.TIACycles)/float64(base.TIACycles),
 					pt.PCCycles, float64(pt.PCCycles)/float64(base.PCCycles))
+			}
+			if partial {
+				fmt.Print("  (partial)")
 			}
 			fmt.Println()
 		}
@@ -226,23 +326,35 @@ func run(p workloads.Params, exp string) error {
 			if err != nil {
 				return err
 			}
-			pts, err := core.LatencySweep(spec, p, []int{0, 1, 2})
+			pts, err := core.LatencySweepContext(ctx, spec, p, []int{0, 1, 2})
+			partial, err := partialOK(err)
 			if err != nil {
 				return err
 			}
-			core.WriteSweep(os.Stdout, name+" latency", pts)
+			core.WriteSweep(os.Stdout, name+" latency", livePoints(pts))
+			if partial {
+				fmt.Printf("(%s latency sweep partial: -timeout expired)\n", name)
+			}
+			if skipped(name + " scheduler comparison") {
+				continue
+			}
 			prio, rr, err := core.PolicyComparison(spec, p)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("%s scheduler: priority:%d round-robin:%d\n", name, prio, rr)
 		}
-		direct, mesh, err := core.MeshComparison(256)
-		if err != nil {
-			return err
+		if !skipped("interconnect comparison") {
+			direct, mesh, err := core.MeshComparison(256)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("merge interconnect: direct:%d mesh-noc:%d (identical output)\n", direct, mesh)
 		}
-		fmt.Printf("merge interconnect: direct:%d mesh-noc:%d (identical output)\n", direct, mesh)
 		for _, name := range []string{"smvm", "graph500", "sha256"} {
+			if skipped(name + " issue-width comparison") {
+				break
+			}
 			spec, err := workloads.ByName(name)
 			if err != nil {
 				return err

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"tia/internal/workloads"
 )
@@ -9,7 +11,7 @@ import (
 func TestRunSingleExperiments(t *testing.T) {
 	p := workloads.Params{Seed: 1, Size: 16}
 	for _, exp := range []string{"e4", "e6"} {
-		if err := run(p, exp); err != nil {
+		if err := run(context.Background(), p, exp); err != nil {
 			t.Errorf("experiment %s: %v", exp, err)
 		}
 	}
@@ -19,8 +21,21 @@ func TestRunE1Small(t *testing.T) {
 	if testing.Short() {
 		t.Skip("suite run")
 	}
-	if err := run(workloads.Params{Seed: 1, Size: 16}, "e1"); err != nil {
+	if err := run(context.Background(), workloads.Params{Seed: 1, Size: 16}, "e1"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTimeoutPartial: an expired budget must not be an error — the
+// suite reports whatever finished, labeled partial.
+func TestRunTimeoutPartial(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	if err := run(ctx, workloads.Params{Seed: 1, Size: 16}, "e1"); err != nil {
+		t.Fatalf("timed-out run: %v", err)
+	}
+	if err := emitJSON(ctx, workloads.Params{Seed: 1, Size: 16}); err != nil {
+		t.Fatalf("timed-out emitJSON: %v", err)
 	}
 }
 

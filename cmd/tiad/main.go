@@ -1,0 +1,103 @@
+// Command tiad is the simulation-as-a-service daemon: a long-running
+// HTTP/JSON server that accepts simulation jobs (a netlist source or a
+// named workload plus configuration overrides), runs them on a bounded
+// job scheduler with content-addressed program/result caches, and
+// answers with cycle counts, per-element statistics, sink tokens and
+// optional Chrome traces. See internal/service for the API.
+//
+// Usage:
+//
+//	tiad [-addr :8080] [-workers N] [-queue N] [-result-cache N]
+//	     [-program-cache N] [-max-cycles N] [-check-every N]
+//	     [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST /v1/jobs       submit a job, wait for its result
+//	GET  /v1/workloads  list the built-in kernels
+//	GET  /healthz       "ok", or "draining" with 503 during shutdown
+//	GET  /metrics       Prometheus text exposition
+//
+// SIGINT/SIGTERM starts a graceful drain: new jobs are rejected while
+// in-flight jobs run to completion (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tia/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue capacity (0 = 4x workers)")
+	resultCache := flag.Int("result-cache", 1024, "completed-result cache entries")
+	programCache := flag.Int("program-cache", 128, "assembled-program cache entries")
+	maxCycles := flag.Int64("max-cycles", 100_000_000, "hard per-job cycle ceiling")
+	checkEvery := flag.Int("check-every", 1024, "cycles between cancellation checks")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tiad [flags]; see -h")
+		os.Exit(2)
+	}
+
+	cfg := service.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.QueueCap = *queue
+	cfg.ResultCacheEntries = *resultCache
+	cfg.ProgramCacheEntries = *programCache
+	cfg.MaxCyclesCap = *maxCycles
+	cfg.CancelCheckInterval = *checkEvery
+	svc := service.New(cfg)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tiad: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("tiad: %v, draining (budget %s)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("tiad: serve: %v", err)
+	}
+
+	// Drain order: reject new jobs first (healthz flips to "draining"),
+	// then let in-flight HTTP requests — which are waiting on their
+	// jobs — finish under the shutdown budget.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		svc.Drain()
+		close(done)
+	}()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("tiad: shutdown: %v", err)
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+		log.Printf("tiad: drain budget exhausted with jobs still running")
+	}
+	log.Printf("tiad: stopped")
+}

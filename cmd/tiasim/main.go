@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tiasim [-max N] [-stats] [-trace N] fabric.tia
+//	tiasim [-max N] [-stats] [-trace N] [-chrome out.json] fabric.tia
 package main
 
 import (

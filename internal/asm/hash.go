@@ -1,0 +1,46 @@
+package asm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+)
+
+// Stable hashing of assembled programs and netlists. Hashes are computed
+// over the *assembled* form (formatted instructions, resolved port
+// indices, effective channel parameters), never over raw source text, so
+// two sources that assemble to the same fabric — differing only in
+// comments, whitespace, declaration order or sugared syntax — hash
+// identically. The serving layer (internal/service) keys its
+// content-addressed caches on these.
+
+// HashTIAProgram returns a stable hex digest of a triggered program.
+func HashTIAProgram(prog []isa.Instruction) string {
+	return hashString(FormatTIA(prog))
+}
+
+// HashPCProgram returns a stable hex digest of a PC-style program.
+func HashPCProgram(prog []pcpe.Inst) string {
+	return hashString(FormatPC(prog))
+}
+
+// Fingerprint returns a stable hex digest of the assembled netlist:
+// every source token stream, sink completion condition, scratchpad
+// image, PE program (with its effective configuration) and wire (with
+// its effective capacity and latency). Declaration order does not
+// affect the digest.
+func (n *Netlist) Fingerprint() string {
+	recs := make([]string, len(n.fpRecs))
+	copy(recs, n.fpRecs)
+	sort.Strings(recs)
+	return hashString(strings.Join(recs, "\x00"))
+}
+
+func hashString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

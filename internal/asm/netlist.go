@@ -25,6 +25,12 @@ type Netlist struct {
 
 	tiaProgs map[string]*TIAProgram
 	pcProgs  map[string]*PCProgram
+
+	// fpRecs are canonical one-record-per-declaration strings derived from
+	// the *assembled* fabric (formatted programs, resolved port indices,
+	// effective channel capacities/latencies), collected during parsing.
+	// Fingerprint hashes them; see hash.go.
+	fpRecs []string
 }
 
 // netParser carries parse state across the file.
@@ -187,6 +193,11 @@ func (np *netParser) parseSource(ln int, line string) error {
 		toks = append(toks, tok)
 	}
 	np.n.Sources[name] = fabric.NewSource(name, toks)
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("source %s : %s", name, strings.Join(parts, " ")))
 	return nil
 }
 
@@ -224,18 +235,21 @@ func (np *netParser) parseSink(ln int, fields []string) error {
 	switch {
 	case len(fields) == 1:
 		np.n.Sinks[name] = fabric.NewSink(name)
+		np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("sink %s eods 1", name))
 	case len(fields) == 3 && fields[1] == "count":
 		n, err := strconv.Atoi(fields[2])
 		if err != nil || n <= 0 {
 			return srcError(ln, "bad sink count %q", fields[2])
 		}
 		np.n.Sinks[name] = fabric.NewCountingSink(name, n)
+		np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("sink %s count %d", name, n))
 	case len(fields) == 3 && fields[1] == "eods":
 		n, err := strconv.Atoi(fields[2])
 		if err != nil || n <= 0 {
 			return srcError(ln, "bad sink eods %q", fields[2])
 		}
 		np.n.Sinks[name] = fabric.NewMultiEODSink(name, n)
+		np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("sink %s eods %d", name, n))
 	default:
 		return srcError(ln, "bad sink declaration")
 	}
@@ -296,6 +310,12 @@ func (np *netParser) parseScratchpad(ln int, line string) error {
 		m.Load(image)
 	}
 	np.n.Mems[name] = m
+	imgParts := make([]string, len(image))
+	for i, w := range image {
+		imgParts[i] = fmt.Sprintf("%d", w)
+	}
+	np.n.fpRecs = append(np.n.fpRecs,
+		fmt.Sprintf("scratchpad %s %d lat %d : %s", name, size, m.ReadLatency(), strings.Join(imgParts, " ")))
 	return nil
 }
 
@@ -397,6 +417,8 @@ func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body
 		}
 		np.n.PEs[name] = proc
 		np.n.tiaProgs[name] = prog
+		np.n.fpRecs = append(np.n.fpRecs,
+			fmt.Sprintf("pe %s cfg=%+v\n%s", name, cfg, FormatTIA(proc.Program())))
 		return nil
 	}
 	if len(opts) > 0 {
@@ -412,6 +434,8 @@ func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body
 	}
 	np.n.PCPEs[name] = proc
 	np.n.pcProgs[name] = prog
+	np.n.fpRecs = append(np.n.fpRecs,
+		fmt.Sprintf("pcpe %s cfg=%+v\n%s", name, np.pcCfg, FormatPC(proc.Program())))
 	return nil
 }
 
@@ -482,9 +506,10 @@ func (np *netParser) applyWire(f *fabric.Fabric, elems map[string]fabric.Element
 	// Element connect methods treat bad indices and double connections as
 	// programming errors and panic; from a netlist they are user input,
 	// so convert them into parse errors.
-	return catchWirePanic(w.line, func() {
+	var ch *channel.Channel
+	err = catchWirePanic(w.line, func() {
 		if w.capacity < 0 && w.lat < 0 {
-			f.Wire(src, srcPort, dst, dstPort) // placement-aware default
+			ch = f.Wire(src, srcPort, dst, dstPort) // placement-aware default
 			return
 		}
 		capacity, lat := w.capacity, w.lat
@@ -494,8 +519,16 @@ func (np *netParser) applyWire(f *fabric.Fabric, elems map[string]fabric.Element
 		if lat < 0 {
 			lat = np.fabCfg.ChannelLatency
 		}
-		f.WireOpt(src, srcPort, dst, dstPort, capacity, lat)
+		ch = f.WireOpt(src, srcPort, dst, dstPort, capacity, lat)
 	})
+	if err != nil {
+		return err
+	}
+	// The effective capacity/latency (after defaults and placement) is
+	// what matters for behaviour, so fingerprint those, not the syntax.
+	np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("wire %s.%d -> %s.%d cap %d lat %d",
+		w.srcElem, srcPort, w.dstElem, dstPort, ch.Cap(), ch.Latency()))
+	return nil
 }
 
 func catchWirePanic(line int, wire func()) (err error) {

@@ -57,13 +57,13 @@ type Channel struct {
 	capacity int
 	latency  int
 
-	queue      []Token  // ring: receiver FIFO, len == capacity
+	queue      []Token // ring: receiver FIFO, len == capacity
 	qHead      int
 	qLen       int
 	inflight   []flight // ring: tokens on the wire, len == capacity
 	ifHead     int
 	ifLen      int
-	stagedSend []Token  // this cycle's sends, cap == capacity
+	stagedSend []Token // this cycle's sends, cap == capacity
 	stagedDeq  bool
 
 	// Stats, cumulative since construction.

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -68,6 +69,14 @@ var MaxWorkers int
 // Workers pull indices from a shared counter, so results land in
 // caller-owned slices at deterministic positions regardless of schedule.
 func forEach(n int, fn func(int)) {
+	forEachCtx(context.Background(), n, fn)
+}
+
+// forEachCtx is forEach under a context: once ctx is done, workers stop
+// pulling new indices (tasks already started run to completion — each
+// task is expected to watch ctx itself, e.g. via fabric.RunContext — and
+// unstarted indices are simply never visited).
+func forEachCtx(ctx context.Context, n int, fn func(int)) {
 	w := MaxWorkers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -75,8 +84,12 @@ func forEach(n int, fn func(int)) {
 	if w > n {
 		w = n
 	}
+	done := ctx.Done()
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil && ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -88,6 +101,9 @@ func forEach(n int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -115,8 +131,15 @@ func firstErr(errs []error) error {
 // before cycles are trusted — and because simulations are deterministic,
 // the verified runs double as the measured runs (see workloads.Verified).
 func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
+	return RunWorkloadContext(context.Background(), spec, p)
+}
+
+// RunWorkloadContext is RunWorkload under a context: cancellation or
+// deadline expiry aborts whichever simulation is in flight with an error
+// wrapping fabric.ErrCancelled.
+func RunWorkloadContext(ctx context.Context, spec *workloads.Spec, p workloads.Params) (*Row, error) {
 	p = spec.Normalize(p)
-	v, err := spec.VerifyFull(p)
+	v, err := spec.VerifyFullContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +164,7 @@ func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		res, err := inst.Fabric.Run(spec.MaxCycles(pp))
+		res, err := inst.Fabric.RunContext(ctx, spec.MaxCycles(pp))
 		if err != nil {
 			return 0, nil, fmt.Errorf("%s: PC run (penalty %d): %w", spec.Name, penalty, err)
 		}
@@ -188,12 +211,24 @@ func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
 // single-threaded and deterministic; only the suite-level fan-out is
 // parallel, and results land in canonical order).
 func RunSuite(p workloads.Params) ([]*Row, error) {
+	return RunSuiteContext(context.Background(), p)
+}
+
+// RunSuiteContext is RunSuite under a context. On cancellation it
+// returns the rows completed so far (unfinished kernels are nil entries,
+// canonical order preserved) together with an error wrapping
+// fabric.ErrCancelled, so callers can render partial results explicitly
+// labelled as such.
+func RunSuiteContext(ctx context.Context, p workloads.Params) ([]*Row, error) {
 	specs := workloads.All()
 	rows := make([]*Row, len(specs))
 	errs := make([]error, len(specs))
-	forEach(len(specs), func(i int) {
-		rows[i], errs[i] = RunWorkload(specs[i], p)
+	forEachCtx(ctx, len(specs), func(i int) {
+		rows[i], errs[i] = RunWorkloadContext(ctx, specs[i], p)
 	})
+	if err := ctx.Err(); err != nil {
+		return rows, fmt.Errorf("suite: %w: %w", fabric.ErrCancelled, err)
+	}
 	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
@@ -239,9 +274,17 @@ type SweepPoint struct {
 // DepthSweep measures one kernel across channel depths (E7). Design
 // points are independent simulations, so they run on the worker pool.
 func DepthSweep(spec *workloads.Spec, p workloads.Params, depths []int) ([]SweepPoint, error) {
+	return DepthSweepContext(context.Background(), spec, p, depths)
+}
+
+// DepthSweepContext is DepthSweep under a context. On cancellation the
+// worker pool stops scheduling new design points and the completed
+// points are returned (unfinished ones are zero-valued, empty Label)
+// with an error wrapping fabric.ErrCancelled.
+func DepthSweepContext(ctx context.Context, spec *workloads.Spec, p workloads.Params, depths []int) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(depths))
 	errs := make([]error, len(depths))
-	forEach(len(depths), func(i int) {
+	forEachCtx(ctx, len(depths), func(i int) {
 		d := depths[i]
 		pp := spec.Normalize(p)
 		pp.FabricCfg.ChannelCapacity = d
@@ -250,13 +293,16 @@ func DepthSweep(spec *workloads.Spec, p workloads.Params, depths []int) ([]Sweep
 			errs[i] = err
 			return
 		}
-		res, err := inst.Fabric.Run(spec.MaxCycles(pp))
+		res, err := inst.Fabric.RunContext(ctx, spec.MaxCycles(pp))
 		if err != nil {
 			errs[i] = fmt.Errorf("%s depth %d: %w", spec.Name, d, err)
 			return
 		}
 		out[i] = SweepPoint{Label: fmt.Sprintf("depth=%d", d), Cycles: res.Cycles}
 	})
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("depth sweep: %w: %w", fabric.ErrCancelled, err)
+	}
 	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
@@ -266,9 +312,15 @@ func DepthSweep(spec *workloads.Spec, p workloads.Params, depths []int) ([]Sweep
 // LatencySweep measures one kernel across extra link latencies (E8),
 // one worker-pool task per latency point.
 func LatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]SweepPoint, error) {
+	return LatencySweepContext(context.Background(), spec, p, lats)
+}
+
+// LatencySweepContext is LatencySweep under a context, with the same
+// partial-result contract as DepthSweepContext.
+func LatencySweepContext(ctx context.Context, spec *workloads.Spec, p workloads.Params, lats []int) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(lats))
 	errs := make([]error, len(lats))
-	forEach(len(lats), func(i int) {
+	forEachCtx(ctx, len(lats), func(i int) {
 		l := lats[i]
 		pp := spec.Normalize(p)
 		pp.FabricCfg.ChannelLatency = l
@@ -277,13 +329,16 @@ func LatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]Sweep
 			errs[i] = err
 			return
 		}
-		res, err := inst.Fabric.Run(spec.MaxCycles(pp) * int64(l+1))
+		res, err := inst.Fabric.RunContext(ctx, spec.MaxCycles(pp)*int64(l+1))
 		if err != nil {
 			errs[i] = fmt.Errorf("%s latency %d: %w", spec.Name, l, err)
 			return
 		}
 		out[i] = SweepPoint{Label: fmt.Sprintf("lat=%d", l), Cycles: res.Cycles}
 	})
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("latency sweep: %w: %w", fabric.ErrCancelled, err)
+	}
 	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
@@ -303,9 +358,16 @@ type MemLatencyPoint struct {
 // curve is flatter than the PC baseline's — the paper's reactivity
 // argument made quantitative.
 func MemLatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]MemLatencyPoint, error) {
+	return MemLatencySweepContext(context.Background(), spec, p, lats)
+}
+
+// MemLatencySweepContext is MemLatencySweep under a context, with the
+// same partial-result contract as DepthSweepContext (unfinished points
+// have zero cycle counts).
+func MemLatencySweepContext(ctx context.Context, spec *workloads.Spec, p workloads.Params, lats []int) ([]MemLatencyPoint, error) {
 	out := make([]MemLatencyPoint, len(lats))
 	errs := make([]error, len(lats))
-	forEach(len(lats), func(i int) {
+	forEachCtx(ctx, len(lats), func(i int) {
 		l := lats[i]
 		pp := spec.Normalize(p)
 		pp.MemLatency = l
@@ -315,7 +377,7 @@ func MemLatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]Me
 			errs[i] = err
 			return
 		}
-		rt, err := tia.Fabric.Run(spec.MaxCycles(pp) * int64(l+1))
+		rt, err := tia.Fabric.RunContext(ctx, spec.MaxCycles(pp)*int64(l+1))
 		if err != nil {
 			errs[i] = fmt.Errorf("%s mem latency %d (tia): %w", spec.Name, l, err)
 			return
@@ -326,7 +388,7 @@ func MemLatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]Me
 			errs[i] = err
 			return
 		}
-		rp, err := pc.Fabric.Run(spec.MaxCycles(pp) * int64(l+1))
+		rp, err := pc.Fabric.RunContext(ctx, spec.MaxCycles(pp)*int64(l+1))
 		if err != nil {
 			errs[i] = fmt.Errorf("%s mem latency %d (pc): %w", spec.Name, l, err)
 			return
@@ -334,6 +396,9 @@ func MemLatencySweep(spec *workloads.Spec, p workloads.Params, lats []int) ([]Me
 		pt.PCCycles = rp.Cycles
 		out[i] = pt
 	})
+	if err := ctx.Err(); err != nil {
+		return out, fmt.Errorf("mem-latency sweep: %w: %w", fabric.ErrCancelled, err)
+	}
 	if err := firstErr(errs); err != nil {
 		return nil, err
 	}

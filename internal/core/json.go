@@ -14,6 +14,9 @@ type Results struct {
 	Requirements []Requirements `json:"requirements,omitempty"`
 	// MergeBracket is E2's plain-baseline comparison point.
 	MergeBracket *MergeBracket `json:"mergeBracket,omitempty"`
+	// Partial marks results truncated by a timeout: Rows holds only the
+	// workloads that finished and Summary covers just those.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // WriteJSON emits the suite results as indented JSON.

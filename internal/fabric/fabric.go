@@ -19,6 +19,7 @@
 package fabric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -103,6 +104,10 @@ type Config struct {
 	// in-flight tokens the simulator requires before declaring the
 	// fabric quiescent.
 	QuiescenceWindow int
+	// CancelCheckInterval is how many cycles RunContext simulates between
+	// context-cancellation checks. Smaller values cancel sooner at the
+	// cost of a check in the hot loop; zero means the default (1024).
+	CancelCheckInterval int
 }
 
 // DefaultConfig returns the defaults used throughout the workload suite:
@@ -143,11 +148,11 @@ type prepared struct {
 	faulties []faultyElem
 	dumpers  []stateDumper
 	resets   []resettable
-	skips    []skipAware   // indexed by element, nil when unimplemented
-	hints    []wakeHinter  // indexed by element, nil when unimplemented
-	sinkOf   []*Sink       // indexed by element, nil for non-sinks
-	elemCh   [][]int       // channel indices attached to each element
-	ends     [][2]int      // per channel: sender/receiver element index, -1 unknown
+	skips    []skipAware  // indexed by element, nil when unimplemented
+	hints    []wakeHinter // indexed by element, nil when unimplemented
+	sinkOf   []*Sink      // indexed by element, nil for non-sinks
+	elemCh   [][]int      // channel indices attached to each element
+	ends     [][2]int     // per channel: sender/receiver element index, -1 unknown
 }
 
 type faultyElem struct {
@@ -165,11 +170,23 @@ func New(cfg Config) *Fabric {
 	if cfg.QuiescenceWindow < 1 {
 		cfg.QuiescenceWindow = 4
 	}
+	if cfg.CancelCheckInterval < 1 {
+		cfg.CancelCheckInterval = 1024
+	}
 	return &Fabric{cfg: cfg, names: map[string]bool{}, place: map[Element]point{}}
 }
 
 // Config returns the fabric's defaults.
 func (f *Fabric) Config() Config { return f.cfg }
+
+// SetCancelCheckInterval overrides Config.CancelCheckInterval on an
+// already-built fabric (e.g. one assembled from a netlist, whose config
+// the builder owns). Values below 1 are ignored.
+func (f *Fabric) SetCancelCheckInterval(n int) {
+	if n >= 1 {
+		f.cfg.CancelCheckInterval = n
+	}
+}
 
 // SetDenseStepping switches the simulator to the dense reference loop
 // that steps every element and ticks every channel each cycle. Results
@@ -388,25 +405,78 @@ var ErrDeadlock = errors.New("fabric deadlocked")
 // ErrTimeout is returned (wrapped) when maxCycles elapse first.
 var ErrTimeout = errors.New("cycle limit exceeded")
 
+// ErrCancelled is returned (wrapped) when RunContext's context is
+// cancelled or its deadline expires mid-simulation.
+var ErrCancelled = errors.New("run cancelled")
+
 // Run simulates until every sink completes, the fabric quiesces, or
 // maxCycles elapse. Deadlock (quiescence with unfinished sinks) and
 // timeout are errors; so is any element fault.
 func (f *Fabric) Run(maxCycles int64) (Result, error) {
+	return f.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run under a context: every Config.CancelCheckInterval
+// cycles the simulator polls ctx and, if it is done, stops and returns
+// the cycles simulated so far with an error wrapping ErrCancelled (and
+// the context's own cause, so errors.Is distinguishes cancellation from
+// deadline expiry). A context that is never cancelled adds no per-cycle
+// work beyond one nil comparison.
+func (f *Fabric) RunContext(ctx context.Context, maxCycles int64) (Result, error) {
 	if err := f.Validate(); err != nil {
 		return Result{}, err
 	}
 	f.prepare()
 	if f.dense {
-		return f.runDense(maxCycles)
+		return f.runDense(ctx, maxCycles)
 	}
-	return f.runEvent(maxCycles)
+	return f.runEvent(ctx, maxCycles)
+}
+
+// cancelCheck polls ctx every cfg.CancelCheckInterval calls. It returns
+// a non-nil error exactly when the run should stop.
+type cancelCheck struct {
+	done     <-chan struct{}
+	ctx      context.Context
+	interval int
+	left     int
+}
+
+func (f *Fabric) newCancelCheck(ctx context.Context) cancelCheck {
+	return cancelCheck{
+		done:     ctx.Done(),
+		ctx:      ctx,
+		interval: f.cfg.CancelCheckInterval,
+		left:     f.cfg.CancelCheckInterval,
+	}
+}
+
+func (c *cancelCheck) expired() error {
+	if c.done == nil {
+		return nil
+	}
+	c.left--
+	if c.left > 0 {
+		return nil
+	}
+	c.left = c.interval
+	select {
+	case <-c.done:
+		return fmt.Errorf("%w: %w", ErrCancelled, c.ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // runDense is the reference stepper: every element stepped and every
 // channel ticked, every cycle.
-func (f *Fabric) runDense(maxCycles int64) (Result, error) {
+func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) {
+	cc := f.newCancelCheck(ctx)
 	idleStreak := 0
 	for n := int64(0); n < maxCycles; n++ {
+		if err := cc.expired(); err != nil {
+			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
+		}
 		worked := false
 		for _, e := range f.elems {
 			if e.Step(f.cycle) {
@@ -470,7 +540,7 @@ type runState struct {
 //     Elements stage effects only in cycles where Step returns true, so
 //     re-activating the channels of every worked element restores the
 //     invariant before the next tick phase.
-func (f *Fabric) runEvent(maxCycles int64) (Result, error) {
+func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) {
 	ne, nc := len(f.elems), len(f.chans)
 	st := &runState{
 		awake:       make([]bool, ne),
@@ -519,8 +589,13 @@ func (f *Fabric) runEvent(maxCycles int64) (Result, error) {
 	}
 
 	elems, chans, prep := f.elems, f.chans, &f.prep
+	cc := f.newCancelCheck(ctx)
 	idleStreak := 0
 	for n := int64(0); n < maxCycles; n++ {
+		if err := cc.expired(); err != nil {
+			backfill()
+			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
+		}
 		cur := f.cycle
 		worked := false
 		for i, e := range elems {

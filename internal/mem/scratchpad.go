@@ -90,6 +90,9 @@ func (m *Scratchpad) SetReadLatency(n int) {
 	m.readLatency = n
 }
 
+// ReadLatency returns the configured extra read pipeline depth.
+func (m *Scratchpad) ReadLatency() int { return m.readLatency }
+
 // Name implements fabric.Element.
 func (m *Scratchpad) Name() string { return m.name }
 

@@ -1,0 +1,150 @@
+// Package service is the simulation-as-a-service layer: a long-running
+// HTTP/JSON daemon (cmd/tiad) that accepts simulation jobs — a netlist
+// source or a named workload plus configuration overrides — runs them on
+// a bounded job scheduler, and answers with cycle counts, per-element
+// statistics, sink tokens and optional Chrome traces.
+//
+// The package amortizes the simulator's speed across many concurrent
+// requests with two content-addressed caches (assembled programs and
+// completed results, keyed by stable hashes of the assembled form — see
+// internal/asm), plumbs per-job deadlines and cancellation from the HTTP
+// request down into the fabric stepping loop (fabric.RunContext), and
+// exposes health and Prometheus-text metrics endpoints. Shutdown is
+// graceful: new jobs are rejected while in-flight jobs drain.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JobRequest submits one simulation job. Exactly one of Workload or
+// Netlist must be set.
+type JobRequest struct {
+	// Workload names a kernel of the built-in suite (see GET /v1/workloads).
+	Workload string `json:"workload,omitempty"`
+	// Netlist is a complete fabric description in the tiasim netlist
+	// language; it carries its own programs and wiring.
+	Netlist string `json:"netlist,omitempty"`
+
+	// Workload-job parameters (ignored for netlist jobs, which carry
+	// their own configuration).
+	Size            int   `json:"size,omitempty"`
+	Seed            int64 `json:"seed,omitempty"`
+	Policy          int   `json:"policy,omitempty"` // 0 priority, 1 round-robin
+	IssueWidth      int   `json:"issue_width,omitempty"`
+	MemLatency      int   `json:"mem_latency,omitempty"`
+	ChannelCapacity int   `json:"channel_capacity,omitempty"`
+	ChannelLatency  int   `json:"channel_latency,omitempty"`
+
+	// MaxCycles bounds the simulation; 0 uses the server default. The
+	// server-configured ceiling always applies.
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// DeadlineMs is a per-job wall-clock deadline in milliseconds; 0
+	// means no job-level deadline (the client disconnecting still
+	// cancels). Expiry stops the simulation mid-flight.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Trace requests a Chrome trace-event capture of every instruction
+	// fire, returned inline in the result.
+	Trace bool `json:"trace,omitempty"`
+	// NoCache bypasses the completed-result cache (the run still
+	// populates it), for determinism checks against cached results.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// ElementStats is one processing element's utilization breakdown.
+type ElementStats struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"` // "pe", "pcpe" or "scratchpad"
+	Fired       int64   `json:"fired"`
+	Occupancy   float64 `json:"occupancy"`
+	InputStall  float64 `json:"input_stall"`
+	OutputStall float64 `json:"output_stall"`
+	Idle        float64 `json:"idle"`
+	Reads       int64   `json:"reads,omitempty"`
+	Writes      int64   `json:"writes,omitempty"`
+}
+
+// JobResult is a completed job's payload.
+type JobResult struct {
+	// ID identifies the execution that produced this result; cache hits
+	// carry the ID of the job that originally simulated.
+	ID string `json:"id"`
+	// Key is the content-addressed result-cache key: a stable hash of
+	// the assembled program and every behaviour-affecting parameter.
+	Key string `json:"key"`
+	// Fingerprint is the assembled program's stable hash (netlist
+	// fingerprint, or the workload kernel's program hash).
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports that the result was served from the result cache.
+	Cached bool `json:"cached"`
+
+	Cycles    int64 `json:"cycles"`
+	Completed bool  `json:"completed"`
+	// Verified reports that the output was checked token-for-token
+	// against the golden Go reference (workload jobs only).
+	Verified bool `json:"verified,omitempty"`
+
+	// Sinks maps each sink to the tokens it received, rendered in the
+	// netlist token syntax ("7", "3#2", eod as "0#1").
+	Sinks map[string][]string `json:"sinks"`
+
+	Elements []ElementStats `json:"elements,omitempty"`
+
+	// Trace is the Chrome trace-event JSON, when requested.
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// ErrorKind classifies job failures for programmatic handling.
+type ErrorKind string
+
+const (
+	// ErrBadRequest rejects a malformed submission.
+	ErrBadRequest ErrorKind = "bad_request"
+	// ErrCompile covers netlist parse and program build failures.
+	ErrCompile ErrorKind = "compile"
+	// ErrCancelled reports a job stopped because its context was
+	// cancelled (client disconnect or server drain).
+	ErrCancelled ErrorKind = "cancelled"
+	// ErrDeadline reports a job stopped by its own deadline.
+	ErrDeadline ErrorKind = "deadline"
+	// ErrDeadlock reports a fabric that went idle with unfinished sinks.
+	ErrDeadlock ErrorKind = "deadlock"
+	// ErrCycleBudget reports a simulation that exhausted MaxCycles.
+	ErrCycleBudget ErrorKind = "cycle_budget"
+	// ErrVerify reports a workload whose output mismatched the golden
+	// reference.
+	ErrVerify ErrorKind = "verify"
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining ErrorKind = "draining"
+	// ErrInternal is everything else.
+	ErrInternal ErrorKind = "internal"
+)
+
+// JobError is the typed error the service reports for every failed job —
+// cycle-budget exhaustion and deadlock included, so truncated
+// simulations are never silently reported as results.
+type JobError struct {
+	Kind    ErrorKind `json:"kind"`
+	Message string    `json:"message"`
+	// Cycles is how far the simulation got before failing (0 if it
+	// never started).
+	Cycles int64 `json:"cycles,omitempty"`
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Kind, e.Message)
+}
+
+// jobErrorf builds a JobError.
+func jobErrorf(kind ErrorKind, format string, args ...any) *JobError {
+	return &JobError{Kind: kind, Message: fmt.Sprintf(format, args...)}
+}
+
+// WorkloadInfo describes one runnable kernel (GET /v1/workloads).
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	DefaultSize int    `json:"default_size"`
+}

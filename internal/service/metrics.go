@@ -1,0 +1,78 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics aggregates the daemon's operational counters. All fields are
+// monotonic totals except QueueDepth and Running, which are gauges.
+type Metrics struct {
+	JobsStarted   atomic.Int64 // accepted for execution
+	JobsCompleted atomic.Int64 // finished with a result (cache hits included)
+	JobsFailed    atomic.Int64 // finished with a non-cancellation error
+	JobsCancelled atomic.Int64 // stopped by cancellation or deadline
+
+	ResultHits    atomic.Int64
+	ResultMisses  atomic.Int64
+	ProgramHits   atomic.Int64
+	ProgramMisses atomic.Int64
+
+	QueueDepth atomic.Int64 // jobs submitted but not yet executing
+	Running    atomic.Int64 // jobs executing right now
+
+	CyclesSimulated atomic.Int64 // fabric cycles across all jobs
+	SimNanos        atomic.Int64 // wall time spent inside simulations
+}
+
+// CyclesPerSecond is the aggregate simulation throughput since start.
+func (m *Metrics) CyclesPerSecond() float64 {
+	ns := m.SimNanos.Load()
+	if ns == 0 {
+		return 0
+	}
+	return float64(m.CyclesSimulated.Load()) / (float64(ns) / 1e9)
+}
+
+// WritePrometheus renders the counters in Prometheus text exposition
+// format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tia_jobs_started_total", "Jobs accepted for execution.", m.JobsStarted.Load())
+	counter("tia_jobs_completed_total", "Jobs finished with a result, cache hits included.", m.JobsCompleted.Load())
+	counter("tia_jobs_failed_total", "Jobs finished with a non-cancellation error.", m.JobsFailed.Load())
+	counter("tia_jobs_cancelled_total", "Jobs stopped by cancellation or deadline expiry.", m.JobsCancelled.Load())
+	counter("tia_result_cache_hits_total", "Completed-result cache hits.", m.ResultHits.Load())
+	counter("tia_result_cache_misses_total", "Completed-result cache misses.", m.ResultMisses.Load())
+	counter("tia_program_cache_hits_total", "Assembled-program cache hits.", m.ProgramHits.Load())
+	counter("tia_program_cache_misses_total", "Assembled-program cache misses.", m.ProgramMisses.Load())
+	gauge("tia_job_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth.Load())
+	gauge("tia_jobs_running", "Jobs executing right now.", m.Running.Load())
+	counter("tia_cycles_simulated_total", "Fabric cycles simulated across all jobs.", m.CyclesSimulated.Load())
+	fmt.Fprintf(w, "# HELP tia_sim_cycles_per_second Aggregate simulation throughput since start.\n"+
+		"# TYPE tia_sim_cycles_per_second gauge\ntia_sim_cycles_per_second %g\n", m.CyclesPerSecond())
+}
+
+// Snapshot returns the counters as a plain map, for expvar and tests.
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"jobs_started":         m.JobsStarted.Load(),
+		"jobs_completed":       m.JobsCompleted.Load(),
+		"jobs_failed":          m.JobsFailed.Load(),
+		"jobs_cancelled":       m.JobsCancelled.Load(),
+		"result_cache_hits":    m.ResultHits.Load(),
+		"result_cache_misses":  m.ResultMisses.Load(),
+		"program_cache_hits":   m.ProgramHits.Load(),
+		"program_cache_misses": m.ProgramMisses.Load(),
+		"queue_depth":          m.QueueDepth.Load(),
+		"jobs_running":         m.Running.Load(),
+		"cycles_simulated":     m.CyclesSimulated.Load(),
+		"sim_nanos":            m.SimNanos.Load(),
+	}
+}

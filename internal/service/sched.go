@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// job is one queued submission and its completion signal.
+type job struct {
+	ctx  context.Context
+	req  *JobRequest
+	res  *JobResult
+	err  error
+	done chan struct{}
+}
+
+// scheduler runs jobs on a bounded worker pool fed by a buffered queue.
+// Submissions block while the queue is full (backpressure), respect the
+// caller's context while waiting, and are rejected once draining starts.
+// close() drains: queued and running jobs finish, new ones are refused.
+type scheduler struct {
+	queue   chan *job
+	quit    chan struct{}
+	run     func(context.Context, *JobRequest) (*JobResult, error)
+	metrics *Metrics
+
+	wg sync.WaitGroup
+	// gate serializes submission against shutdown: submitters hold it
+	// shared while checking the draining flag and enqueueing, close()
+	// holds it exclusively while setting the flag — so no job can slip
+	// into the queue after the drain loop's final emptiness check.
+	gate     sync.RWMutex
+	draining bool
+}
+
+// newScheduler starts workers goroutines servicing a queue of queueCap.
+func newScheduler(workers, queueCap int, m *Metrics, run func(context.Context, *JobRequest) (*JobResult, error)) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < workers {
+		queueCap = workers
+	}
+	s := &scheduler{
+		queue:   make(chan *job, queueCap),
+		quit:    make(chan struct{}),
+		run:     run,
+		metrics: m,
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.execute(j)
+		case <-s.quit:
+			// Drain whatever is still queued, then exit. Submissions
+			// stopped before quit closed (see close), so the queue can
+			// only shrink.
+			for {
+				select {
+				case j := <-s.queue:
+					s.execute(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// execute runs one job to completion and signals the submitter.
+func (s *scheduler) execute(j *job) {
+	s.metrics.QueueDepth.Add(-1)
+	if err := j.ctx.Err(); err != nil {
+		// Cancelled while queued: never started, report without running.
+		j.err = ctxJobError(j.ctx)
+		s.metrics.JobsCancelled.Add(1)
+		close(j.done)
+		return
+	}
+	s.metrics.JobsStarted.Add(1)
+	s.metrics.Running.Add(1)
+	j.res, j.err = s.run(j.ctx, j.req)
+	s.metrics.Running.Add(-1)
+	switch classify(j.err) {
+	case jobOK:
+		s.metrics.JobsCompleted.Add(1)
+	case jobCancelled:
+		s.metrics.JobsCancelled.Add(1)
+	default:
+		s.metrics.JobsFailed.Add(1)
+	}
+	close(j.done)
+}
+
+type jobOutcome int
+
+const (
+	jobOK jobOutcome = iota
+	jobCancelled
+	jobFailed
+)
+
+func classify(err error) jobOutcome {
+	if err == nil {
+		return jobOK
+	}
+	var je *JobError
+	if errors.As(err, &je) && (je.Kind == ErrCancelled || je.Kind == ErrDeadline) {
+		return jobCancelled
+	}
+	return jobFailed
+}
+
+// ctxJobError converts a done context into the matching typed error.
+func ctxJobError(ctx context.Context) *JobError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return jobErrorf(ErrDeadline, "job deadline expired before completion")
+	}
+	return jobErrorf(ErrCancelled, "job cancelled before completion")
+}
+
+// submit enqueues a job and waits for its completion. The context
+// governs queue wait and execution alike.
+func (s *scheduler) submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	j := &job{ctx: ctx, req: req, done: make(chan struct{})}
+
+	s.gate.RLock()
+	if s.draining {
+		s.gate.RUnlock()
+		return nil, jobErrorf(ErrDraining, "server is draining; not accepting jobs")
+	}
+	s.metrics.QueueDepth.Add(1)
+	select {
+	case s.queue <- j:
+		s.gate.RUnlock()
+	case <-ctx.Done():
+		s.gate.RUnlock()
+		s.metrics.QueueDepth.Add(-1)
+		s.metrics.JobsCancelled.Add(1)
+		return nil, ctxJobError(ctx)
+	}
+
+	// The worker always closes done — even for a cancelled job — so
+	// there is nothing to leak; waiting on done alone keeps result
+	// hand-off race-free.
+	<-j.done
+	return j.res, j.err
+}
+
+// close stops intake and waits for queued and running jobs to finish.
+// Safe to call once.
+func (s *scheduler) close() {
+	s.gate.Lock()
+	already := s.draining
+	s.draining = true
+	s.gate.Unlock()
+	if already {
+		return
+	}
+	close(s.quit)
+	s.wg.Wait()
+}

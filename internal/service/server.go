@@ -1,0 +1,216 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"tia/internal/workloads"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers bounds concurrent simulations (the serving-layer analogue
+	// of core.MaxWorkers); 0 means GOMAXPROCS.
+	Workers int
+	// QueueCap bounds jobs waiting for a worker; submissions beyond it
+	// block (backpressure). 0 means 4x workers.
+	QueueCap int
+	// ResultCacheEntries / ProgramCacheEntries bound the caches.
+	ResultCacheEntries  int
+	ProgramCacheEntries int
+	// DefaultMaxCycles is the netlist-job cycle budget when the request
+	// names none; MaxCyclesCap is the hard per-job ceiling.
+	DefaultMaxCycles int64
+	MaxCyclesCap     int64
+	// CancelCheckInterval is how many simulated cycles pass between
+	// cancellation checks inside the stepping loop.
+	CancelCheckInterval int
+	// TraceEventLimit bounds Chrome-trace captures (0 = unlimited).
+	TraceEventLimit int
+	// MaxRequestBytes bounds the request body.
+	MaxRequestBytes int64
+}
+
+// DefaultConfig returns production-shaped defaults.
+func DefaultConfig() Config {
+	return Config{
+		Workers:             0, // GOMAXPROCS
+		QueueCap:            0, // 4x workers
+		ResultCacheEntries:  1024,
+		ProgramCacheEntries: 128,
+		DefaultMaxCycles:    1_000_000,
+		MaxCyclesCap:        100_000_000,
+		CancelCheckInterval: 1024,
+		TraceEventLimit:     1 << 20,
+		MaxRequestBytes:     8 << 20,
+	}
+}
+
+// Server is the simulation service: scheduler, caches, metrics and the
+// HTTP handler around them.
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	results  *cache
+	programs *cache
+	sched    *scheduler
+	mux      *http.ServeMux
+	draining atomic.Bool
+	jobSeq   atomic.Int64
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4 * cfg.Workers
+	}
+	if cfg.ResultCacheEntries <= 0 {
+		cfg.ResultCacheEntries = 1024
+	}
+	if cfg.ProgramCacheEntries <= 0 {
+		cfg.ProgramCacheEntries = 128
+	}
+	if cfg.DefaultMaxCycles <= 0 {
+		cfg.DefaultMaxCycles = 1_000_000
+	}
+	if cfg.MaxCyclesCap <= 0 {
+		cfg.MaxCyclesCap = 100_000_000
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 8 << 20
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  &Metrics{},
+		results:  newCache(cfg.ResultCacheEntries),
+		programs: newCache(cfg.ProgramCacheEntries),
+	}
+	s.sched = newScheduler(cfg.Workers, cfg.QueueCap, s.metrics, s.runJob)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// nextJobID mints a monotonically increasing job identifier.
+func (s *Server) nextJobID() string {
+	return fmt.Sprintf("job-%06d", s.jobSeq.Add(1))
+}
+
+// Drain stops accepting jobs and waits for in-flight ones to finish.
+// It is idempotent; /healthz reports "draining" from the first call.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.sched.close()
+}
+
+// Submit runs one job through the scheduler, outside HTTP (tests,
+// embedding). The context carries cancellation and any deadline.
+func (s *Server) Submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	if s.draining.Load() {
+		return nil, jobErrorf(ErrDraining, "server is draining; not accepting jobs")
+	}
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	return s.sched.submit(ctx, req)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, jobErrorf(ErrDraining, "server is draining; not accepting jobs"))
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, jobErrorf(ErrBadRequest, "decode request: %v", err))
+		return
+	}
+	res, err := s.Submit(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var out []WorkloadInfo
+	for _, spec := range workloads.All() {
+		out = append(out, WorkloadInfo{
+			Name:        spec.Name,
+			Description: spec.Description,
+			DefaultSize: spec.DefaultSize,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// httpStatus maps typed job errors onto HTTP status codes.
+func httpStatus(kind ErrorKind) int {
+	switch kind {
+	case ErrBadRequest, ErrCompile:
+		return http.StatusBadRequest
+	case ErrDeadline:
+		return http.StatusGatewayTimeout
+	case ErrCancelled:
+		return 499 // client closed request (nginx convention)
+	case ErrDeadlock, ErrCycleBudget, ErrVerify:
+		return http.StatusUnprocessableEntity
+	case ErrDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var je *JobError
+	if !errors.As(err, &je) {
+		je = jobErrorf(ErrInternal, "%v", err)
+	}
+	writeJSON(w, httpStatus(je.Kind), map[string]*JobError{"error": je})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

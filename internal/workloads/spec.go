@@ -13,6 +13,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -218,6 +219,14 @@ func (s *Spec) Verify(p Params) error {
 
 // VerifyFull is Verify returning the run artifacts for reuse.
 func (s *Spec) VerifyFull(p Params) (*Verified, error) {
+	return s.VerifyFullContext(context.Background(), p)
+}
+
+// VerifyFullContext is VerifyFull under a context: cancellation or
+// deadline expiry stops whichever fabric simulation is in flight (see
+// fabric.RunContext) and is reported as an error wrapping
+// fabric.ErrCancelled.
+func (s *Spec) VerifyFullContext(ctx context.Context, p Params) (*Verified, error) {
 	p = s.Normalize(p)
 	want := s.Reference(p)
 	v := &Verified{Params: p}
@@ -226,7 +235,7 @@ func (s *Spec) VerifyFull(p Params) (*Verified, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: build TIA: %w", s.Name, err)
 	}
-	if v.TIARes, err = tia.Fabric.Run(s.MaxCycles(p)); err != nil {
+	if v.TIARes, err = tia.Fabric.RunContext(ctx, s.MaxCycles(p)); err != nil {
 		return nil, fmt.Errorf("%s: run TIA: %w", s.Name, err)
 	}
 	if got := tia.Sink.Words(); !equalWords(got, want) {
@@ -238,7 +247,7 @@ func (s *Spec) VerifyFull(p Params) (*Verified, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: build PC: %w", s.Name, err)
 	}
-	if v.PCRes, err = pc.Fabric.Run(s.MaxCycles(p)); err != nil {
+	if v.PCRes, err = pc.Fabric.RunContext(ctx, s.MaxCycles(p)); err != nil {
 		return nil, fmt.Errorf("%s: run PC: %w", s.Name, err)
 	}
 	if got := pc.Sink.Words(); !equalWords(got, want) {
@@ -251,7 +260,7 @@ func (s *Spec) VerifyFull(p Params) (*Verified, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: build plain PC: %w", s.Name, err)
 		}
-		if v.PlainRes, err = plain.Fabric.Run(s.MaxCycles(p) * 2); err != nil {
+		if v.PlainRes, err = plain.Fabric.RunContext(ctx, s.MaxCycles(p)*2); err != nil {
 			return nil, fmt.Errorf("%s: run plain PC: %w", s.Name, err)
 		}
 		if got := plain.Sink.Words(); !equalWords(got, want) {
