@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench check
+.PHONY: all build test race vet bench-smoke bench fault-smoke check
 
 all: build
 
@@ -26,4 +26,9 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 2s .
 
-check: vet race bench-smoke
+# Seeded fault-campaign smoke: one kernel, fixed seed, exact expected
+# masked/detected/sdc/hang taxonomy (see internal/core/resilience_test.go).
+fault-smoke:
+	$(GO) test -run 'TestFaultCampaignSmoke' -count=1 ./internal/core
+
+check: vet race bench-smoke fault-smoke

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"tia/internal/core"
+	"tia/internal/workloads"
+)
+
+// runFaultCampaigns drives the resilience campaigns (-faults): per
+// kernel, a timing campaign that must mask every run (the paper's
+// latency-insensitivity property under jitter, stalls and freezes) and a
+// data campaign whose runs are classified into the masked / detected /
+// SDC / hang taxonomy. Everything derives from the seed, so a printed
+// table is exactly reproducible.
+func runFaultCampaigns(ctx context.Context, p workloads.Params, runs int, seed int64) error {
+	fmt.Printf("Fault campaigns: %d timing + %d data runs per kernel, seed %d\n", runs, runs, seed)
+	fmt.Println("timing faults (latency jitter, channel stalls, element freezes) must leave results byte-identical;")
+	fmt.Println("data faults (bit flips, drops, dups) are classified against the fault-free golden run")
+	fmt.Println()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\ttiming\tt-inj\tmasked\tdetected\tsdc\thang\td-inj\tgolden cycles")
+	for _, spec := range workloads.All() {
+		trep, err := core.RunTimingCampaign(ctx, spec, p, core.DefaultTimingPlan(seed), runs, false)
+		if err != nil {
+			return err
+		}
+		drep, err := core.RunDataCampaign(ctx, spec, p, core.DefaultDataPlan(seed), runs)
+		if err != nil {
+			return err
+		}
+		tx := drep.Taxonomy
+		fmt.Fprintf(tw, "%s\tok %d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			spec.Name, trep.Taxonomy.Masked, trep.Taxonomy.Runs, trep.Taxonomy.Injected,
+			tx.Masked, tx.Detected, tx.SDC, tx.Hang, tx.Injected, drep.GoldenCycles)
+	}
+	return tw.Flush()
+}

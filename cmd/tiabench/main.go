@@ -10,6 +10,7 @@
 //	tiabench [-size N] [-seed S] [-timeout D] [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8]
 //	tiabench -listing <kernel>   # disassemble a kernel's programs
 //	tiabench -json               # machine-readable suite results
+//	tiabench -faults [-fault-runs N] [-fault-seed S]   # resilience campaigns
 //
 // -timeout bounds the total wall-clock time: when it expires, running
 // simulations are cancelled mid-flight and whatever finished is printed,
@@ -36,6 +37,9 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment to run (all, e1..e8)")
 	listing := flag.String("listing", "", "print a kernel's compiled programs instead of running experiments")
 	jsonOut := flag.Bool("json", false, "emit the suite results as JSON instead of tables")
+	faults := flag.Bool("faults", false, "run seeded fault-injection campaigns instead of the experiments")
+	faultRuns := flag.Int("fault-runs", 10, "perturbed runs per campaign (with -faults)")
+	faultSeed := flag.Int64("fault-seed", 4242, "fault plan seed (with -faults)")
 	workers := flag.Int("workers", 0, "max concurrent design-point simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "total wall-clock budget; expiry cancels simulations and prints partial results (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -88,6 +92,13 @@ func main() {
 	}
 	if *listing != "" {
 		if err := printListing(p, *listing); err != nil {
+			fmt.Fprintln(os.Stderr, "tiabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *faults {
+		if err := runFaultCampaigns(ctx, p, *faultRuns, *faultSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "tiabench:", err)
 			os.Exit(1)
 		}

@@ -3,7 +3,14 @@
 // named workload plus configuration overrides), runs them on a bounded
 // job scheduler with content-addressed program/result caches, and
 // answers with cycle counts, per-element statistics, sink tokens and
-// optional Chrome traces. See internal/service for the API.
+// optional Chrome traces. Workload jobs can instead request a seeded
+// fault-injection campaign (the "faults" job option): the result then
+// carries the masked/detected/SDC/hang taxonomy and /metrics exports
+// the injected/detected/silent outcome counters. See internal/service
+// for the API and internal/faults for the fault model.
+//
+// Worker panics are recovered per job: a panicking simulation fails
+// that job with a typed "internal" error and the daemon keeps serving.
 //
 // Usage:
 //

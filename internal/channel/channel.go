@@ -45,6 +45,41 @@ type flight struct {
 	remaining int
 }
 
+// DeliverAction is a FaultHook's verdict on a token arriving at the
+// receiver FIFO.
+type DeliverAction int
+
+const (
+	// Deliver enqueues the (possibly mutated) token normally.
+	Deliver DeliverAction = iota
+	// Drop discards the token; the sender's credit is still freed.
+	Drop
+	// Dup enqueues the token twice, if a spare credit exists (otherwise
+	// it degrades to Deliver; duplication must not break flow control).
+	Dup
+)
+
+// FaultHook lets a fault-injection layer (internal/faults) perturb one
+// channel. All three methods are consulted from Tick, i.e. in the commit
+// phase, so perturbations are invisible to same-cycle observers and the
+// two-phase determinism argument still holds. A hook must be a pure
+// function of its own state and the per-channel event sequence (sends,
+// deliveries), never of cross-channel tick order — the dense and
+// event-driven steppers tick channels in different orders.
+type FaultHook interface {
+	// SendDelay returns extra wire latency, in cycles, for a token
+	// entering the wire. Ordering is preserved regardless (the wire
+	// delivers in FIFO order), so a delayed token also delays its
+	// successors.
+	SendDelay(tok Token) int
+	// Stalled reports that the wire is frozen this tick: nothing ages and
+	// nothing is delivered. Staged sends still move onto the wire.
+	Stalled() bool
+	// Deliver inspects a token leaving the wire for the receiver FIFO and
+	// may mutate, drop or duplicate it.
+	Deliver(tok Token) (Token, DeliverAction)
+}
+
 // Channel is one latency-insensitive link. The zero value is unusable; use
 // New.
 //
@@ -65,6 +100,7 @@ type Channel struct {
 	ifLen      int
 	stagedSend []Token // this cycle's sends, cap == capacity
 	stagedDeq  bool
+	hook       FaultHook // nil in normal operation
 
 	// Stats, cumulative since construction.
 	sent      int64
@@ -155,6 +191,9 @@ func (c *Channel) Deq() {
 // as a change. The fabric's event-driven stepper wakes a channel's
 // endpoints exactly when Tick reports a change.
 func (c *Channel) Tick() bool {
+	if c.hook != nil {
+		return c.tickFaulty()
+	}
 	changed := false
 	if c.stagedDeq {
 		c.qHead++
@@ -201,6 +240,93 @@ func (c *Channel) Tick() bool {
 		i := c.ifHead
 		for k := 0; k < c.ifLen; k++ {
 			c.inflight[i].remaining--
+			i++
+			if i == c.capacity {
+				i = 0
+			}
+		}
+	}
+	if c.qLen > c.maxOcc {
+		c.maxOcc = c.qLen
+	}
+	return changed
+}
+
+// SetFaultHook attaches (or, with nil, detaches) a fault hook. Attaching
+// switches Tick to the wired path even on zero-latency channels (so
+// jitter and stalls have a wire to act on); with a hook that injects
+// nothing, that path is observationally identical to the fast path — a
+// zero-latency token staged this cycle still arrives this tick — which
+// the zero-rate differential tests assert.
+func (c *Channel) SetFaultHook(h FaultHook) {
+	if h != nil && c.inflight == nil {
+		c.inflight = make([]flight, c.capacity)
+	}
+	c.hook = h
+}
+
+// tickFaulty is Tick with a fault hook attached: every staged token goes
+// onto the wire with hook-chosen extra latency, the wire freezes while
+// the hook reports a stall, and every arriving token passes through the
+// hook's Deliver (mutate / drop / duplicate). Token order is never
+// changed: only a remaining==0 prefix of the wire can arrive, so a
+// delayed token delays its successors too.
+func (c *Channel) tickFaulty() bool {
+	changed := false
+	if c.stagedDeq {
+		c.qHead++
+		if c.qHead == c.capacity {
+			c.qHead = 0
+		}
+		c.qLen--
+		c.stagedDeq = false
+		changed = true
+	}
+	for _, tok := range c.stagedSend {
+		i := c.ifHead + c.ifLen
+		if i >= c.capacity {
+			i -= c.capacity
+		}
+		extra := c.hook.SendDelay(tok)
+		if extra < 0 {
+			extra = 0
+		}
+		c.inflight[i] = flight{tok: tok, remaining: c.latency + extra}
+		c.ifLen++
+	}
+	c.stagedSend = c.stagedSend[:0]
+	if !c.hook.Stalled() {
+		for c.ifLen > 0 && c.inflight[c.ifHead].remaining == 0 {
+			tok := c.inflight[c.ifHead].tok
+			c.ifHead++
+			if c.ifHead == c.capacity {
+				c.ifHead = 0
+			}
+			c.ifLen--
+			// A token leaving the wire always changes committed state:
+			// either the receiver gains a token or (on a drop) the sender
+			// gains a credit.
+			changed = true
+			out, act := c.hook.Deliver(tok)
+			switch act {
+			case Drop:
+			case Dup:
+				c.enqueue(out)
+				c.delivered++
+				if c.qLen+c.ifLen+len(c.stagedSend) < c.capacity {
+					c.enqueue(out)
+					c.delivered++
+				}
+			default:
+				c.enqueue(out)
+				c.delivered++
+			}
+		}
+		i := c.ifHead
+		for k := 0; k < c.ifLen; k++ {
+			if c.inflight[i].remaining > 0 {
+				c.inflight[i].remaining--
+			}
 			i++
 			if i == c.capacity {
 				i = 0

@@ -1,0 +1,173 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Deadlock root-cause analysis. When the fabric quiesces with unfinished
+// sinks, the flat channel dump (describeStall) says what state things are
+// in but not why nothing can move. diagnoseDeadlock builds the wait-for
+// graph over the stalled fabric and names either the blocking cycle or
+// the starvation frontier, then appends the state dump.
+//
+// Edges follow the two ways an element can be unable to make progress:
+//
+//   - a receiver of an empty channel (nothing queued, nothing in flight)
+//     waits for the channel's sender to produce;
+//   - a sender without credit on a full channel waits for the channel's
+//     receiver to consume.
+//
+// Elements that report Done wait on nothing. A cycle in this graph is a
+// classic buffer-cycle deadlock; with no cycle, the wait chains end at a
+// starvation frontier — elements (or exhausted producers) that everyone
+// transitively waits on but that themselves wait on nothing.
+
+// waitEdge is one "from waits on to" dependency, with the channel that
+// mediates it.
+type waitEdge struct {
+	from, to int
+	ch       int
+	full     bool // true: from is the sender of a full ch; false: from is the receiver of an empty ch
+}
+
+func (f *Fabric) waitEdges() []waitEdge {
+	f.prepare()
+	var edges []waitEdge
+	for ci, ch := range f.chans {
+		ends := f.prep.ends[ci]
+		sender, receiver := ends[0], ends[1]
+		if sender < 0 || receiver < 0 {
+			continue // unknown endpoint: nothing to attribute
+		}
+		if !ch.CanAccept() && !f.elems[sender].Done() {
+			edges = append(edges, waitEdge{from: sender, to: receiver, ch: ci, full: true})
+		}
+		if ch.Len() == 0 && ch.InFlight() == 0 && !f.elems[receiver].Done() {
+			edges = append(edges, waitEdge{from: receiver, to: sender, ch: ci, full: false})
+		}
+	}
+	return edges
+}
+
+// findWaitCycle returns the edges of one cycle in the wait-for graph, or
+// nil. Deterministic: elements are visited in registration order and each
+// node's out-edges in channel order.
+func findWaitCycle(n int, edges []waitEdge) []waitEdge {
+	out := make([][]waitEdge, n)
+	for _, e := range edges {
+		out[e.from] = append(out[e.from], e)
+	}
+	for i := range out {
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a].ch < out[i][b].ch })
+	}
+	const (
+		unseen = 0
+		onPath = 1
+		done   = 2
+	)
+	state := make([]int, n)
+	var path []waitEdge
+	var dfs func(v int) []waitEdge
+	dfs = func(v int) []waitEdge {
+		state[v] = onPath
+		for _, e := range out[v] {
+			if state[e.to] == onPath {
+				// Unwind the path back to e.to and close the loop.
+				cyc := append([]waitEdge(nil), path...)
+				for len(cyc) > 0 && cyc[0].from != e.to {
+					cyc = cyc[1:]
+				}
+				return append(cyc, e)
+			}
+			if state[e.to] == unseen {
+				path = append(path, e)
+				if cyc := dfs(e.to); cyc != nil {
+					return cyc
+				}
+				path = path[:len(path)-1]
+			}
+		}
+		state[v] = done
+		return nil
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == unseen {
+			if cyc := dfs(v); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Fabric) edgeString(e waitEdge) string {
+	ch := f.chans[e.ch]
+	if e.full {
+		return fmt.Sprintf("%s awaits credit on full channel %s (receiver %s)",
+			f.elems[e.from].Name(), ch.Name(), f.elems[e.to].Name())
+	}
+	return fmt.Sprintf("%s awaits a token on empty channel %s (sender %s)",
+		f.elems[e.from].Name(), ch.Name(), f.elems[e.to].Name())
+}
+
+// diagnoseDeadlock renders the root-cause analysis used in ErrDeadlock
+// messages: the blocking cycle if one exists, otherwise the starvation
+// frontier, followed by the deterministic state dump.
+func (f *Fabric) diagnoseDeadlock() string {
+	edges := f.waitEdges()
+	var b strings.Builder
+	if cyc := findWaitCycle(len(f.elems), edges); cyc != nil {
+		b.WriteString("blocking cycle: ")
+		for i, e := range cyc {
+			if i > 0 {
+				b.WriteString(" -> ")
+			}
+			b.WriteString(f.edgeString(e))
+		}
+	} else if len(edges) > 0 {
+		// No cycle: the wait chains end at elements that are waited on
+		// but themselves wait on nothing — the starvation frontier.
+		waits := make([]bool, len(f.elems))
+		waited := make([]bool, len(f.elems))
+		for _, e := range edges {
+			waits[e.from] = true
+			waited[e.to] = true
+		}
+		var frontier []int
+		for i := range f.elems {
+			if waited[i] && !waits[i] {
+				frontier = append(frontier, i)
+			}
+		}
+		if len(frontier) == 0 {
+			b.WriteString("no single blocking frontier")
+		} else {
+			b.WriteString("starvation frontier:")
+			for _, fi := range frontier {
+				state := "is not consuming or producing"
+				if f.elems[fi].Done() {
+					state = "is done and will produce nothing more"
+				}
+				fmt.Fprintf(&b, " %s %s", f.elems[fi].Name(), state)
+				var in []waitEdge
+				for _, e := range edges {
+					if e.to == fi {
+						in = append(in, e)
+					}
+				}
+				sort.Slice(in, func(a, b int) bool { return in[a].ch < in[b].ch })
+				for _, e := range in {
+					fmt.Fprintf(&b, "; %s", f.edgeString(e))
+				}
+				b.WriteString(".")
+			}
+		}
+	} else {
+		b.WriteString("no attributable waits (unknown channel endpoints)")
+	}
+	b.WriteString(";")
+	b.WriteString(f.describeStall())
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package fabric
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tia/internal/isa"
+)
+
+// Two forwarder PEs wired head-to-tail: each waits for a token on the
+// empty channel from the other, so the wait-for graph has a two-edge
+// cycle. An unfinished sink on a dangling channel keeps the fabric from
+// declaring completion at quiescence.
+func buildWaitCycleFabric(t *testing.T) *Fabric {
+	t.Helper()
+	f := New(DefaultConfig())
+	a := mustPE(t, "peA", forwarderProg())
+	b := mustPE(t, "peB", forwarderProg())
+	snk := NewSink("snk")
+	f.Add(a)
+	f.Add(b)
+	f.Add(snk)
+	f.Wire(a, 0, b, 0)
+	f.Wire(b, 0, a, 0)
+	dangling := f.NewChannel("dangling", 2, 0)
+	snk.ConnectIn(0, dangling)
+	return f
+}
+
+func TestDeadlockReportNamesWaitCycle(t *testing.T) {
+	for _, dense := range []bool{true, false} {
+		f := buildWaitCycleFabric(t)
+		f.SetDenseStepping(dense)
+		_, err := f.Run(1000)
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("dense=%v: want ErrDeadlock, got %v", dense, err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "blocking cycle:") {
+			t.Fatalf("dense=%v: report lacks blocking cycle: %s", dense, msg)
+		}
+		for _, want := range []string{
+			"peA awaits a token on empty channel",
+			"peB awaits a token on empty channel",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("dense=%v: report %q missing %q", dense, msg, want)
+			}
+		}
+	}
+}
+
+func TestDeadlockReportNamesStarvationFrontier(t *testing.T) {
+	f := New(DefaultConfig())
+	// Source without EOD: the forwarder and the EOD-wanting sink starve
+	// behind an exhausted producer — a frontier, not a cycle.
+	src := NewWordSource("src", []isa.Word{1, 2, 3}, false)
+	p := mustPE(t, "fwd", forwarderProg())
+	snk := NewSink("snk")
+	f.Add(src)
+	f.Add(p)
+	f.Add(snk)
+	f.Wire(src, 0, p, 0)
+	f.Wire(p, 0, snk, 0)
+	_, err := f.Run(1000)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "blocking cycle:") {
+		t.Fatalf("chain misreported as cycle: %s", msg)
+	}
+	if !strings.Contains(msg, "starvation frontier:") {
+		t.Fatalf("report lacks starvation frontier: %s", msg)
+	}
+	if !strings.Contains(msg, "src is done and will produce nothing more") {
+		t.Errorf("frontier does not name the exhausted source: %s", msg)
+	}
+	if !strings.Contains(msg, "fwd awaits a token on empty channel") {
+		t.Errorf("frontier does not show the waiting edge: %s", msg)
+	}
+}
+
+// The deadlock report (diagnosis plus state dump) must be byte-identical
+// across runs — describeStall sorts elements and channels by name.
+func TestDeadlockReportDeterministic(t *testing.T) {
+	var msgs []string
+	for i := 0; i < 3; i++ {
+		f := buildWaitCycleFabric(t)
+		_, err := f.Run(1000)
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("want ErrDeadlock, got %v", err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i] != msgs[0] {
+			t.Fatalf("deadlock report not deterministic:\nrun0: %s\nrun%d: %s", msgs[0], i, msgs[i])
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"tia/internal/channel"
@@ -94,6 +95,27 @@ type stateDumper interface {
 	DumpState() string
 }
 
+// FaultInjector is the fabric-side interface of a fault-injection layer
+// (see internal/faults). The fabric drives it once per cycle, before
+// elements step, and consults it per element; a nil injector adds no
+// per-cycle work beyond one comparison.
+//
+// Injector decisions must be pure functions of the cycle number and
+// per-site event sequences — never of element or channel iteration order
+// — so that dense and event-driven stepping stay bit-identical under the
+// same fault plan.
+type FaultInjector interface {
+	// BeginCycle announces the cycle about to be simulated.
+	BeginCycle(cycle int64)
+	// Frozen reports that the element must not be stepped this cycle.
+	// Frozen elements accrue SkipCycles so statistics stay comparable.
+	Frozen(e Element) bool
+	// Active reports that some freeze window covers this cycle. While
+	// true, quiescence detection is suppressed: a fully-frozen fabric is
+	// waiting, not deadlocked.
+	Active() bool
+}
+
 // Config holds fabric-wide defaults.
 type Config struct {
 	// ChannelCapacity is the default receiver-FIFO depth for Wire.
@@ -127,6 +149,7 @@ type Fabric struct {
 	binds []bind
 	cycle int64
 	dense bool
+	inj   FaultInjector
 
 	prep prepared
 }
@@ -146,7 +169,7 @@ type prepared struct {
 	valid bool
 
 	faulties []faultyElem
-	dumpers  []stateDumper
+	dumpers  []dumperElem
 	resets   []resettable
 	skips    []skipAware  // indexed by element, nil when unimplemented
 	hints    []wakeHinter // indexed by element, nil when unimplemented
@@ -158,6 +181,11 @@ type prepared struct {
 type faultyElem struct {
 	f faulty
 	e Element
+}
+
+type dumperElem struct {
+	d    stateDumper
+	name string
 }
 
 type point struct{ x, y int }
@@ -187,6 +215,10 @@ func (f *Fabric) SetCancelCheckInterval(n int) {
 		f.cfg.CancelCheckInterval = n
 	}
 }
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault-injection
+// layer. See FaultInjector; internal/faults provides the implementation.
+func (f *Fabric) SetFaultInjector(inj FaultInjector) { f.inj = inj }
 
 // SetDenseStepping switches the simulator to the dense reference loop
 // that steps every element and ticks every channel each cycle. Results
@@ -341,7 +373,7 @@ func (f *Fabric) prepare() {
 			p.faulties = append(p.faulties, faultyElem{f: ft, e: e})
 		}
 		if d, ok := e.(stateDumper); ok {
-			p.dumpers = append(p.dumpers, d)
+			p.dumpers = append(p.dumpers, dumperElem{d: d, name: e.Name()})
 		}
 		if r, ok := e.(resettable); ok {
 			p.resets = append(p.resets, r)
@@ -477,8 +509,17 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 		if err := cc.expired(); err != nil {
 			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
 		}
+		if f.inj != nil {
+			f.inj.BeginCycle(f.cycle)
+		}
 		worked := false
-		for _, e := range f.elems {
+		for i, e := range f.elems {
+			if f.inj != nil && f.inj.Frozen(e) {
+				if sk := f.prep.skips[i]; sk != nil {
+					sk.SkipCycles(1)
+				}
+				continue
+			}
 			if e.Step(f.cycle) {
 				worked = true
 			}
@@ -499,7 +540,7 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 		if f.sinksDone() {
 			return Result{Cycles: f.cycle, Completed: true}, nil
 		}
-		if !worked && !busyChans {
+		if !worked && !busyChans && (f.inj == nil || !f.inj.Active()) {
 			idleStreak++
 			if idleStreak >= f.cfg.QuiescenceWindow {
 				res := Result{Cycles: f.cycle, Quiesced: true}
@@ -507,7 +548,7 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 					res.Completed = true
 					return res, nil
 				}
-				return res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.describeStall())
+				return res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.diagnoseDeadlock())
 			}
 		} else {
 			idleStreak = 0
@@ -597,9 +638,23 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
 		}
 		cur := f.cycle
+		if f.inj != nil {
+			f.inj.BeginCycle(cur)
+		}
 		worked := false
 		for i, e := range elems {
 			if !st.awake[i] {
+				continue
+			}
+			if f.inj != nil && f.inj.Frozen(e) {
+				// Frozen: skip the step but stay awake, so stepping
+				// resumes the cycle the freeze ends even if no channel
+				// changes in between. The cycle is accounted immediately
+				// (an asleep frozen element is instead covered by its
+				// wake-time backfill, exactly as under dense stepping).
+				if sk := prep.skips[i]; sk != nil {
+					sk.SkipCycles(1)
+				}
 				continue
 			}
 			if e.Step(cur) {
@@ -663,7 +718,7 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 			backfill()
 			return Result{Cycles: f.cycle, Completed: true}, nil
 		}
-		if !worked && st.busyCount == 0 {
+		if !worked && st.busyCount == 0 && (f.inj == nil || !f.inj.Active()) {
 			idleStreak++
 			if idleStreak >= f.cfg.QuiescenceWindow {
 				backfill()
@@ -672,7 +727,7 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 					res.Completed = true
 					return res, nil
 				}
-				return res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.describeStall())
+				return res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.diagnoseDeadlock())
 			}
 		} else {
 			idleStreak = 0
@@ -708,34 +763,42 @@ func (f *Fabric) sinksDone() bool {
 
 // describeStall summarizes which sinks are unfinished, which channels
 // still hold tokens, and what each dumpable element is waiting on, to
-// make deadlock reports actionable. The channel dump is capped so
-// reports on large fabrics stay readable.
+// make deadlock reports actionable. Sinks, channels and element dumps
+// are each sorted by name, so the report is deterministic and diffable;
+// the channel dump is capped so reports on large fabrics stay readable.
 func (f *Fabric) describeStall() string {
 	const maxChans = 32
 	var b strings.Builder
+	var stalled []*Sink
 	for _, s := range f.sinks {
 		if !s.Completed() {
-			fmt.Fprintf(&b, " sink %s received %d tokens;", s.Name(), len(s.Tokens()))
+			stalled = append(stalled, s)
 		}
 	}
-	shown, busy := 0, 0
+	sort.Slice(stalled, func(i, j int) bool { return stalled[i].Name() < stalled[j].Name() })
+	for _, s := range stalled {
+		fmt.Fprintf(&b, " sink %s received %d tokens;", s.Name(), len(s.Tokens()))
+	}
+	var busy []*channel.Channel
 	for _, ch := range f.chans {
-		if ch.Len() == 0 {
-			continue
-		}
-		busy++
-		if shown < maxChans {
-			fmt.Fprintf(&b, " channel %s holds %d tokens;", ch.Name(), ch.Len())
-			shown++
+		if ch.Len() > 0 {
+			busy = append(busy, ch)
 		}
 	}
-	if busy > shown {
-		fmt.Fprintf(&b, " (+%d more channels with tokens)", busy-shown)
+	sort.Slice(busy, func(i, j int) bool { return busy[i].Name() < busy[j].Name() })
+	for i, ch := range busy {
+		if i == maxChans {
+			fmt.Fprintf(&b, " (+%d more channels with tokens)", len(busy)-maxChans)
+			break
+		}
+		fmt.Fprintf(&b, " channel %s holds %d tokens;", ch.Name(), ch.Len())
 	}
 	f.prepare()
-	for _, d := range f.prep.dumpers {
+	dumpers := append([]dumperElem(nil), f.prep.dumpers...)
+	sort.Slice(dumpers, func(i, j int) bool { return dumpers[i].name < dumpers[j].name })
+	for _, d := range dumpers {
 		b.WriteString(" [")
-		b.WriteString(d.DumpState())
+		b.WriteString(d.d.DumpState())
 		b.WriteString("]")
 	}
 	if b.Len() == 0 {

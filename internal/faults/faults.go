@@ -1,0 +1,352 @@
+// Package faults is a deterministic, seeded fault-injection layer for
+// the spatial-fabric simulator. It perturbs a fully-built fabric through
+// two narrow seams — channel fault hooks (channel.FaultHook) and the
+// fabric's per-cycle injector (fabric.FaultInjector) — and can inject:
+//
+//   - timing faults: extra per-token wire latency jitter, transient
+//     channel stalls (the wire freezes for a window of cycles), and
+//     element freezes (an element is not stepped for a window of cycles);
+//   - data faults: single-bit flips, dropped tokens and duplicated
+//     tokens, applied as tokens leave the wire for the receiver FIFO.
+//
+// Every campaign is exactly reproducible: all randomness derives from the
+// plan seed mixed with the site name, each site owns its generator, and
+// draws are consumed only at per-site events (a token entering or leaving
+// the wire) or precomputed at attach time (stall and freeze windows).
+// Decisions therefore never depend on element or channel iteration
+// order, which is what keeps dense and event-driven stepping bit-
+// identical under the same plan — the differential tests assert it.
+//
+// The paper's latency-insensitivity claim becomes testable here: timing
+// faults may change cycle counts but must never change results, while
+// data faults feed the masked / detected / SDC / hang taxonomy (see
+// internal/core's resilience campaigns).
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"tia/internal/channel"
+	"tia/internal/fabric"
+)
+
+// DefaultHorizon bounds stall/freeze window starts when Plan.To is
+// unset. Campaign drivers normally set To to the fault-free cycle count
+// so windows land inside the run.
+const DefaultHorizon = 1 << 16
+
+// Plan describes one reproducible fault campaign configuration. The zero
+// value (plus a seed) injects nothing; such a plan wraps every site with
+// hooks that provably do not perturb the simulation.
+type Plan struct {
+	// Seed drives every random draw. Campaigns vary it per run.
+	Seed int64
+	// Sites is a substring filter on channel and element names; ""
+	// matches every site.
+	Sites string
+	// From and To bound the active cycle window [From, To). To <= 0
+	// means unbounded for per-token faults and From+DefaultHorizon for
+	// window draws.
+	From, To int64
+
+	// JitterRate is the per-token probability of extra wire latency,
+	// uniform in [1, JitterMax].
+	JitterRate float64
+	JitterMax  int
+	// Stalls is the number of wire-freeze windows drawn per matched
+	// channel, each lasting [1, StallMax] cycles.
+	Stalls   int
+	StallMax int
+	// Freezes is the number of no-step windows drawn per matched
+	// element, each lasting [1, FreezeMax] cycles.
+	Freezes   int
+	FreezeMax int
+
+	// FlipRate is the per-delivered-token probability of a single-bit
+	// flip in the data word (tags are never corrupted, so EOD framing
+	// survives; drop an EOD to attack framing instead).
+	FlipRate float64
+	// DropRate is the per-delivered-token probability the token vanishes.
+	DropRate float64
+	// DupRate is the per-delivered-token probability the token is
+	// enqueued twice (when a credit is spare; see channel.Dup).
+	DupRate float64
+}
+
+// Timing reports whether the plan injects only timing faults (the class
+// under which results must be byte-identical to a fault-free run).
+func (p Plan) Timing() bool {
+	return p.FlipRate == 0 && p.DropRate == 0 && p.DupRate == 0
+}
+
+// Validate rejects malformed plans.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"JitterRate", p.JitterRate}, {"FlipRate", p.FlipRate},
+		{"DropRate", p.DropRate}, {"DupRate", p.DupRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.JitterRate > 0 && p.JitterMax < 1 {
+		return fmt.Errorf("faults: JitterRate %g needs JitterMax >= 1", p.JitterRate)
+	}
+	if p.Stalls < 0 || p.Freezes < 0 {
+		return fmt.Errorf("faults: negative window counts")
+	}
+	if p.Stalls > 0 && p.StallMax < 1 {
+		return fmt.Errorf("faults: Stalls %d needs StallMax >= 1", p.Stalls)
+	}
+	if p.Freezes > 0 && p.FreezeMax < 1 {
+		return fmt.Errorf("faults: Freezes %d needs FreezeMax >= 1", p.Freezes)
+	}
+	if p.To > 0 && p.To <= p.From {
+		return fmt.Errorf("faults: empty cycle window [%d,%d)", p.From, p.To)
+	}
+	return nil
+}
+
+// Counts are the aggregate injection statistics of one attached run.
+type Counts struct {
+	Jittered     int64 // tokens given extra wire latency
+	StallCycles  int64 // channel-cycles spent stalled with the wire non-empty
+	FreezeCycles int64 // element-cycles spent frozen
+	Flips        int64 // tokens with a data bit flipped
+	Drops        int64 // tokens dropped
+	Dups         int64 // tokens duplicated (the extra copy enqueued)
+	DupsElided   int64 // duplications suppressed for lack of a credit
+}
+
+// Total is the number of discrete fault events injected.
+func (c Counts) Total() int64 {
+	return c.Jittered + c.StallCycles + c.FreezeCycles + c.Flips + c.Drops + c.Dups
+}
+
+// window is one [start, start+dur) perturbation interval.
+type window struct {
+	start, end int64
+}
+
+// drawWindows samples n windows with the given maximum duration inside
+// [from, to), sorted by start.
+func drawWindows(r *rand.Rand, n int, maxDur int, from, to int64) []window {
+	span := to - from
+	if n <= 0 || span <= 0 {
+		return nil
+	}
+	ws := make([]window, 0, n)
+	for i := 0; i < n; i++ {
+		start := from + r.Int63n(span)
+		dur := int64(1 + r.Intn(maxDur))
+		ws = append(ws, window{start: start, end: start + dur})
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].start != ws[j].start {
+			return ws[i].start < ws[j].start
+		}
+		return ws[i].end < ws[j].end
+	})
+	return ws
+}
+
+// covers reports whether any window contains cycle; idx advances
+// monotonically with the cycle, so the amortized cost is O(1).
+func covers(ws []window, idx *int, cycle int64) bool {
+	for *idx < len(ws) && ws[*idx].end <= cycle {
+		*idx++
+	}
+	for i := *idx; i < len(ws) && ws[i].start <= cycle; i++ {
+		if cycle < ws[i].end {
+			return true
+		}
+	}
+	return false
+}
+
+// chanSite is one channel's fault state; it implements channel.FaultHook.
+type chanSite struct {
+	inj    *Injector
+	ch     *channel.Channel
+	rng    *rand.Rand
+	stalls []window
+	widx   int
+	// stalledNow caches the per-cycle stall decision (set by BeginCycle).
+	stalledNow bool
+}
+
+// SendDelay implements channel.FaultHook.
+func (s *chanSite) SendDelay(channel.Token) int {
+	p := &s.inj.plan
+	if p.JitterRate == 0 || !s.inj.inWindow() {
+		return 0
+	}
+	if s.rng.Float64() >= p.JitterRate {
+		return 0
+	}
+	s.inj.counts.Jittered++
+	return 1 + s.rng.Intn(p.JitterMax)
+}
+
+// Stalled implements channel.FaultHook.
+func (s *chanSite) Stalled() bool {
+	if s.stalledNow && !s.ch.Quiet() {
+		s.inj.counts.StallCycles++
+	}
+	return s.stalledNow
+}
+
+// Deliver implements channel.FaultHook.
+func (s *chanSite) Deliver(tok channel.Token) (channel.Token, channel.DeliverAction) {
+	p := &s.inj.plan
+	if !s.inj.inWindow() {
+		return tok, channel.Deliver
+	}
+	if p.DropRate > 0 && s.rng.Float64() < p.DropRate {
+		s.inj.counts.Drops++
+		return tok, channel.Drop
+	}
+	if p.DupRate > 0 && s.rng.Float64() < p.DupRate {
+		if s.ch.Len()+s.ch.InFlight() < s.ch.Cap() {
+			s.inj.counts.Dups++
+		} else {
+			s.inj.counts.DupsElided++
+		}
+		return tok, channel.Dup
+	}
+	if p.FlipRate > 0 && s.rng.Float64() < p.FlipRate {
+		s.inj.counts.Flips++
+		tok.Data ^= 1 << uint(s.rng.Intn(32))
+	}
+	return tok, channel.Deliver
+}
+
+// elemSite is one element's freeze schedule.
+type elemSite struct {
+	freezes   []window
+	widx      int
+	frozenNow bool
+}
+
+// Injector is a compiled, attached fault plan. It implements
+// fabric.FaultInjector; channel hooks are installed by Attach. An
+// Injector is single-run state: build a fresh fabric (or Reset it) and a
+// fresh Injector per campaign run.
+type Injector struct {
+	plan   Plan
+	cycle  int64
+	counts Counts
+	chans  []*chanSite
+	elems  map[fabric.Element]*elemSite
+	active bool // any freeze window covers the current cycle
+}
+
+// New validates and compiles a plan.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: plan, elems: map[fabric.Element]*elemSite{}}, nil
+}
+
+// Attach wraps every matching channel and element of the fabric and
+// registers the injector for per-cycle callbacks. Call after the fabric
+// is fully wired; channels created later are not covered.
+func Attach(f *fabric.Fabric, plan Plan) (*Injector, error) {
+	inj, err := New(plan)
+	if err != nil {
+		return nil, err
+	}
+	from, to := plan.From, plan.To
+	if to <= 0 {
+		to = from + DefaultHorizon
+	}
+	for _, ch := range f.Channels() {
+		if !inj.matches(ch.Name()) {
+			continue
+		}
+		site := &chanSite{inj: inj, ch: ch, rng: siteRand(plan.Seed, "ch:"+ch.Name())}
+		site.stalls = drawWindows(site.rng, plan.Stalls, plan.StallMax, from, to)
+		ch.SetFaultHook(site)
+		inj.chans = append(inj.chans, site)
+	}
+	for _, e := range f.Elements() {
+		if !inj.matches(e.Name()) {
+			continue
+		}
+		r := siteRand(plan.Seed, "elem:"+e.Name())
+		ws := drawWindows(r, plan.Freezes, plan.FreezeMax, from, to)
+		if len(ws) == 0 && plan.Freezes == 0 {
+			continue // no element-level faults planned; skip the map entry
+		}
+		inj.elems[e] = &elemSite{freezes: ws}
+	}
+	f.SetFaultInjector(inj)
+	return inj, nil
+}
+
+// Detach removes the injector's hooks from the fabric, restoring the
+// unwrapped fast paths.
+func (inj *Injector) Detach(f *fabric.Fabric) {
+	for _, s := range inj.chans {
+		s.ch.SetFaultHook(nil)
+	}
+	f.SetFaultInjector(nil)
+}
+
+func (inj *Injector) matches(name string) bool {
+	return inj.plan.Sites == "" || strings.Contains(name, inj.plan.Sites)
+}
+
+// inWindow reports whether the current cycle is inside the plan's active
+// window.
+func (inj *Injector) inWindow() bool {
+	if inj.cycle < inj.plan.From {
+		return false
+	}
+	return inj.plan.To <= 0 || inj.cycle < inj.plan.To
+}
+
+// BeginCycle implements fabric.FaultInjector: refresh every site's
+// per-cycle stall/freeze state from the precomputed windows.
+func (inj *Injector) BeginCycle(cycle int64) {
+	inj.cycle = cycle
+	for _, s := range inj.chans {
+		s.stalledNow = covers(s.stalls, &s.widx, cycle)
+	}
+	inj.active = false
+	for _, es := range inj.elems {
+		es.frozenNow = covers(es.freezes, &es.widx, cycle)
+		if es.frozenNow {
+			inj.active = true
+			inj.counts.FreezeCycles++
+		}
+	}
+}
+
+// Frozen implements fabric.FaultInjector.
+func (inj *Injector) Frozen(e fabric.Element) bool {
+	es, ok := inj.elems[e]
+	return ok && es.frozenNow
+}
+
+// Active implements fabric.FaultInjector.
+func (inj *Injector) Active() bool { return inj.active }
+
+// Counts returns the injection statistics accumulated so far.
+func (inj *Injector) Counts() Counts { return inj.counts }
+
+// siteRand derives a site-local deterministic generator from the plan
+// seed and the site name.
+func siteRand(seed int64, site string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}

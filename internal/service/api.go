@@ -50,6 +50,59 @@ type JobRequest struct {
 	// NoCache bypasses the completed-result cache (the run still
 	// populates it), for determinism checks against cached results.
 	NoCache bool `json:"no_cache,omitempty"`
+
+	// Faults, when set on a workload job, runs a seeded fault-injection
+	// campaign instead of a single simulation: Runs perturbed executions
+	// are classified against the fault-free golden run and the result
+	// carries a Campaign taxonomy summary. Campaign results bypass the
+	// result cache. Netlist jobs reject the option.
+	Faults *FaultCampaignRequest `json:"faults,omitempty"`
+}
+
+// FaultCampaignRequest configures a resilience campaign (see
+// internal/faults for the fault model). A plan with only timing faults
+// (jitter, stalls, freezes) asserts latency-insensitivity: every run
+// must be byte-identical to the golden run, and any divergence fails the
+// job with a verify error. Plans with data-fault rates classify each run
+// into the masked / detected / SDC / hang taxonomy instead.
+type FaultCampaignRequest struct {
+	// Runs is the number of perturbed executions (default 10, capped by
+	// the server).
+	Runs int `json:"runs,omitempty"`
+	// Seed bases the per-run plan seeds (run r uses Seed+r).
+	Seed int64 `json:"seed,omitempty"`
+	// Sites is a substring filter on channel/element names ("" = all).
+	Sites string `json:"sites,omitempty"`
+	// FromCycle/ToCycle bound the active window; ToCycle 0 anchors to
+	// the golden run's cycle count.
+	FromCycle int64 `json:"from_cycle,omitempty"`
+	ToCycle   int64 `json:"to_cycle,omitempty"`
+
+	JitterRate float64 `json:"jitter_rate,omitempty"`
+	JitterMax  int     `json:"jitter_max,omitempty"`
+	Stalls     int     `json:"stalls,omitempty"`
+	StallMax   int     `json:"stall_max,omitempty"`
+	Freezes    int     `json:"freezes,omitempty"`
+	FreezeMax  int     `json:"freeze_max,omitempty"`
+
+	FlipRate float64 `json:"flip_rate,omitempty"`
+	DropRate float64 `json:"drop_rate,omitempty"`
+	DupRate  float64 `json:"dup_rate,omitempty"`
+}
+
+// CampaignSummary is the aggregate outcome taxonomy of a fault campaign.
+type CampaignSummary struct {
+	Runs     int   `json:"runs"`
+	Masked   int   `json:"masked"`
+	Detected int   `json:"detected"`
+	SDC      int   `json:"sdc"`
+	Hang     int   `json:"hang"`
+	Injected int64 `json:"injected"`
+	// GoldenCycles is the fault-free cycle count runs were compared to.
+	GoldenCycles int64 `json:"golden_cycles"`
+	// Timing marks a latency-insensitivity campaign (timing faults only,
+	// every run required to mask).
+	Timing bool `json:"timing,omitempty"`
 }
 
 // ElementStats is one processing element's utilization breakdown.
@@ -93,6 +146,10 @@ type JobResult struct {
 
 	// Trace is the Chrome trace-event JSON, when requested.
 	Trace json.RawMessage `json:"trace,omitempty"`
+
+	// Campaign is the fault-campaign taxonomy, for jobs submitted with
+	// Faults set.
+	Campaign *CampaignSummary `json:"campaign,omitempty"`
 }
 
 // ErrorKind classifies job failures for programmatic handling.

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// Client is a retrying HTTP client for the tiad job API. Transport
+// failures and draining rejections (a server shutting down while a
+// replacement comes up) are retried with jittered exponential backoff;
+// every other typed job error is returned immediately — resubmitting a
+// deterministic simulation that failed to compile, verify, deadlocked or
+// panicked would only fail the same way again.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// MaxAttempts bounds tries per submission (min 1; default 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms); each retry
+	// doubles it, capped at MaxBackoff (default 5s), then jitters
+	// uniformly in [delay/2, delay).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Sleep is the delay function, injectable for tests; nil means
+	// time.Sleep (interruptible by ctx).
+	Sleep func(context.Context, time.Duration)
+	// Jitter is the random source for backoff jitter; nil seeds from the
+	// base backoff so a configured client is deterministic under test.
+	Jitter *rand.Rand
+}
+
+// NewClient returns a Client with production defaults.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) defaults() (attempts int, base, maxB time.Duration) {
+	attempts = c.MaxAttempts
+	if attempts < 1 {
+		attempts = 4
+	}
+	base = c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB = c.MaxBackoff
+	if maxB < base {
+		maxB = 5 * time.Second
+		if maxB < base {
+			maxB = base
+		}
+	}
+	return attempts, base, maxB
+}
+
+// retryable reports whether an error class is worth another attempt.
+func retryable(err error) bool {
+	if je, ok := err.(*JobError); ok {
+		return je.Kind == ErrDraining
+	}
+	return true // transport-level failure
+}
+
+// backoff computes the jittered delay before attempt n (0-based retry
+// index).
+func (c *Client) backoff(n int, base, maxB time.Duration) time.Duration {
+	d := base << uint(n)
+	if d > maxB || d <= 0 {
+		d = maxB
+	}
+	r := c.Jitter
+	if r == nil {
+		r = rand.New(rand.NewSource(int64(base)))
+		c.Jitter = r
+	}
+	// Uniform in [d/2, d): full delay on average 3/4 of nominal, never
+	// synchronized across clients.
+	return d/2 + time.Duration(r.Int63n(int64(d/2)))
+}
+
+// Submit posts one job, retrying transport errors and draining
+// rejections. The context bounds the whole retry loop.
+func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	attempts, base, maxB := c.defaults()
+	var lastErr error
+	for n := 0; n < attempts; n++ {
+		if n > 0 {
+			delay := c.backoff(n-1, base, maxB)
+			if c.Sleep != nil {
+				c.Sleep(ctx, delay)
+			} else {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := c.submitOnce(ctx, req)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("service client: %d attempts exhausted: %w", attempts, lastErr)
+}
+
+// submitOnce performs a single POST /v1/jobs round trip, decoding typed
+// job errors out of non-200 responses.
+func (c *Client) submitOnce(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var fail struct {
+			Error *JobError `json:"error"`
+		}
+		if err := json.Unmarshal(payload, &fail); err == nil && fail.Error != nil {
+			return nil, fail.Error
+		}
+		return nil, fmt.Errorf("http %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+	}
+	var res JobResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, fmt.Errorf("decode result: %w", err)
+	}
+	return &res, nil
+}

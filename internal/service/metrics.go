@@ -24,6 +24,13 @@ type Metrics struct {
 
 	CyclesSimulated atomic.Int64 // fabric cycles across all jobs
 	SimNanos        atomic.Int64 // wall time spent inside simulations
+
+	// Fault-campaign outcomes (see internal/core's resilience taxonomy).
+	FaultsInjected    atomic.Int64 // discrete fault events injected
+	FaultRunsMasked   atomic.Int64 // runs byte-identical to golden
+	FaultRunsDetected atomic.Int64 // runs failing loudly or structurally
+	FaultRunsSilent   atomic.Int64 // runs with silent data corruption
+	FaultRunsHang     atomic.Int64 // runs that deadlocked or timed out
 }
 
 // CyclesPerSecond is the aggregate simulation throughput since start.
@@ -55,6 +62,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	gauge("tia_job_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth.Load())
 	gauge("tia_jobs_running", "Jobs executing right now.", m.Running.Load())
 	counter("tia_cycles_simulated_total", "Fabric cycles simulated across all jobs.", m.CyclesSimulated.Load())
+	counter("tia_faults_injected_total", "Discrete fault events injected by campaigns.", m.FaultsInjected.Load())
+	counter("tia_fault_runs_masked_total", "Campaign runs byte-identical to the golden run.", m.FaultRunsMasked.Load())
+	counter("tia_fault_runs_detected_total", "Campaign runs that failed loudly or structurally.", m.FaultRunsDetected.Load())
+	counter("tia_fault_runs_silent_total", "Campaign runs with silent data corruption.", m.FaultRunsSilent.Load())
+	counter("tia_fault_runs_hang_total", "Campaign runs that deadlocked or timed out.", m.FaultRunsHang.Load())
 	fmt.Fprintf(w, "# HELP tia_sim_cycles_per_second Aggregate simulation throughput since start.\n"+
 		"# TYPE tia_sim_cycles_per_second gauge\ntia_sim_cycles_per_second %g\n", m.CyclesPerSecond())
 }
@@ -74,5 +86,10 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"jobs_running":         m.Running.Load(),
 		"cycles_simulated":     m.CyclesSimulated.Load(),
 		"sim_nanos":            m.SimNanos.Load(),
+		"faults_injected":      m.FaultsInjected.Load(),
+		"fault_runs_masked":    m.FaultRunsMasked.Load(),
+		"fault_runs_detected":  m.FaultRunsDetected.Load(),
+		"fault_runs_silent":    m.FaultRunsSilent.Load(),
+		"fault_runs_hang":      m.FaultRunsHang.Load(),
 	}
 }

@@ -67,8 +67,14 @@ func (s *Server) runJob(ctx context.Context, req *JobRequest) (*JobResult, error
 	case req.Workload != "" && req.Netlist != "":
 		return nil, jobErrorf(ErrBadRequest, "submit either a workload or a netlist, not both")
 	case req.Workload != "":
+		if req.Faults != nil {
+			return s.runFaultCampaign(ctx, req)
+		}
 		return s.runWorkloadJob(ctx, req)
 	case req.Netlist != "":
+		if req.Faults != nil {
+			return nil, jobErrorf(ErrBadRequest, "fault campaigns require a workload job")
+		}
 		return s.runNetlistJob(ctx, req)
 	default:
 		return nil, jobErrorf(ErrBadRequest, "job needs a workload name or a netlist")
@@ -120,14 +126,8 @@ func simError(ctx context.Context, err error, cycles int64) *JobError {
 	return je
 }
 
-// runWorkloadJob runs a named kernel of the built-in suite. The output
-// is verified token-for-token against the golden Go reference before the
-// result is trusted or cached.
-func (s *Server) runWorkloadJob(ctx context.Context, req *JobRequest) (*JobResult, error) {
-	spec, err := workloads.ByName(req.Workload)
-	if err != nil {
-		return nil, jobErrorf(ErrBadRequest, "%v", err)
-	}
+// workloadParams maps a request's workload knobs onto kernel parameters.
+func workloadParams(req *JobRequest) workloads.Params {
 	p := workloads.Params{
 		Size:       req.Size,
 		Seed:       req.Seed,
@@ -142,7 +142,18 @@ func (s *Server) runWorkloadJob(ctx context.Context, req *JobRequest) (*JobResul
 		}
 		p.FabricCfg.ChannelLatency = req.ChannelLatency
 	}
-	p = spec.Normalize(p)
+	return p
+}
+
+// runWorkloadJob runs a named kernel of the built-in suite. The output
+// is verified token-for-token against the golden Go reference before the
+// result is trusted or cached.
+func (s *Server) runWorkloadJob(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	spec, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return nil, jobErrorf(ErrBadRequest, "%v", err)
+	}
+	p := spec.Normalize(workloadParams(req))
 
 	budget := spec.MaxCycles(p)
 	if req.MaxCycles > 0 {

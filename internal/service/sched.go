@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime/debug"
 	"sync"
 )
 
@@ -89,7 +90,7 @@ func (s *scheduler) execute(j *job) {
 	}
 	s.metrics.JobsStarted.Add(1)
 	s.metrics.Running.Add(1)
-	j.res, j.err = s.run(j.ctx, j.req)
+	j.res, j.err = s.safeRun(j.ctx, j.req)
 	s.metrics.Running.Add(-1)
 	switch classify(j.err) {
 	case jobOK:
@@ -100,6 +101,28 @@ func (s *scheduler) execute(j *job) {
 		s.metrics.JobsFailed.Add(1)
 	}
 	close(j.done)
+}
+
+// safeRun isolates one job's execution: a panic anywhere inside the
+// simulation surfaces as a typed internal job error instead of killing
+// the worker goroutine (and with it the daemon). The stack is captured
+// into the error message, truncated to keep responses bounded.
+func (s *scheduler) safeRun(ctx context.Context, req *JobRequest) (res *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = jobErrorf(ErrInternal, "job panicked: %v\n%s", r, trimStack(debug.Stack(), 4096))
+		}
+	}()
+	return s.run(ctx, req)
+}
+
+// trimStack bounds a stack trace for inclusion in an error payload.
+func trimStack(stack []byte, limit int) string {
+	if len(stack) > limit {
+		stack = stack[:limit]
+	}
+	return string(stack)
 }
 
 type jobOutcome int

@@ -1,0 +1,65 @@
+package workloads
+
+// Differential tests for the fault-injection seams: wrapping every
+// channel and element of a kernel with a zero-rate fault plan must be a
+// provable no-op — identical cycle counts, sink token streams, and PE
+// statistics to the unwrapped fast path — in both dense and event-driven
+// stepping. This pins the hooked channel path (tickFaulty with an empty
+// plan) to the unhooked fast path, so campaign results are attributable
+// to the injected faults and never to the instrumentation itself.
+
+import (
+	"reflect"
+	"testing"
+
+	"tia/internal/faults"
+)
+
+func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, plan *faults.Plan) kernelObservation {
+	t.Helper()
+	inst, err := spec.BuildTIA(p)
+	if err != nil {
+		t.Fatalf("%s: build: %v", spec.Name, err)
+	}
+	inst.Fabric.SetDenseStepping(dense)
+	if plan != nil {
+		if _, err := faults.Attach(inst.Fabric, *plan); err != nil {
+			t.Fatalf("%s: attach: %v", spec.Name, err)
+		}
+	}
+	res, err := inst.Fabric.Run(spec.MaxCycles(p))
+	if err != nil {
+		t.Fatalf("%s: run (dense=%v wrapped=%v): %v", spec.Name, dense, plan != nil, err)
+	}
+	obs := kernelObservation{Cycles: res.Cycles, Tokens: inst.Sink.Tokens()}
+	for _, pr := range inst.PEs {
+		obs.PEStats = append(obs.PEStats, pr.Stats())
+	}
+	return obs
+}
+
+func TestZeroRateFaultPlanDifferential(t *testing.T) {
+	for _, spec := range All() {
+		for _, dense := range []bool{true, false} {
+			label := "event"
+			if dense {
+				label = "dense"
+			}
+			t.Run(spec.Name+"/"+label, func(t *testing.T) {
+				p := spec.Normalize(Params{Seed: 11, Size: 12})
+				base := observeTIAFaultWrapped(t, spec, p, dense, nil)
+				plan := &faults.Plan{Seed: 99}
+				wrapped := observeTIAFaultWrapped(t, spec, p, dense, plan)
+				if base.Cycles != wrapped.Cycles {
+					t.Errorf("cycles differ: unwrapped %d, zero-rate wrapped %d", base.Cycles, wrapped.Cycles)
+				}
+				if !reflect.DeepEqual(base.Tokens, wrapped.Tokens) {
+					t.Errorf("sink token streams differ:\nunwrapped %v\nwrapped   %v", base.Tokens, wrapped.Tokens)
+				}
+				if !reflect.DeepEqual(base.PEStats, wrapped.PEStats) {
+					t.Errorf("PE stats differ:\nunwrapped %+v\nwrapped   %+v", base.PEStats, wrapped.PEStats)
+				}
+			})
+		}
+	}
+}
