@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench fault-smoke check
+.PHONY: all build test race vet bench-smoke bench fault-smoke snapshot-smoke check
 
 all: build
 
@@ -31,4 +31,10 @@ bench:
 fault-smoke:
 	$(GO) test -run 'TestFaultCampaignSmoke' -count=1 ./internal/core
 
-check: vet race bench-smoke fault-smoke
+# Checkpoint/restore differential smoke under the race detector: two
+# kernels on both steppers, run-to-completion vs snapshot-then-restore
+# must be byte-identical (see internal/workloads/snapshot_differential_test.go).
+snapshot-smoke:
+	$(GO) test -race -run 'TestSnapshotRestoreDifferential$$/(dmm|mergesort)/' -count=1 ./internal/workloads
+
+check: vet race bench-smoke fault-smoke snapshot-smoke

@@ -4,11 +4,15 @@
 // rules with their resolved triggers, or the sequential instructions.
 //
 // With -format, programs are printed in the canonical re-parseable
-// dialect (the disassembler) instead of the debug rendering.
+// dialect (the disassembler) instead of the debug rendering. With
+// -fingerprint, only the assembled-form fingerprint is printed — the
+// hash that keys the service's result cache and that checkpoints
+// (tiasim -checkpoint, tiad snapshots) are bound to, so it identifies
+// which snapshots a netlist revision can still restore.
 //
 // Usage:
 //
-//	tiaasm [-format] fabric.tia
+//	tiaasm [-format] [-fingerprint] fabric.tia
 package main
 
 import (
@@ -24,18 +28,19 @@ import (
 
 func main() {
 	format := flag.Bool("format", false, "print canonical re-parseable assembly")
+	fingerprint := flag.Bool("fingerprint", false, "print only the assembled-form fingerprint (snapshot/cache key)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tiaasm [-format] fabric.tia")
+		fmt.Fprintln(os.Stderr, "usage: tiaasm [-format] [-fingerprint] fabric.tia")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *format); err != nil {
+	if err := run(flag.Arg(0), *format, *fingerprint); err != nil {
 		fmt.Fprintln(os.Stderr, "tiaasm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, format bool) error {
+func run(path string, format, fingerprint bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -43,6 +48,10 @@ func run(path string, format bool) error {
 	nl, err := asm.ParseNetlist(string(src), isa.DefaultConfig(), pcpe.DefaultConfig())
 	if err != nil {
 		return err
+	}
+	if fingerprint {
+		fmt.Println(nl.Fingerprint())
+		return nil
 	}
 	peNames := make([]string, 0, len(nl.PEs))
 	for name := range nl.PEs {

@@ -10,7 +10,12 @@
 //	tiabench [-size N] [-seed S] [-timeout D] [-experiment all|e1|e2|e3|e4|e5|e6|e7|e8]
 //	tiabench -listing <kernel>   # disassemble a kernel's programs
 //	tiabench -json               # machine-readable suite results
-//	tiabench -faults [-fault-runs N] [-fault-seed S]   # resilience campaigns
+//	tiabench -faults [-fault-runs N] [-fault-seed S] [-state FILE]   # resilience campaigns
+//
+// With -faults -state FILE, each kernel's finished campaign row is
+// persisted after it completes; rerunning the same command after an
+// interruption (timeout, ^C, crash) resumes the sweep, printing the
+// recorded rows without re-simulating them.
 //
 // -timeout bounds the total wall-clock time: when it expires, running
 // simulations are cancelled mid-flight and whatever finished is printed,
@@ -40,6 +45,7 @@ func main() {
 	faults := flag.Bool("faults", false, "run seeded fault-injection campaigns instead of the experiments")
 	faultRuns := flag.Int("fault-runs", 10, "perturbed runs per campaign (with -faults)")
 	faultSeed := flag.Int64("fault-seed", 4242, "fault plan seed (with -faults)")
+	faultState := flag.String("state", "", "campaign progress file: finished kernels are recorded and an interrupted sweep resumes (with -faults)")
 	workers := flag.Int("workers", 0, "max concurrent design-point simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "total wall-clock budget; expiry cancels simulations and prints partial results (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,7 +104,7 @@ func main() {
 		return
 	}
 	if *faults {
-		if err := runFaultCampaigns(ctx, p, *faultRuns, *faultSeed); err != nil {
+		if err := runFaultCampaigns(ctx, os.Stdout, p, *faultRuns, *faultSeed, *faultState); err != nil {
 			fmt.Fprintln(os.Stderr, "tiabench:", err)
 			os.Exit(1)
 		}

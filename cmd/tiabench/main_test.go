@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -47,5 +52,58 @@ func TestPrintListing(t *testing.T) {
 	}
 	if err := printListing(workloads.Params{}, "nope"); err == nil {
 		t.Error("unknown kernel accepted")
+	}
+}
+
+// TestFaultCampaignStateResume runs the campaign sweep with a progress
+// file, then reruns it: the second pass must serve every kernel from the
+// recorded state instead of re-simulating. Tampering with a recorded row
+// and seeing the tampered value printed proves the skip.
+func TestFaultCampaignStateResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign sweep")
+	}
+	p := workloads.Params{Seed: 1, Size: 8}
+	state := t.TempDir() + "/campaigns.json"
+	var first bytes.Buffer
+	if err := runFaultCampaigns(context.Background(), &first, p, 3, 4242, state); err != nil {
+		t.Fatal(err)
+	}
+
+	var second bytes.Buffer
+	if err := runFaultCampaigns(context.Background(), &second, p, 3, 4242, state); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("resumed sweep diverges from original:\n%s\n%s", first.String(), second.String())
+	}
+
+	// Mark one kernel's recorded row with a sentinel golden-cycle count:
+	// if the resumed run prints it, the kernel was not re-simulated.
+	raw, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st campaignState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	row := st.Kernels["mergesort"]
+	row.GoldenCycles = 987654321
+	st.Kernels["mergesort"] = row
+	if err := st.save(state); err != nil {
+		t.Fatal(err)
+	}
+	var third bytes.Buffer
+	if err := runFaultCampaigns(context.Background(), &third, p, 3, 4242, state); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(third.String(), "987654321") {
+		t.Error("tampered state row not served: the kernel was re-simulated instead of resumed")
+	}
+
+	// Parameter drift is refused, not silently mixed into stale rows.
+	if err := runFaultCampaigns(context.Background(), io.Discard, p, 5, 4242, state); err == nil {
+		t.Error("state recorded under different -fault-runs accepted")
 	}
 }

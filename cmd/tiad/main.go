@@ -16,7 +16,14 @@
 //
 //	tiad [-addr :8080] [-workers N] [-queue N] [-result-cache N]
 //	     [-program-cache N] [-max-cycles N] [-check-every N]
-//	     [-drain-timeout D]
+//	     [-drain-timeout D] [-journal FILE] [-snapshot-dir DIR]
+//	     [-checkpoint-every N]
+//
+// With -journal, every accepted job is recorded in a crash-safe
+// write-ahead journal before it runs, long workload runs persist
+// periodic fabric snapshots, and a restarted daemon replays the journal:
+// completed results are served from cache, interrupted jobs re-run (from
+// their latest checkpoint when one exists) under their original IDs.
 //
 // Endpoints:
 //
@@ -52,6 +59,9 @@ func main() {
 	maxCycles := flag.Int64("max-cycles", 100_000_000, "hard per-job cycle ceiling")
 	checkEvery := flag.Int("check-every", 1024, "cycles between cancellation checks")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	journal := flag.String("journal", "", "job journal path (enables crash-safe durability)")
+	snapshotDir := flag.String("snapshot-dir", "", "checkpoint snapshot directory (default <journal>.snapshots)")
+	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between job checkpoints (0 = default when journaling, <0 disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tiad [flags]; see -h")
@@ -65,7 +75,20 @@ func main() {
 	cfg.ProgramCacheEntries = *programCache
 	cfg.MaxCyclesCap = *maxCycles
 	cfg.CancelCheckInterval = *checkEvery
-	svc := service.New(cfg)
+	cfg.JournalPath = *journal
+	cfg.SnapshotDir = *snapshotDir
+	cfg.CheckpointEvery = *checkpointEvery
+	svc, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("tiad: %v", err)
+	}
+	if *journal != "" {
+		if lag := svc.JournalLag(); lag > 0 {
+			log.Printf("tiad: journal %s replayed, %d interrupted job(s) re-enqueued", *journal, lag)
+		} else {
+			log.Printf("tiad: journal %s open, no interrupted jobs", *journal)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,37 +1,39 @@
 package main
 
 import (
+	"bytes"
 	"os"
+	"strings"
 	"testing"
 )
 
 func TestRunMergeNetlist(t *testing.T) {
-	if err := run("../../examples/netlists/merge.tia", 100000, true, 10, ""); err != nil {
+	if err := run("../../examples/netlists/merge.tia", options{maxCycles: 100000, stats: true, traceN: 10}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHistogramNetlist(t *testing.T) {
-	if err := run("../../examples/netlists/histogram.tia", 100000, false, 0, ""); err != nil {
+	if err := run("../../examples/netlists/histogram.tia", options{maxCycles: 100000}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("does-not-exist.tia", 10, false, 0, ""); err == nil {
+	if err := run("does-not-exist.tia", options{maxCycles: 10}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
 
 func TestRunCycleBudget(t *testing.T) {
-	if err := run("../../examples/netlists/merge.tia", 3, false, 0, ""); err == nil {
+	if err := run("../../examples/netlists/merge.tia", options{maxCycles: 3}); err == nil {
 		t.Fatal("tiny cycle budget should time out")
 	}
 }
 
 func TestRunChromeTrace(t *testing.T) {
 	out := t.TempDir() + "/trace.json"
-	if err := run("../../examples/netlists/merge.tia", 100000, false, 0, out); err != nil {
+	if err := run("../../examples/netlists/merge.tia", options{maxCycles: 100000, chromePath: out}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
@@ -40,7 +42,59 @@ func TestRunChromeTrace(t *testing.T) {
 }
 
 func TestRunGCDNetlist(t *testing.T) {
-	if err := run("../../examples/netlists/gcd.tia", 100000, false, 0, ""); err != nil {
+	if err := run("../../examples/netlists/gcd.tia", options{maxCycles: 100000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRestoreAcrossInvocations is the CLI resume differential:
+// an invocation cut off by its cycle budget writes a checkpoint, a
+// second invocation restores it and runs to completion, and the combined
+// output (sinks and stats) is byte-identical to one uninterrupted run.
+func TestCheckpointRestoreAcrossInvocations(t *testing.T) {
+	const netlist = "../../examples/netlists/gcd.tia"
+	var uninterrupted bytes.Buffer
+	if err := run(netlist, options{maxCycles: 100000, stats: true, out: &uninterrupted}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := t.TempDir() + "/gcd.snap"
+	var first bytes.Buffer
+	err := run(netlist, options{maxCycles: 10, checkpoint: snap, ckptEvery: 4, out: &first})
+	if err == nil {
+		t.Fatal("10-cycle budget should time out (gcd runs longer); shrink -max")
+	}
+	if !strings.Contains(err.Error(), "-restore") {
+		t.Fatalf("budget error does not point at -restore: %v", err)
+	}
+	if fi, serr := os.Stat(snap); serr != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint not written: %v", serr)
+	}
+
+	var resumed bytes.Buffer
+	if err := run(netlist, options{maxCycles: 100000, stats: true, restore: snap, out: &resumed}); err != nil {
+		t.Fatal(err)
+	}
+	want := uninterrupted.String()
+	got := resumed.String()
+	if !strings.HasPrefix(got, "restored "+snap+" at cycle 10\n") {
+		t.Fatalf("resumed run did not announce the restore:\n%s", got)
+	}
+	got = strings.TrimPrefix(got, "restored "+snap+" at cycle 10\n")
+	if got != want {
+		t.Errorf("resumed output diverges from uninterrupted run:\n--- resumed\n%s--- uninterrupted\n%s", got, want)
+	}
+}
+
+// TestRestoreRejectsWrongNetlist restores a checkpoint against a
+// different program: the fingerprint check must refuse it.
+func TestRestoreRejectsWrongNetlist(t *testing.T) {
+	snap := t.TempDir() + "/gcd.snap"
+	err := run("../../examples/netlists/gcd.tia", options{maxCycles: 10, checkpoint: snap, ckptEvery: 4})
+	if err == nil {
+		t.Fatal("expected budget timeout")
+	}
+	if err := run("../../examples/netlists/merge.tia", options{maxCycles: 100000, restore: snap}); err == nil {
+		t.Fatal("snapshot restored onto a different netlist")
 	}
 }

@@ -1,6 +1,9 @@
 package asm
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"tia/internal/isa"
@@ -51,11 +54,28 @@ func FuzzParsePC(f *testing.F) {
 	})
 }
 
-// FuzzParseNetlist checks the netlist layer never panics.
+// FuzzParseNetlist checks the netlist layer never panics. The shipped
+// example netlists seed the corpus: they exercise every declaration kind
+// (sources, sinks, scratchpads, both PE dialects, wires) through real,
+// runnable programs.
 func FuzzParseNetlist(f *testing.F) {
 	f.Add(mergeNetlist)
 	f.Add(scratchpadNetlist)
 	f.Add("source s : 1 2 3\nsink k count 3\nwire s.0 -> k.0")
+	examples, err := os.ReadDir("../../examples/netlists")
+	if err != nil {
+		f.Fatalf("example netlists: %v", err)
+	}
+	for _, e := range examples {
+		if !strings.HasSuffix(e.Name(), ".tia") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("../../examples/netlists", e.Name()))
+		if err != nil {
+			f.Fatalf("read %s: %v", e.Name(), err)
+		}
+		f.Add(string(src))
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		nl, err := ParseNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig())
 		if err != nil {

@@ -1,0 +1,110 @@
+package channel
+
+import (
+	"fmt"
+
+	"tia/internal/isa"
+	"tia/internal/snapshot"
+)
+
+// SnapshotState serializes the channel's architectural state: the
+// receiver FIFO, the wire (tokens plus remaining hops), any staged
+// effects, and the cumulative statistics. Checkpoints are taken at cycle
+// boundaries — after Tick, before any element steps — where staged state
+// is empty, but it is encoded anyway so the format is total over every
+// reachable Channel value.
+func (c *Channel) SnapshotState(e *snapshot.Encoder) {
+	e.Int(c.qLen)
+	for k := 0; k < c.qLen; k++ {
+		i := c.qHead + k
+		if i >= c.capacity {
+			i -= c.capacity
+		}
+		encodeToken(e, c.queue[i])
+	}
+	e.Int(c.ifLen)
+	for k := 0; k < c.ifLen; k++ {
+		i := c.ifHead + k
+		if i >= c.capacity {
+			i -= c.capacity
+		}
+		encodeToken(e, c.inflight[i].tok)
+		e.Int(c.inflight[i].remaining)
+	}
+	e.Int(len(c.stagedSend))
+	for _, tok := range c.stagedSend {
+		encodeToken(e, tok)
+	}
+	e.Bool(c.stagedDeq)
+	e.I64(c.sent)
+	e.I64(c.delivered)
+	e.I64(c.consumed)
+	e.Int(c.maxOcc)
+}
+
+// RestoreState rebuilds the channel from a snapshot taken on a channel
+// with identical configuration (same capacity and latency — guaranteed
+// by the fingerprint check in fabric.Restore). Ring contents are
+// re-laid-out from head 0; ring phase is not architectural state.
+func (c *Channel) RestoreState(d *snapshot.Decoder) error {
+	qLen := d.Count()
+	if d.Err() == nil && qLen > c.capacity {
+		return fmt.Errorf("channel %s: snapshot queue length %d exceeds capacity %d", c.name, qLen, c.capacity)
+	}
+	c.qHead, c.qLen = 0, 0
+	for k := 0; k < qLen && d.Err() == nil; k++ {
+		c.enqueue(decodeToken(d))
+	}
+	ifLen := d.Count()
+	if d.Err() == nil && ifLen > c.capacity {
+		return fmt.Errorf("channel %s: snapshot wire length %d exceeds capacity %d", c.name, ifLen, c.capacity)
+	}
+	if ifLen > 0 && c.inflight == nil {
+		// A zero-latency channel only grows a wire when a fault hook is
+		// attached; a snapshot with in-flight tokens implies the source
+		// fabric had one, and Restore re-attaches hooks before state.
+		return fmt.Errorf("channel %s: snapshot has %d in-flight tokens but channel has no wire", c.name, ifLen)
+	}
+	c.ifHead, c.ifLen = 0, 0
+	for k := 0; k < ifLen && d.Err() == nil; k++ {
+		tok := decodeToken(d)
+		rem := d.Int()
+		if d.Err() == nil && rem < 0 {
+			return fmt.Errorf("channel %s: negative in-flight remaining %d", c.name, rem)
+		}
+		c.inflight[k] = flight{tok: tok, remaining: rem}
+		c.ifLen++
+	}
+	nStaged := d.Count()
+	if d.Err() == nil && nStaged > c.capacity {
+		return fmt.Errorf("channel %s: snapshot staged length %d exceeds capacity %d", c.name, nStaged, c.capacity)
+	}
+	c.stagedSend = c.stagedSend[:0]
+	for k := 0; k < nStaged && d.Err() == nil; k++ {
+		c.stagedSend = append(c.stagedSend, decodeToken(d))
+	}
+	c.stagedDeq = d.Bool()
+	c.sent = d.I64()
+	c.delivered = d.I64()
+	c.consumed = d.I64()
+	c.maxOcc = d.Int()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("channel %s: %w", c.name, err)
+	}
+	if c.qLen+c.ifLen+len(c.stagedSend) > c.capacity {
+		return fmt.Errorf("channel %s: snapshot violates flow control (%d queued + %d in flight + %d staged > capacity %d)",
+			c.name, c.qLen, c.ifLen, len(c.stagedSend), c.capacity)
+	}
+	return nil
+}
+
+func encodeToken(e *snapshot.Encoder, tok Token) {
+	e.U64(uint64(tok.Data))
+	e.U64(uint64(tok.Tag))
+}
+
+func decodeToken(d *snapshot.Decoder) Token {
+	data := d.U64()
+	tag := d.U64()
+	return Token{Data: isa.Word(data), Tag: isa.Tag(tag)}
+}

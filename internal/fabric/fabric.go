@@ -151,6 +151,9 @@ type Fabric struct {
 	dense bool
 	inj   FaultInjector
 
+	ckptEvery int64
+	ckptFn    func(cycle int64) error
+
 	prep prepared
 }
 
@@ -507,6 +510,9 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 	idleStreak := 0
 	for n := int64(0); n < maxCycles; n++ {
 		if err := cc.expired(); err != nil {
+			if f.ckptFn != nil {
+				err = errors.Join(err, f.ckptFn(f.cycle))
+			}
 			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
 		}
 		if f.inj != nil {
@@ -539,6 +545,11 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 		}
 		if f.sinksDone() {
 			return Result{Cycles: f.cycle, Completed: true}, nil
+		}
+		if f.ckptFn != nil && f.cycle%f.ckptEvery == 0 {
+			if err := f.ckptFn(f.cycle); err != nil {
+				return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: checkpoint: %w", f.cycle, err)
+			}
 		}
 		if !worked && !busyChans && (f.inj == nil || !f.inj.Active()) {
 			idleStreak++
@@ -629,12 +640,34 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 		}
 	}
 
+	// checkpoint brings every sleeping element's statistics up to date
+	// (the same accounting its wake-time backfill would do) before the
+	// hook snapshots, then re-bases asleepSince so the cycles are not
+	// double-counted when the element eventually wakes. Dense and
+	// event-driven snapshots are bit-identical because of this rebase.
+	checkpoint := func() error {
+		last := f.cycle - 1
+		for i := range st.awake {
+			if st.awake[i] {
+				continue
+			}
+			if sk := f.prep.skips[i]; sk != nil {
+				sk.SkipCycles(last - st.asleepSince[i])
+			}
+			st.asleepSince[i] = last
+		}
+		return f.ckptFn(f.cycle)
+	}
+
 	elems, chans, prep := f.elems, f.chans, &f.prep
 	cc := f.newCancelCheck(ctx)
 	idleStreak := 0
 	for n := int64(0); n < maxCycles; n++ {
 		if err := cc.expired(); err != nil {
 			backfill()
+			if f.ckptFn != nil {
+				err = errors.Join(err, f.ckptFn(f.cycle))
+			}
 			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
 		}
 		cur := f.cycle
@@ -717,6 +750,11 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 		if len(f.sinks) > 0 && st.sinksLeft == 0 {
 			backfill()
 			return Result{Cycles: f.cycle, Completed: true}, nil
+		}
+		if f.ckptFn != nil && f.cycle%f.ckptEvery == 0 {
+			if err := checkpoint(); err != nil {
+				return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: checkpoint: %w", f.cycle, err)
+			}
 		}
 		if !worked && st.busyCount == 0 && (f.inj == nil || !f.inj.Active()) {
 			idleStreak++

@@ -176,6 +176,7 @@ type chanSite struct {
 	inj    *Injector
 	ch     *channel.Channel
 	rng    *rand.Rand
+	src    *countedSource // rng's underlying source, for checkpointing
 	stalls []window
 	widx   int
 	// stalledNow caches the per-cycle stall decision (set by BeginCycle).
@@ -272,8 +273,12 @@ func Attach(f *fabric.Fabric, plan Plan) (*Injector, error) {
 		if !inj.matches(ch.Name()) {
 			continue
 		}
-		site := &chanSite{inj: inj, ch: ch, rng: siteRand(plan.Seed, "ch:"+ch.Name())}
+		site := &chanSite{inj: inj, ch: ch}
+		site.rng, site.src = siteRand(plan.Seed, "ch:"+ch.Name())
 		site.stalls = drawWindows(site.rng, plan.Stalls, plan.StallMax, from, to)
+		// Attach-time window draws are replayed by re-attaching the same
+		// plan, so checkpoints count only the run-time draws after them.
+		site.src.draws = 0
 		ch.SetFaultHook(site)
 		inj.chans = append(inj.chans, site)
 	}
@@ -281,7 +286,7 @@ func Attach(f *fabric.Fabric, plan Plan) (*Injector, error) {
 		if !inj.matches(e.Name()) {
 			continue
 		}
-		r := siteRand(plan.Seed, "elem:"+e.Name())
+		r, _ := siteRand(plan.Seed, "elem:"+e.Name())
 		ws := drawWindows(r, plan.Freezes, plan.FreezeMax, from, to)
 		if len(ws) == 0 && plan.Freezes == 0 {
 			continue // no element-level faults planned; skip the map entry
@@ -343,10 +348,36 @@ func (inj *Injector) Active() bool { return inj.active }
 // Counts returns the injection statistics accumulated so far.
 func (inj *Injector) Counts() Counts { return inj.counts }
 
+// countedSource wraps a rand source and counts state advances, so a
+// checkpoint can record the generator's position and a restore can
+// replay it exactly (math/rand sources expose no serializable state).
+// Go's rngSource defines Int63 as a masked Uint64, so every method is
+// exactly one state advance and counting calls counts advances.
+type countedSource struct {
+	src   rand.Source64
+	draws int64
+}
+
+func (c *countedSource) Int63() int64    { c.draws++; return c.src.Int63() }
+func (c *countedSource) Uint64() uint64  { c.draws++; return c.src.Uint64() }
+func (c *countedSource) Seed(seed int64) { c.src.Seed(seed); c.draws = 0 }
+
+// burn advances the source n states without counting them (used by
+// restore to replay a checkpointed generator position).
+func (c *countedSource) burn(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+}
+
 // siteRand derives a site-local deterministic generator from the plan
-// seed and the site name.
-func siteRand(seed int64, site string) *rand.Rand {
+// seed and the site name. The returned source is the generator's own, so
+// callers can checkpoint its position. Wrapping does not change the draw
+// sequence: countedSource delegates verbatim, and rand.Rand uses a
+// Source64 the same way it uses the bare source.
+func siteRand(seed int64, site string) (*rand.Rand, *countedSource) {
 	h := fnv.New64a()
 	h.Write([]byte(site))
-	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	src := &countedSource{src: rand.NewSource(seed ^ int64(h.Sum64())).(rand.Source64)}
+	return rand.New(src), src
 }

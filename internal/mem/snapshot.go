@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"fmt"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+	"tia/internal/snapshot"
+)
+
+// SnapshotState serializes the scratchpad's architectural state: the
+// memory image, the read pipeline (tokens plus remaining stages), and
+// the access counters. Only runs that ended without a memory fault are
+// checkpointed (the fabric aborts on Err), so err is not encoded. The
+// image is stored as a delta against the initial image: for lookup-table
+// workloads, which never write, that keeps snapshots proportional to the
+// dirty set rather than the memory size.
+func (m *Scratchpad) SnapshotState(e *snapshot.Encoder) {
+	dirty := 0
+	for i := range m.data {
+		if m.data[i] != m.init[i] {
+			dirty++
+		}
+	}
+	e.Int(dirty)
+	for i := range m.data {
+		if m.data[i] != m.init[i] {
+			e.Int(i)
+			e.U64(uint64(m.data[i]))
+		}
+	}
+	e.Int(len(m.rdPipe))
+	for _, pr := range m.rdPipe {
+		e.U64(uint64(pr.tok.Data))
+		e.U64(uint64(pr.tok.Tag))
+		e.Int(pr.remaining)
+	}
+	e.I64(m.reads)
+	e.I64(m.writes)
+}
+
+// RestoreState rebuilds the scratchpad from a snapshot of an identically
+// configured scratchpad (same size, same initial image, same read
+// latency — guaranteed by the fingerprint check in fabric.Restore).
+func (m *Scratchpad) RestoreState(d *snapshot.Decoder) error {
+	copy(m.data, m.init)
+	dirty := d.Count()
+	for k := 0; k < dirty && d.Err() == nil; k++ {
+		a := d.Int()
+		v := d.U64()
+		if d.Err() != nil {
+			break
+		}
+		if a < 0 || a >= len(m.data) {
+			return fmt.Errorf("scratchpad %s: snapshot address %d out of range [0,%d)", m.name, a, len(m.data))
+		}
+		m.data[a] = isa.Word(v)
+	}
+	nPipe := d.Count()
+	if d.Err() == nil && nPipe > m.readLatency+1 {
+		return fmt.Errorf("scratchpad %s: snapshot read pipeline depth %d exceeds latency %d", m.name, nPipe, m.readLatency)
+	}
+	m.rdPipe = nil
+	for k := 0; k < nPipe && d.Err() == nil; k++ {
+		data := d.U64()
+		tag := d.U64()
+		rem := d.Int()
+		if d.Err() == nil && rem < 0 {
+			return fmt.Errorf("scratchpad %s: negative snapshot pipeline remaining %d", m.name, rem)
+		}
+		m.rdPipe = append(m.rdPipe, pendingRead{
+			tok:       channel.Token{Data: isa.Word(data), Tag: isa.Tag(tag)},
+			remaining: rem,
+		})
+	}
+	m.reads = d.I64()
+	m.writes = d.I64()
+	m.err = nil
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("scratchpad %s: %w", m.name, err)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package pcpe
+
+import (
+	"fmt"
+
+	"tia/internal/isa"
+	"tia/internal/snapshot"
+)
+
+// SnapshotState serializes the baseline PE's architectural state:
+// register file, program counter, halt flag, the taken-branch penalty
+// countdown (with its penaltyHot wake hint, which the event stepper
+// consults through NeedsStep), the last stall classification that
+// SkipCycles backfills from, and cumulative statistics.
+func (p *PE) SnapshotState(e *snapshot.Encoder) {
+	e.Int(len(p.regs))
+	for _, r := range p.regs {
+		e.U64(uint64(r))
+	}
+	e.Int(p.pc)
+	e.Bool(p.halted)
+	e.Int(p.penalty)
+	e.Bool(p.penaltyHot)
+	e.U64(uint64(p.lastStall))
+	e.I64(p.stats.Fired)
+	e.I64(p.stats.InputStall)
+	e.I64(p.stats.OutputStall)
+	e.I64(p.stats.PenaltyStall)
+	e.I64(p.stats.Cycles)
+	e.Int(len(p.stats.PerInst))
+	for _, n := range p.stats.PerInst {
+		e.I64(n)
+	}
+}
+
+// RestoreState rebuilds the PE from a snapshot of an identically
+// configured PE running the identical program.
+func (p *PE) RestoreState(d *snapshot.Decoder) error {
+	nRegs := d.Count()
+	if d.Err() == nil && nRegs != len(p.regs) {
+		return fmt.Errorf("pcpe %s: snapshot has %d registers, PE has %d", p.name, nRegs, len(p.regs))
+	}
+	for i := 0; i < nRegs && d.Err() == nil; i++ {
+		p.regs[i] = isa.Word(d.U64())
+	}
+	p.pc = d.Int()
+	if d.Err() == nil && (p.pc < 0 || p.pc >= len(p.prog)) {
+		return fmt.Errorf("pcpe %s: snapshot PC %d out of range [0,%d)", p.name, p.pc, len(p.prog))
+	}
+	p.halted = d.Bool()
+	p.penalty = d.Int()
+	if d.Err() == nil && p.penalty < 0 {
+		return fmt.Errorf("pcpe %s: negative snapshot penalty %d", p.name, p.penalty)
+	}
+	p.penaltyHot = d.Bool()
+	stall := d.U64()
+	if d.Err() == nil && stall > uint64(stallOutput) {
+		return fmt.Errorf("pcpe %s: snapshot stall kind %d unknown", p.name, stall)
+	}
+	p.lastStall = stallKind(stall)
+	p.stats.Fired = d.I64()
+	p.stats.InputStall = d.I64()
+	p.stats.OutputStall = d.I64()
+	p.stats.PenaltyStall = d.I64()
+	p.stats.Cycles = d.I64()
+	nInst := d.Count()
+	if d.Err() == nil && nInst != len(p.stats.PerInst) {
+		return fmt.Errorf("pcpe %s: snapshot has %d per-instruction counters, program has %d", p.name, nInst, len(p.stats.PerInst))
+	}
+	for i := 0; i < nInst && d.Err() == nil; i++ {
+		p.stats.PerInst[i] = d.I64()
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("pcpe %s: %w", p.name, err)
+	}
+	return nil
+}

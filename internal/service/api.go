@@ -16,6 +16,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // JobRequest submits one simulation job. Exactly one of Workload or
@@ -174,6 +175,10 @@ const (
 	ErrVerify ErrorKind = "verify"
 	// ErrDraining rejects submissions during graceful shutdown.
 	ErrDraining ErrorKind = "draining"
+	// ErrBusy rejects a submission because the job queue is full; the
+	// HTTP layer answers 429 with a Retry-After hint instead of queueing
+	// without bound.
+	ErrBusy ErrorKind = "busy"
 	// ErrInternal is everything else.
 	ErrInternal ErrorKind = "internal"
 )
@@ -187,6 +192,10 @@ type JobError struct {
 	// Cycles is how far the simulation got before failing (0 if it
 	// never started).
 	Cycles int64 `json:"cycles,omitempty"`
+	// RetryAfter, when positive, hints how long the client should wait
+	// before resubmitting (busy rejections). It travels as the HTTP
+	// Retry-After header rather than in the JSON body.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements error.

@@ -40,7 +40,7 @@ func planFromRequest(fc *FaultCampaignRequest) faults.Plan {
 // with a verify error), a data plan classifies runs into the taxonomy.
 // Campaign results bypass the result cache: the payload is a statistic
 // over many runs, not a single content-addressable simulation.
-func (s *Server) runFaultCampaign(ctx context.Context, req *JobRequest) (*JobResult, error) {
+func (s *Server) runFaultCampaign(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
 	spec, err := workloads.ByName(req.Workload)
 	if err != nil {
 		return nil, jobErrorf(ErrBadRequest, "%v", err)
@@ -88,7 +88,7 @@ func (s *Server) runFaultCampaign(ctx context.Context, req *JobRequest) (*JobRes
 	s.metrics.FaultRunsHang.Add(int64(tx.Hang))
 
 	return &JobResult{
-		ID:        s.nextJobID(),
+		ID:        id,
 		Cycles:    rep.GoldenCycles,
 		Completed: true,
 		Verified:  timing,

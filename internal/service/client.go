@@ -8,15 +8,18 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // Client is a retrying HTTP client for the tiad job API. Transport
-// failures and draining rejections (a server shutting down while a
-// replacement comes up) are retried with jittered exponential backoff;
-// every other typed job error is returned immediately — resubmitting a
-// deterministic simulation that failed to compile, verify, deadlocked or
-// panicked would only fail the same way again.
+// failures, draining rejections (a server shutting down while a
+// replacement comes up) and busy rejections (admission control shed the
+// job with 429) are retried with jittered exponential backoff; a
+// Retry-After header on a 429/503 response caps the next delay at the
+// server's hint. Every other typed job error is returned immediately —
+// resubmitting a deterministic simulation that failed to compile,
+// verify, deadlocked or panicked would only fail the same way again.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -64,7 +67,7 @@ func (c *Client) defaults() (attempts int, base, maxB time.Duration) {
 // retryable reports whether an error class is worth another attempt.
 func retryable(err error) bool {
 	if je, ok := err.(*JobError); ok {
-		return je.Kind == ErrDraining
+		return je.Kind == ErrDraining || je.Kind == ErrBusy
 	}
 	return true // transport-level failure
 }
@@ -86,14 +89,21 @@ func (c *Client) backoff(n int, base, maxB time.Duration) time.Duration {
 	return d/2 + time.Duration(r.Int63n(int64(d/2)))
 }
 
-// Submit posts one job, retrying transport errors and draining
+// Submit posts one job, retrying transport errors and draining/busy
 // rejections. The context bounds the whole retry loop.
 func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
 	attempts, base, maxB := c.defaults()
 	var lastErr error
+	var hint time.Duration // server's Retry-After from the last rejection
 	for n := 0; n < attempts; n++ {
 		if n > 0 {
 			delay := c.backoff(n-1, base, maxB)
+			// Honor the server's Retry-After: it knows how soon a queue
+			// slot frees up, so its hint caps (never extends) the
+			// computed jittered backoff.
+			if hint > 0 && hint < delay {
+				delay = hint
+			}
 			if c.Sleep != nil {
 				c.Sleep(ctx, delay)
 			} else {
@@ -107,11 +117,12 @@ func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobResult, error
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, err := c.submitOnce(ctx, req)
+		res, retryAfter, err := c.submitOnce(ctx, req)
 		if err == nil {
 			return res, nil
 		}
 		lastErr = err
+		hint = retryAfter
 		if !retryable(err) {
 			return nil, err
 		}
@@ -120,15 +131,15 @@ func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobResult, error
 }
 
 // submitOnce performs a single POST /v1/jobs round trip, decoding typed
-// job errors out of non-200 responses.
-func (c *Client) submitOnce(ctx context.Context, req *JobRequest) (*JobResult, error) {
+// job errors out of non-200 responses along with any Retry-After hint.
+func (c *Client) submitOnce(ctx context.Context, req *JobRequest) (*JobResult, time.Duration, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("encode request: %w", err)
+		return nil, 0, fmt.Errorf("encode request: %w", err)
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hc := c.HTTP
@@ -137,25 +148,40 @@ func (c *Client) submitOnce(ctx context.Context, req *JobRequest) (*JobResult, e
 	}
 	resp, err := hc.Do(hreq)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if resp.StatusCode != http.StatusOK {
+		retryAfter := parseRetryAfter(resp)
 		var fail struct {
 			Error *JobError `json:"error"`
 		}
 		if err := json.Unmarshal(payload, &fail); err == nil && fail.Error != nil {
-			return nil, fail.Error
+			fail.Error.RetryAfter = retryAfter
+			return nil, retryAfter, fail.Error
 		}
-		return nil, fmt.Errorf("http %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
+		return nil, retryAfter, fmt.Errorf("http %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
 	}
 	var res JobResult
 	if err := json.Unmarshal(payload, &res); err != nil {
-		return nil, fmt.Errorf("decode result: %w", err)
+		return nil, 0, fmt.Errorf("decode result: %w", err)
 	}
-	return &res, nil
+	return &res, 0, nil
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header off 429/503
+// responses (the only statuses the service sends it with).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return 0
+	}
+	secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -21,8 +21,18 @@ import (
 	"time"
 )
 
+// mustNew builds a Server, failing the test on configuration errors.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return svc
+}
+
 func TestSchedulerRecoversPanickingJob(t *testing.T) {
-	run := func(_ context.Context, req *JobRequest) (*JobResult, error) {
+	run := func(_ context.Context, _ string, req *JobRequest) (*JobResult, error) {
 		if req.Workload == "boom" {
 			panic("deliberate test panic")
 		}
@@ -31,13 +41,13 @@ func TestSchedulerRecoversPanickingJob(t *testing.T) {
 	s, m := stubScheduler(1, 4, run)
 	defer s.close()
 
-	_, err := s.submit(context.Background(), &JobRequest{Workload: "boom"})
+	_, err := s.submit(context.Background(), "job-t", &JobRequest{Workload: "boom"})
 	wantKind(t, err, ErrInternal)
 	if !strings.Contains(err.Error(), "panicked") {
 		t.Errorf("panic error lacks context: %v", err)
 	}
 	// The single worker must have survived the panic to serve this.
-	res, err := s.submit(context.Background(), &JobRequest{Workload: "fine"})
+	res, err := s.submit(context.Background(), "job-t", &JobRequest{Workload: "fine"})
 	if err != nil || res.ID != "ok" {
 		t.Fatalf("worker died after panic: %v, %v", res, err)
 	}
@@ -57,13 +67,13 @@ func TestSchedulerRecoversPanickingJob(t *testing.T) {
 func TestServerSurvivesPanickingJob(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 2
-	svc := New(cfg)
+	svc := mustNew(t, cfg)
 	orig := svc.sched.run
-	svc.sched.run = func(ctx context.Context, req *JobRequest) (*JobResult, error) {
+	svc.sched.run = func(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
 		if req.Netlist == "panic-now" {
 			panic("deliberate test panic")
 		}
-		return orig(ctx, req)
+		return orig(ctx, id, req)
 	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -175,7 +185,7 @@ func TestClientExhaustsAttemptsOnTransportFailure(t *testing.T) {
 func TestFaultCampaignJob(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 2
-	svc := New(cfg)
+	svc := mustNew(t, cfg)
 
 	req := &JobRequest{
 		Workload: "mergesort", Size: 12, Seed: 11,
@@ -234,7 +244,7 @@ func TestFaultCampaignJob(t *testing.T) {
 func TestFaultCampaignJobTimingPlan(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 1
-	svc := New(cfg)
+	svc := mustNew(t, cfg)
 	req := &JobRequest{
 		Workload: "dmm", Size: 8, Seed: 3,
 		Faults: &FaultCampaignRequest{
@@ -257,7 +267,7 @@ func TestFaultCampaignJobTimingPlan(t *testing.T) {
 func TestFaultCampaignRejectedForNetlistJobs(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 1
-	svc := New(cfg)
+	svc := mustNew(t, cfg)
 	_, err := svc.Submit(context.Background(), &JobRequest{
 		Netlist: "source s -> sink k", Faults: &FaultCampaignRequest{Runs: 1},
 	})
@@ -267,7 +277,7 @@ func TestFaultCampaignRejectedForNetlistJobs(t *testing.T) {
 func TestFaultCampaignRejectsBadPlan(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 1
-	svc := New(cfg)
+	svc := mustNew(t, cfg)
 	_, err := svc.Submit(context.Background(), &JobRequest{
 		Workload: "dmm",
 		Faults:   &FaultCampaignRequest{Runs: 1, FlipRate: 2.0},

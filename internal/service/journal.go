@@ -1,0 +1,168 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The write-ahead job journal makes accepted jobs durable across daemon
+// crashes. Every state transition is appended as one CRC-framed JSON
+// record and fsync'd before the transition takes effect elsewhere, so a
+// restarted (or kill -9'd) daemon can replay the file and reconstruct
+// exactly which jobs were accepted, which finished, and which were cut
+// off mid-flight:
+//
+//	accepted     job admitted; carries the full request (the replay unit)
+//	started      a worker began executing the job
+//	checkpointed a mid-run fabric snapshot was persisted for the job
+//	completed    the job produced a result (carried inline, to repopulate
+//	             the result cache on restart)
+//	failed       the job failed deterministically; replay must not re-run it
+//
+// A job whose latest record is non-terminal (accepted/started/
+// checkpointed) was lost to a crash and is re-enqueued on recovery —
+// resuming from its latest snapshot when one was checkpointed.
+//
+// Framing is length + CRC32 + JSON payload. A torn final write (the
+// normal signature of a crash mid-append) is detected by the CRC or the
+// short read, and recovery truncates the file back to the last intact
+// record instead of refusing to start.
+const (
+	recAccepted     = "accepted"
+	recStarted      = "started"
+	recCheckpointed = "checkpointed"
+	recCompleted    = "completed"
+	recFailed       = "failed"
+)
+
+// maxJournalRecord bounds one record's payload; a length prefix beyond
+// it is treated as tail corruption, not an allocation request.
+const maxJournalRecord = 64 << 20
+
+// journalRecord is one framed journal entry.
+type journalRecord struct {
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+	// Req is the full submission, carried on accepted records so replay
+	// can re-run the job.
+	Req *JobRequest `json:"req,omitempty"`
+	// Cycles and File describe a checkpoint: the fabric cycle it was
+	// taken at and the snapshot file holding the state.
+	Cycles int64  `json:"cycles,omitempty"`
+	File   string `json:"file,omitempty"`
+	// Result is the completed job's payload (completed records).
+	Result *JobResult `json:"result,omitempty"`
+	// Error is the terminal failure (failed records).
+	Error *JobError `json:"error,omitempty"`
+}
+
+// journal is the append side of the WAL. Appends are serialized and
+// fsync'd; the file is only ever extended (recovery may truncate a torn
+// tail once, at open).
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal opens (creating if absent) a journal, replays every intact
+// record, truncates any torn tail, and positions the file for appends.
+// It returns the replayed records in append order.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	recs, good, err := readJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	// Drop a torn or corrupt tail: everything after the last record that
+	// framed and checksummed correctly is the residue of a crash
+	// mid-append and is unrecoverable by construction.
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal %s: truncate torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	return &journal{f: f, path: path}, recs, nil
+}
+
+// readJournal scans records from the start of the file, returning the
+// intact records and the offset just past the last one. Framing damage
+// (short header, short payload, CRC mismatch, unparseable JSON, absurd
+// length) ends the scan without error: it marks the torn tail.
+func readJournal(f *os.File) ([]journalRecord, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var (
+		recs   []journalRecord
+		good   int64
+		header [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			return recs, good, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if n == 0 || n > maxJournalRecord {
+			return recs, good, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, good, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, good, nil
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, good, nil
+		}
+		recs = append(recs, rec)
+		good += int64(len(header)) + int64(n)
+	}
+}
+
+// append frames one record, writes it, and fsyncs before returning; once
+// append returns nil the record survives a crash.
+func (j *journal) append(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode %s record: %w", rec.Kind, err)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// close releases the journal file.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string) (*journal, []journalRecord) {
+	t.Helper()
+	j, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	return j, recs
+}
+
+func mustAppend(t *testing.T, j *journal, rec journalRecord) {
+	t.Helper()
+	if err := j.append(rec); err != nil {
+		t.Fatalf("append %s: %v", rec.Kind, err)
+	}
+}
+
+// TestJournalAppendReplayRoundTrip appends a realistic record sequence,
+// reopens the file, and checks every record (including nested request
+// and result payloads) survives byte-exactly.
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, recs := openTestJournal(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	mustAppend(t, j, journalRecord{Kind: recAccepted, ID: "job-000001", Req: &JobRequest{Workload: "dmm", Size: 8}})
+	mustAppend(t, j, journalRecord{Kind: recStarted, ID: "job-000001"})
+	mustAppend(t, j, journalRecord{Kind: recCheckpointed, ID: "job-000001", Cycles: 600, File: "/tmp/x.snap"})
+	mustAppend(t, j, journalRecord{Kind: recCompleted, ID: "job-000001", Result: &JobResult{ID: "job-000001", Key: "k", Cycles: 1221, Completed: true}})
+	if err := j.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	j2, recs := openTestJournal(t, path)
+	defer j2.close()
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	if recs[0].Kind != recAccepted || recs[0].Req == nil || recs[0].Req.Workload != "dmm" || recs[0].Req.Size != 8 {
+		t.Errorf("accepted record lost its request: %+v", recs[0])
+	}
+	if recs[2].Cycles != 600 || recs[2].File != "/tmp/x.snap" {
+		t.Errorf("checkpointed record mangled: %+v", recs[2])
+	}
+	if recs[3].Result == nil || recs[3].Result.Cycles != 1221 || !recs[3].Result.Completed {
+		t.Errorf("completed record lost its result: %+v", recs[3])
+	}
+}
+
+// TestJournalTruncatesTornTail simulates a crash mid-append (a partial
+// frame at the end of the file): recovery must keep every intact record,
+// truncate the residue, and accept new appends cleanly afterwards.
+func TestJournalTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openTestJournal(t, path)
+	mustAppend(t, j, journalRecord{Kind: recAccepted, ID: "job-000001", Req: &JobRequest{Workload: "dmm"}})
+	mustAppend(t, j, journalRecord{Kind: recStarted, ID: "job-000001"})
+	j.close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSize := fi.Size()
+
+	// A torn write: a frame header promising 200 bytes with only 3 behind it.
+	torn := make([]byte, 11)
+	binary.LittleEndian.PutUint32(torn[0:4], 200)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs := openTestJournal(t, path)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records past torn tail, want 2", len(recs))
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != goodSize {
+		t.Errorf("torn tail not truncated: size %d, want %d (%v)", fi.Size(), goodSize, err)
+	}
+	// Post-recovery appends land after the last intact record.
+	mustAppend(t, j2, journalRecord{Kind: recCompleted, ID: "job-000001", Result: &JobResult{Key: "k"}})
+	j2.close()
+	j3, recs := openTestJournal(t, path)
+	defer j3.close()
+	if len(recs) != 3 || recs[2].Kind != recCompleted {
+		t.Fatalf("post-recovery append lost: %d records, last %+v", len(recs), recs[len(recs)-1])
+	}
+}
+
+// TestJournalDropsCorruptTailRecord writes a fully-framed record whose
+// checksum does not match its payload (bit rot or a torn rewrite):
+// recovery must stop at the last intact record.
+func TestJournalDropsCorruptTailRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openTestJournal(t, path)
+	mustAppend(t, j, journalRecord{Kind: recAccepted, ID: "job-000001", Req: &JobRequest{Workload: "dmm"}})
+	j.close()
+
+	payload := []byte(`{"kind":"started","id":"job-000001"}`)
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], 0xDEADBEEF) // wrong CRC
+	copy(frame[8:], payload)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs := openTestJournal(t, path)
+	defer j2.close()
+	if len(recs) != 1 || recs[0].Kind != recAccepted {
+		t.Fatalf("corrupt record not dropped: %d records", len(recs))
+	}
+}

@@ -13,6 +13,8 @@ type Metrics struct {
 	JobsCompleted atomic.Int64 // finished with a result (cache hits included)
 	JobsFailed    atomic.Int64 // finished with a non-cancellation error
 	JobsCancelled atomic.Int64 // stopped by cancellation or deadline
+	JobsRejected  atomic.Int64 // refused at admission (queue full)
+	JobsReplayed  atomic.Int64 // re-enqueued from the journal at startup
 
 	ResultHits    atomic.Int64
 	ResultMisses  atomic.Int64
@@ -55,12 +57,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("tia_jobs_completed_total", "Jobs finished with a result, cache hits included.", m.JobsCompleted.Load())
 	counter("tia_jobs_failed_total", "Jobs finished with a non-cancellation error.", m.JobsFailed.Load())
 	counter("tia_jobs_cancelled_total", "Jobs stopped by cancellation or deadline expiry.", m.JobsCancelled.Load())
+	counter("tia_jobs_rejected_total", "Jobs refused at admission because the queue was full.", m.JobsRejected.Load())
+	counter("tia_jobs_replayed_total", "Jobs re-enqueued from the journal at startup.", m.JobsReplayed.Load())
 	counter("tia_result_cache_hits_total", "Completed-result cache hits.", m.ResultHits.Load())
 	counter("tia_result_cache_misses_total", "Completed-result cache misses.", m.ResultMisses.Load())
 	counter("tia_program_cache_hits_total", "Assembled-program cache hits.", m.ProgramHits.Load())
 	counter("tia_program_cache_misses_total", "Assembled-program cache misses.", m.ProgramMisses.Load())
 	gauge("tia_job_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth.Load())
 	gauge("tia_jobs_running", "Jobs executing right now.", m.Running.Load())
+	gauge("tia_jobs_queued", "Jobs admitted and waiting for a worker.", m.QueueDepth.Load())
+	gauge("tia_jobs_inflight", "Jobs executing right now.", m.Running.Load())
 	counter("tia_cycles_simulated_total", "Fabric cycles simulated across all jobs.", m.CyclesSimulated.Load())
 	counter("tia_faults_injected_total", "Discrete fault events injected by campaigns.", m.FaultsInjected.Load())
 	counter("tia_fault_runs_masked_total", "Campaign runs byte-identical to the golden run.", m.FaultRunsMasked.Load())
@@ -78,6 +84,8 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"jobs_completed":       m.JobsCompleted.Load(),
 		"jobs_failed":          m.JobsFailed.Load(),
 		"jobs_cancelled":       m.JobsCancelled.Load(),
+		"jobs_rejected":        m.JobsRejected.Load(),
+		"jobs_replayed":        m.JobsReplayed.Load(),
 		"result_cache_hits":    m.ResultHits.Load(),
 		"result_cache_misses":  m.ResultMisses.Load(),
 		"program_cache_hits":   m.ProgramHits.Load(),

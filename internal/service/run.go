@@ -61,21 +61,22 @@ func (k resultKey) hash() string {
 // runJob executes one job: resolve the program (through the assembled-
 // program cache for netlists), consult the completed-result cache, and
 // only simulate on a miss. ctx carries the job's deadline/cancellation
-// all the way into the fabric stepping loop.
-func (s *Server) runJob(ctx context.Context, req *JobRequest) (*JobResult, error) {
+// all the way into the fabric stepping loop; id is the journaled job
+// identity (checkpoints and resume snapshots are keyed by it).
+func (s *Server) runJob(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
 	switch {
 	case req.Workload != "" && req.Netlist != "":
 		return nil, jobErrorf(ErrBadRequest, "submit either a workload or a netlist, not both")
 	case req.Workload != "":
 		if req.Faults != nil {
-			return s.runFaultCampaign(ctx, req)
+			return s.runFaultCampaign(ctx, id, req)
 		}
-		return s.runWorkloadJob(ctx, req)
+		return s.runWorkloadJob(ctx, id, req)
 	case req.Netlist != "":
 		if req.Faults != nil {
 			return nil, jobErrorf(ErrBadRequest, "fault campaigns require a workload job")
 		}
-		return s.runNetlistJob(ctx, req)
+		return s.runNetlistJob(ctx, id, req)
 	default:
 		return nil, jobErrorf(ErrBadRequest, "job needs a workload name or a netlist")
 	}
@@ -148,7 +149,7 @@ func workloadParams(req *JobRequest) workloads.Params {
 // runWorkloadJob runs a named kernel of the built-in suite. The output
 // is verified token-for-token against the golden Go reference before the
 // result is trusted or cached.
-func (s *Server) runWorkloadJob(ctx context.Context, req *JobRequest) (*JobResult, error) {
+func (s *Server) runWorkloadJob(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
 	spec, err := workloads.ByName(req.Workload)
 	if err != nil {
 		return nil, jobErrorf(ErrBadRequest, "%v", err)
@@ -188,9 +189,15 @@ func (s *Server) runWorkloadJob(ctx context.Context, req *JobRequest) (*JobResul
 			rec.Attach(pr)
 		}
 	}
-	start := time.Now()
+	if s.checkpointsOn(req) {
+		budget = s.restoreOrRestart(id, key.Fingerprint, inst.Fabric, budget)
+		inst.Fabric.SetCheckpoint(s.cfg.CheckpointEvery, func(cycle int64) error {
+			return s.writeCheckpoint(id, key.Fingerprint, inst.Fabric, cycle)
+		})
+	}
+	start, startCycle := time.Now(), inst.Fabric.Cycle()
 	runRes, err := inst.Fabric.RunContext(ctx, budget)
-	s.accountSim(runRes.Cycles, time.Since(start))
+	s.accountSim(runRes.Cycles-startCycle, time.Since(start))
 	if err != nil {
 		return nil, simError(ctx, err, runRes.Cycles)
 	}
@@ -200,7 +207,7 @@ func (s *Server) runWorkloadJob(ctx context.Context, req *JobRequest) (*JobResul
 	}
 
 	res := &JobResult{
-		ID:          s.nextJobID(),
+		ID:          id,
 		Key:         keyHash,
 		Fingerprint: key.Fingerprint,
 		Cycles:      runRes.Cycles,
@@ -228,7 +235,7 @@ func (s *Server) runWorkloadJob(ctx context.Context, req *JobRequest) (*JobResul
 // netlists are cached by source hash; reuse resets the fabric, which
 // restores sources, scratchpad images and PE state, so a rerun is
 // bit-identical to a fresh parse.
-func (s *Server) runNetlistJob(ctx context.Context, req *JobRequest) (*JobResult, error) {
+func (s *Server) runNetlistJob(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
 	srcHash := hashString(req.Netlist)
 	var prog *cachedProgram
 	if v, ok := s.programs.get(srcHash); ok {
@@ -272,9 +279,18 @@ func (s *Server) runNetlistJob(ctx context.Context, req *JobRequest) (*JobResult
 			rec.Attach(pr)
 		}
 	}
-	start := time.Now()
+	if s.checkpointsOn(req) {
+		budget = s.restoreOrRestart(id, prog.fingerprint, nl.Fabric, budget)
+		nl.Fabric.SetCheckpoint(s.cfg.CheckpointEvery, func(cycle int64) error {
+			return s.writeCheckpoint(id, prog.fingerprint, nl.Fabric, cycle)
+		})
+		// The fabric is shared through the program cache: the hook must
+		// not outlive this job and fire under a later job's identity.
+		defer nl.Fabric.SetCheckpoint(0, nil)
+	}
+	start, startCycle := time.Now(), nl.Fabric.Cycle()
 	runRes, err := nl.Fabric.RunContext(ctx, budget)
-	s.accountSim(runRes.Cycles, time.Since(start))
+	s.accountSim(runRes.Cycles-startCycle, time.Since(start))
 	if rec != nil {
 		for _, pr := range nl.PEs {
 			pr.Trace = nil
@@ -285,7 +301,7 @@ func (s *Server) runNetlistJob(ctx context.Context, req *JobRequest) (*JobResult
 	}
 
 	res := &JobResult{
-		ID:          s.nextJobID(),
+		ID:          id,
 		Key:         keyHash,
 		Fingerprint: prog.fingerprint,
 		Cycles:      runRes.Cycles,

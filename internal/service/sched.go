@@ -5,11 +5,13 @@ import (
 	"errors"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // job is one queued submission and its completion signal.
 type job struct {
 	ctx  context.Context
+	id   string
 	req  *JobRequest
 	res  *JobResult
 	err  error
@@ -17,13 +19,14 @@ type job struct {
 }
 
 // scheduler runs jobs on a bounded worker pool fed by a buffered queue.
-// Submissions block while the queue is full (backpressure), respect the
-// caller's context while waiting, and are rejected once draining starts.
-// close() drains: queued and running jobs finish, new ones are refused.
+// Admission is non-blocking: a full queue rejects the submission with a
+// typed busy error (surfaced as HTTP 429 + Retry-After) instead of
+// queueing without bound. close() drains: queued and running jobs
+// finish, new ones are refused.
 type scheduler struct {
 	queue   chan *job
 	quit    chan struct{}
-	run     func(context.Context, *JobRequest) (*JobResult, error)
+	run     func(context.Context, string, *JobRequest) (*JobResult, error)
 	metrics *Metrics
 
 	wg sync.WaitGroup
@@ -36,7 +39,7 @@ type scheduler struct {
 }
 
 // newScheduler starts workers goroutines servicing a queue of queueCap.
-func newScheduler(workers, queueCap int, m *Metrics, run func(context.Context, *JobRequest) (*JobResult, error)) *scheduler {
+func newScheduler(workers, queueCap int, m *Metrics, run func(context.Context, string, *JobRequest) (*JobResult, error)) *scheduler {
 	if workers < 1 {
 		workers = 1
 	}
@@ -90,7 +93,7 @@ func (s *scheduler) execute(j *job) {
 	}
 	s.metrics.JobsStarted.Add(1)
 	s.metrics.Running.Add(1)
-	j.res, j.err = s.safeRun(j.ctx, j.req)
+	j.res, j.err = s.safeRun(j.ctx, j.id, j.req)
 	s.metrics.Running.Add(-1)
 	switch classify(j.err) {
 	case jobOK:
@@ -107,14 +110,14 @@ func (s *scheduler) execute(j *job) {
 // simulation surfaces as a typed internal job error instead of killing
 // the worker goroutine (and with it the daemon). The stack is captured
 // into the error message, truncated to keep responses bounded.
-func (s *scheduler) safeRun(ctx context.Context, req *JobRequest) (res *JobResult, err error) {
+func (s *scheduler) safeRun(ctx context.Context, id string, req *JobRequest) (res *JobResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
 			err = jobErrorf(ErrInternal, "job panicked: %v\n%s", r, trimStack(debug.Stack(), 4096))
 		}
 	}()
-	return s.run(ctx, req)
+	return s.run(ctx, id, req)
 }
 
 // trimStack bounds a stack trace for inclusion in an error payload.
@@ -152,25 +155,32 @@ func ctxJobError(ctx context.Context) *JobError {
 	return jobErrorf(ErrCancelled, "job cancelled before completion")
 }
 
-// submit enqueues a job and waits for its completion. The context
-// governs queue wait and execution alike.
-func (s *scheduler) submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
-	j := &job{ctx: ctx, req: req, done: make(chan struct{})}
+// busyRetryAfter is the resubmission hint attached to queue-full
+// rejections: long enough for a queued simulation to finish, short
+// enough that a drained queue is refilled promptly.
+const busyRetryAfter = time.Second
+
+// submit enqueues a job and waits for its completion. Admission is
+// non-blocking: a full queue is a typed busy rejection, never an
+// unbounded wait. The context governs execution (and queue residency).
+func (s *scheduler) submit(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
+	j := &job{ctx: ctx, id: id, req: req, done: make(chan struct{})}
 
 	s.gate.RLock()
 	if s.draining {
 		s.gate.RUnlock()
 		return nil, jobErrorf(ErrDraining, "server is draining; not accepting jobs")
 	}
-	s.metrics.QueueDepth.Add(1)
 	select {
 	case s.queue <- j:
+		s.metrics.QueueDepth.Add(1)
 		s.gate.RUnlock()
-	case <-ctx.Done():
+	default:
 		s.gate.RUnlock()
-		s.metrics.QueueDepth.Add(-1)
-		s.metrics.JobsCancelled.Add(1)
-		return nil, ctxJobError(ctx)
+		s.metrics.JobsRejected.Add(1)
+		je := jobErrorf(ErrBusy, "job queue full (%d waiting); retry shortly", cap(s.queue))
+		je.RetryAfter = busyRetryAfter
+		return nil, je
 	}
 
 	// The worker always closes done — even for a cancelled job — so

@@ -10,7 +10,7 @@ import (
 )
 
 // stubScheduler builds a scheduler around a stub run function.
-func stubScheduler(workers, queueCap int, run func(context.Context, *JobRequest) (*JobResult, error)) (*scheduler, *Metrics) {
+func stubScheduler(workers, queueCap int, run func(context.Context, string, *JobRequest) (*JobResult, error)) (*scheduler, *Metrics) {
 	m := &Metrics{}
 	return newScheduler(workers, queueCap, m, run), m
 }
@@ -32,7 +32,7 @@ func wantKind(t *testing.T, err error, kind ErrorKind) {
 func TestSchedulerBoundsConcurrency(t *testing.T) {
 	const workers, jobs = 3, 12
 	var cur, peak atomic.Int64
-	run := func(context.Context, *JobRequest) (*JobResult, error) {
+	run := func(context.Context, string, *JobRequest) (*JobResult, error) {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -53,7 +53,7 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := s.submit(context.Background(), &JobRequest{})
+			res, err := s.submit(context.Background(), "job-t", &JobRequest{})
 			if err == nil && res.ID != "ok" {
 				err = errors.New("wrong result")
 			}
@@ -86,7 +86,7 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 func TestSchedulerQueuedCancellation(t *testing.T) {
 	release := make(chan struct{})
 	var ran atomic.Int64
-	run := func(context.Context, *JobRequest) (*JobResult, error) {
+	run := func(context.Context, string, *JobRequest) (*JobResult, error) {
 		ran.Add(1)
 		<-release
 		return &JobResult{}, nil
@@ -97,7 +97,7 @@ func TestSchedulerQueuedCancellation(t *testing.T) {
 	firstDone := make(chan struct{})
 	go func() {
 		defer close(firstDone)
-		if _, err := s.submit(context.Background(), &JobRequest{}); err != nil {
+		if _, err := s.submit(context.Background(), "job-t", &JobRequest{}); err != nil {
 			t.Errorf("first submit: %v", err)
 		}
 	}()
@@ -108,7 +108,7 @@ func TestSchedulerQueuedCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	secondDone := make(chan error, 1)
 	go func() {
-		_, err := s.submit(ctx, &JobRequest{})
+		_, err := s.submit(ctx, "job-t", &JobRequest{})
 		secondDone <- err
 	}()
 	time.Sleep(5 * time.Millisecond) // let it enqueue behind the busy worker
@@ -125,43 +125,67 @@ func TestSchedulerQueuedCancellation(t *testing.T) {
 	}
 }
 
-// TestSchedulerBackpressureRespectsDeadline fills the queue and checks
-// that a blocked submission honours its context deadline.
-func TestSchedulerBackpressureRespectsDeadline(t *testing.T) {
+// TestSchedulerFullQueueRejectsBusy fills the queue and checks that the
+// next submission is shed immediately with a typed busy rejection
+// carrying a Retry-After hint — admission control, not unbounded
+// queueing — and that capacity freeing up re-admits work.
+func TestSchedulerFullQueueRejectsBusy(t *testing.T) {
 	release := make(chan struct{})
-	run := func(context.Context, *JobRequest) (*JobResult, error) {
+	var executing atomic.Int64
+	run := func(context.Context, string, *JobRequest) (*JobResult, error) {
+		executing.Add(1)
 		<-release
 		return &JobResult{}, nil
 	}
-	s, _ := stubScheduler(1, 1, run)
+	s, m := stubScheduler(1, 1, run)
+	releaseJobs := sync.OnceFunc(func() { close(release) })
 	defer s.close()
+	defer releaseJobs() // unblock workers before close() waits on them
 
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ { // one running, one queued: queue is now full
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := s.submit(context.Background(), &JobRequest{}); err != nil {
+			if _, err := s.submit(context.Background(), "job-t", &JobRequest{}); err != nil {
 				t.Errorf("background submit: %v", err)
 			}
 		}()
 	}
-	time.Sleep(10 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	// Full means: the worker occupied by the first job, the second job
+	// sitting in the single queue slot.
+	for executing.Load() < 1 || m.QueueDepth.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
-	_, err := s.submit(ctx, &JobRequest{})
-	wantKind(t, err, ErrDeadline)
+	_, err := s.submit(context.Background(), "job-t", &JobRequest{})
+	wantKind(t, err, ErrBusy)
+	var je *JobError
+	if errors.As(err, &je) && je.RetryAfter <= 0 {
+		t.Errorf("busy rejection has no Retry-After hint: %+v", je)
+	}
+	if got := m.JobsRejected.Load(); got != 1 {
+		t.Errorf("JobsRejected = %d, want 1", got)
+	}
 
-	close(release) // free the running and queued jobs
+	releaseJobs() // free the running and queued jobs
 	wg.Wait()
+
+	// With the queue drained, submissions are admitted again.
+	if _, err := s.submit(context.Background(), "job-t", &JobRequest{}); err != nil {
+		t.Errorf("post-drain submit rejected: %v", err)
+	}
 }
 
 // TestSchedulerDrain checks that close() lets queued and running jobs
 // finish and that later submissions are refused.
 func TestSchedulerDrain(t *testing.T) {
 	var completed atomic.Int64
-	run := func(context.Context, *JobRequest) (*JobResult, error) {
+	run := func(context.Context, string, *JobRequest) (*JobResult, error) {
 		time.Sleep(2 * time.Millisecond)
 		completed.Add(1)
 		return &JobResult{}, nil
@@ -174,7 +198,7 @@ func TestSchedulerDrain(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := s.submit(context.Background(), &JobRequest{}); err != nil {
+			if _, err := s.submit(context.Background(), "job-t", &JobRequest{}); err != nil {
 				t.Errorf("submit during drain: %v", err)
 			}
 		}()
@@ -189,7 +213,7 @@ func TestSchedulerDrain(t *testing.T) {
 	if got := m.JobsCompleted.Load(); got != jobs {
 		t.Errorf("JobsCompleted = %d, want %d", got, jobs)
 	}
-	_, err := s.submit(context.Background(), &JobRequest{})
+	_, err := s.submit(context.Background(), "job-t", &JobRequest{})
 	wantKind(t, err, ErrDraining)
 
 	s.close() // idempotent

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +37,21 @@ type Config struct {
 	TraceEventLimit int
 	// MaxRequestBytes bounds the request body.
 	MaxRequestBytes int64
+
+	// JournalPath, when set, enables crash-safe job durability: every
+	// accepted job is recorded in a write-ahead journal (fsync'd,
+	// CRC-framed) and a restarted daemon replays it — completed results
+	// are served from cache, unfinished jobs re-run, checkpointed runs
+	// resume from their latest snapshot.
+	JournalPath string
+	// SnapshotDir holds per-job fabric snapshots; empty defaults to
+	// "<JournalPath>.snapshots".
+	SnapshotDir string
+	// CheckpointEvery is the snapshot cadence in simulated cycles for
+	// journaled single-simulation jobs; 0 defaults to 1,000,000,
+	// negative disables checkpointing (the journal still makes the job
+	// re-runnable from scratch).
+	CheckpointEvery int64
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -63,10 +80,14 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	jobSeq   atomic.Int64
+	dur      durability
 }
 
-// New builds a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server. With Config.JournalPath set it
+// opens (or creates) the write-ahead job journal, truncates any torn
+// tail left by a crash, and replays unfinished jobs in the background
+// (see WaitRecovered).
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -88,19 +109,39 @@ func New(cfg Config) *Server {
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = 8 << 20
 	}
+	if cfg.JournalPath != "" {
+		if cfg.SnapshotDir == "" {
+			cfg.SnapshotDir = cfg.JournalPath + ".snapshots"
+		}
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = 1_000_000
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		metrics:  &Metrics{},
 		results:  newCache(cfg.ResultCacheEntries),
 		programs: newCache(cfg.ProgramCacheEntries),
 	}
-	s.sched = newScheduler(cfg.Workers, cfg.QueueCap, s.metrics, s.runJob)
+	s.sched = newScheduler(cfg.Workers, cfg.QueueCap, s.metrics, s.runRecorded)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	if cfg.JournalPath != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: snapshot dir: %w", err)
+		}
+		j, recs, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.dur.journal = j
+		s.dur.snapshotDir = cfg.SnapshotDir
+		s.recoverFromJournal(recs)
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP handler (also usable under httptest).
@@ -116,23 +157,51 @@ func (s *Server) nextJobID() string {
 
 // Drain stops accepting jobs and waits for in-flight ones to finish.
 // It is idempotent; /healthz reports "draining" from the first call.
+// Journal replays still running are refused by the scheduler and stay
+// pending in the journal for the next start.
 func (s *Server) Drain() {
 	s.draining.Store(true)
 	s.sched.close()
+	if s.dur.journal != nil {
+		s.dur.replay.Wait()
+		_ = s.dur.journal.close()
+	}
 }
 
 // Submit runs one job through the scheduler, outside HTTP (tests,
-// embedding). The context carries cancellation and any deadline.
+// embedding). The context carries cancellation and any deadline. The
+// job is journaled as accepted before it is queued, so a crash after
+// Submit returns an ID cannot lose the job.
 func (s *Server) Submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
 	if s.draining.Load() {
 		return nil, jobErrorf(ErrDraining, "server is draining; not accepting jobs")
 	}
+	id := s.nextJobID()
+	if err := s.journalAppend(journalRecord{Kind: recAccepted, ID: id, Req: req}); err != nil {
+		return nil, jobErrorf(ErrInternal, "journal: %v", err)
+	}
+	return s.submitExisting(ctx, id, req)
+}
+
+// submitExisting pushes an already-journaled job (fresh or replayed)
+// through the scheduler. A queue-full rejection is journaled as
+// terminal — the client was told to resubmit, so restart must not
+// replay it. A draining rejection stays pending on purpose: jobs
+// refused mid-shutdown re-run when the daemon comes back.
+func (s *Server) submitExisting(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
 	if req.DeadlineMs > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
 		defer cancel()
 	}
-	return s.sched.submit(ctx, req)
+	res, err := s.sched.submit(ctx, id, req)
+	if err != nil {
+		var je *JobError
+		if errors.As(err, &je) && je.Kind == ErrBusy {
+			s.journalTerminal(journalRecord{Kind: recFailed, ID: id, Error: je})
+		}
+	}
+	return res, err
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -167,13 +236,34 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// healthStatus is the /healthz JSON body.
+type healthStatus struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// QueueDepth and Running mirror the tia_jobs_queued /
+	// tia_jobs_inflight gauges.
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int64 `json:"running"`
+	// Journal reports whether crash-safe durability is enabled;
+	// JournalLag counts journaled jobs with no recorded outcome yet.
+	Journal    bool  `json:"journal"`
+	JournalLag int64 `json:"journal_lag"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	h := healthStatus{
+		Status:     "ok",
+		QueueDepth: s.metrics.QueueDepth.Load(),
+		Running:    s.metrics.Running.Load(),
+		Journal:    s.dur.journal != nil,
+		JournalLag: s.JournalLag(),
 	}
-	fmt.Fprintln(w, "ok")
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -194,6 +284,8 @@ func httpStatus(kind ErrorKind) int {
 		return http.StatusUnprocessableEntity
 	case ErrDraining:
 		return http.StatusServiceUnavailable
+	case ErrBusy:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}
@@ -203,6 +295,10 @@ func writeError(w http.ResponseWriter, err error) {
 	var je *JobError
 	if !errors.As(err, &je) {
 		je = jobErrorf(ErrInternal, "%v", err)
+	}
+	if je.RetryAfter > 0 {
+		secs := int64((je.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	writeJSON(w, httpStatus(je.Kind), map[string]*JobError{"error": je})
 }

@@ -91,6 +91,16 @@ func testConfig() service.Config {
 	return cfg
 }
 
+// newServer builds a Server, failing the test on configuration errors.
+func newServer(t *testing.T, cfg service.Config) *service.Server {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	return svc
+}
+
 func submitErr(t *testing.T, svc *service.Server, req *service.JobRequest) *service.JobError {
 	t.Helper()
 	_, err := svc.Submit(context.Background(), req)
@@ -141,7 +151,7 @@ func postJob(t *testing.T, client *http.Client, url string, req *service.JobRequ
 // a 1ms-deadline job that is cancelled without leaking goroutines, and
 // a /metrics exposition that reflects all three jobs.
 func TestServerEndToEnd(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -240,7 +250,7 @@ func TestServerEndToEnd(t *testing.T) {
 // byte-for-byte identical to a fresh (cache-bypassing) rerun of the
 // same netlist, because fabric reuse resets to the initial image.
 func TestNetlistDeterminism(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	normalize := func(r *service.JobResult) []byte {
@@ -287,7 +297,7 @@ func TestNetlistDeterminism(t *testing.T) {
 // by source hash) but the result cache hits, because the assembled-form
 // fingerprint is identical.
 func TestFingerprintCosmeticInvariance(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	first, err := svc.Submit(context.Background(), &service.JobRequest{Netlist: mergeNetlist})
@@ -316,7 +326,7 @@ func TestFingerprintCosmeticInvariance(t *testing.T) {
 // TestMidFlightCancellation cancels a running simulation and checks the
 // typed error reports how far it got.
 func TestMidFlightCancellation(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -339,7 +349,7 @@ func TestMidFlightCancellation(t *testing.T) {
 
 // TestDeadlineExpiry runs the spinner under a short per-job deadline.
 func TestDeadlineExpiry(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	je := submitErr(t, svc, &service.JobRequest{
@@ -353,7 +363,7 @@ func TestDeadlineExpiry(t *testing.T) {
 // TestCycleBudgetExhaustion checks that a run hitting MaxCycles is a
 // typed failure, never silently truncated into a result.
 func TestCycleBudgetExhaustion(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	je := submitErr(t, svc, &service.JobRequest{Netlist: spinnerNetlist, MaxCycles: 10_000})
@@ -367,7 +377,7 @@ func TestCycleBudgetExhaustion(t *testing.T) {
 
 // TestDeadlockDetection feeds a sink that never sees EOD.
 func TestDeadlockDetection(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	je := submitErr(t, svc, &service.JobRequest{Netlist: "source a : 1 2\nsink out\nwire a.0 -> out.0\n"})
@@ -378,7 +388,7 @@ func TestDeadlockDetection(t *testing.T) {
 
 // TestBadRequests exercises the request-validation and compile errors.
 func TestBadRequests(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	for name, tc := range map[string]struct {
@@ -400,7 +410,7 @@ func TestBadRequests(t *testing.T) {
 // TestDrainAndHealthz flips the server into draining and checks both
 // the submission path and the health endpoint.
 func TestDrainAndHealthz(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
@@ -433,7 +443,7 @@ func TestDrainAndHealthz(t *testing.T) {
 
 // TestWorkloadsEndpoint lists the built-in kernels.
 func TestWorkloadsEndpoint(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	defer svc.Drain()
@@ -458,7 +468,7 @@ func TestWorkloadsEndpoint(t *testing.T) {
 
 // TestWorkloadTraceJob requests a Chrome trace and sanity-checks it.
 func TestWorkloadTraceJob(t *testing.T) {
-	svc := service.New(testConfig())
+	svc := newServer(t, testConfig())
 	defer svc.Drain()
 
 	res, err := svc.Submit(context.Background(), &service.JobRequest{Workload: "dmm", Trace: true})
