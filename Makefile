@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench fault-smoke snapshot-smoke check
+.PHONY: all build test race vet bench-smoke bench bench-json alloc-gate shard-smoke fault-smoke snapshot-smoke check
 
 all: build
 
@@ -26,6 +26,25 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 2s .
 
+# Perf-trajectory report: min-of-N wall-clock per kernel plus the
+# allocation-gated micro-benchmarks, written as BENCH_<date>.json. The
+# committed BENCH_*.json files record how the simulator's speed moves
+# over time; regenerate and commit alongside performance-affecting PRs.
+bench-json:
+	$(GO) run ./cmd/tiabench -json-out BENCH_$$(date +%F).json
+
+# Zero-allocation gates on the per-cycle hot paths (fabric step loop,
+# trigger classification, channel reset/restore reuse): any regression
+# to >0 allocs/op fails these tests, not just a benchmark number.
+alloc-gate:
+	$(GO) test -run 'AllocationFree|AllocationBounded|ReusesCapacity' -count=1 ./internal/fabric ./internal/pe ./internal/channel
+
+# Sharded-stepping differential smoke under the race detector: random
+# topologies across shard counts plus one kernel's three-way
+# dense/event/sharded snapshot differential.
+shard-smoke:
+	$(GO) test -race -run 'TestSharded|TestShardCount|TestSnapshotRestoreDifferential$$/mergesort/sharded' -count=1 ./internal/fabric ./internal/workloads
+
 # Seeded fault-campaign smoke: one kernel, fixed seed, exact expected
 # masked/detected/sdc/hang taxonomy (see internal/core/resilience_test.go).
 fault-smoke:
@@ -37,4 +56,4 @@ fault-smoke:
 snapshot-smoke:
 	$(GO) test -race -run 'TestSnapshotRestoreDifferential$$/(dmm|mergesort)/' -count=1 ./internal/workloads
 
-check: vet race bench-smoke fault-smoke snapshot-smoke
+check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke

@@ -11,6 +11,17 @@
 //	tiabench -listing <kernel>   # disassemble a kernel's programs
 //	tiabench -json               # machine-readable suite results
 //	tiabench -faults [-fault-runs N] [-fault-seed S] [-state FILE]   # resilience campaigns
+//	tiabench -json-out BENCH_$(date +%F).json   # perf-trajectory report
+//
+// -shards K turns on sharded parallel stepping inside each simulation
+// (bit-identical results; K < 0 means auto). The count is arbitrated
+// against -workers so suite concurrency and intra-fabric sharding share
+// one CPU budget.
+//
+// -json-out runs the bench suite instead of the experiments: min-of-N
+// wall-clock per kernel plus allocation-gated micro-benchmarks of the
+// trigger-resolution and fabric-stepping hot paths, written as a JSON
+// report so the perf trajectory is recorded in-repo (see make bench-json).
 //
 // With -faults -state FILE, each kernel's finished campaign row is
 // persisted after it completes; rerunning the same command after an
@@ -47,12 +58,15 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 4242, "fault plan seed (with -faults)")
 	faultState := flag.String("state", "", "campaign progress file: finished kernels are recorded and an interrupted sweep resumes (with -faults)")
 	workers := flag.Int("workers", 0, "max concurrent design-point simulations (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "fabric shard count per simulation (0/1 = serial, <0 = auto; clamped so workers x shards <= GOMAXPROCS)")
+	benchOut := flag.String("json-out", "", "run the bench suite (min-of-N kernel wall-clock + micro-benchmarks) and write a BENCH json report to this file ('-' = stdout)")
 	timeout := flag.Duration("timeout", 0, "total wall-clock budget; expiry cancels simulations and prints partial results (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	core.MaxWorkers = *workers
+	core.Shards = *shards
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -89,6 +103,13 @@ func main() {
 	}
 
 	p := workloads.Params{Size: *size, Seed: *seed}
+	if *benchOut != "" {
+		if err := emitBenchJSON(ctx, p, *shards, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "tiabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := emitJSON(ctx, p); err != nil {
 			fmt.Fprintln(os.Stderr, "tiabench:", err)

@@ -15,9 +15,14 @@
 // Usage:
 //
 //	tiad [-addr :8080] [-workers N] [-queue N] [-result-cache N]
-//	     [-program-cache N] [-max-cycles N] [-check-every N]
+//	     [-program-cache N] [-max-cycles N] [-check-every N] [-shards K]
 //	     [-drain-timeout D] [-journal FILE] [-snapshot-dir DIR]
 //	     [-checkpoint-every N]
+//
+// -shards K turns on sharded parallel stepping inside each simulation
+// (bit-identical results; K < 0 means auto). Per-job requests via the
+// "shards" field override it; either way the server clamps the count so
+// the worker pool and intra-job sharding share one CPU budget.
 //
 // With -journal, every accepted job is recorded in a crash-safe
 // write-ahead journal before it runs, long workload runs persist
@@ -58,6 +63,7 @@ func main() {
 	programCache := flag.Int("program-cache", 128, "assembled-program cache entries")
 	maxCycles := flag.Int64("max-cycles", 100_000_000, "hard per-job cycle ceiling")
 	checkEvery := flag.Int("check-every", 1024, "cycles between cancellation checks")
+	shards := flag.Int("shards", 0, "default fabric shard count per job (0 = serial, <0 = auto; clamped so workers x shards <= GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	journal := flag.String("journal", "", "job journal path (enables crash-safe durability)")
 	snapshotDir := flag.String("snapshot-dir", "", "checkpoint snapshot directory (default <journal>.snapshots)")
@@ -75,6 +81,7 @@ func main() {
 	cfg.ProgramCacheEntries = *programCache
 	cfg.MaxCyclesCap = *maxCycles
 	cfg.CancelCheckInterval = *checkEvery
+	cfg.DefaultShards = *shards
 	cfg.JournalPath = *journal
 	cfg.SnapshotDir = *snapshotDir
 	cfg.CheckpointEvery = *checkpointEvery

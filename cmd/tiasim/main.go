@@ -14,9 +14,13 @@
 //
 // Usage:
 //
-//	tiasim [-max N] [-stats] [-trace N] [-chrome out.json]
+//	tiasim [-max N] [-stats] [-trace N] [-chrome out.json] [-shards K]
 //	       [-checkpoint FILE [-checkpoint-every N]] [-restore FILE]
 //	       fabric.tia
+//
+// -shards K steps the fabric's compute phase on K parallel workers
+// (K < 0 means one per CPU). Results are bit-identical to serial
+// stepping; only wall-clock changes.
 package main
 
 import (
@@ -41,6 +45,9 @@ type options struct {
 	stats      bool
 	traceN     int64
 	chromePath string
+	// shards steps the fabric's compute phase on this many workers
+	// (bit-identical results; 0/1 serial, negative = GOMAXPROCS).
+	shards int
 	// checkpoint is the snapshot file written every ckptEvery cycles
 	// (and on cycle-budget exhaustion); empty disables checkpointing.
 	checkpoint string
@@ -55,6 +62,7 @@ func main() {
 	flag.Int64Var(&opt.maxCycles, "max", 1_000_000, "cycle budget")
 	flag.BoolVar(&opt.stats, "stats", false, "print per-element utilization")
 	flag.Int64Var(&opt.traceN, "trace", 0, "render a fire timeline of the first N cycles")
+	flag.IntVar(&opt.shards, "shards", 0, "parallel stepping shards (0/1 = serial, <0 = all CPUs; results are bit-identical)")
 	flag.StringVar(&opt.chromePath, "chrome", "", "write a Chrome trace-event JSON file of all fires")
 	flag.StringVar(&opt.checkpoint, "checkpoint", "", "write a state snapshot to this file periodically")
 	flag.Int64Var(&opt.ckptEvery, "checkpoint-every", 10_000, "cycles between -checkpoint snapshots")
@@ -112,6 +120,7 @@ func run(path string, opt options) error {
 		return err
 	}
 	fingerprint := nl.Fingerprint()
+	nl.Fabric.SetShards(opt.shards)
 
 	budget := opt.maxCycles
 	if opt.restore != "" {

@@ -60,10 +60,65 @@ type Row struct {
 }
 
 // MaxWorkers bounds the concurrency of suite-level fan-out (RunSuite and
-// the sensitivity sweeps). Zero or negative means GOMAXPROCS. Each fabric
-// simulation itself stays single-threaded and deterministic; only
-// independent design points run concurrently.
+// the sensitivity sweeps). Zero or negative means GOMAXPROCS. Results
+// are deterministic either way; only independent design points run
+// concurrently, and each simulation is itself serial unless Shards
+// enables the fabric's sharded stepper.
 var MaxWorkers int
+
+// Shards requests sharded parallel stepping (fabric.Config.Shards)
+// inside every simulation the harness runs: 0 leaves parameters alone
+// (serial stepping unless the caller set FabricCfg.Shards), 1 forces
+// serial, k > 1 requests up to k shards, and negative means "auto" —
+// use whatever CPU budget suite-level fan-out leaves over. Sharding
+// never changes results (the sharded stepper is bit-identical), only
+// wall-clock.
+var Shards int
+
+// ShardBudget arbitrates one CPU budget between suite-level fan-out and
+// intra-fabric sharding, so the two never oversubscribe the machine:
+// with w workers running nTasks independent design points, each
+// simulation gets at most GOMAXPROCS/min(w, nTasks) shards (at least
+// one), further capped by Shards when it names a positive count. It
+// returns 0 when Shards is 0 (leave parameters untouched).
+func ShardBudget(nTasks int) int {
+	if Shards == 0 {
+		return 0
+	}
+	if Shards == 1 {
+		return 1
+	}
+	budget := runtime.GOMAXPROCS(0)
+	w := MaxWorkers
+	if w <= 0 {
+		w = budget
+	}
+	if nTasks < 1 {
+		nTasks = 1
+	}
+	if w > nTasks {
+		w = nTasks
+	}
+	per := budget / w
+	if per < 1 {
+		per = 1
+	}
+	if Shards > 0 && Shards < per {
+		per = Shards
+	}
+	return per
+}
+
+// applyShards stamps the arbitrated shard count into a normalized
+// parameter set, unless the caller already chose one explicitly.
+func applyShards(p *workloads.Params, nTasks int) {
+	if p.FabricCfg.Shards != 0 {
+		return
+	}
+	if k := ShardBudget(nTasks); k != 0 {
+		p.FabricCfg.Shards = k
+	}
+}
 
 // forEach runs fn(i) for every i in [0, n) on a bounded worker pool.
 // Workers pull indices from a shared counter, so results land in
@@ -138,7 +193,14 @@ func RunWorkload(spec *workloads.Spec, p workloads.Params) (*Row, error) {
 // deadline expiry aborts whichever simulation is in flight with an error
 // wrapping fabric.ErrCancelled.
 func RunWorkloadContext(ctx context.Context, spec *workloads.Spec, p workloads.Params) (*Row, error) {
+	return runWorkload(ctx, spec, p, 1)
+}
+
+// runWorkload is RunWorkloadContext with the caller's fan-out width, so
+// the shard arbitration knows how many sibling tasks share the CPUs.
+func runWorkload(ctx context.Context, spec *workloads.Spec, p workloads.Params, nTasks int) (*Row, error) {
 	p = spec.Normalize(p)
+	applyShards(&p, nTasks)
 	v, err := spec.VerifyFullContext(ctx, p)
 	if err != nil {
 		return nil, err
@@ -224,7 +286,7 @@ func RunSuiteContext(ctx context.Context, p workloads.Params) ([]*Row, error) {
 	rows := make([]*Row, len(specs))
 	errs := make([]error, len(specs))
 	forEachCtx(ctx, len(specs), func(i int) {
-		rows[i], errs[i] = RunWorkloadContext(ctx, specs[i], p)
+		rows[i], errs[i] = runWorkload(ctx, specs[i], p, len(specs))
 	})
 	if err := ctx.Err(); err != nil {
 		return rows, fmt.Errorf("suite: %w: %w", fabric.ErrCancelled, err)
@@ -287,6 +349,7 @@ func DepthSweepContext(ctx context.Context, spec *workloads.Spec, p workloads.Pa
 	forEachCtx(ctx, len(depths), func(i int) {
 		d := depths[i]
 		pp := spec.Normalize(p)
+		applyShards(&pp, len(depths))
 		pp.FabricCfg.ChannelCapacity = d
 		inst, err := spec.BuildTIA(pp)
 		if err != nil {
@@ -323,6 +386,7 @@ func LatencySweepContext(ctx context.Context, spec *workloads.Spec, p workloads.
 	forEachCtx(ctx, len(lats), func(i int) {
 		l := lats[i]
 		pp := spec.Normalize(p)
+		applyShards(&pp, len(lats))
 		pp.FabricCfg.ChannelLatency = l
 		inst, err := spec.BuildTIA(pp)
 		if err != nil {
@@ -370,6 +434,7 @@ func MemLatencySweepContext(ctx context.Context, spec *workloads.Spec, p workloa
 	forEachCtx(ctx, len(lats), func(i int) {
 		l := lats[i]
 		pp := spec.Normalize(p)
+		applyShards(&pp, len(lats))
 		pp.MemLatency = l
 		pt := MemLatencyPoint{Latency: l}
 		tia, err := spec.BuildTIA(pp)

@@ -1,0 +1,114 @@
+package fabric
+
+// Allocation gates for the simulator hot path. The contract: once a
+// fabric has run to steady state (sink records, channel staging and the
+// stepper's pooled scratch grown to capacity), a Reset-and-rerun loop —
+// core's verification reuse, campaign sweeps, the service's job loop —
+// performs zero heap allocations in the serial steppers, and only a
+// bounded per-run worker-setup cost in the sharded stepper. These gates
+// are what keeps BenchmarkFabricCycle at 0 B/op; if one fails, find the
+// regrowth (a slice reset to nil instead of [:0], a per-cycle append)
+// rather than loosening the gate.
+
+import (
+	"testing"
+
+	"tia/internal/isa"
+	"tia/internal/pe"
+)
+
+// buildCycleFabric is the BenchmarkFabricCycle topology at a smaller
+// size: four sorted sources feeding a three-PE merge tree into one sink.
+func buildCycleFabric(t testing.TB) *Fabric {
+	t.Helper()
+	quarter := make([]isa.Word, 1<<8)
+	for i := range quarter {
+		quarter[i] = isa.Word(i)
+	}
+	f := New(DefaultConfig())
+	var srcs [4]*Source
+	for i := range srcs {
+		srcs[i] = NewWordSource("q"+string(rune('0'+i)), quarter, true)
+		f.Add(srcs[i])
+	}
+	var merges [3]*pe.PE
+	for i := range merges {
+		m, err := pe.New("m"+string(rune('0'+i)), isa.DefaultConfig(), pe.MergeProgram())
+		if err != nil {
+			t.Fatal(err)
+		}
+		merges[i] = m
+		f.Add(m)
+	}
+	snk := NewSink("snk")
+	f.Add(snk)
+	f.Wire(srcs[0], 0, merges[0], 0)
+	f.Wire(srcs[1], 0, merges[0], 1)
+	f.Wire(srcs[2], 0, merges[1], 0)
+	f.Wire(srcs[3], 0, merges[1], 1)
+	f.Wire(merges[0], 0, merges[2], 0)
+	f.Wire(merges[1], 0, merges[2], 1)
+	f.Wire(merges[2], 0, snk, 0)
+	return f
+}
+
+// runToCompletion is the warm/measured loop body shared by the gates.
+func runToCompletion(t testing.TB, f *Fabric) {
+	t.Helper()
+	res, err := f.Run(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("fabric did not complete")
+	}
+}
+
+// TestEventRunAllocationFree gates the serial event-driven stepper:
+// steady-state Reset+Run allocates nothing.
+func TestEventRunAllocationFree(t *testing.T) {
+	f := buildCycleFabric(t)
+	runToCompletion(t, f) // warm: grow every buffer to steady state
+	avg := testing.AllocsPerRun(5, func() {
+		f.Reset()
+		runToCompletion(t, f)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state event Reset+Run: %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestDenseRunAllocationFree gates the dense reference stepper the same
+// way — differential runs against it should not be allocation-noisy.
+func TestDenseRunAllocationFree(t *testing.T) {
+	f := buildCycleFabric(t)
+	f.SetDenseStepping(true)
+	runToCompletion(t, f)
+	avg := testing.AllocsPerRun(5, func() {
+		f.Reset()
+		runToCompletion(t, f)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state dense Reset+Run: %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestShardedRunAllocationBounded gates the sharded stepper: the
+// per-cycle path is allocation-free, but each Run spins up its k-1
+// workers (goroutines, start channels, closures), a bounded per-run
+// constant independent of cycle count. The bound is deliberately tight
+// enough that any per-cycle allocation — thousands of cycles per run —
+// blows through it immediately.
+func TestShardedRunAllocationBounded(t *testing.T) {
+	f := buildCycleFabric(t)
+	f.SetShards(3)
+	runToCompletion(t, f)
+	avg := testing.AllocsPerRun(5, func() {
+		f.Reset()
+		runToCompletion(t, f)
+	})
+	const perRunSetup = 32
+	if avg > perRunSetup {
+		t.Errorf("steady-state sharded Reset+Run: %.1f allocs/run, want <= %d (worker setup only)", avg, perRunSetup)
+	}
+}

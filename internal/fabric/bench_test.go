@@ -20,9 +20,10 @@ func BenchmarkFabricStep_Idle(b *testing.B) {
 		Dsts: []isa.Dst{isa.DReg(0)},
 	}}
 	for _, mode := range []struct {
-		name  string
-		dense bool
-	}{{"event", false}, {"dense", true}} {
+		name   string
+		dense  bool
+		shards int
+	}{{"event", false, 0}, {"dense", true, 0}, {"sharded", false, 4}} {
 		b.Run(mode.name, func(b *testing.B) {
 			f := New(DefaultConfig())
 			hb, err := pe.New("hb", isa.DefaultConfig(), heartbeat)
@@ -47,6 +48,7 @@ func BenchmarkFabricStep_Idle(b *testing.B) {
 				f.Wire(m, 0, snk, 0)
 			}
 			f.SetDenseStepping(mode.dense)
+			f.SetShards(mode.shards)
 			b.ResetTimer()
 			done := 0
 			for done < b.N {
@@ -95,6 +97,15 @@ func BenchmarkFabricCycle(b *testing.B) {
 	f.Wire(merges[0], 0, merges[2], 0)
 	f.Wire(merges[1], 0, merges[2], 1)
 	f.Wire(merges[2], 0, snk, 0)
+
+	// Warm run: grow the sink record, channel staging and stepper scratch
+	// to steady-state capacity so the timed loop measures the hot path,
+	// not one-time warm-up growth (the alloc gates in alloc_test.go hold
+	// the steady state to zero allocations).
+	if _, err := f.Run(1 << 30); err != nil {
+		b.Fatal(err)
+	}
+	f.Reset()
 
 	b.ResetTimer()
 	done := 0

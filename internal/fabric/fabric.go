@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -130,6 +131,12 @@ type Config struct {
 	// context-cancellation checks. Smaller values cancel sooner at the
 	// cost of a check in the hot loop; zero means the default (1024).
 	CancelCheckInterval int
+	// Shards is the number of workers the compute phase of each cycle is
+	// partitioned across. 0 or 1 selects the serial event-driven stepper;
+	// k > 1 steps elements on k workers (bit-identical results — see
+	// DESIGN.md "Sharded parallel stepping"); negative means one shard
+	// per available CPU (GOMAXPROCS).
+	Shards int
 }
 
 // DefaultConfig returns the defaults used throughout the workload suite:
@@ -155,6 +162,10 @@ type Fabric struct {
 	ckptFn    func(cycle int64) error
 
 	prep prepared
+	// rs is the stepper's per-run scratch state, reused across Runs so a
+	// reset-and-rerun loop (core's verification reuse, campaign sweeps,
+	// the service) allocates nothing per run after the first.
+	rs runState
 }
 
 // bind records a channel's endpoint elements, declared by Wire or
@@ -217,6 +228,28 @@ func (f *Fabric) SetCancelCheckInterval(n int) {
 	if n >= 1 {
 		f.cfg.CancelCheckInterval = n
 	}
+}
+
+// SetShards overrides Config.Shards on an already-built fabric (e.g.
+// one assembled from a netlist, whose config the builder owns). See
+// Config.Shards for the value's meaning.
+func (f *Fabric) SetShards(k int) { f.cfg.Shards = k }
+
+// shardCount resolves Config.Shards against the machine and the fabric:
+// negative means GOMAXPROCS, and a fabric is never split into more
+// shards than it has elements. Anything below 2 means serial stepping.
+func (f *Fabric) shardCount() int {
+	k := f.cfg.Shards
+	if k < 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > len(f.elems) {
+		k = len(f.elems)
+	}
+	if k < 2 {
+		return 1
+	}
+	return k
 }
 
 // SetFaultInjector attaches (or, with nil, detaches) a fault-injection
@@ -465,6 +498,9 @@ func (f *Fabric) RunContext(ctx context.Context, maxCycles int64) (Result, error
 	if f.dense {
 		return f.runDense(ctx, maxCycles)
 	}
+	if k := f.shardCount(); k > 1 {
+		return f.runSharded(ctx, maxCycles, k)
+	}
 	return f.runEvent(ctx, maxCycles)
 }
 
@@ -568,7 +604,8 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 	return Result{Cycles: f.cycle}, fmt.Errorf("after %d cycles: %w", f.cycle, ErrTimeout)
 }
 
-// runState is the event-driven stepper's per-run bookkeeping.
+// runState is the event-driven stepper's per-run bookkeeping. It lives
+// on the Fabric and is re-initialized (capacity reused) each Run.
 type runState struct {
 	awake       []bool
 	asleepSince []int64
@@ -579,30 +616,58 @@ type runState struct {
 	busyCount   int
 	sinkDone    []bool
 	sinksLeft   int
+
+	slots []shardSlot // sharded stepper's per-worker scratch
 }
 
-// runEvent is the event-driven stepper. Invariants (see DESIGN.md):
-//
-//   - An element is asleep only if its last Step returned false and no
-//     attached channel has committed a change since. Step is pure for
-//     unchanged inputs, so every skipped cycle would have been a no-work
-//     cycle with the same outcome; SkipCycles backfills the counters.
-//   - A channel is outside the tick list only if it is Quiet (nothing
-//     staged, nothing in flight), in which case Tick would be a no-op.
-//     Elements stage effects only in cycles where Step returns true, so
-//     re-activating the channels of every worked element restores the
-//     invariant before the next tick phase.
-func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) {
-	ne, nc := len(f.elems), len(f.chans)
-	st := &runState{
-		awake:       make([]bool, ne),
-		asleepSince: make([]int64, ne),
-		active:      make([]bool, nc),
-		activeList:  make([]int, 0, nc),
-		spare:       make([]int, 0, nc),
-		isBusy:      make([]bool, nc),
-		sinkDone:    make([]bool, ne),
+// boolScratch returns s resized to n with every entry false, reusing
+// capacity when it suffices.
+func boolScratch(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
 	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// int64Scratch is boolScratch for []int64.
+func int64Scratch(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// intScratch returns s emptied with at least capacity n.
+func intScratch(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, 0, n)
+	}
+	return s[:0]
+}
+
+// initRunState readies the pooled scratch state for a fresh run: every
+// element awake, every channel in the tick list, sink completion
+// tallied. Reuses prior capacity so repeat runs allocate nothing.
+func (f *Fabric) initRunState() *runState {
+	st := &f.rs
+	ne, nc := len(f.elems), len(f.chans)
+	st.awake = boolScratch(st.awake, ne)
+	st.asleepSince = int64Scratch(st.asleepSince, ne)
+	st.active = boolScratch(st.active, nc)
+	st.activeList = intScratch(st.activeList, nc)
+	st.spare = intScratch(st.spare, nc)
+	st.isBusy = boolScratch(st.isBusy, nc)
+	st.busyCount = 0
+	st.sinkDone = boolScratch(st.sinkDone, ne)
+	st.sinksLeft = 0
 	for i := range st.awake {
 		st.awake[i] = true
 	}
@@ -624,47 +689,103 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 			st.sinksLeft++
 		}
 	}
+	return st
+}
 
-	// backfill accounts the skipped cycles of every still-sleeping
-	// element before Run returns, so statistics match dense stepping on
-	// every exit path.
-	backfill := func() {
-		last := f.cycle - 1
-		for i := range st.awake {
-			if st.awake[i] {
-				continue
-			}
-			if sk := f.prep.skips[i]; sk != nil {
-				sk.SkipCycles(last - st.asleepSince[i])
-			}
+// backfillSleepers accounts the skipped cycles of every still-sleeping
+// element before Run returns, so statistics match dense stepping on
+// every exit path.
+func (f *Fabric) backfillSleepers(st *runState) {
+	last := f.cycle - 1
+	for i := range st.awake {
+		if st.awake[i] {
+			continue
+		}
+		if sk := f.prep.skips[i]; sk != nil {
+			sk.SkipCycles(last - st.asleepSince[i])
 		}
 	}
+}
 
-	// checkpoint brings every sleeping element's statistics up to date
-	// (the same accounting its wake-time backfill would do) before the
-	// hook snapshots, then re-bases asleepSince so the cycles are not
-	// double-counted when the element eventually wakes. Dense and
-	// event-driven snapshots are bit-identical because of this rebase.
-	checkpoint := func() error {
-		last := f.cycle - 1
-		for i := range st.awake {
-			if st.awake[i] {
-				continue
-			}
-			if sk := f.prep.skips[i]; sk != nil {
-				sk.SkipCycles(last - st.asleepSince[i])
-			}
-			st.asleepSince[i] = last
+// checkpointSleepers brings every sleeping element's statistics up to
+// date (the same accounting its wake-time backfill would do) before the
+// hook snapshots, then re-bases asleepSince so the cycles are not
+// double-counted when the element eventually wakes. Dense, event-driven
+// and sharded snapshots are bit-identical because of this rebase.
+func (f *Fabric) checkpointSleepers(st *runState) error {
+	last := f.cycle - 1
+	for i := range st.awake {
+		if st.awake[i] {
+			continue
 		}
-		return f.ckptFn(f.cycle)
+		if sk := f.prep.skips[i]; sk != nil {
+			sk.SkipCycles(last - st.asleepSince[i])
+		}
+		st.asleepSince[i] = last
 	}
+	return f.ckptFn(f.cycle)
+}
 
-	elems, chans, prep := f.elems, f.chans, &f.prep
+// commitChannels runs the tick phase over the active list: commit every
+// active channel, wake the endpoints of channels that changed, maintain
+// the busy census, and drop channels that went quiet (known endpoints
+// only — unknown-endpoint channels are ticked forever, conservatively).
+// Per-channel effects are independent, so the order of the active list
+// never influences results.
+func (f *Fabric) commitChannels(st *runState, cur int64) {
+	chans, prep := f.chans, &f.prep
+	next := st.spare[:0]
+	for _, ci := range st.activeList {
+		ch := chans[ci]
+		ends := prep.ends[ci]
+		if ch.Tick() {
+			if ends[0] < 0 || ends[1] < 0 {
+				// Unknown endpoint: wake everything attached anywhere.
+				for ei := range st.awake {
+					f.wake(st, ei, cur)
+				}
+			} else {
+				f.wake(st, ends[0], cur)
+				f.wake(st, ends[1], cur)
+			}
+		}
+		if busy := !ch.Idle(); busy != st.isBusy[ci] {
+			st.isBusy[ci] = busy
+			if busy {
+				st.busyCount++
+			} else {
+				st.busyCount--
+			}
+		}
+		if ends[0] >= 0 && ends[1] >= 0 && ch.Quiet() {
+			st.active[ci] = false
+		} else {
+			next = append(next, ci)
+		}
+	}
+	st.spare = st.activeList[:0]
+	st.activeList = next
+}
+
+// runEvent is the event-driven stepper. Invariants (see DESIGN.md):
+//
+//   - An element is asleep only if its last Step returned false and no
+//     attached channel has committed a change since. Step is pure for
+//     unchanged inputs, so every skipped cycle would have been a no-work
+//     cycle with the same outcome; SkipCycles backfills the counters.
+//   - A channel is outside the tick list only if it is Quiet (nothing
+//     staged, nothing in flight), in which case Tick would be a no-op.
+//     Elements stage effects only in cycles where Step returns true, so
+//     re-activating the channels of every worked element restores the
+//     invariant before the next tick phase.
+func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) {
+	st := f.initRunState()
+	elems, prep := f.elems, &f.prep
 	cc := f.newCancelCheck(ctx)
 	idleStreak := 0
 	for n := int64(0); n < maxCycles; n++ {
 		if err := cc.expired(); err != nil {
-			backfill()
+			f.backfillSleepers(st)
 			if f.ckptFn != nil {
 				err = errors.Join(err, f.ckptFn(f.cycle))
 			}
@@ -708,71 +829,52 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 			}
 		}
 
-		next := st.spare[:0]
-		for _, ci := range st.activeList {
-			ch := chans[ci]
-			ends := prep.ends[ci]
-			if ch.Tick() {
-				if ends[0] < 0 || ends[1] < 0 {
-					// Unknown endpoint: wake everything attached anywhere.
-					for ei := range st.awake {
-						f.wake(st, ei, cur)
-					}
-				} else {
-					f.wake(st, ends[0], cur)
-					f.wake(st, ends[1], cur)
-				}
-			}
-			if busy := !ch.Idle(); busy != st.isBusy[ci] {
-				st.isBusy[ci] = busy
-				if busy {
-					st.busyCount++
-				} else {
-					st.busyCount--
-				}
-			}
-			if ends[0] >= 0 && ends[1] >= 0 && ch.Quiet() {
-				st.active[ci] = false
-			} else {
-				next = append(next, ci)
-			}
-		}
-		st.spare = st.activeList[:0]
-		st.activeList = next
+		f.commitChannels(st, cur)
 
-		f.cycle++
-		for _, fe := range f.prep.faulties {
-			if err := fe.f.Err(); err != nil {
-				backfill()
-				return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: element %s: %w", f.cycle, fe.e.Name(), err)
-			}
-		}
-		if len(f.sinks) > 0 && st.sinksLeft == 0 {
-			backfill()
-			return Result{Cycles: f.cycle, Completed: true}, nil
-		}
-		if f.ckptFn != nil && f.cycle%f.ckptEvery == 0 {
-			if err := checkpoint(); err != nil {
-				return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: checkpoint: %w", f.cycle, err)
-			}
-		}
-		if !worked && st.busyCount == 0 && (f.inj == nil || !f.inj.Active()) {
-			idleStreak++
-			if idleStreak >= f.cfg.QuiescenceWindow {
-				backfill()
-				res := Result{Cycles: f.cycle, Quiesced: true}
-				if len(f.sinks) == 0 {
-					res.Completed = true
-					return res, nil
-				}
-				return res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.diagnoseDeadlock())
-			}
-		} else {
-			idleStreak = 0
+		if done, res, err := f.epilogue(st, worked, &idleStreak); done {
+			return res, err
 		}
 	}
-	backfill()
+	f.backfillSleepers(st)
 	return Result{Cycles: f.cycle}, fmt.Errorf("after %d cycles: %w", f.cycle, ErrTimeout)
+}
+
+// epilogue is the end-of-cycle bookkeeping shared by the event-driven
+// and sharded steppers: advance time, surface element faults, detect
+// completion, checkpoint, and track quiescence. It reports done=true
+// when the run must return (res, err).
+func (f *Fabric) epilogue(st *runState, worked bool, idleStreak *int) (bool, Result, error) {
+	f.cycle++
+	for _, fe := range f.prep.faulties {
+		if err := fe.f.Err(); err != nil {
+			f.backfillSleepers(st)
+			return true, Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: element %s: %w", f.cycle, fe.e.Name(), err)
+		}
+	}
+	if len(f.sinks) > 0 && st.sinksLeft == 0 {
+		f.backfillSleepers(st)
+		return true, Result{Cycles: f.cycle, Completed: true}, nil
+	}
+	if f.ckptFn != nil && f.cycle%f.ckptEvery == 0 {
+		if err := f.checkpointSleepers(st); err != nil {
+			return true, Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: checkpoint: %w", f.cycle, err)
+		}
+	}
+	if !worked && st.busyCount == 0 && (f.inj == nil || !f.inj.Active()) {
+		*idleStreak++
+		if *idleStreak >= f.cfg.QuiescenceWindow {
+			f.backfillSleepers(st)
+			res := Result{Cycles: f.cycle, Quiesced: true}
+			if len(f.sinks) == 0 {
+				res.Completed = true
+				return true, res, nil
+			}
+			return true, res, fmt.Errorf("cycle %d: %w: %s", f.cycle, ErrDeadlock, f.diagnoseDeadlock())
+		}
+	} else {
+		*idleStreak = 0
+	}
+	return false, Result{}, nil
 }
 
 // wake marks an element runnable again, backfilling the cycles it slept

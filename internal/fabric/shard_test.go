@@ -1,0 +1,190 @@
+package fabric
+
+// Tests for sharded parallel stepping (shard.go). The contract under
+// test is absolute: for any fabric and any shard count, the sharded
+// stepper's observable results — cycle counts, completion, sink token
+// streams, per-channel statistics — are bit-identical to the serial
+// event-driven stepper's. The workload-level differential suite
+// (internal/workloads) covers the eight paper kernels plus faults and
+// snapshots; here random topologies and shard-count edge cases get the
+// same treatment, including a testing/quick property over random
+// fabrics and shard counts.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tia/internal/channel"
+	"tia/internal/isa"
+	"tia/internal/pe"
+)
+
+// randomMergeFabric builds a randomized fabric: one to three independent
+// merge trees, each over a random number of sorted sources with random
+// lengths (empty sources included), under random channel capacity and
+// wire latency. Every token stream ends in its tree's own sink.
+func randomMergeFabric(t testing.TB, r *rand.Rand, shards int) (*Fabric, []*Sink) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ChannelCapacity = 1 + r.Intn(4)
+	cfg.ChannelLatency = r.Intn(3)
+	cfg.Shards = shards
+	f := New(cfg)
+
+	var sinks []*Sink
+	nTrees := 1 + r.Intn(3)
+	for tree := 0; tree < nTrees; tree++ {
+		type tap struct {
+			e    OutPort
+			port int
+		}
+		var outs []tap
+		nSrc := 2 + r.Intn(6)
+		for i := 0; i < nSrc; i++ {
+			words := make([]isa.Word, r.Intn(24))
+			for j := range words {
+				words[j] = isa.Word(r.Intn(64))
+			}
+			sort.Slice(words, func(a, b int) bool { return words[a] < words[b] })
+			s := NewWordSource(fmt.Sprintf("t%ds%d", tree, i), words, true)
+			f.Add(s)
+			outs = append(outs, tap{s, 0})
+		}
+		for mi := 0; len(outs) > 1; mi++ {
+			m, err := pe.New(fmt.Sprintf("t%dm%d", tree, mi), isa.DefaultConfig(), pe.MergeProgram())
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Add(m)
+			f.Wire(outs[0].e, outs[0].port, m, 0)
+			f.Wire(outs[1].e, outs[1].port, m, 1)
+			outs = append(outs[2:], tap{m, 0})
+		}
+		snk := NewSink(fmt.Sprintf("t%dsnk", tree))
+		f.Add(snk)
+		f.Wire(outs[0].e, outs[0].port, snk, 0)
+		sinks = append(sinks, snk)
+	}
+	return f, sinks
+}
+
+// shardObservation is everything the sharded/serial comparison checks.
+type shardObservation struct {
+	Cycles    int64
+	Completed bool
+	Err       string
+	Tokens    [][]channel.Token
+}
+
+// observeRandom builds the seed's fabric with the given shard count and
+// runs it to completion.
+func observeRandom(t testing.TB, seed int64, shards int) shardObservation {
+	t.Helper()
+	f, sinks := randomMergeFabric(t, rand.New(rand.NewSource(seed)), shards)
+	res, err := f.Run(1_000_000)
+	obs := shardObservation{Cycles: res.Cycles, Completed: res.Completed}
+	if err != nil {
+		obs.Err = err.Error()
+	}
+	for _, s := range sinks {
+		obs.Tokens = append(obs.Tokens, append([]channel.Token(nil), s.Tokens()...))
+	}
+	return obs
+}
+
+// TestShardedMatchesSerialRandomTopologies sweeps random fabrics across
+// shard counts, including counts above the element count (clamped) and
+// the auto setting.
+func TestShardedMatchesSerialRandomTopologies(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		serial := observeRandom(t, seed, 0)
+		for _, k := range []int{2, 3, 7, 16, 1 << 10, -1} {
+			got := observeRandom(t, seed, k)
+			if !reflect.DeepEqual(serial, got) {
+				t.Errorf("seed %d: shards=%d diverged from serial:\nserial  %+v\nsharded %+v",
+					seed, k, serial, got)
+			}
+		}
+	}
+}
+
+// TestShardedQuickProperty is the testing/quick form of the same
+// contract: any seed, any shard count, identical observations.
+func TestShardedQuickProperty(t *testing.T) {
+	prop := func(seed int64, rawShards uint8) bool {
+		shards := 2 + int(rawShards%15)
+		serial := observeRandom(t, seed, 0)
+		sharded := observeRandom(t, seed, shards)
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Logf("seed %d shards %d:\nserial  %+v\nsharded %+v", seed, shards, serial, sharded)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedReset checks that a sharded fabric re-runs identically
+// after Reset (the stepper's pooled scratch and the worker lifecycle
+// must leave no state behind).
+func TestShardedReset(t *testing.T) {
+	f, sinks := randomMergeFabric(t, rand.New(rand.NewSource(3)), 3)
+	first, err := f.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]channel.Token(nil), sinks[0].Tokens()...)
+	for rerun := 0; rerun < 3; rerun++ {
+		f.Reset()
+		res, err := f.Run(1_000_000)
+		if err != nil {
+			t.Fatalf("rerun %d: %v", rerun, err)
+		}
+		if res.Cycles != first.Cycles {
+			t.Errorf("rerun %d: %d cycles, first run took %d", rerun, res.Cycles, first.Cycles)
+		}
+		if !reflect.DeepEqual(want, sinks[0].Tokens()) {
+			t.Errorf("rerun %d: sink stream diverged", rerun)
+		}
+	}
+}
+
+// TestShardCountResolution pins the Config.Shards semantics: 0 and 1
+// are serial, negative resolves to GOMAXPROCS, and a fabric is never
+// split into more shards than it has elements.
+func TestShardCountResolution(t *testing.T) {
+	f, _ := randomMergeFabric(t, rand.New(rand.NewSource(1)), 0)
+	n := len(f.elems)
+	if n < 3 {
+		t.Fatalf("fixture too small: %d elements", n)
+	}
+	auto := runtime.GOMAXPROCS(0)
+	if auto > n {
+		auto = n
+	}
+	if auto < 2 {
+		auto = 1
+	}
+	cases := []struct{ shards, want int }{
+		{0, 1},
+		{1, 1},
+		{2, 2},
+		{n, n},
+		{n + 7, n},
+		{1 << 20, n},
+		{-1, auto},
+	}
+	for _, tc := range cases {
+		f.SetShards(tc.shards)
+		if got := f.shardCount(); got != tc.want {
+			t.Errorf("Shards=%d: shardCount()=%d, want %d", tc.shards, got, tc.want)
+		}
+	}
+}

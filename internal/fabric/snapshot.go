@@ -53,7 +53,7 @@ func (s *Sink) SnapshotState(e *snapshot.Encoder) {
 // RestoreState rebuilds the sink's received-token record.
 func (s *Sink) RestoreState(d *snapshot.Decoder) error {
 	n := d.Count()
-	s.toks = nil
+	s.toks = s.toks[:0]
 	for k := 0; k < n && d.Err() == nil; k++ {
 		data := d.U64()
 		tag := d.U64()

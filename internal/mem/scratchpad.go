@@ -155,7 +155,11 @@ func (m *Scratchpad) Step(int64) bool {
 	// Drain the read pipeline's head into the response channel.
 	if len(m.rdPipe) > 0 && m.rdPipe[0].remaining == 0 && m.rdResp.CanAccept() {
 		m.rdResp.Send(m.rdPipe[0].tok)
-		m.rdPipe = m.rdPipe[1:]
+		// Shift rather than re-slice: the pipeline is at most
+		// readLatency+1 entries, and keeping the base stable lets the
+		// backing array be reused forever (no per-op allocation).
+		copy(m.rdPipe, m.rdPipe[1:])
+		m.rdPipe = m.rdPipe[:len(m.rdPipe)-1]
 		worked = true
 	}
 	for i := range m.rdPipe {
@@ -227,10 +231,11 @@ func (m *Scratchpad) Err() error { return m.err }
 func (m *Scratchpad) Reads() int64  { return m.reads }
 func (m *Scratchpad) Writes() int64 { return m.writes }
 
-// Reset restores the initial memory image and clears counters.
+// Reset restores the initial memory image and clears counters. The read
+// pipeline's capacity is kept for the next run.
 func (m *Scratchpad) Reset() {
 	copy(m.data, m.init)
 	m.reads, m.writes = 0, 0
-	m.rdPipe = nil
+	m.rdPipe = m.rdPipe[:0]
 	m.err = nil
 }

@@ -60,7 +60,7 @@ func (m *Scratchpad) RestoreState(d *snapshot.Decoder) error {
 	if d.Err() == nil && nPipe > m.readLatency+1 {
 		return fmt.Errorf("scratchpad %s: snapshot read pipeline depth %d exceeds latency %d", m.name, nPipe, m.readLatency)
 	}
-	m.rdPipe = nil
+	m.rdPipe = m.rdPipe[:0]
 	for k := 0; k < nPipe && d.Err() == nil; k++ {
 		data := d.U64()
 		tag := d.U64()

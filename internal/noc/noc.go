@@ -276,9 +276,13 @@ func (m *Mesh) Step(int64) bool {
 		injections = append(injections, injection{fl: fl, f: flit{tok: tok, dx: fl.dx, dy: fl.dy, flow: i}, r: r})
 	}
 
-	// Commit: remove moved flits, then append at their new homes.
+	// Commit: remove moved flits, then append at their new homes. Heads
+	// are shifted out rather than re-sliced so the buffers (bounded by
+	// BufferDepth) keep a stable base and never re-allocate once grown.
 	for _, mv := range moves {
-		mv.r.inBuf[mv.in] = mv.r.inBuf[mv.in][1:]
+		buf := mv.r.inBuf[mv.in]
+		copy(buf, buf[1:])
+		mv.r.inBuf[mv.in] = buf[:len(buf)-1]
 	}
 	for _, mv := range moves {
 		if mv.dir == dirLocal {
@@ -322,12 +326,13 @@ func (m *Mesh) InFlight() int {
 	return n
 }
 
-// Reset empties all router buffers and zeroes statistics.
+// Reset empties all router buffers (keeping their capacity for the next
+// run) and zeroes statistics.
 func (m *Mesh) Reset() {
 	for x := range m.routers {
 		for _, r := range m.routers[x] {
 			for d := 0; d < numDirs; d++ {
-				r.inBuf[d] = nil
+				r.inBuf[d] = r.inBuf[d][:0]
 				r.rrNext[d] = 0
 			}
 		}

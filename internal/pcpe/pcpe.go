@@ -562,7 +562,11 @@ func (p *PE) Reset() {
 	p.penalty = 0
 	p.penaltyHot = false
 	p.lastStall = stallInput
-	p.stats = Stats{PerInst: make([]int64, len(p.prog))}
+	per := p.stats.PerInst
+	for i := range per {
+		per[i] = 0
+	}
+	p.stats = Stats{PerInst: per}
 }
 
 // Step implements fabric.Element: attempt to execute the instruction at

@@ -7,8 +7,9 @@ import (
 	"tia/internal/isa"
 )
 
-// benchMergeSetup wires the merge kernel with pre-fed channels.
-func benchMergeSetup(b *testing.B) (*PE, *channel.Channel, *channel.Channel, *channel.Channel) {
+// benchMergeSetup wires the merge kernel with pre-fed channels (shared
+// with the allocation gates in alloc_test.go).
+func benchMergeSetup(b testing.TB) (*PE, *channel.Channel, *channel.Channel, *channel.Channel) {
 	b.Helper()
 	p, err := New("m", isa.DefaultConfig(), MergeProgram())
 	if err != nil {

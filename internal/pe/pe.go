@@ -475,7 +475,11 @@ func (p *PE) Reset() {
 	p.halted = false
 	p.rrOffset = 0
 	p.lastStall = stallIdle
-	p.stats = Stats{PerInst: make([]int64, len(p.prog))}
+	per := p.stats.PerInst
+	for i := range per {
+		per[i] = 0
+	}
+	p.stats = Stats{PerInst: per}
 }
 
 // ready classifies an instruction's readiness this cycle.
@@ -552,6 +556,28 @@ func (p *PE) classifyRef(ci *compiled) readiness {
 		}
 	}
 	return fireable
+}
+
+// ClassifyAll refreshes the channel status caches and classifies every
+// program instruction once, returning how many are fireable. It is the
+// external benchmark hook for the trigger-resolution hot path (see
+// cmd/tiabench -json-out and BenchmarkClassify): reference selects the
+// slice-walking reference classifier instead of the bitmask fast path.
+func (p *PE) ClassifyAll(reference bool) int {
+	p.refreshStatus()
+	n := 0
+	for i := range p.prog {
+		var r readiness
+		if reference {
+			r = p.classifyRef(&p.prog[i])
+		} else {
+			r = p.classifyFast(&p.prog[i])
+		}
+		if r == fireable {
+			n++
+		}
+	}
+	return n
 }
 
 // refreshStatus rebuilds the per-cycle channel status caches: one bit per

@@ -38,6 +38,16 @@ type JobRequest struct {
 	ChannelCapacity int   `json:"channel_capacity,omitempty"`
 	ChannelLatency  int   `json:"channel_latency,omitempty"`
 
+	// Shards requests sharded parallel stepping for this job's fabric
+	// (applies to netlist jobs too): 0 uses the server default, 1 forces
+	// serial, k > 1 requests k compute-phase workers, negative means
+	// "auto". The server clamps the request so that its worker pool and
+	// per-job sharding never oversubscribe the machine. Sharding is
+	// bit-identical to serial stepping, so it does not key the result
+	// cache: a sharded job can be answered by a cached serial run and
+	// vice versa.
+	Shards int `json:"shards,omitempty"`
+
 	// MaxCycles bounds the simulation; 0 uses the server default. The
 	// server-configured ceiling always applies.
 	MaxCycles int64 `json:"max_cycles,omitempty"`

@@ -155,6 +155,11 @@ func (s *Server) runWorkloadJob(ctx context.Context, id string, req *JobRequest)
 		return nil, jobErrorf(ErrBadRequest, "%v", err)
 	}
 	p := spec.Normalize(workloadParams(req))
+	// Sharding is a stepping knob, not a modeled parameter: results are
+	// bit-identical either way, so resultKey deliberately has no shards
+	// field and cached serial runs answer sharded requests (and vice
+	// versa).
+	p.FabricCfg.Shards = s.effectiveShards(req.Shards)
 
 	budget := spec.MaxCycles(p)
 	if req.MaxCycles > 0 {
@@ -270,6 +275,10 @@ func (s *Server) runNetlistJob(ctx context.Context, id string, req *JobRequest) 
 	nl := prog.nl
 	nl.Fabric.Reset()
 	nl.Fabric.SetCancelCheckInterval(s.cfg.CancelCheckInterval)
+	// Per-job stepping knob on the shared cached fabric; serialized by
+	// prog.mu and bit-identical to serial stepping, so cache reuse across
+	// differently-sharded jobs is sound.
+	nl.Fabric.SetShards(s.effectiveShards(req.Shards))
 
 	var rec *trace.Recorder
 	if req.Trace {

@@ -33,6 +33,12 @@ type Config struct {
 	// CancelCheckInterval is how many simulated cycles pass between
 	// cancellation checks inside the stepping loop.
 	CancelCheckInterval int
+	// DefaultShards is the fabric shard count applied to jobs that do
+	// not request one (JobRequest.Shards): 0 keeps stepping serial, k > 1
+	// requests sharded parallel stepping, negative means "auto". Every
+	// job's effective count is clamped so Workers x shards stays within
+	// GOMAXPROCS (see effectiveShards).
+	DefaultShards int
 	// TraceEventLimit bounds Chrome-trace captures (0 = unlimited).
 	TraceEventLimit int
 	// MaxRequestBytes bounds the request body.
@@ -146,6 +152,30 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// effectiveShards arbitrates a job's shard request against the server's
+// worker pool so the two never oversubscribe the machine: with Workers
+// concurrent simulations, each job gets at most GOMAXPROCS/Workers
+// compute-phase shards (at least one, i.e. serial). A request of 0
+// falls back to Config.DefaultShards; negative means "use the whole
+// per-job budget". Sharding never changes results, only wall-clock.
+func (s *Server) effectiveShards(req int) int {
+	k := req
+	if k == 0 {
+		k = s.cfg.DefaultShards
+	}
+	if k == 0 {
+		return 0
+	}
+	per := runtime.GOMAXPROCS(0) / s.cfg.Workers
+	if per < 1 {
+		per = 1
+	}
+	if k < 0 || k > per {
+		k = per
+	}
+	return k
+}
 
 // Metrics exposes the server's counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }

@@ -4,8 +4,11 @@ package workloads
 // scheduler plus the event-driven fabric stepper must be bit-identical —
 // cycle counts, sink token streams, PE statistics — with the slice-based
 // reference scheduler plus dense stepping, on every kernel, under every
-// scheduling policy. This is the executable form of the invariants
-// documented in DESIGN.md's "Simulator fast path" section.
+// scheduling policy. The sharded parallel stepper (internal/fabric's
+// shard.go) joins the same contract as a third arm: partitioning the
+// compute phase across workers must change nothing observable. This is
+// the executable form of the invariants documented in DESIGN.md's
+// "Simulator fast path" section.
 
 import (
 	"math/rand"
@@ -27,7 +30,27 @@ type kernelObservation struct {
 	PEStats []pe.Stats
 }
 
+// stepModes enumerates the fabric stepping flavors every differential
+// contract in this package agrees across: dense walks every element and
+// channel each cycle, event is the serial fast path, sharded partitions
+// each cycle's compute phase over three workers (see
+// internal/fabric/shard.go for why that is bit-identical; the fabric
+// package tests sweep more shard counts on random topologies).
+var stepModes = []struct {
+	label  string
+	dense  bool
+	shards int
+}{
+	{"dense", true, 0},
+	{"event", false, 0},
+	{"sharded", false, 3},
+}
+
 func observeTIA(t *testing.T, spec *Spec, p Params, reference bool) kernelObservation {
+	return observeTIASharded(t, spec, p, reference, 0)
+}
+
+func observeTIASharded(t *testing.T, spec *Spec, p Params, reference bool, shards int) kernelObservation {
 	t.Helper()
 	inst, err := spec.BuildTIA(p)
 	if err != nil {
@@ -39,9 +62,10 @@ func observeTIA(t *testing.T, spec *Spec, p Params, reference bool) kernelObserv
 			pr.SetReferenceScheduler(true)
 		}
 	}
+	inst.Fabric.SetShards(shards)
 	res, err := inst.Fabric.Run(spec.MaxCycles(p))
 	if err != nil {
-		t.Fatalf("%s: run (reference=%v): %v", spec.Name, reference, err)
+		t.Fatalf("%s: run (reference=%v shards=%d): %v", spec.Name, reference, shards, err)
 	}
 	obs := kernelObservation{Cycles: res.Cycles, Tokens: inst.Sink.Tokens()}
 	for _, pr := range inst.PEs {
@@ -70,15 +94,20 @@ func TestSchedulerSteppingDifferential(t *testing.T) {
 				p := spec.Normalize(Params{Seed: 11, Size: 16})
 				tc.mut(&p)
 				ref := observeTIA(t, spec, p, true)
-				fast := observeTIA(t, spec, p, false)
-				if ref.Cycles != fast.Cycles {
-					t.Errorf("cycles differ: reference %d, fast %d", ref.Cycles, fast.Cycles)
-				}
-				if !reflect.DeepEqual(ref.Tokens, fast.Tokens) {
-					t.Errorf("sink token streams differ:\nreference %v\nfast      %v", ref.Tokens, fast.Tokens)
-				}
-				if !reflect.DeepEqual(ref.PEStats, fast.PEStats) {
-					t.Errorf("PE statistics differ:\nreference %+v\nfast      %+v", ref.PEStats, fast.PEStats)
+				for _, arm := range []struct {
+					label  string
+					shards int
+				}{{"fast", 0}, {"sharded", 3}} {
+					fast := observeTIASharded(t, spec, p, false, arm.shards)
+					if ref.Cycles != fast.Cycles {
+						t.Errorf("cycles differ: reference %d, %s %d", ref.Cycles, arm.label, fast.Cycles)
+					}
+					if !reflect.DeepEqual(ref.Tokens, fast.Tokens) {
+						t.Errorf("sink token streams differ:\nreference %v\n%-9s %v", ref.Tokens, arm.label, fast.Tokens)
+					}
+					if !reflect.DeepEqual(ref.PEStats, fast.PEStats) {
+						t.Errorf("PE statistics differ:\nreference %+v\n%-9s %+v", ref.PEStats, arm.label, fast.PEStats)
+					}
 				}
 			})
 		}
@@ -225,30 +254,34 @@ func TestSchedulerEquivalenceQuick(t *testing.T) {
 }
 
 // TestDenseSteppingMatchesEventForPC re-runs a PC-baseline kernel (which
-// exercises pcpe's penalty drain and SkipCycles backfill) both ways.
+// exercises pcpe's penalty drain and SkipCycles backfill) under every
+// stepping mode.
 func TestDenseSteppingMatchesEventForPC(t *testing.T) {
 	for _, spec := range All() {
 		t.Run(spec.Name, func(t *testing.T) {
 			p := spec.Normalize(Params{Seed: 7, Size: 12})
-			run := func(dense bool) (int64, []channel.Token) {
+			run := func(dense bool, shards int) (int64, []channel.Token) {
 				inst, err := spec.BuildPC(p)
 				if err != nil {
 					t.Fatalf("build PC: %v", err)
 				}
 				inst.Fabric.SetDenseStepping(dense)
+				inst.Fabric.SetShards(shards)
 				res, err := inst.Fabric.Run(spec.MaxCycles(p))
 				if err != nil {
-					t.Fatalf("run PC (dense=%v): %v", dense, err)
+					t.Fatalf("run PC (dense=%v shards=%d): %v", dense, shards, err)
 				}
 				return res.Cycles, inst.Sink.Tokens()
 			}
-			dc, dt := run(true)
-			ec, et := run(false)
-			if dc != ec {
-				t.Errorf("cycles differ: dense %d, event %d", dc, ec)
-			}
-			if !reflect.DeepEqual(dt, et) {
-				t.Errorf("sink token streams differ:\ndense %v\nevent %v", dt, et)
+			dc, dt := run(stepModes[0].dense, stepModes[0].shards)
+			for _, mode := range stepModes[1:] {
+				ec, et := run(mode.dense, mode.shards)
+				if dc != ec {
+					t.Errorf("cycles differ: dense %d, %s %d", dc, mode.label, ec)
+				}
+				if !reflect.DeepEqual(dt, et) {
+					t.Errorf("sink token streams differ:\ndense %v\n%-5s %v", dt, mode.label, et)
+				}
 			}
 		})
 	}

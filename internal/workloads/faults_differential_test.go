@@ -3,10 +3,11 @@ package workloads
 // Differential tests for the fault-injection seams: wrapping every
 // channel and element of a kernel with a zero-rate fault plan must be a
 // provable no-op — identical cycle counts, sink token streams, and PE
-// statistics to the unwrapped fast path — in both dense and event-driven
-// stepping. This pins the hooked channel path (tickFaulty with an empty
-// plan) to the unhooked fast path, so campaign results are attributable
-// to the injected faults and never to the instrumentation itself.
+// statistics to the unwrapped fast path — under every stepping mode
+// (dense, event-driven, sharded parallel). This pins the hooked channel
+// path (tickFaulty with an empty plan) to the unhooked fast path, so
+// campaign results are attributable to the injected faults and never to
+// the instrumentation itself.
 
 import (
 	"reflect"
@@ -15,13 +16,14 @@ import (
 	"tia/internal/faults"
 )
 
-func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, plan *faults.Plan) kernelObservation {
+func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, shards int, plan *faults.Plan) kernelObservation {
 	t.Helper()
 	inst, err := spec.BuildTIA(p)
 	if err != nil {
 		t.Fatalf("%s: build: %v", spec.Name, err)
 	}
 	inst.Fabric.SetDenseStepping(dense)
+	inst.Fabric.SetShards(shards)
 	if plan != nil {
 		if _, err := faults.Attach(inst.Fabric, *plan); err != nil {
 			t.Fatalf("%s: attach: %v", spec.Name, err)
@@ -29,7 +31,7 @@ func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, plan
 	}
 	res, err := inst.Fabric.Run(spec.MaxCycles(p))
 	if err != nil {
-		t.Fatalf("%s: run (dense=%v wrapped=%v): %v", spec.Name, dense, plan != nil, err)
+		t.Fatalf("%s: run (dense=%v shards=%d wrapped=%v): %v", spec.Name, dense, shards, plan != nil, err)
 	}
 	obs := kernelObservation{Cycles: res.Cycles, Tokens: inst.Sink.Tokens()}
 	for _, pr := range inst.PEs {
@@ -40,16 +42,13 @@ func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, plan
 
 func TestZeroRateFaultPlanDifferential(t *testing.T) {
 	for _, spec := range All() {
-		for _, dense := range []bool{true, false} {
-			label := "event"
-			if dense {
-				label = "dense"
-			}
-			t.Run(spec.Name+"/"+label, func(t *testing.T) {
+		for _, mode := range stepModes {
+			mode := mode
+			t.Run(spec.Name+"/"+mode.label, func(t *testing.T) {
 				p := spec.Normalize(Params{Seed: 11, Size: 12})
-				base := observeTIAFaultWrapped(t, spec, p, dense, nil)
+				base := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, nil)
 				plan := &faults.Plan{Seed: 99}
-				wrapped := observeTIAFaultWrapped(t, spec, p, dense, plan)
+				wrapped := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, plan)
 				if base.Cycles != wrapped.Cycles {
 					t.Errorf("cycles differ: unwrapped %d, zero-rate wrapped %d", base.Cycles, wrapped.Cycles)
 				}
@@ -61,5 +60,31 @@ func TestZeroRateFaultPlanDifferential(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestFaultPlanShardingDifferential pins active (non-zero-rate) fault
+// plans across stepping modes: the injected fault sequence is a pure
+// function of per-site event streams, so dense, event and sharded runs
+// of the same plan must produce the same perturbed execution — not just
+// fault-free ones.
+func TestFaultPlanShardingDifferential(t *testing.T) {
+	plan := &faults.Plan{Seed: 23, JitterRate: 0.2, JitterMax: 3, Stalls: 2, StallMax: 5, Freezes: 1, FreezeMax: 4}
+	for _, name := range []string{"mergesort", "smvm"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			p := spec.Normalize(Params{Seed: 11, Size: 12})
+			base := observeTIAFaultWrapped(t, spec, p, stepModes[0].dense, stepModes[0].shards, plan)
+			for _, mode := range stepModes[1:] {
+				got := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, plan)
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("%s diverged from dense under an active plan:\ndense %+v\n%-5s %+v",
+						mode.label, base, mode.label, got)
+				}
+			}
+		})
 	}
 }

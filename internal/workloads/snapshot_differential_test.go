@@ -4,9 +4,13 @@ package workloads
 // kernel to completion must be indistinguishable from snapshotting it at
 // an arbitrary mid-run cycle and restoring the snapshot into a freshly
 // built instance — identical cycle counts, sink token streams, per-PE
-// statistics and fault-injection counters — for every kernel, under both
-// steppers, with and without an active fault plan. This is the headline
-// correctness contract of internal/snapshot + fabric.Snapshot/Restore.
+// statistics and fault-injection counters — for every kernel, under
+// every stepper (dense, event, sharded parallel), with and without an
+// active fault plan. This is the headline correctness contract of
+// internal/snapshot + fabric.Snapshot/Restore; the sharded arm is also
+// the race surface `go test -race` exercises (checkpoint callbacks fire
+// from the serial epilogue while worker goroutines are parked at the
+// cycle barrier).
 
 import (
 	"reflect"
@@ -32,7 +36,7 @@ type snapObservation struct {
 
 // buildForSnapshot constructs one kernel instance with the requested
 // stepper and (optionally) an attached fault plan.
-func buildForSnapshot(t *testing.T, spec *Spec, p Params, pc, dense bool, plan *faults.Plan) (*Instance, *faults.Injector) {
+func buildForSnapshot(t *testing.T, spec *Spec, p Params, pc, dense bool, shards int, plan *faults.Plan) (*Instance, *faults.Injector) {
 	t.Helper()
 	build := spec.BuildTIA
 	if pc {
@@ -43,6 +47,7 @@ func buildForSnapshot(t *testing.T, spec *Spec, p Params, pc, dense bool, plan *
 		t.Fatalf("%s: build: %v", spec.Name, err)
 	}
 	inst.Fabric.SetDenseStepping(dense)
+	inst.Fabric.SetShards(shards)
 	var inj *faults.Injector
 	if plan != nil {
 		if inj, err = faults.Attach(inst.Fabric, *plan); err != nil {
@@ -76,11 +81,11 @@ func snapObserve(inst *Instance, inj *faults.Injector, cycles int64, completed b
 // three observations must be deeply equal (including error text for
 // fault plans that hang or deadlock the kernel: a restored run must fail
 // at the same absolute cycle with the same diagnosis).
-func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool, plan *faults.Plan) {
+func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool, shards int, plan *faults.Plan) {
 	t.Helper()
 	fp := "test:" + spec.Name // stand-in fingerprint; both sides must agree
 
-	a, injA := buildForSnapshot(t, spec, p, pc, dense, plan)
+	a, injA := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
 	resA, errA := a.Fabric.Run(spec.MaxCycles(p))
 	obsA := snapObserve(a, injA, resA.Cycles, resA.Completed, errA)
 	if plan == nil && errA != nil {
@@ -92,7 +97,7 @@ func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool,
 		mid = 1
 	}
 
-	b, injB := buildForSnapshot(t, spec, p, pc, dense, plan)
+	b, injB := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
 	var snap []byte
 	b.Fabric.SetCheckpoint(mid, func(cycle int64) error {
 		if snap != nil {
@@ -117,7 +122,7 @@ func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool,
 		t.Fatalf("no checkpoint fired (run took %d cycles, checkpoint every %d)", resB.Cycles, mid)
 	}
 
-	c, injC := buildForSnapshot(t, spec, p, pc, dense, plan)
+	c, injC := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
 	if err := c.Fabric.Restore(snap, fp); err != nil {
 		t.Fatalf("restore: %v", err)
 	}
@@ -131,29 +136,27 @@ func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool,
 	}
 
 	// A snapshot must refuse to restore onto a different program.
-	wrong, _ := buildForSnapshot(t, spec, p, pc, dense, plan)
+	wrong, _ := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
 	if err := wrong.Fabric.Restore(snap, fp+"-other"); err == nil {
 		t.Errorf("restore accepted a mismatched fingerprint")
 	}
 }
 
 // TestSnapshotRestoreDifferential is the headline contract: all kernels,
-// both steppers, fault-free and under an active timing fault plan (the
+// every stepper, fault-free and under an active timing fault plan (the
 // class that perturbs cycle-level behavior while results must still
 // complete byte-identically between the interrupted and uninterrupted
-// simulations).
+// simulations). The sharded/timing combination doubles as the
+// fault-injection-plus-mid-run-snapshot race surface under -race.
 func TestSnapshotRestoreDifferential(t *testing.T) {
 	timing := &faults.Plan{Seed: 5, JitterRate: 0.2, JitterMax: 3, Stalls: 2, StallMax: 5, Freezes: 1, FreezeMax: 4}
 	for _, spec := range All() {
-		for _, dense := range []bool{true, false} {
-			label := "event"
-			if dense {
-				label = "dense"
-			}
+		for _, mode := range stepModes {
 			for planLabel, plan := range map[string]*faults.Plan{"nofault": nil, "timing": timing} {
-				t.Run(spec.Name+"/"+label+"/"+planLabel, func(t *testing.T) {
+				mode, plan := mode, plan
+				t.Run(spec.Name+"/"+mode.label+"/"+planLabel, func(t *testing.T) {
 					p := spec.Normalize(Params{Seed: 11, Size: 12})
-					runSnapshotDifferential(t, spec, p, false, dense, plan)
+					runSnapshotDifferential(t, spec, p, false, mode.dense, mode.shards, plan)
 				})
 			}
 		}
@@ -171,14 +174,11 @@ func TestSnapshotRestoreDifferentialDataFaults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, dense := range []bool{true, false} {
-			label := "event"
-			if dense {
-				label = "dense"
-			}
-			t.Run(name+"/"+label, func(t *testing.T) {
+		for _, mode := range stepModes {
+			mode := mode
+			t.Run(name+"/"+mode.label, func(t *testing.T) {
 				p := spec.Normalize(Params{Seed: 11, Size: 12})
-				runSnapshotDifferential(t, spec, p, false, dense, data)
+				runSnapshotDifferential(t, spec, p, false, mode.dense, mode.shards, data)
 			})
 		}
 	}
@@ -192,14 +192,11 @@ func TestSnapshotRestorePCBaseline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, dense := range []bool{true, false} {
-			label := "event"
-			if dense {
-				label = "dense"
-			}
-			t.Run(name+"/"+label, func(t *testing.T) {
+		for _, mode := range stepModes {
+			mode := mode
+			t.Run(name+"/"+mode.label, func(t *testing.T) {
 				p := spec.Normalize(Params{Seed: 11, Size: 12})
-				runSnapshotDifferential(t, spec, p, true, dense, nil)
+				runSnapshotDifferential(t, spec, p, true, mode.dense, mode.shards, nil)
 			})
 		}
 	}

@@ -77,7 +77,11 @@ func (p Params) withDefaults(defaultSize int) Params {
 		p.PCCfg = pcpe.DefaultConfig()
 	}
 	if p.FabricCfg.ChannelCapacity == 0 {
+		// Preserve a caller-set shard count across the default fill:
+		// Shards is a stepping knob, not part of the modeled machine.
+		shards := p.FabricCfg.Shards
 		p.FabricCfg = fabric.DefaultConfig()
+		p.FabricCfg.Shards = shards
 	}
 	return p
 }
