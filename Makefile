@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench bench-json alloc-gate shard-smoke fault-smoke snapshot-smoke check
+.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke check
 
 all: build
 
@@ -30,12 +30,29 @@ bench:
 # allocation-gated micro-benchmarks, written as BENCH_<date>.json. The
 # committed BENCH_*.json files record how the simulator's speed moves
 # over time; regenerate and commit alongside performance-affecting PRs.
+# An existing same-date baseline is never clobbered silently — a
+# committed trajectory point is history, overwriting it rewrites the
+# record. Pass FORCE=1 to regenerate today's file deliberately.
 bench-json:
+	@if [ -e BENCH_$$(date +%F).json ] && [ "$(FORCE)" != "1" ]; then \
+		echo "bench-json: BENCH_$$(date +%F).json already exists; rerun with FORCE=1 to overwrite"; \
+		exit 1; \
+	fi
 	$(GO) run ./cmd/tiabench -json-out BENCH_$$(date +%F).json
 
-# Zero-allocation gates on the per-cycle hot paths (fabric step loop,
-# trigger classification, channel reset/restore reuse): any regression
-# to >0 allocs/op fails these tests, not just a benchmark number.
+# Compare a fresh bench run (written to a scratch file, not committed)
+# against the newest committed BENCH_*.json: per-kernel wall-clock
+# deltas, non-zero exit if any kernel regressed >10%. CI's bench job
+# runs this so perf regressions fail loudly against the trajectory.
+bench-compare:
+	$(GO) run ./cmd/tiabench -json-out /tmp/bench-fresh.json \
+		-compare "$$(ls BENCH_*.json | sort | tail -1)"
+
+# Zero-allocation gates on the per-cycle hot paths (fabric step loop —
+# interpreted and compiled, dense and event — trigger classification,
+# channel reset/restore reuse): any regression to >0 allocs/op fails
+# these tests, not just a benchmark number. One-time compilation cost
+# is gated separately as a bounded constant.
 alloc-gate:
 	$(GO) test -run 'AllocationFree|AllocationBounded|ReusesCapacity' -count=1 ./internal/fabric ./internal/pe ./internal/channel
 
@@ -56,4 +73,13 @@ fault-smoke:
 snapshot-smoke:
 	$(GO) test -race -run 'TestSnapshotRestoreDifferential$$/(dmm|mergesort)/' -count=1 ./internal/workloads
 
-check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke
+# Compiled-stepping differential smoke under the race detector: every
+# kernel's compiled arm against the interpreted oracle, the compiled
+# snapshot/restore and zero-rate fault-plan differentials, the quick
+# random-topology equivalence sweep, and the service-level cache
+# contracts (compiled/interpreted result sharing, plan sharing across
+# cosmetic sources).
+compile-smoke:
+	$(GO) test -race -run 'TestSchedulerSteppingDifferential/.*/compiled|TestSnapshotRestoreDifferential$$/(dmm|mergesort)/compiled|TestZeroRateFaultPlanDifferential/.*/compiled|TestSchedulerEquivalenceQuick|TestCompiled' -count=1 ./internal/workloads ./internal/service
+
+check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke

@@ -10,9 +10,16 @@
 // (tiasim -checkpoint, tiad snapshots) are bound to, so it identifies
 // which snapshots a netlist revision can still restore.
 //
+// With -compile-report, each triggered PE is analyzed by the compiled
+// stepping backend (internal/compile) and its specialization summary is
+// printed — how many triggers stay live, how many are statically dead,
+// which predicate literals and operands were proven constant. This
+// shows what `-compiled` (tiasim, tiabench, tiad) will actually
+// specialize for a given netlist.
+//
 // Usage:
 //
-//	tiaasm [-format] [-fingerprint] fabric.tia
+//	tiaasm [-format] [-fingerprint] [-compile-report] fabric.tia
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"sort"
 
 	"tia/internal/asm"
+	"tia/internal/compile"
 	"tia/internal/isa"
 	"tia/internal/pcpe"
 )
@@ -29,18 +37,49 @@ import (
 func main() {
 	format := flag.Bool("format", false, "print canonical re-parseable assembly")
 	fingerprint := flag.Bool("fingerprint", false, "print only the assembled-form fingerprint (snapshot/cache key)")
+	compileReport := flag.Bool("compile-report", false, "print each triggered PE's compiled-plan specialization summary")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tiaasm [-format] [-fingerprint] fabric.tia")
+		fmt.Fprintln(os.Stderr, "usage: tiaasm [-format] [-fingerprint] [-compile-report] fabric.tia")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *format, *fingerprint); err != nil {
+	if err := run(flag.Arg(0), *format, *fingerprint, *compileReport); err != nil {
 		fmt.Fprintln(os.Stderr, "tiaasm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, format, fingerprint bool) error {
+// compileReport prints each triggered PE's compiled-plan summary, in
+// name order. The analysis runs against the PE's initial architectural
+// state — the same state a compiled simulation starts from.
+func compileReport(nl *asm.Netlist) {
+	names := make([]string, 0, len(nl.PEs))
+	for name := range nl.PEs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := nl.PEs[name]
+		cfg := p.Config()
+		regs := make([]isa.Word, cfg.NumRegs)
+		for i := range regs {
+			regs[i] = p.Reg(i)
+		}
+		var preds uint64
+		for i := 0; i < cfg.NumPreds; i++ {
+			if p.Pred(i) {
+				preds |= 1 << uint(i)
+			}
+		}
+		plan := compile.Analyze(cfg, p.Program(), regs, preds)
+		fmt.Printf("pe %-12s %s\n", name, plan.Describe())
+	}
+	if len(nl.PCPEs) > 0 {
+		fmt.Printf("(%d pcpe skipped: the compiled backend specializes triggered pools only)\n", len(nl.PCPEs))
+	}
+}
+
+func run(path string, format, fingerprint, report bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -51,6 +90,10 @@ func run(path string, format, fingerprint bool) error {
 	}
 	if fingerprint {
 		fmt.Println(nl.Fingerprint())
+		return nil
+	}
+	if report {
+		compileReport(nl)
 		return nil
 	}
 	peNames := make([]string, 0, len(nl.PEs))

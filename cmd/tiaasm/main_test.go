@@ -8,7 +8,7 @@ import (
 
 func TestAssembleExamples(t *testing.T) {
 	for _, f := range []string{"merge.tia", "histogram.tia"} {
-		if err := run(filepath.Join("../../examples/netlists", f), false, false); err != nil {
+		if err := run(filepath.Join("../../examples/netlists", f), false, false, false); err != nil {
 			t.Errorf("%s: %v", f, err)
 		}
 	}
@@ -20,19 +20,25 @@ func TestAssembleRejectsBadProgram(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("pe x\nin a\nr: when a : bogus a\nend\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, false, false); err == nil {
+	if err := run(bad, false, false, false); err == nil {
 		t.Fatal("invalid program accepted")
 	}
 }
 
 func TestAssembleFormatMode(t *testing.T) {
-	if err := run("../../examples/netlists/merge.tia", true, false); err != nil {
+	if err := run("../../examples/netlists/merge.tia", true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAssembleFingerprintMode(t *testing.T) {
-	if err := run("../../examples/netlists/merge.tia", false, true); err != nil {
+	if err := run("../../examples/netlists/merge.tia", false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleCompileReportMode(t *testing.T) {
+	if err := run("../../examples/netlists/merge.tia", false, false, true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,7 +4,8 @@
 // several times and the minimum wall-clock kept (min-of-N discards
 // scheduler noise and cache-cold first runs); two micro-benchmarks gate
 // the per-cycle hot paths — trigger resolution (pe.ClassifyAll) and
-// whole-fabric stepping in its event, dense and sharded modes — with
+// whole-fabric stepping in its event, dense, sharded and compiled
+// modes — with
 // allocs/op recorded so allocation regressions show up in the committed
 // BENCH_*.json history (see make bench-json and .github/workflows).
 package main
@@ -51,6 +52,7 @@ type benchReport struct {
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Shards     int           `json:"shards"`
+	Compiled   bool          `json:"compiled,omitempty"`
 	Size       int           `json:"size"`
 	Seed       int64         `json:"seed"`
 	Kernels    []benchKernel `json:"kernels"`
@@ -62,19 +64,20 @@ type benchReport struct {
 // ("-" = stdout). Kernel timings honor ctx (a -timeout mid-suite fails
 // the report rather than recording partial numbers — a trajectory file
 // with missing rows would not be comparable to its neighbors).
-func emitBenchJSON(ctx context.Context, p workloads.Params, shards int, path string) error {
+func emitBenchJSON(ctx context.Context, p workloads.Params, shards int, compiled bool, path string) (*benchReport, error) {
 	rep := &benchReport{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Shards:     shards,
+		Compiled:   compiled,
 		Size:       p.Size,
 		Seed:       p.Seed,
 	}
 	for _, spec := range workloads.All() {
-		row, err := benchKernelRow(ctx, spec, p, shards)
+		row, err := benchKernelRow(ctx, spec, p, shards, compiled)
 		if err != nil {
-			return fmt.Errorf("%s: %w", spec.Name, err)
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
 		}
 		rep.Kernels = append(rep.Kernels, row)
 		rep.TotalMinMs += row.MinMs
@@ -82,34 +85,36 @@ func emitBenchJSON(ctx context.Context, p workloads.Params, shards int, path str
 	rep.Micro = append(rep.Micro,
 		microResult("classify/fast", benchClassify(false)),
 		microResult("classify/ref", benchClassify(true)),
-		microResult("fabric_step/event", benchFabricStep(false, 0)),
-		microResult("fabric_step/dense", benchFabricStep(true, 0)),
-		microResult("fabric_step/sharded", benchFabricStep(false, 4)),
+		microResult("fabric_step/event", benchFabricStep(false, 0, false)),
+		microResult("fabric_step/dense", benchFabricStep(true, 0, false)),
+		microResult("fabric_step/sharded", benchFabricStep(false, 4, false)),
+		microResult("fabric_step/compiled", benchFabricStep(false, 0, true)),
 	)
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	out = append(out, '\n')
 	if path == "-" {
 		_, err = os.Stdout.Write(out)
-		return err
+		return rep, err
 	}
 	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("wrote %s (%d kernels, %d micro-benchmarks, total min-of-%d %.1f ms)\n",
 		path, len(rep.Kernels), len(rep.Micro), benchRuns, rep.TotalMinMs)
-	return nil
+	return rep, nil
 }
 
 // benchKernelRow times one kernel's triggered instance: min-of-N
 // wall-clock of a full run, Reset between repeats (simulations are
 // deterministic, so every repeat does identical work).
-func benchKernelRow(ctx context.Context, spec *workloads.Spec, p workloads.Params, shards int) (benchKernel, error) {
+func benchKernelRow(ctx context.Context, spec *workloads.Spec, p workloads.Params, shards int, compiled bool) (benchKernel, error) {
 	pp := spec.Normalize(p)
 	pp.FabricCfg.Shards = shards
+	pp.FabricCfg.Compiled = compiled
 	inst, err := spec.BuildTIA(pp)
 	if err != nil {
 		return benchKernel{}, err
@@ -192,7 +197,7 @@ func benchClassify(reference bool) testing.BenchmarkResult {
 // benchFabricStep measures per-cycle overhead on the mostly-idle
 // heartbeat fabric (the out-of-package twin of BenchmarkFabricStep_Idle):
 // one PE fires every cycle while eight merge PEs sit stalled.
-func benchFabricStep(dense bool, shards int) testing.BenchmarkResult {
+func benchFabricStep(dense bool, shards int, compiled bool) testing.BenchmarkResult {
 	heartbeat := []isa.Instruction{{
 		Op:   isa.OpAdd,
 		Srcs: [2]isa.Src{isa.Reg(0), isa.Imm(1)},
@@ -222,6 +227,7 @@ func benchFabricStep(dense bool, shards int) testing.BenchmarkResult {
 	}
 	f.SetDenseStepping(dense)
 	f.SetShards(shards)
+	f.SetCompiled(compiled)
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		done := 0

@@ -1,0 +1,87 @@
+// Bench-report comparison (-compare): load an older BENCH_*.json and
+// print per-kernel wall-clock deltas against the report just produced
+// by -json-out. A kernel that got more than regressThreshold slower is
+// a regression; compareBenchReports returns an error (so main exits
+// non-zero) listing every offender, which is how the CI bench job
+// blocks perf regressions against the committed trajectory.
+//
+// Only kernels present in BOTH reports are compared: a renamed or new
+// kernel has no baseline to regress against. Micro-benchmark rows are
+// printed for context but never gate — ns/op on a shared CI runner is
+// too noisy; the kernels' min-of-N wall clock is the contract.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// regressThreshold is the fractional slowdown that fails the compare:
+// new_min_ms > old_min_ms * (1 + regressThreshold).
+const regressThreshold = 0.10
+
+// loadBenchReport reads a BENCH_*.json produced by -json-out.
+func loadBenchReport(path string) (*benchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareBenchReports prints a per-kernel delta table (old vs new) and
+// returns an error naming every kernel that regressed by more than
+// regressThreshold.
+func compareBenchReports(w io.Writer, oldPath string, fresh *benchReport) error {
+	old, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	return compareReports(w, old, fresh, oldPath)
+}
+
+// compareReports is the testable core of -compare.
+func compareReports(w io.Writer, old, fresh *benchReport, oldLabel string) error {
+	fmt.Fprintf(w, "\nbench compare: %s (%s) -> fresh (%s)\n", oldLabel, old.Date, fresh.Date)
+	fmt.Fprintf(w, "%-12s %10s %10s %8s\n", "kernel", "old ms", "new ms", "delta")
+	oldByName := make(map[string]benchKernel, len(old.Kernels))
+	for _, k := range old.Kernels {
+		oldByName[k.Name] = k
+	}
+	var regressed []string
+	matched := 0
+	for _, k := range fresh.Kernels {
+		o, ok := oldByName[k.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-12s %10s %10.3f %8s (no baseline)\n", k.Name, "-", k.MinMs, "-")
+			continue
+		}
+		matched++
+		delta := k.MinMs/o.MinMs - 1
+		mark := ""
+		if k.MinMs > o.MinMs*(1+regressThreshold) {
+			mark = "  REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s %.3f -> %.3f ms (%+.1f%%)", k.Name, o.MinMs, k.MinMs, delta*100))
+		}
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f %+7.1f%%%s\n", k.Name, o.MinMs, k.MinMs, delta*100, mark)
+	}
+	if old.TotalMinMs > 0 {
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f %+7.1f%%\n", "total",
+			old.TotalMinMs, fresh.TotalMinMs, (fresh.TotalMinMs/old.TotalMinMs-1)*100)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no kernels in common with %s — nothing to compare", oldLabel)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d kernel(s) regressed >%g%% vs %s: %v",
+			len(regressed), regressThreshold*100, oldLabel, regressed)
+	}
+	fmt.Fprintf(w, "no kernel regressed more than %g%%\n", regressThreshold*100)
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func compareFixture(minMs ...float64) *benchReport {
+	names := []string{"aes", "fft", "kmp"}
+	rep := &benchReport{Date: "2026-01-01"}
+	for i, ms := range minMs {
+		rep.Kernels = append(rep.Kernels, benchKernel{Name: names[i], MinMs: ms})
+		rep.TotalMinMs += ms
+	}
+	return rep
+}
+
+// TestCompareReportsPasses: small jitter in either direction stays
+// under the 10% threshold and compares clean.
+func TestCompareReportsPasses(t *testing.T) {
+	old := compareFixture(2.0, 1.0, 0.5)
+	fresh := compareFixture(2.1, 0.95, 0.54)
+	var buf bytes.Buffer
+	if err := compareReports(&buf, old, fresh, "old.json"); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"aes", "fft", "kmp", "total", "no kernel regressed"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestCompareReportsFlagsRegression: a kernel >10% slower must fail the
+// compare and be named in the error.
+func TestCompareReportsFlagsRegression(t *testing.T) {
+	old := compareFixture(2.0, 1.0, 0.5)
+	fresh := compareFixture(2.0, 1.3, 0.5)
+	var buf bytes.Buffer
+	err := compareReports(&buf, old, fresh, "old.json")
+	if err == nil {
+		t.Fatalf("30%% regression passed the compare:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "fft") {
+		t.Errorf("regression error does not name the offending kernel: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("delta table does not mark the regression:\n%s", buf.String())
+	}
+}
+
+// TestCompareReportsHandlesMismatchedKernels: fresh-only kernels are
+// reported without a baseline, and zero overlap is an error rather than
+// a vacuous pass.
+func TestCompareReportsHandlesMismatchedKernels(t *testing.T) {
+	old := compareFixture(2.0)
+	fresh := compareFixture(2.0, 1.0)
+	var buf bytes.Buffer
+	if err := compareReports(&buf, old, fresh, "old.json"); err != nil {
+		t.Fatalf("partial-overlap compare failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no baseline") {
+		t.Errorf("new kernel not labeled baseline-less:\n%s", buf.String())
+	}
+
+	disjoint := &benchReport{Kernels: []benchKernel{{Name: "other", MinMs: 1}}}
+	if err := compareReports(&buf, disjoint, fresh, "old.json"); err == nil {
+		t.Error("zero-overlap compare passed vacuously")
+	}
+}

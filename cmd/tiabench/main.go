@@ -18,6 +18,17 @@
 // against -workers so suite concurrency and intra-fabric sharding share
 // one CPU budget.
 //
+// -compiled switches every simulation to the closure-compiled stepping
+// backend (internal/compile): per-PE trigger pools are specialized into
+// step closures with constant operands folded and dead triggers
+// dropped. Results are bit-identical to the interpreter; only wall
+// clock changes.
+//
+// -compare OLD.json (with -json-out) prints per-kernel wall-clock
+// deltas against an older BENCH report and exits non-zero if any
+// kernel regressed by more than 10% — the CI bench job uses this to
+// catch perf regressions against the committed trajectory.
+//
 // -json-out runs the bench suite instead of the experiments: min-of-N
 // wall-clock per kernel plus allocation-gated micro-benchmarks of the
 // trigger-resolution and fabric-stepping hot paths, written as a JSON
@@ -59,7 +70,9 @@ func main() {
 	faultState := flag.String("state", "", "campaign progress file: finished kernels are recorded and an interrupted sweep resumes (with -faults)")
 	workers := flag.Int("workers", 0, "max concurrent design-point simulations (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "fabric shard count per simulation (0/1 = serial, <0 = auto; clamped so workers x shards <= GOMAXPROCS)")
+	compiled := flag.Bool("compiled", false, "use the closure-compiled stepping backend (bit-identical results)")
 	benchOut := flag.String("json-out", "", "run the bench suite (min-of-N kernel wall-clock + micro-benchmarks) and write a BENCH json report to this file ('-' = stdout)")
+	compare := flag.String("compare", "", "with -json-out: compare the fresh report against this older BENCH json; exit non-zero on a >10% per-kernel regression")
 	timeout := flag.Duration("timeout", 0, "total wall-clock budget; expiry cancels simulations and prints partial results (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -67,6 +80,7 @@ func main() {
 
 	core.MaxWorkers = *workers
 	core.Shards = *shards
+	core.Compiled = *compiled
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -104,11 +118,22 @@ func main() {
 
 	p := workloads.Params{Size: *size, Seed: *seed}
 	if *benchOut != "" {
-		if err := emitBenchJSON(ctx, p, *shards, *benchOut); err != nil {
+		rep, err := emitBenchJSON(ctx, p, *shards, *compiled, *benchOut)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "tiabench:", err)
 			os.Exit(1)
 		}
+		if *compare != "" {
+			if err := compareBenchReports(os.Stdout, *compare, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "tiabench:", err)
+				os.Exit(1)
+			}
+		}
 		return
+	}
+	if *compare != "" {
+		fmt.Fprintln(os.Stderr, "tiabench: -compare requires -json-out (a fresh report to compare against)")
+		os.Exit(1)
 	}
 	if *jsonOut {
 		if err := emitJSON(ctx, p); err != nil {

@@ -16,6 +16,7 @@
 //
 //	tiad [-addr :8080] [-workers N] [-queue N] [-result-cache N]
 //	     [-program-cache N] [-max-cycles N] [-check-every N] [-shards K]
+//	     [-compiled]
 //	     [-drain-timeout D] [-journal FILE] [-snapshot-dir DIR]
 //	     [-checkpoint-every N]
 //
@@ -23,6 +24,11 @@
 // (bit-identical results; K < 0 means auto). Per-job requests via the
 // "shards" field override it; either way the server clamps the count so
 // the worker pool and intra-job sharding share one CPU budget.
+//
+// -compiled makes the closure-compiled stepping backend the default for
+// every job (bit-identical results; jobs can also opt in per-request
+// with the "compiled" field). Compiled plans are cached process-wide,
+// content-addressed by assembled-form fingerprint.
 //
 // With -journal, every accepted job is recorded in a crash-safe
 // write-ahead journal before it runs, long workload runs persist
@@ -64,6 +70,7 @@ func main() {
 	maxCycles := flag.Int64("max-cycles", 100_000_000, "hard per-job cycle ceiling")
 	checkEvery := flag.Int("check-every", 1024, "cycles between cancellation checks")
 	shards := flag.Int("shards", 0, "default fabric shard count per job (0 = serial, <0 = auto; clamped so workers x shards <= GOMAXPROCS)")
+	compiled := flag.Bool("compiled", false, "step jobs with the closure-compiled backend by default (bit-identical results)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	journal := flag.String("journal", "", "job journal path (enables crash-safe durability)")
 	snapshotDir := flag.String("snapshot-dir", "", "checkpoint snapshot directory (default <journal>.snapshots)")
@@ -82,6 +89,7 @@ func main() {
 	cfg.MaxCyclesCap = *maxCycles
 	cfg.CancelCheckInterval = *checkEvery
 	cfg.DefaultShards = *shards
+	cfg.DefaultCompiled = *compiled
 	cfg.JournalPath = *journal
 	cfg.SnapshotDir = *snapshotDir
 	cfg.CheckpointEvery = *checkpointEvery

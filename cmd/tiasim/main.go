@@ -15,12 +15,18 @@
 // Usage:
 //
 //	tiasim [-max N] [-stats] [-trace N] [-chrome out.json] [-shards K]
+//	       [-compiled]
 //	       [-checkpoint FILE [-checkpoint-every N]] [-restore FILE]
 //	       fabric.tia
 //
 // -shards K steps the fabric's compute phase on K parallel workers
 // (K < 0 means one per CPU). Results are bit-identical to serial
 // stepping; only wall-clock changes.
+//
+// -compiled switches stepping to the closure-compiled backend
+// (internal/compile): each PE's trigger pool is specialized into a step
+// closure with constant operands folded and dead triggers dropped.
+// Like -shards, results are bit-identical; only wall clock changes.
 package main
 
 import (
@@ -48,6 +54,9 @@ type options struct {
 	// shards steps the fabric's compute phase on this many workers
 	// (bit-identical results; 0/1 serial, negative = GOMAXPROCS).
 	shards int
+	// compiled steps via closure-compiled per-PE step functions
+	// (bit-identical results; only wall clock changes).
+	compiled bool
 	// checkpoint is the snapshot file written every ckptEvery cycles
 	// (and on cycle-budget exhaustion); empty disables checkpointing.
 	checkpoint string
@@ -63,6 +72,7 @@ func main() {
 	flag.BoolVar(&opt.stats, "stats", false, "print per-element utilization")
 	flag.Int64Var(&opt.traceN, "trace", 0, "render a fire timeline of the first N cycles")
 	flag.IntVar(&opt.shards, "shards", 0, "parallel stepping shards (0/1 = serial, <0 = all CPUs; results are bit-identical)")
+	flag.BoolVar(&opt.compiled, "compiled", false, "use the closure-compiled stepping backend (results are bit-identical)")
 	flag.StringVar(&opt.chromePath, "chrome", "", "write a Chrome trace-event JSON file of all fires")
 	flag.StringVar(&opt.checkpoint, "checkpoint", "", "write a state snapshot to this file periodically")
 	flag.Int64Var(&opt.ckptEvery, "checkpoint-every", 10_000, "cycles between -checkpoint snapshots")
@@ -121,6 +131,7 @@ func run(path string, opt options) error {
 	}
 	fingerprint := nl.Fingerprint()
 	nl.Fabric.SetShards(opt.shards)
+	nl.Fabric.SetCompiled(opt.compiled)
 
 	budget := opt.maxCycles
 	if opt.restore != "" {

@@ -3,6 +3,7 @@ package asm
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"sort"
 	"strings"
 
@@ -43,4 +44,35 @@ func (n *Netlist) Fingerprint() string {
 func hashString(s string) string {
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
+}
+
+// initRecord renders register/predicate initializers in canonical
+// (index-sorted) form. Initializers are assembled state, not rendered by
+// FormatTIA/FormatPC, so the fingerprint records must carry them
+// explicitly: two programs with identical instructions but different
+// `reg r = v` / `pred p = 1` declarations simulate differently and must
+// not collide in the content-addressed caches.
+func initRecord(regs map[int]isa.Word, preds map[int]bool) string {
+	idx := make([]int, 0, len(regs))
+	for i := range regs {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	var b strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&b, " reg%d=%d", i, regs[i])
+	}
+	idx = idx[:0]
+	for i := range preds {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		v := 0
+		if preds[i] {
+			v = 1
+		}
+		fmt.Fprintf(&b, " pred%d=%d", i, v)
+	}
+	return b.String()
 }

@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"fmt"
 	"testing"
 
 	"tia/internal/isa"
@@ -86,6 +87,42 @@ func TestFingerprintStable(t *testing.T) {
 		if b := mustParse(t, fpBase).Fingerprint(); b != a {
 			t.Fatalf("fingerprint unstable across parses: %s vs %s", a, b)
 		}
+	}
+}
+
+// TestFingerprintCoversInitializers: register/predicate initializers are
+// assembled state that FormatTIA does not render, so the fingerprint
+// records must carry them explicitly. Netlists whose PE programs differ
+// only in a `reg r = v` or `pred p = 1` declaration simulate differently
+// and must not collide in the content-addressed caches (result cache,
+// compiled-plan cache).
+func TestFingerprintCoversInitializers(t *testing.T) {
+	const tmpl = `
+source a : 1 3 5 eod
+sink out
+pe fwd
+in a
+out o
+%s
+%s
+add: when !done a.tag==0 : add o, a, bias ; deq a
+fin: when !done a.tag==eod : halt o#eod ; set done
+end
+wire a.0 -> fwd.a
+wire fwd.o -> out.0
+`
+	parse := func(regDecl, predDecl string) string {
+		return mustParse(t, "\n"+fmt.Sprintf(tmpl, regDecl, predDecl)).Fingerprint()
+	}
+	base := parse("reg bias = 2", "pred done")
+	if got := parse("reg bias = 7", "pred done"); got == base {
+		t.Error("register initializer change did not change the fingerprint")
+	}
+	if got := parse("reg bias = 2", "pred done = 1"); got == base {
+		t.Error("predicate initializer change did not change the fingerprint")
+	}
+	if got := parse("reg bias = 2", "pred done"); got != base {
+		t.Error("fingerprint with initializers not deterministic")
 	}
 }
 

@@ -418,7 +418,7 @@ func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body
 		np.n.PEs[name] = proc
 		np.n.tiaProgs[name] = prog
 		np.n.fpRecs = append(np.n.fpRecs,
-			fmt.Sprintf("pe %s cfg=%+v\n%s", name, cfg, FormatTIA(proc.Program())))
+			fmt.Sprintf("pe %s cfg=%+v init=%s\n%s", name, cfg, initRecord(prog.RegInit, prog.PredInit), FormatTIA(proc.Program())))
 		return nil
 	}
 	if len(opts) > 0 {
@@ -435,7 +435,7 @@ func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body
 	np.n.PCPEs[name] = proc
 	np.n.pcProgs[name] = prog
 	np.n.fpRecs = append(np.n.fpRecs,
-		fmt.Sprintf("pcpe %s cfg=%+v\n%s", name, np.pcCfg, FormatPC(proc.Program())))
+		fmt.Sprintf("pcpe %s cfg=%+v init=%s\n%s", name, np.pcCfg, initRecord(prog.RegInit, nil), FormatPC(proc.Program())))
 	return nil
 }
 

@@ -158,6 +158,17 @@ func (c *Channel) Send(tok Token) {
 	c.sent++
 }
 
+// Ready reports whether a committed token is visible to the receiver —
+// Peek's boolean without copying the token. Compiled step closures (see
+// internal/pe) use it for their channel-status scans.
+func (c *Channel) Ready() bool { return c.qLen > 0 }
+
+// HeadTag returns the committed head token's tag. The caller must have
+// observed Ready; the tag of an empty channel is unspecified.
+func (c *Channel) HeadTag() isa.Tag {
+	return c.queue[c.qHead].Tag
+}
+
 // Peek returns the committed head token without consuming it.
 func (c *Channel) Peek() (Token, bool) {
 	if c.qLen == 0 {
@@ -250,6 +261,18 @@ func (c *Channel) Tick() bool {
 		c.maxOcc = c.qLen
 	}
 	return changed
+}
+
+// Commit is the fused per-cycle commit used by the fabric's event-driven
+// steppers: one call performs Tick and classifies the post-commit state,
+// saving two method calls (Idle, Quiet) per active channel per cycle.
+// busy is !Idle (tokens exist somewhere); quiet means nothing is staged
+// or in flight, so a further Tick would be a no-op.
+func (c *Channel) Commit() (changed, busy, quiet bool) {
+	changed = c.Tick()
+	quiet = c.ifLen == 0 && len(c.stagedSend) == 0 && !c.stagedDeq
+	busy = !quiet || c.qLen != 0
+	return changed, busy, quiet
 }
 
 // SetFaultHook attaches (or, with nil, detaches) a fault hook. Attaching

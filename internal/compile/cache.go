@@ -1,0 +1,68 @@
+// The plan cache: plans are pure functions of their content key, so one
+// process-wide content-addressed table lets every consumer — each PE of
+// every fabric of every service job — compile a given assembled form
+// once. tiad's per-job metrics surface the counters (see
+// internal/service), and the cache-sharing contract (cosmetically
+// different netlist sources with equal assembled forms share one
+// compiled program) is pinned by tests there.
+
+package compile
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tia/internal/isa"
+)
+
+// cacheCapacity bounds the process-wide plan cache. Plans are small
+// (tens of words per instruction) and keyed by content, so the bound
+// exists only to keep pathological program-generating loops from
+// growing the table without limit; on overflow the table is simply
+// cleared (plans are recomputable in microseconds).
+const cacheCapacity = 1024
+
+var planCache = struct {
+	mu    sync.Mutex
+	plans map[string]*Plan
+}{plans: make(map[string]*Plan)}
+
+var cacheHits, cacheMisses atomic.Int64
+
+// CacheStats is a snapshot of the plan cache's counters.
+type CacheStats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Counters returns the plan cache's lifetime counters and current size.
+func Counters() CacheStats {
+	planCache.mu.Lock()
+	n := len(planCache.plans)
+	planCache.mu.Unlock()
+	return CacheStats{Hits: cacheHits.Load(), Misses: cacheMisses.Load(), Entries: n}
+}
+
+// Analyzed is Analyze through the content-addressed plan cache: the
+// program (plus constant state) is digested, and an existing plan with
+// the same key is returned without re-analysis.
+func Analyzed(cfg isa.Config, prog []isa.Instruction, regs []isa.Word, preds uint64) *Plan {
+	constRegs, constPreds := constMasks(cfg, prog)
+	key := planKey(cfg, prog, regs, preds, constRegs, constPreds)
+	planCache.mu.Lock()
+	if p, ok := planCache.plans[key]; ok {
+		planCache.mu.Unlock()
+		cacheHits.Add(1)
+		return p
+	}
+	planCache.mu.Unlock()
+	cacheMisses.Add(1)
+	p := analyze(cfg, prog, regs, preds, constRegs, constPreds, key)
+	planCache.mu.Lock()
+	if len(planCache.plans) >= cacheCapacity {
+		planCache.plans = make(map[string]*Plan)
+	}
+	planCache.plans[key] = p
+	planCache.mu.Unlock()
+	return p
+}

@@ -1,0 +1,276 @@
+// Package compile partially evaluates a triggered-instruction program
+// against its static context, producing a Plan a simulator backend can
+// turn into specialized ("closure-compiled") step functions.
+//
+// The paper's thesis is that triggered control is resolved by a handful
+// of gates because almost everything about a trigger is static. This
+// package is the software form of that observation, staged the way
+// Verilator compiles RTL: facts that are invariant for the lifetime of a
+// program — which registers and predicates are ever written, which
+// trigger guards can ever hold, which operands are compile-time
+// constants — are computed once, so the per-cycle residue is only the
+// genuinely dynamic checks (channel readiness, head tags, live
+// predicates).
+//
+// Three partial-evaluation rules, each sound by a write-set argument:
+//
+//   - A predicate never written by any instruction holds its initial
+//     value forever. A trigger literal over such a predicate is either
+//     statically satisfied (elided from the residual guard) or
+//     statically false (the whole instruction is dead: it can never
+//     trigger, so dropping it from the dispatch loop is invisible —
+//     including to the stall statistics, because a predicate-false
+//     instruction never contributes input- or output-wait states).
+//   - A register never written by any instruction holds its initial
+//     value forever, so a SrcReg operand over it is a constant, exactly
+//     like SrcImm.
+//   - An instruction whose operands are all constant has a constant ALU
+//     result, folded here with the same isa.Opcode.Eval the interpreter
+//     uses at runtime.
+//
+// Write sets are computed over the whole program, including dead
+// instructions — conservative (a dead writer could be ignored, possibly
+// constifying more state) but simple, and iteration to a fixpoint has
+// not been worth it on the paper's kernels.
+//
+// Only statically-false *predicate* guards make an instruction dead.
+// Channel conditions never do: an instruction waiting on a channel
+// contributes observable InputStall/OutputStall accounting, so it must
+// stay in the dispatch loop even if its channels can never fill.
+//
+// Plans are pure data — no channel pointers, no simulator state — so
+// they are shared across PE instances and cached content-addressed (see
+// Analyzed): the cache key is a digest of the architectural config, the
+// assembled instruction stream, and the values of the registers and
+// predicates proven constant. Two netlists that assemble to the same
+// form share one plan no matter how their sources differ cosmetically.
+package compile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"tia/internal/isa"
+)
+
+// Inst is the residual form of one live instruction.
+type Inst struct {
+	// Index is the instruction's position in the original program;
+	// per-instruction statistics stay indexed by it.
+	Index int
+	// PredMask/PredVal is the residual predicate guard after eliding
+	// statically-satisfied literals: predBits&PredMask must equal
+	// PredVal. A zero PredMask means the guard always holds.
+	PredMask, PredVal uint64
+	// ElidedPreds counts trigger literals proven statically true.
+	ElidedPreds int
+	// SrcConst marks operand slots whose value is known at compile time
+	// (immediates, or reads of never-written registers); SrcVal holds
+	// the folded value.
+	SrcConst [2]bool
+	SrcVal   [2]isa.Word
+	// Folded reports that every consumed operand is constant, so the ALU
+	// result itself is the compile-time constant FoldedVal.
+	Folded    bool
+	FoldedVal isa.Word
+}
+
+// Plan is the partial-evaluation result for one program.
+type Plan struct {
+	// Live lists the surviving instructions in program order.
+	Live []Inst
+	// Dead lists the original indices of instructions whose predicate
+	// guard is statically false.
+	Dead []int
+	// ConstRegs/ConstPreds are bitmasks of the registers/predicates no
+	// instruction ever writes (the constancy base of the rules above).
+	ConstRegs  uint64
+	ConstPreds uint64
+	// Key is the content digest this plan is cached under.
+	Key string
+}
+
+// writeSets returns the union of register and predicate write masks over
+// the whole program.
+func writeSets(prog []isa.Instruction) (regs, preds uint64) {
+	for i := range prog {
+		in := &prog[i]
+		for _, d := range in.Dsts {
+			switch d.Kind {
+			case isa.DstReg:
+				regs |= 1 << uint(d.Index)
+			case isa.DstPred:
+				preds |= 1 << uint(d.Index)
+			}
+		}
+		for _, u := range in.PredUpdates {
+			preds |= 1 << uint(u.Index)
+		}
+	}
+	return regs, preds
+}
+
+// constMasks returns the complements of the write sets, clipped to the
+// architectural register/predicate counts.
+func constMasks(cfg isa.Config, prog []isa.Instruction) (regs, preds uint64) {
+	wRegs, wPreds := writeSets(prog)
+	regs = ^wRegs & (1<<uint(cfg.NumRegs) - 1)
+	preds = ^wPreds & (1<<uint(cfg.NumPreds) - 1)
+	return regs, preds
+}
+
+// Analyze partially evaluates prog against the architectural config and
+// the current register file / packed predicate file. Callers pass the
+// state the program would start (or resume) from; only the values of
+// never-written registers and predicates influence the plan, so any
+// reachable mid-run state of the same program yields the same plan.
+func Analyze(cfg isa.Config, prog []isa.Instruction, regs []isa.Word, preds uint64) *Plan {
+	constRegs, constPreds := constMasks(cfg, prog)
+	key := planKey(cfg, prog, regs, preds, constRegs, constPreds)
+	return analyze(cfg, prog, regs, preds, constRegs, constPreds, key)
+}
+
+func analyze(cfg isa.Config, prog []isa.Instruction, regs []isa.Word, preds uint64,
+	constRegs, constPreds uint64, key string) *Plan {
+	p := &Plan{
+		ConstRegs:  constRegs,
+		ConstPreds: constPreds,
+		Key:        key,
+	}
+	for i := range prog {
+		in := &prog[i]
+		ri := Inst{Index: i}
+		dead := false
+		for _, lit := range in.Trigger.Preds {
+			bit := uint64(1) << uint(lit.Index)
+			if constPreds&bit == 0 {
+				// Dynamic predicate: stays in the residual guard.
+				ri.PredMask |= bit
+				if lit.Value {
+					ri.PredVal |= bit
+				}
+				continue
+			}
+			if (preds&bit != 0) == lit.Value {
+				ri.ElidedPreds++
+			} else {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			p.Dead = append(p.Dead, i)
+			continue
+		}
+		arity := in.Op.Arity()
+		for s := 0; s < arity; s++ {
+			switch src := in.Srcs[s]; src.Kind {
+			case isa.SrcImm:
+				ri.SrcConst[s] = true
+				ri.SrcVal[s] = src.Imm
+			case isa.SrcReg:
+				if constRegs&(1<<uint(src.Index)) != 0 {
+					ri.SrcConst[s] = true
+					ri.SrcVal[s] = regs[src.Index]
+				}
+			}
+		}
+		folded := true
+		for s := 0; s < arity; s++ {
+			if !ri.SrcConst[s] {
+				folded = false
+			}
+		}
+		if folded {
+			// Covers arity 0 too: the interpreter evaluates nullary ops
+			// over zero operands, so their result is the same constant.
+			ri.Folded = true
+			ri.FoldedVal = in.Op.Eval(ri.SrcVal[0], ri.SrcVal[1])
+		}
+		p.Live = append(p.Live, ri)
+	}
+	return p
+}
+
+// planKey digests everything a plan can depend on: the architectural
+// config, the assembled instruction stream, and the values of the
+// registers/predicates proven constant. Written state is deliberately
+// excluded — plans are independent of it — so programs differing only in
+// the initial value of a written register share a cache entry.
+func planKey(cfg isa.Config, prog []isa.Instruction, regs []isa.Word, preds uint64,
+	constRegs, constPreds uint64) string {
+	h := sha256.New()
+	var scratch [8]byte
+	writeInt := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	fmt.Fprintf(h, "cfg %d %d %d %d %d %d\n",
+		cfg.NumRegs, cfg.NumPreds, cfg.NumIn, cfg.NumOut, cfg.MaxInsts, cfg.MaxTag)
+	for i := range prog {
+		fmt.Fprintf(h, "%d %s\n", i, prog[i].String())
+	}
+	writeInt(constRegs)
+	for r := 0; r < cfg.NumRegs; r++ {
+		if constRegs&(1<<uint(r)) != 0 {
+			writeInt(uint64(regs[r]))
+		}
+	}
+	writeInt(constPreds)
+	writeInt(preds & constPreds)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Stats summarizes how much of a program the partial evaluator resolved.
+type Stats struct {
+	Static      int // instructions in the source program
+	Live        int // instructions left in the dispatch loop
+	Dead        int // instructions dropped (statically-false guards)
+	ElidedPreds int // trigger literals proven constant-true
+	ConstSrcs   int // operand reads replaced by constants
+	Folded      int // instructions with compile-time-constant results
+}
+
+// Stats tallies the plan's specialization counters.
+func (p *Plan) Stats() Stats {
+	st := Stats{Static: len(p.Live) + len(p.Dead), Live: len(p.Live), Dead: len(p.Dead)}
+	for i := range p.Live {
+		ri := &p.Live[i]
+		st.ElidedPreds += ri.ElidedPreds
+		for s := 0; s < 2; s++ {
+			if ri.SrcConst[s] {
+				st.ConstSrcs++
+			}
+		}
+		if ri.Folded {
+			st.Folded++
+		}
+	}
+	return st
+}
+
+// Describe renders the plan's specialization summary on one line, for
+// reports (tiaasm -compile-report) and logs.
+func (p *Plan) Describe() string {
+	st := p.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d live", st.Live, st.Static)
+	if st.Dead > 0 {
+		fmt.Fprintf(&b, ", %d dead", st.Dead)
+	}
+	if st.ElidedPreds > 0 {
+		fmt.Fprintf(&b, ", %d pred literals elided", st.ElidedPreds)
+	}
+	if st.ConstSrcs > 0 {
+		fmt.Fprintf(&b, ", %d const operands", st.ConstSrcs)
+	}
+	if st.Folded > 0 {
+		fmt.Fprintf(&b, ", %d results folded", st.Folded)
+	}
+	if st.Live == 1 {
+		b.WriteString(", single-trigger")
+	}
+	return b.String()
+}

@@ -109,9 +109,18 @@ func ShardBudget(nTasks int) int {
 	return per
 }
 
-// applyShards stamps the arbitrated shard count into a normalized
-// parameter set, unless the caller already chose one explicitly.
+// Compiled requests closure-compiled stepping (fabric.Config.Compiled)
+// inside every simulation the harness runs. Like Shards it is a
+// stepping knob: bit-identical results, different wall-clock.
+var Compiled bool
+
+// applyShards stamps the arbitrated shard count and the compiled-
+// stepping flag into a normalized parameter set, unless the caller
+// already chose them explicitly.
 func applyShards(p *workloads.Params, nTasks int) {
+	if Compiled {
+		p.FabricCfg.Compiled = true
+	}
 	if p.FabricCfg.Shards != 0 {
 		return
 	}

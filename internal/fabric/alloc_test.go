@@ -20,6 +20,13 @@ import (
 // buildCycleFabric is the BenchmarkFabricCycle topology at a smaller
 // size: four sorted sources feeding a three-PE merge tree into one sink.
 func buildCycleFabric(t testing.TB) *Fabric {
+	f, _ := buildCycleFabricPEs(t)
+	return f
+}
+
+// buildCycleFabricPEs additionally returns the merge PEs, for gates
+// that poke PE state directly (the compiled-stepping gates).
+func buildCycleFabricPEs(t testing.TB) (*Fabric, []*pe.PE) {
 	t.Helper()
 	quarter := make([]isa.Word, 1<<8)
 	for i := range quarter {
@@ -49,7 +56,7 @@ func buildCycleFabric(t testing.TB) *Fabric {
 	f.Wire(merges[0], 0, merges[2], 0)
 	f.Wire(merges[1], 0, merges[2], 1)
 	f.Wire(merges[2], 0, snk, 0)
-	return f
+	return f, merges[:]
 }
 
 // runToCompletion is the warm/measured loop body shared by the gates.
@@ -110,5 +117,69 @@ func TestShardedRunAllocationBounded(t *testing.T) {
 	const perRunSetup = 32
 	if avg > perRunSetup {
 		t.Errorf("steady-state sharded Reset+Run: %.1f allocs/run, want <= %d (worker setup only)", avg, perRunSetup)
+	}
+}
+
+// TestCompiledEventRunAllocationFree gates the compiled stepping
+// backend's steady state: once every PE's step closure is built (the
+// first Run compiles; Reset keeps the closures — it does not touch
+// program or configuration), a Reset+Run loop through the event stepper
+// dispatches via the compiled table with zero heap allocations, same
+// contract as the interpreter.
+func TestCompiledEventRunAllocationFree(t *testing.T) {
+	f := buildCycleFabric(t)
+	f.SetCompiled(true)
+	runToCompletion(t, f) // warm: compile the pools, grow every buffer
+	avg := testing.AllocsPerRun(5, func() {
+		f.Reset()
+		runToCompletion(t, f)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state compiled event Reset+Run: %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestCompiledDenseRunAllocationFree is the dense-stepper twin.
+func TestCompiledDenseRunAllocationFree(t *testing.T) {
+	f := buildCycleFabric(t)
+	f.SetDenseStepping(true)
+	f.SetCompiled(true)
+	runToCompletion(t, f)
+	avg := testing.AllocsPerRun(5, func() {
+		f.Reset()
+		runToCompletion(t, f)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state compiled dense Reset+Run: %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestCompileStepAllocationBounded gates the one-time cost of
+// compilation itself: rebuilding a PE's step closure (forced here by a
+// state poke that bumps its compile generation; the analysis plan stays
+// cached in internal/compile's content-addressed cache) is a bounded
+// constant — closure captures and the per-instruction dispatch rows —
+// not proportional to anything a run does.
+func TestCompileStepAllocationBounded(t *testing.T) {
+	f, merges := buildCycleFabricPEs(t)
+	f.SetCompiled(true)
+	runToCompletion(t, f) // populates the plan cache for the merge pool
+	avg := testing.AllocsPerRun(5, func() {
+		for _, m := range merges {
+			m.SetReg(0, m.Reg(0)) // invalidates the cached closure only
+			if m.CompileStep() == nil {
+				t.Fatal("CompileStep returned nil")
+			}
+		}
+	})
+	// ~170 allocs today: the plan-cache key digest (rendered
+	// instructions + sha256) plus closure captures and dispatch rows.
+	// The slack absorbs key-digest tweaks; a regression to re-analyzing
+	// on every compile (plan-cache bypass) or anything proportional to
+	// run or input size blows through it.
+	const perCompile = 256
+	if bound := float64(len(merges) * perCompile); avg > bound {
+		t.Errorf("recompiling %d merge pools: %.1f allocs/run, want <= %.0f (bounded one-time compile cost)",
+			len(merges), avg, bound)
 	}
 }

@@ -137,6 +137,15 @@ type Config struct {
 	// DESIGN.md "Sharded parallel stepping"); negative means one shard
 	// per available CPU (GOMAXPROCS).
 	Shards int
+	// Compiled switches element stepping to closure-compiled step
+	// functions: at the top of each run, every element that implements
+	// CompileStep (triggered PEs — see internal/pe and internal/compile)
+	// contributes a specialized step closure to a dispatch table, which
+	// replaces the generic Element.Step walk in the dense, event-driven
+	// and sharded steppers alike. Results are bit-identical to the
+	// interpreter (the stepModes differential sweeps assert it); like
+	// Shards, this is a stepping knob, not part of the modeled machine.
+	Compiled bool
 }
 
 // DefaultConfig returns the defaults used throughout the workload suite:
@@ -190,6 +199,14 @@ type prepared struct {
 	sinkOf   []*Sink      // indexed by element, nil for non-sinks
 	elemCh   [][]int      // channel indices attached to each element
 	ends     [][2]int     // per channel: sender/receiver element index, -1 unknown
+
+	// Compiled-mode dispatch table, refreshed per run by refreshCompiled:
+	// steps is nil unless Config.Compiled, in which case steps[i] is
+	// element i's specialized step closure (or its bound Step method for
+	// elements that do not compile). compilers caches the interface
+	// assertions.
+	compilers []stepCompiler
+	steps     []func(cycle int64) bool
 }
 
 type faultyElem struct {
@@ -234,6 +251,21 @@ func (f *Fabric) SetCancelCheckInterval(n int) {
 // one assembled from a netlist, whose config the builder owns). See
 // Config.Shards for the value's meaning.
 func (f *Fabric) SetShards(k int) { f.cfg.Shards = k }
+
+// SetCompiled overrides Config.Compiled on an already-built fabric. See
+// Config.Compiled for the value's meaning; the dispatch table is
+// (re)built at the top of the next run.
+func (f *Fabric) SetCompiled(on bool) { f.cfg.Compiled = on }
+
+// stepCompiler is the optional element interface behind Config.Compiled:
+// CompileStep returns a step function with Step's exact observable
+// semantics, specialized to the element's current program and state.
+// Implementations cache internally and must return a fresh closure only
+// when something invalidated the old one; the fabric re-queries once per
+// run, never mid-run.
+type stepCompiler interface {
+	CompileStep() func(cycle int64) bool
+}
 
 // shardCount resolves Config.Shards against the machine and the fabric:
 // negative means GOMAXPROCS, and a fabric is never split into more
@@ -404,7 +436,12 @@ func (f *Fabric) prepare() {
 	p.hints = make([]wakeHinter, n)
 	p.sinkOf = make([]*Sink, n)
 	p.elemCh = make([][]int, n)
+	p.compilers = make([]stepCompiler, n)
+	p.steps = nil
 	for i, e := range f.elems {
+		if sc, ok := e.(stepCompiler); ok {
+			p.compilers[i] = sc
+		}
 		if ft, ok := e.(faulty); ok {
 			p.faulties = append(p.faulties, faultyElem{f: ft, e: e})
 		}
@@ -495,6 +532,7 @@ func (f *Fabric) RunContext(ctx context.Context, maxCycles int64) (Result, error
 		return Result{}, err
 	}
 	f.prepare()
+	f.refreshCompiled()
 	if f.dense {
 		return f.runDense(ctx, maxCycles)
 	}
@@ -539,10 +577,38 @@ func (c *cancelCheck) expired() error {
 	}
 }
 
+// refreshCompiled rebuilds the compiled-mode dispatch table. Called once
+// per run, after prepare: compiling elements are re-queried every time
+// (their CompileStep caches internally and hands back a new closure only
+// when program or folded-against state changed), non-compiling elements
+// get their bound Step method once per prepare. With Config.Compiled off
+// the table is nil and the steppers fall back to the Element.Step walk.
+func (f *Fabric) refreshCompiled() {
+	p := &f.prep
+	if !f.cfg.Compiled {
+		p.steps = nil
+		return
+	}
+	if len(p.steps) != len(f.elems) {
+		p.steps = make([]func(cycle int64) bool, len(f.elems))
+		for i, e := range f.elems {
+			if p.compilers[i] == nil {
+				p.steps[i] = e.Step
+			}
+		}
+	}
+	for i, sc := range p.compilers {
+		if sc != nil {
+			p.steps[i] = sc.CompileStep()
+		}
+	}
+}
+
 // runDense is the reference stepper: every element stepped and every
 // channel ticked, every cycle.
 func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) {
 	cc := f.newCancelCheck(ctx)
+	steps := f.prep.steps
 	idleStreak := 0
 	for n := int64(0); n < maxCycles; n++ {
 		if err := cc.expired(); err != nil {
@@ -562,7 +628,13 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 				}
 				continue
 			}
-			if e.Step(f.cycle) {
+			stepped := false
+			if steps != nil {
+				stepped = steps[i](f.cycle)
+			} else {
+				stepped = e.Step(f.cycle)
+			}
+			if stepped {
 				worked = true
 			}
 		}
@@ -738,7 +810,8 @@ func (f *Fabric) commitChannels(st *runState, cur int64) {
 	for _, ci := range st.activeList {
 		ch := chans[ci]
 		ends := prep.ends[ci]
-		if ch.Tick() {
+		changed, busy, quiet := ch.Commit()
+		if changed {
 			if ends[0] < 0 || ends[1] < 0 {
 				// Unknown endpoint: wake everything attached anywhere.
 				for ei := range st.awake {
@@ -749,7 +822,7 @@ func (f *Fabric) commitChannels(st *runState, cur int64) {
 				f.wake(st, ends[1], cur)
 			}
 		}
-		if busy := !ch.Idle(); busy != st.isBusy[ci] {
+		if busy != st.isBusy[ci] {
 			st.isBusy[ci] = busy
 			if busy {
 				st.busyCount++
@@ -757,7 +830,7 @@ func (f *Fabric) commitChannels(st *runState, cur int64) {
 				st.busyCount--
 			}
 		}
-		if ends[0] >= 0 && ends[1] >= 0 && ch.Quiet() {
+		if quiet && ends[0] >= 0 && ends[1] >= 0 {
 			st.active[ci] = false
 		} else {
 			next = append(next, ci)
@@ -796,11 +869,14 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 			f.inj.BeginCycle(cur)
 		}
 		worked := false
-		for i, e := range elems {
+		// Indexing awake (1 byte/element) instead of ranging over the
+		// interface slice keeps the scan over mostly-sleeping fabrics in
+		// one or two cache lines.
+		for i := range st.awake {
 			if !st.awake[i] {
 				continue
 			}
-			if f.inj != nil && f.inj.Frozen(e) {
+			if f.inj != nil && f.inj.Frozen(elems[i]) {
 				// Frozen: skip the step but stay awake, so stepping
 				// resumes the cycle the freeze ends even if no channel
 				// changes in between. The cycle is accounted immediately
@@ -811,10 +887,21 @@ func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) 
 				}
 				continue
 			}
-			if e.Step(cur) {
+			stepped := false
+			if prep.steps != nil {
+				stepped = prep.steps[i](cur)
+			} else {
+				stepped = elems[i].Step(cur)
+			}
+			if stepped {
 				worked = true
 				for _, ci := range prep.elemCh[i] {
-					if !st.active[ci] {
+					// A worked element's untouched channels are still
+					// quiet here (staging is the only way to unquiet a
+					// channel mid-cycle), and Tick on a quiet channel is
+					// a no-op — so only channels with staged effects
+					// need to join the tick list.
+					if !st.active[ci] && !f.chans[ci].Quiet() {
 						st.active[ci] = true
 						st.activeList = append(st.activeList, ci)
 					}

@@ -67,7 +67,13 @@ func (f *Fabric) computeShard(st *runState, s *shardSlot, k int, cur int64) {
 			}
 			continue
 		}
-		if elems[i].Step(cur) {
+		stepped := false
+		if prep.steps != nil {
+			stepped = prep.steps[i](cur)
+		} else {
+			stepped = elems[i].Step(cur)
+		}
+		if stepped {
 			s.worked = true
 			for _, ci := range prep.elemCh[i] {
 				// st.active is stable during compute (only the serial
@@ -161,7 +167,10 @@ func (f *Fabric) runSharded(ctx context.Context, maxCycles int64, k int) (Result
 				worked = true
 			}
 			for _, ci := range s.pending {
-				if !st.active[ci] {
+				// The Quiet check (safe here, post-barrier: no worker is
+				// staging) drops channels a worked element did not touch
+				// this cycle, matching runEvent's activation filter.
+				if !st.active[ci] && !f.chans[ci].Quiet() {
 					st.active[ci] = true
 					st.activeList = append(st.activeList, ci)
 				}

@@ -146,6 +146,13 @@ type PE struct {
 	initRegs  []isa.Word
 	initPreds uint64
 
+	// Compiled-stepping cache (see compiled.go): compileGen advances on
+	// any mutation that could invalidate a specialized step closure;
+	// compiledStep is reused while compiledFor matches it.
+	compileGen   uint64
+	compiledFor  uint64
+	compiledStep func(cycle int64) bool
+
 	// Trace, when non-nil, is called once per fire with the cycle, the
 	// instruction index, and the ALU result.
 	Trace func(cycle int64, instIdx int, result isa.Word)
@@ -267,13 +274,17 @@ func (p *PE) SetPolicy(pol SchedPolicy) {
 	if pol != SchedRoundRobin {
 		p.rrOffset = 0
 	}
+	p.invalidateCompiled()
 }
 
 // SetReferenceScheduler switches the PE between the compiled bitmask
 // scheduler (default) and the slice-walking reference scheduler that
 // evaluates triggers the way the original simulator did. The two are
 // required to be bit-identical; the differential tests run both.
-func (p *PE) SetReferenceScheduler(on bool) { p.reference = on }
+func (p *PE) SetReferenceScheduler(on bool) {
+	p.reference = on
+	p.invalidateCompiled()
+}
 
 // SetIssueWidth lets the scheduler fire up to w ready instructions per
 // cycle — a superscalar trigger scheduler, one of the paper's natural
@@ -288,12 +299,14 @@ func (p *PE) SetIssueWidth(w int) {
 		w = 1
 	}
 	p.issueWidth = w
+	p.invalidateCompiled()
 }
 
 // SetReg establishes an initial register value (also restored by Reset).
 func (p *PE) SetReg(i int, v isa.Word) {
 	p.regs[i] = v
 	p.initRegs[i] = v
+	p.invalidateCompiled()
 }
 
 // SetPred establishes an initial predicate value (also restored by Reset).
@@ -307,6 +320,7 @@ func (p *PE) SetPred(i int, v bool) {
 		p.predBits &^= bit
 		p.initPreds &^= bit
 	}
+	p.invalidateCompiled()
 }
 
 func (p *PE) checkPred(i int) {
@@ -333,6 +347,7 @@ func (p *PE) ConnectIn(idx int, ch *channel.Channel) {
 		panic(fmt.Sprintf("pe %s: input %d connected twice", p.name, idx))
 	}
 	p.in[idx] = ch
+	p.invalidateCompiled()
 }
 
 // ConnectOut attaches ch as output channel idx.
@@ -344,6 +359,7 @@ func (p *PE) ConnectOut(idx int, ch *channel.Channel) {
 		panic(fmt.Sprintf("pe %s: output %d connected twice", p.name, idx))
 	}
 	p.out[idx] = ch
+	p.invalidateCompiled()
 }
 
 // CheckConnections verifies that every channel the program references is

@@ -70,5 +70,8 @@ func (p *PE) RestoreState(d *snapshot.Decoder) error {
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("pe %s: %w", p.name, err)
 	}
+	// Restored values may differ from the state a compiled step closure
+	// folded constants against; force recompilation before the next run.
+	p.invalidateCompiled()
 	return nil
 }

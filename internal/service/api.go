@@ -48,6 +48,14 @@ type JobRequest struct {
 	// vice versa.
 	Shards int `json:"shards,omitempty"`
 
+	// Compiled requests closure-compiled stepping for this job's fabric
+	// (applies to netlist jobs too): each PE's trigger pool is
+	// specialized into a step closure before the run (see
+	// internal/compile). Like Shards it is bit-identical to interpreted
+	// stepping, so it does not key the result cache: a compiled job can
+	// be answered by a cached interpreted run and vice versa.
+	Compiled bool `json:"compiled,omitempty"`
+
 	// MaxCycles bounds the simulation; 0 uses the server default. The
 	// server-configured ceiling always applies.
 	MaxCycles int64 `json:"max_cycles,omitempty"`

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"tia/internal/compile"
 )
 
 // Metrics aggregates the daemon's operational counters. All fields are
@@ -63,6 +65,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("tia_result_cache_misses_total", "Completed-result cache misses.", m.ResultMisses.Load())
 	counter("tia_program_cache_hits_total", "Assembled-program cache hits.", m.ProgramHits.Load())
 	counter("tia_program_cache_misses_total", "Assembled-program cache misses.", m.ProgramMisses.Load())
+	cc := compile.Counters()
+	counter("tia_compile_cache_hits_total", "Compiled-plan cache hits (process-wide, see internal/compile).", cc.Hits)
+	counter("tia_compile_cache_misses_total", "Compiled-plan cache misses (process-wide, see internal/compile).", cc.Misses)
 	gauge("tia_job_queue_depth", "Jobs submitted but not yet executing.", m.QueueDepth.Load())
 	gauge("tia_jobs_running", "Jobs executing right now.", m.Running.Load())
 	gauge("tia_jobs_queued", "Jobs admitted and waiting for a worker.", m.QueueDepth.Load())
@@ -78,8 +83,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 }
 
 // Snapshot returns the counters as a plain map, for expvar and tests.
+// The compile-cache counters are process-wide (internal/compile owns the
+// content-addressed plan cache), mirrored here so one scrape sees them.
 func (m *Metrics) Snapshot() map[string]int64 {
+	cc := compile.Counters()
 	return map[string]int64{
+		"compile_cache_hits":   cc.Hits,
+		"compile_cache_misses": cc.Misses,
 		"jobs_started":         m.JobsStarted.Load(),
 		"jobs_completed":       m.JobsCompleted.Load(),
 		"jobs_failed":          m.JobsFailed.Load(),

@@ -39,6 +39,12 @@ type Config struct {
 	// job's effective count is clamped so Workers x shards stays within
 	// GOMAXPROCS (see effectiveShards).
 	DefaultShards int
+	// DefaultCompiled switches jobs that do not ask otherwise to the
+	// closure-compiled stepping backend (see internal/compile). Like
+	// shards it is a stepping knob, not a modeled parameter: results are
+	// bit-identical and the result cache ignores it. A request with
+	// "compiled": true always compiles regardless of this default.
+	DefaultCompiled bool
 	// TraceEventLimit bounds Chrome-trace captures (0 = unlimited).
 	TraceEventLimit int
 	// MaxRequestBytes bounds the request body.
@@ -175,6 +181,13 @@ func (s *Server) effectiveShards(req int) int {
 		k = per
 	}
 	return k
+}
+
+// effectiveCompiled resolves a job's compiled-stepping choice: a request
+// that asks for it always compiles; otherwise Config.DefaultCompiled
+// decides. Compiled stepping never changes results, only wall-clock.
+func (s *Server) effectiveCompiled(req bool) bool {
+	return req || s.cfg.DefaultCompiled
 }
 
 // Metrics exposes the server's counters (for tests and embedding).

@@ -35,22 +35,26 @@ type kernelObservation struct {
 // channel each cycle, event is the serial fast path, sharded partitions
 // each cycle's compute phase over three workers (see
 // internal/fabric/shard.go for why that is bit-identical; the fabric
-// package tests sweep more shard counts on random topologies).
+// package tests sweep more shard counts on random topologies), and
+// compiled replaces the per-element interpreter walk with specialized
+// step closures (internal/compile) on the event stepper.
 var stepModes = []struct {
-	label  string
-	dense  bool
-	shards int
+	label    string
+	dense    bool
+	shards   int
+	compiled bool
 }{
-	{"dense", true, 0},
-	{"event", false, 0},
-	{"sharded", false, 3},
+	{"dense", true, 0, false},
+	{"event", false, 0, false},
+	{"sharded", false, 3, false},
+	{"compiled", false, 0, true},
 }
 
 func observeTIA(t *testing.T, spec *Spec, p Params, reference bool) kernelObservation {
-	return observeTIASharded(t, spec, p, reference, 0)
+	return observeTIASharded(t, spec, p, reference, 0, false)
 }
 
-func observeTIASharded(t *testing.T, spec *Spec, p Params, reference bool, shards int) kernelObservation {
+func observeTIASharded(t *testing.T, spec *Spec, p Params, reference bool, shards int, compiled bool) kernelObservation {
 	t.Helper()
 	inst, err := spec.BuildTIA(p)
 	if err != nil {
@@ -63,9 +67,10 @@ func observeTIASharded(t *testing.T, spec *Spec, p Params, reference bool, shard
 		}
 	}
 	inst.Fabric.SetShards(shards)
+	inst.Fabric.SetCompiled(compiled)
 	res, err := inst.Fabric.Run(spec.MaxCycles(p))
 	if err != nil {
-		t.Fatalf("%s: run (reference=%v shards=%d): %v", spec.Name, reference, shards, err)
+		t.Fatalf("%s: run (reference=%v shards=%d compiled=%v): %v", spec.Name, reference, shards, compiled, err)
 	}
 	obs := kernelObservation{Cycles: res.Cycles, Tokens: inst.Sink.Tokens()}
 	for _, pr := range inst.PEs {
@@ -95,10 +100,11 @@ func TestSchedulerSteppingDifferential(t *testing.T) {
 				tc.mut(&p)
 				ref := observeTIA(t, spec, p, true)
 				for _, arm := range []struct {
-					label  string
-					shards int
-				}{{"fast", 0}, {"sharded", 3}} {
-					fast := observeTIASharded(t, spec, p, false, arm.shards)
+					label    string
+					shards   int
+					compiled bool
+				}{{"fast", 0, false}, {"sharded", 3, false}, {"compiled", 0, true}} {
+					fast := observeTIASharded(t, spec, p, false, arm.shards, arm.compiled)
 					if ref.Cycles != fast.Cycles {
 						t.Errorf("cycles differ: reference %d, %s %d", ref.Cycles, arm.label, fast.Cycles)
 					}
@@ -182,7 +188,7 @@ func randomProgram(r *rand.Rand, cfg isa.Config) []isa.Instruction {
 // harness dequeues the PE's output each cycle and feeds fresh tokens
 // whenever the input channels have credit, so programs that would
 // otherwise starve still exercise firing, stalling and waking.
-func mirroredRun(t *testing.T, prog []isa.Instruction, cfg isa.Config, seed int64, reference bool) (regs []isa.Word, preds uint64, stats pe.Stats, drained []channel.Token) {
+func mirroredRun(t *testing.T, prog []isa.Instruction, cfg isa.Config, seed int64, reference, compiled bool) (regs []isa.Word, preds uint64, stats pe.Stats, drained []channel.Token) {
 	t.Helper()
 	p, err := pe.New("dut", cfg, prog)
 	if err != nil {
@@ -195,6 +201,10 @@ func mirroredRun(t *testing.T, prog []isa.Instruction, cfg isa.Config, seed int6
 	p.ConnectIn(0, in0)
 	p.ConnectIn(1, in1)
 	p.ConnectOut(0, out0)
+	step := p.Step
+	if compiled {
+		step = p.CompileStep()
+	}
 
 	feed := rand.New(rand.NewSource(seed))
 	const cycles = 300
@@ -205,7 +215,7 @@ func mirroredRun(t *testing.T, prog []isa.Instruction, cfg isa.Config, seed int6
 		if in1.CanAccept() {
 			in1.Send(channel.Token{Data: isa.Word(feed.Intn(16)), Tag: isa.Tag(feed.Intn(2))})
 		}
-		p.Step(c)
+		step(c)
 		if tok, ok := out0.Peek(); ok {
 			drained = append(drained, tok)
 			out0.Deq()
@@ -227,24 +237,30 @@ func mirroredRun(t *testing.T, prog []isa.Instruction, cfg isa.Config, seed int6
 
 // TestSchedulerEquivalenceQuick is a testing/quick property: for random
 // valid programs and random token schedules, the bitmask scheduler and
-// the reference scheduler agree on every architectural register,
-// predicate, statistic and output token.
+// the closure-compiled step function both agree with the reference
+// scheduler on every architectural register, predicate, statistic and
+// output token.
 func TestSchedulerEquivalenceQuick(t *testing.T) {
 	cfg := isa.DefaultConfig()
 	prop := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		prog := randomProgram(r, cfg)
-		rRegs, rPreds, rStats, rOut := mirroredRun(t, prog, cfg, seed, true)
-		fRegs, fPreds, fStats, fOut := mirroredRun(t, prog, cfg, seed, false)
-		if !reflect.DeepEqual(rRegs, fRegs) || rPreds != fPreds ||
-			!reflect.DeepEqual(rStats, fStats) || !reflect.DeepEqual(rOut, fOut) {
-			t.Logf("divergence for seed %d on program:", seed)
-			for i, in := range prog {
-				t.Logf("  [%d] %s", i, in.String())
+		rRegs, rPreds, rStats, rOut := mirroredRun(t, prog, cfg, seed, true, false)
+		for _, arm := range []struct {
+			label    string
+			compiled bool
+		}{{"fast", false}, {"compiled", true}} {
+			fRegs, fPreds, fStats, fOut := mirroredRun(t, prog, cfg, seed, false, arm.compiled)
+			if !reflect.DeepEqual(rRegs, fRegs) || rPreds != fPreds ||
+				!reflect.DeepEqual(rStats, fStats) || !reflect.DeepEqual(rOut, fOut) {
+				t.Logf("divergence for seed %d (%s arm) on program:", seed, arm.label)
+				for i, in := range prog {
+					t.Logf("  [%d] %s", i, in.String())
+				}
+				t.Logf("reference: regs=%v preds=%b stats=%+v out=%v", rRegs, rPreds, rStats, rOut)
+				t.Logf("%-9s: regs=%v preds=%b stats=%+v out=%v", arm.label, fRegs, fPreds, fStats, fOut)
+				return false
 			}
-			t.Logf("reference: regs=%v preds=%b stats=%+v out=%v", rRegs, rPreds, rStats, rOut)
-			t.Logf("fast:      regs=%v preds=%b stats=%+v out=%v", fRegs, fPreds, fStats, fOut)
-			return false
 		}
 		return true
 	}
@@ -260,22 +276,23 @@ func TestDenseSteppingMatchesEventForPC(t *testing.T) {
 	for _, spec := range All() {
 		t.Run(spec.Name, func(t *testing.T) {
 			p := spec.Normalize(Params{Seed: 7, Size: 12})
-			run := func(dense bool, shards int) (int64, []channel.Token) {
+			run := func(dense bool, shards int, compiled bool) (int64, []channel.Token) {
 				inst, err := spec.BuildPC(p)
 				if err != nil {
 					t.Fatalf("build PC: %v", err)
 				}
 				inst.Fabric.SetDenseStepping(dense)
 				inst.Fabric.SetShards(shards)
+				inst.Fabric.SetCompiled(compiled)
 				res, err := inst.Fabric.Run(spec.MaxCycles(p))
 				if err != nil {
-					t.Fatalf("run PC (dense=%v shards=%d): %v", dense, shards, err)
+					t.Fatalf("run PC (dense=%v shards=%d compiled=%v): %v", dense, shards, compiled, err)
 				}
 				return res.Cycles, inst.Sink.Tokens()
 			}
-			dc, dt := run(stepModes[0].dense, stepModes[0].shards)
+			dc, dt := run(stepModes[0].dense, stepModes[0].shards, stepModes[0].compiled)
 			for _, mode := range stepModes[1:] {
-				ec, et := run(mode.dense, mode.shards)
+				ec, et := run(mode.dense, mode.shards, mode.compiled)
 				if dc != ec {
 					t.Errorf("cycles differ: dense %d, %s %d", dc, mode.label, ec)
 				}

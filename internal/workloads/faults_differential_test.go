@@ -4,7 +4,7 @@ package workloads
 // channel and element of a kernel with a zero-rate fault plan must be a
 // provable no-op — identical cycle counts, sink token streams, and PE
 // statistics to the unwrapped fast path — under every stepping mode
-// (dense, event-driven, sharded parallel). This pins the hooked channel
+// (dense, event-driven, sharded parallel, closure-compiled). This pins the hooked channel
 // path (tickFaulty with an empty plan) to the unhooked fast path, so
 // campaign results are attributable to the injected faults and never to
 // the instrumentation itself.
@@ -16,7 +16,7 @@ import (
 	"tia/internal/faults"
 )
 
-func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, shards int, plan *faults.Plan) kernelObservation {
+func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, shards int, compiled bool, plan *faults.Plan) kernelObservation {
 	t.Helper()
 	inst, err := spec.BuildTIA(p)
 	if err != nil {
@@ -24,6 +24,7 @@ func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, shar
 	}
 	inst.Fabric.SetDenseStepping(dense)
 	inst.Fabric.SetShards(shards)
+	inst.Fabric.SetCompiled(compiled)
 	if plan != nil {
 		if _, err := faults.Attach(inst.Fabric, *plan); err != nil {
 			t.Fatalf("%s: attach: %v", spec.Name, err)
@@ -31,7 +32,7 @@ func observeTIAFaultWrapped(t *testing.T, spec *Spec, p Params, dense bool, shar
 	}
 	res, err := inst.Fabric.Run(spec.MaxCycles(p))
 	if err != nil {
-		t.Fatalf("%s: run (dense=%v shards=%d wrapped=%v): %v", spec.Name, dense, shards, plan != nil, err)
+		t.Fatalf("%s: run (dense=%v shards=%d compiled=%v wrapped=%v): %v", spec.Name, dense, shards, compiled, plan != nil, err)
 	}
 	obs := kernelObservation{Cycles: res.Cycles, Tokens: inst.Sink.Tokens()}
 	for _, pr := range inst.PEs {
@@ -46,9 +47,9 @@ func TestZeroRateFaultPlanDifferential(t *testing.T) {
 			mode := mode
 			t.Run(spec.Name+"/"+mode.label, func(t *testing.T) {
 				p := spec.Normalize(Params{Seed: 11, Size: 12})
-				base := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, nil)
+				base := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, mode.compiled, nil)
 				plan := &faults.Plan{Seed: 99}
-				wrapped := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, plan)
+				wrapped := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, mode.compiled, plan)
 				if base.Cycles != wrapped.Cycles {
 					t.Errorf("cycles differ: unwrapped %d, zero-rate wrapped %d", base.Cycles, wrapped.Cycles)
 				}
@@ -77,9 +78,9 @@ func TestFaultPlanShardingDifferential(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			p := spec.Normalize(Params{Seed: 11, Size: 12})
-			base := observeTIAFaultWrapped(t, spec, p, stepModes[0].dense, stepModes[0].shards, plan)
+			base := observeTIAFaultWrapped(t, spec, p, stepModes[0].dense, stepModes[0].shards, stepModes[0].compiled, plan)
 			for _, mode := range stepModes[1:] {
-				got := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, plan)
+				got := observeTIAFaultWrapped(t, spec, p, mode.dense, mode.shards, mode.compiled, plan)
 				if !reflect.DeepEqual(base, got) {
 					t.Errorf("%s diverged from dense under an active plan:\ndense %+v\n%-5s %+v",
 						mode.label, base, mode.label, got)

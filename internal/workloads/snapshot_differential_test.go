@@ -5,7 +5,7 @@ package workloads
 // an arbitrary mid-run cycle and restoring the snapshot into a freshly
 // built instance — identical cycle counts, sink token streams, per-PE
 // statistics and fault-injection counters — for every kernel, under
-// every stepper (dense, event, sharded parallel), with and without an
+// every stepper (dense, event, sharded parallel, closure-compiled), with and without an
 // active fault plan. This is the headline correctness contract of
 // internal/snapshot + fabric.Snapshot/Restore; the sharded arm is also
 // the race surface `go test -race` exercises (checkpoint callbacks fire
@@ -36,7 +36,7 @@ type snapObservation struct {
 
 // buildForSnapshot constructs one kernel instance with the requested
 // stepper and (optionally) an attached fault plan.
-func buildForSnapshot(t *testing.T, spec *Spec, p Params, pc, dense bool, shards int, plan *faults.Plan) (*Instance, *faults.Injector) {
+func buildForSnapshot(t *testing.T, spec *Spec, p Params, pc, dense bool, shards int, compiled bool, plan *faults.Plan) (*Instance, *faults.Injector) {
 	t.Helper()
 	build := spec.BuildTIA
 	if pc {
@@ -48,6 +48,7 @@ func buildForSnapshot(t *testing.T, spec *Spec, p Params, pc, dense bool, shards
 	}
 	inst.Fabric.SetDenseStepping(dense)
 	inst.Fabric.SetShards(shards)
+	inst.Fabric.SetCompiled(compiled)
 	var inj *faults.Injector
 	if plan != nil {
 		if inj, err = faults.Attach(inst.Fabric, *plan); err != nil {
@@ -81,11 +82,11 @@ func snapObserve(inst *Instance, inj *faults.Injector, cycles int64, completed b
 // three observations must be deeply equal (including error text for
 // fault plans that hang or deadlock the kernel: a restored run must fail
 // at the same absolute cycle with the same diagnosis).
-func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool, shards int, plan *faults.Plan) {
+func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool, shards int, compiled bool, plan *faults.Plan) {
 	t.Helper()
 	fp := "test:" + spec.Name // stand-in fingerprint; both sides must agree
 
-	a, injA := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
+	a, injA := buildForSnapshot(t, spec, p, pc, dense, shards, compiled, plan)
 	resA, errA := a.Fabric.Run(spec.MaxCycles(p))
 	obsA := snapObserve(a, injA, resA.Cycles, resA.Completed, errA)
 	if plan == nil && errA != nil {
@@ -97,7 +98,7 @@ func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool,
 		mid = 1
 	}
 
-	b, injB := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
+	b, injB := buildForSnapshot(t, spec, p, pc, dense, shards, compiled, plan)
 	var snap []byte
 	b.Fabric.SetCheckpoint(mid, func(cycle int64) error {
 		if snap != nil {
@@ -122,7 +123,7 @@ func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool,
 		t.Fatalf("no checkpoint fired (run took %d cycles, checkpoint every %d)", resB.Cycles, mid)
 	}
 
-	c, injC := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
+	c, injC := buildForSnapshot(t, spec, p, pc, dense, shards, compiled, plan)
 	if err := c.Fabric.Restore(snap, fp); err != nil {
 		t.Fatalf("restore: %v", err)
 	}
@@ -136,7 +137,7 @@ func runSnapshotDifferential(t *testing.T, spec *Spec, p Params, pc, dense bool,
 	}
 
 	// A snapshot must refuse to restore onto a different program.
-	wrong, _ := buildForSnapshot(t, spec, p, pc, dense, shards, plan)
+	wrong, _ := buildForSnapshot(t, spec, p, pc, dense, shards, compiled, plan)
 	if err := wrong.Fabric.Restore(snap, fp+"-other"); err == nil {
 		t.Errorf("restore accepted a mismatched fingerprint")
 	}
@@ -156,7 +157,7 @@ func TestSnapshotRestoreDifferential(t *testing.T) {
 				mode, plan := mode, plan
 				t.Run(spec.Name+"/"+mode.label+"/"+planLabel, func(t *testing.T) {
 					p := spec.Normalize(Params{Seed: 11, Size: 12})
-					runSnapshotDifferential(t, spec, p, false, mode.dense, mode.shards, plan)
+					runSnapshotDifferential(t, spec, p, false, mode.dense, mode.shards, mode.compiled, plan)
 				})
 			}
 		}
@@ -178,7 +179,7 @@ func TestSnapshotRestoreDifferentialDataFaults(t *testing.T) {
 			mode := mode
 			t.Run(name+"/"+mode.label, func(t *testing.T) {
 				p := spec.Normalize(Params{Seed: 11, Size: 12})
-				runSnapshotDifferential(t, spec, p, false, mode.dense, mode.shards, data)
+				runSnapshotDifferential(t, spec, p, false, mode.dense, mode.shards, mode.compiled, data)
 			})
 		}
 	}
@@ -196,7 +197,7 @@ func TestSnapshotRestorePCBaseline(t *testing.T) {
 			mode := mode
 			t.Run(name+"/"+mode.label, func(t *testing.T) {
 				p := spec.Normalize(Params{Seed: 11, Size: 12})
-				runSnapshotDifferential(t, spec, p, true, mode.dense, mode.shards, nil)
+				runSnapshotDifferential(t, spec, p, true, mode.dense, mode.shards, mode.compiled, nil)
 			})
 		}
 	}

@@ -77,11 +77,13 @@ func (p Params) withDefaults(defaultSize int) Params {
 		p.PCCfg = pcpe.DefaultConfig()
 	}
 	if p.FabricCfg.ChannelCapacity == 0 {
-		// Preserve a caller-set shard count across the default fill:
-		// Shards is a stepping knob, not part of the modeled machine.
+		// Preserve caller-set stepping knobs across the default fill:
+		// Shards and Compiled change wall-clock, not the modeled machine.
 		shards := p.FabricCfg.Shards
+		compiled := p.FabricCfg.Compiled
 		p.FabricCfg = fabric.DefaultConfig()
 		p.FabricCfg.Shards = shards
+		p.FabricCfg.Compiled = compiled
 	}
 	return p
 }
