@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke check
+.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke check
 
 all: build
 
@@ -82,4 +82,12 @@ snapshot-smoke:
 compile-smoke:
 	$(GO) test -race -run 'TestSchedulerSteppingDifferential/.*/compiled|TestSnapshotRestoreDifferential$$/(dmm|mergesort)/compiled|TestZeroRateFaultPlanDifferential/.*/compiled|TestSchedulerEquivalenceQuick|TestCompiled' -count=1 ./internal/workloads ./internal/service
 
-check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke
+# Loopback multi-process fleet e2e: three real tiad worker processes
+# plus a coordinator — cache-affinity routing across resubmission,
+# SIGKILL mid-job with snapshot migration to a survivor (byte-identical
+# completion), and a 64-seed batch fanned out with exactly-once
+# streaming delivery (see internal/fleet/e2e_test.go).
+fleet-smoke:
+	$(GO) test -race -run 'TestFleetE2E' -count=1 ./internal/fleet
+
+check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke

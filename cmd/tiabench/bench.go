@@ -57,7 +57,10 @@ type benchReport struct {
 	Seed       int64         `json:"seed"`
 	Kernels    []benchKernel `json:"kernels"`
 	Micro      []benchMicro  `json:"micro"`
-	TotalMinMs float64       `json:"total_min_ms"`
+	// Fleet is the serving-layer throughput point: an in-process
+	// three-worker fleet fanning a 64-seed batch (see fleet.go).
+	Fleet      *benchFleet `json:"fleet,omitempty"`
+	TotalMinMs float64     `json:"total_min_ms"`
 }
 
 // emitBenchJSON runs the bench suite and writes the report to path
@@ -90,6 +93,11 @@ func emitBenchJSON(ctx context.Context, p workloads.Params, shards int, compiled
 		microResult("fabric_step/sharded", benchFabricStep(false, 4, false)),
 		microResult("fabric_step/compiled", benchFabricStep(false, 0, true)),
 	)
+	fl, err := benchFleetRow()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	rep.Fleet = fl
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

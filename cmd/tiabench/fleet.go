@@ -1,0 +1,81 @@
+// Fleet throughput row for the bench report: an in-process three-worker
+// fleet (coordinator + workers over loopback HTTP) fanning a 64-seed
+// dmm batch through the affinity router, recorded as jobs/sec. The
+// point tracks serving-layer overhead — routing, HTTP, scheduling —
+// on top of the simulator speed the kernel rows measure.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"tia/internal/fleet"
+	"tia/internal/service"
+)
+
+// benchFleet is the fleet fan-out row of the report.
+type benchFleet struct {
+	Workers    int     `json:"workers"`
+	Jobs       int     `json:"jobs"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// benchFleetRow stands up the loopback fleet and times one cold batch.
+func benchFleetRow() (*benchFleet, error) {
+	const nWorkers, nJobs = 3, 64
+	urls := make([]string, 0, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		svc, err := service.New(service.Config{Workers: 2})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	coord, err := fleet.New(fleet.Config{Workers: urls, HeartbeatEvery: time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	seeds := make([]int64, nJobs)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	body, err := json.Marshal(fleet.BatchRequest{
+		Template: service.JobRequest{Workload: "dmm"},
+		Seeds:    seeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	resp, err := http.Post(cts.URL+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var result fleet.BatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(t0)
+	if result.Completed != nJobs {
+		return nil, fmt.Errorf("fleet batch: %d/%d jobs completed (%d failed)", result.Completed, nJobs, result.Failed)
+	}
+	return &benchFleet{
+		Workers:    nWorkers,
+		Jobs:       nJobs,
+		ElapsedMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		JobsPerSec: float64(nJobs) / elapsed.Seconds(),
+	}, nil
+}

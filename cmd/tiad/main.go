@@ -38,13 +38,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs       submit a job, wait for its result
-//	GET  /v1/workloads  list the built-in kernels
-//	GET  /healthz       "ok", or "draining" with 503 during shutdown
-//	GET  /metrics       Prometheus text exposition
+//	POST /v1/jobs               submit a job, wait for its result
+//	GET  /v1/jobs/{id}          job status and, once terminal, its outcome
+//	GET  /v1/jobs/{id}/snapshot latest checkpoint snapshot (raw bytes)
+//	GET  /v1/workloads          list the built-in kernels
+//	GET  /healthz               "ok", or "draining" with 503 during shutdown
+//	GET  /metrics               Prometheus text exposition
 //
 // SIGINT/SIGTERM starts a graceful drain: new jobs are rejected while
 // in-flight jobs run to completion (bounded by -drain-timeout).
+//
+// # Coordinator mode
+//
+// tiad -coordinator -peers URL,URL,... runs no simulations itself:
+// it fronts a fleet of tiad workers, routing each job to its
+// cache-affine worker on a deterministic consistent-hash ring,
+// heartbeating the fleet, failing jobs over when a worker dies —
+// migrating checkpointed progress via the workers' snapshot API — and
+// fanning out campaign batches (POST /v1/batches, optionally streamed
+// as NDJSON). See internal/fleet.
 package main
 
 import (
@@ -55,9 +67,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"tia/internal/fleet"
 	"tia/internal/service"
 )
 
@@ -75,10 +89,19 @@ func main() {
 	journal := flag.String("journal", "", "job journal path (enables crash-safe durability)")
 	snapshotDir := flag.String("snapshot-dir", "", "checkpoint snapshot directory (default <journal>.snapshots)")
 	checkpointEvery := flag.Int64("checkpoint-every", 0, "cycles between job checkpoints (0 = default when journaling, <0 disables)")
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator instead of a worker (requires -peers)")
+	peers := flag.String("peers", "", "comma-separated worker base URLs (coordinator mode)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker health probe cadence (coordinator mode)")
+	pollEvery := flag.Duration("poll-every", 250*time.Millisecond, "in-flight job snapshot poll cadence (coordinator mode)")
+	maxFailover := flag.Int("failover", 0, "max distinct workers tried per job (0 = all; coordinator mode)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tiad [flags]; see -h")
 		os.Exit(2)
+	}
+	if *coordinator {
+		runCoordinator(*addr, *peers, *heartbeat, *pollEvery, *maxFailover, *drainTimeout)
+		return
 	}
 
 	cfg := service.DefaultConfig()
@@ -145,4 +168,59 @@ func main() {
 		log.Printf("tiad: drain budget exhausted with jobs still running")
 	}
 	log.Printf("tiad: stopped")
+}
+
+// runCoordinator is tiad's fleet-coordinator mode: no local simulation,
+// just routing over the peer workers.
+func runCoordinator(addr, peers string, heartbeat, pollEvery time.Duration, maxFailover int, drainTimeout time.Duration) {
+	var workers []string
+	for _, u := range strings.Split(peers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workers = append(workers, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "tiad: -coordinator requires -peers URL[,URL...]")
+		os.Exit(2)
+	}
+	coord, err := fleet.New(fleet.Config{
+		Workers:        workers,
+		HeartbeatEvery: heartbeat,
+		PollEvery:      pollEvery,
+		MaxFailover:    maxFailover,
+	})
+	if err != nil {
+		log.Fatalf("tiad: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tiad: coordinator listening on %s, fleet of %d worker(s)", addr, len(workers))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("tiad: %v, draining (budget %s)", sig, drainTimeout)
+	case err := <-errc:
+		log.Fatalf("tiad: serve: %v", err)
+	}
+
+	// Same drain order as worker mode: reject new jobs, then let routed
+	// in-flight jobs finish on their workers under the budget.
+	coord.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("tiad: shutdown: %v", err)
+	}
+	coord.Close()
+	log.Printf("tiad: coordinator stopped")
 }

@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"tia/internal/service"
+)
+
+// BatchRequest fans one campaign out across the fleet
+// (POST /v1/batches). Runs come from either an explicit Requests list
+// or a Template crossed with Seeds (run i is the template with
+// Seeds[i]); exactly one of the two must be used. Each run routes
+// independently through the affinity ring, so a seed sweep spreads
+// across workers while repeated sweeps keep hitting the same workers'
+// caches.
+type BatchRequest struct {
+	// Template plus Seeds expands to len(Seeds) runs.
+	Template service.JobRequest `json:"template"`
+	Seeds    []int64            `json:"seeds,omitempty"`
+	// Requests lists fully explicit runs instead.
+	Requests []service.JobRequest `json:"requests,omitempty"`
+	// Stream selects NDJSON delivery: one BatchRow per line, written the
+	// moment its run finishes (completion order). Without it the
+	// response is one BatchResult with rows sorted by run index — i.e.
+	// by seed order for a Template+Seeds sweep.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// BatchRow is one run's outcome. Exactly one of Result or Error is set.
+type BatchRow struct {
+	// Index is the run's position in the expanded request (Seeds or
+	// Requests order) — the deterministic collation key.
+	Index int `json:"index"`
+	// Seed echoes the run's seed for Template+Seeds sweeps.
+	Seed   int64              `json:"seed,omitempty"`
+	Worker string             `json:"worker,omitempty"`
+	Result *service.JobResult `json:"result,omitempty"`
+	Error  *service.JobError  `json:"error,omitempty"`
+}
+
+// BatchResult is the buffered (non-streaming) batch response.
+type BatchResult struct {
+	Runs      int        `json:"runs"`
+	Completed int        `json:"completed"`
+	Failed    int        `json:"failed"`
+	Rows      []BatchRow `json:"rows"`
+}
+
+// expandBatch turns the request into the concrete run list.
+func expandBatch(req *BatchRequest, maxRuns int) ([]service.JobRequest, *service.JobError) {
+	if len(req.Requests) > 0 && len(req.Seeds) > 0 {
+		return nil, &service.JobError{Kind: service.ErrBadRequest, Message: "batch: set either requests or template+seeds, not both"}
+	}
+	var runs []service.JobRequest
+	switch {
+	case len(req.Requests) > 0:
+		runs = append(runs, req.Requests...)
+	case len(req.Seeds) > 0:
+		runs = make([]service.JobRequest, len(req.Seeds))
+		for i, seed := range req.Seeds {
+			r := req.Template
+			r.Seed = seed
+			runs[i] = r
+		}
+	default:
+		return nil, &service.JobError{Kind: service.ErrBadRequest, Message: "batch: no runs (set requests, or template plus seeds)"}
+	}
+	if len(runs) > maxRuns {
+		return nil, &service.JobError{Kind: service.ErrBadRequest, Message: fmt.Sprintf("batch: %d runs exceeds the limit of %d", len(runs), maxRuns)}
+	}
+	for i := range runs {
+		if runs[i].JobID != "" || len(runs[i].ResumeSnapshot) > 0 {
+			return nil, &service.JobError{Kind: service.ErrBadRequest, Message: fmt.Sprintf("batch: run %d: job_id and resume_snapshot are per-job options, not batch options", i)}
+		}
+	}
+	return runs, nil
+}
+
+// handleBatches fans a campaign across the fleet.
+func (c *Coordinator) handleBatches(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		service.WriteError(w, service.DrainingError())
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		service.WriteError(w, &service.JobError{Kind: service.ErrBadRequest, Message: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	runs, jerr := expandBatch(&req, c.cfg.MaxBatchRuns)
+	if jerr != nil {
+		service.WriteError(w, jerr)
+		return
+	}
+	c.metrics.BatchRuns.Add(1)
+	c.metrics.BatchRows.Add(int64(len(runs)))
+
+	if req.Stream {
+		c.streamBatch(w, r.Context(), runs)
+		return
+	}
+	rows := c.runBatch(r.Context(), runs, nil)
+	sort.Slice(rows, func(a, b int) bool { return rows[a].Index < rows[b].Index })
+	out := BatchResult{Runs: len(rows), Rows: rows}
+	for _, row := range rows {
+		if row.Error != nil {
+			out.Failed++
+		} else {
+			out.Completed++
+		}
+	}
+	service.WriteJSON(w, http.StatusOK, out)
+}
+
+// streamBatch delivers rows as NDJSON in completion order. Every run
+// yields exactly one row; the stream ends when all runs have reported.
+func (c *Coordinator) streamBatch(w http.ResponseWriter, ctx context.Context, runs []service.JobRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex
+	emit := func(row BatchRow) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(row) // one line per row
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	c.runBatch(ctx, runs, emit)
+}
+
+// runBatch routes every run with bounded concurrency. When emit is
+// non-nil each row is handed to it on completion (streaming); the
+// returned slice always carries every row exactly once.
+func (c *Coordinator) runBatch(ctx context.Context, runs []service.JobRequest, emit func(BatchRow)) []BatchRow {
+	rows := make([]BatchRow, len(runs))
+	sem := make(chan struct{}, c.cfg.BatchConcurrency)
+	var wg sync.WaitGroup
+	for i := range runs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			row := BatchRow{Index: i, Seed: runs[i].Seed}
+			res, workerURL, err := c.routeJob(ctx, &runs[i])
+			row.Worker = workerURL
+			if err != nil {
+				if je, ok := asJobError(err); ok {
+					row.Error = je
+				} else {
+					row.Error = &service.JobError{Kind: service.ErrUnavailable, Message: err.Error()}
+				}
+			} else {
+				row.Result = res
+			}
+			rows[i] = row
+			if emit != nil {
+				emit(row)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return rows
+}

@@ -1,0 +1,309 @@
+// Package fleet scales tiad horizontally: a coordinator fronts N tiad
+// workers and routes simulation jobs across them with cache affinity,
+// failover, and snapshot-based job migration.
+//
+// The paper's triggered-instruction fabrics are distributed ensembles
+// of autonomous workers reacting to readiness events; the fleet applies
+// the same paradigm one level up. Each job's content-addressed affinity
+// key (assembled-form fingerprint plus behaviour-affecting parameters —
+// the same identity the workers' result caches hash) places it on a
+// deterministic consistent-hash ring, so identical jobs always land on
+// the worker that already holds the cached result: the per-worker
+// result caches compose into one fleet-wide cache with no cache
+// coherence traffic at all.
+//
+// Failures migrate instead of restarting: while a job runs, the
+// coordinator polls the owning worker's checkpoint snapshot
+// (GET /v1/jobs/{id}/snapshot — the PR 4 snapshot machinery, which is
+// fingerprint-guarded and self-describing, i.e. already a migration
+// format). If the worker dies mid-job, the job is resubmitted to the
+// next worker on the ring with the stashed snapshot inline
+// (JobRequest.ResumeSnapshot); determinism makes the migrated result
+// byte-identical to an uninterrupted run. A connection that breaks
+// while the worker survives is reattached through GET /v1/jobs/{id}
+// instead of re-running the job.
+//
+// Campaign traffic fans out with POST /v1/batches: one request times
+// many seeds/configs, spread across the ring, with results either
+// collected (sorted by run index) or streamed as NDJSON rows the moment
+// each worker finishes.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tia/internal/service"
+)
+
+// Config tunes the coordinator.
+type Config struct {
+	// Workers lists the tiad base URLs the fleet routes over. Order is
+	// irrelevant to routing (the ring sorts), duplicates are dropped.
+	Workers []string
+	// Replicas is the virtual-node count per worker on the hash ring;
+	// 0 means 64.
+	Replicas int
+	// HeartbeatEvery is the /healthz probe cadence; 0 means 1s.
+	HeartbeatEvery time.Duration
+	// ProbeTimeout bounds every health/status/snapshot probe; 0 means 2s.
+	ProbeTimeout time.Duration
+	// PollEvery is how often an in-flight job's checkpoint snapshot is
+	// polled from its worker (the migration stash); 0 means 250ms.
+	PollEvery time.Duration
+	// MaxFailover bounds how many distinct workers one job may try;
+	// 0 means every worker on the ring.
+	MaxFailover int
+	// BatchConcurrency bounds concurrently routed runs per batch;
+	// 0 means 4 per worker.
+	BatchConcurrency int
+	// MaxBatchRuns bounds one batch request; 0 means 4096.
+	MaxBatchRuns int
+	// MaxRequestBytes bounds request bodies; 0 means 8 MiB.
+	MaxRequestBytes int64
+	// HTTP is the transport shared by all worker clients; nil means a
+	// client without an overall timeout (submissions stay open for the
+	// whole simulation).
+	HTTP *http.Client
+}
+
+// Coordinator routes jobs across the fleet and serves the coordinator
+// API: POST /v1/jobs, POST /v1/batches, GET /v1/fleet, GET /healthz,
+// GET /metrics and a GET /v1/workloads proxy.
+type Coordinator struct {
+	cfg     Config
+	metrics *Metrics
+	ring    *ring
+	reg     *registry
+	fps     *fingerprints
+	stash   snapStash
+	mux     *http.ServeMux
+
+	jobSeq   atomic.Int64
+	draining atomic.Bool
+
+	stop     chan struct{}
+	probing  sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// New builds a Coordinator over the configured workers, probes them
+// once synchronously (so a freshly started coordinator routes sensibly
+// from its first request), and starts the heartbeat loop.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured")
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 250 * time.Millisecond
+	}
+	if cfg.BatchConcurrency <= 0 {
+		cfg.BatchConcurrency = 4 * len(cfg.Workers)
+	}
+	if cfg.MaxBatchRuns <= 0 {
+		cfg.MaxBatchRuns = 4096
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 8 << 20
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		metrics: &Metrics{},
+		reg:     newRegistry(cfg.Workers, cfg.HTTP),
+		fps:     newFingerprints(128),
+		stash:   snapStash{m: map[string][]byte{}},
+		stop:    make(chan struct{}),
+	}
+	c.ring = newRing(c.reg.urls(), cfg.Replicas)
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/jobs", c.handleJobs)
+	c.mux.HandleFunc("POST /v1/batches", c.handleBatches)
+	c.mux.HandleFunc("GET /v1/fleet", c.handleFleet)
+	c.mux.HandleFunc("GET /v1/workloads", c.handleWorkloads)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+
+	probeCtx, cancelProbes := context.WithCancel(context.Background())
+	c.reg.probeAll(probeCtx, cfg.ProbeTimeout)
+	c.probing.Add(1)
+	go func() {
+		defer c.probing.Done()
+		defer cancelProbes()
+		t := time.NewTicker(cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.reg.probeAll(probeCtx, cfg.ProbeTimeout)
+				c.metrics.Probes.Add(1)
+			}
+		}
+	}()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Metrics exposes the coordinator's counters (tests, embedding).
+func (c *Coordinator) Metrics() *Metrics { return c.metrics }
+
+// Drain stops accepting jobs; in-flight routed jobs finish on their
+// workers and their HTTP responses complete normally.
+func (c *Coordinator) Drain() { c.draining.Store(true) }
+
+// Close stops the heartbeat loop. Idempotent.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.probing.Wait()
+}
+
+// handleJobs routes one job across the fleet.
+func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		service.WriteError(w, service.DrainingError())
+		return
+	}
+	var req service.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		service.WriteError(w, &service.JobError{Kind: service.ErrBadRequest, Message: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	res, workerURL, err := c.routeJob(r.Context(), &req)
+	if workerURL != "" {
+		w.Header().Set("X-Tia-Worker", workerURL)
+	}
+	if err != nil {
+		service.WriteError(w, err)
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, res)
+}
+
+// FleetInfo is the GET /v1/fleet payload.
+type FleetInfo struct {
+	Workers        []WorkerInfo `json:"workers"`
+	WorkersHealthy int64        `json:"workers_healthy"`
+	RingReplicas   int          `json:"ring_replicas"`
+}
+
+func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	replicas := c.cfg.Replicas
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	service.WriteJSON(w, http.StatusOK, FleetInfo{
+		Workers:        c.reg.infos(),
+		WorkersHealthy: c.reg.healthyCount(),
+		RingReplicas:   replicas,
+	})
+}
+
+// handleWorkloads proxies the kernel listing from the first healthy
+// worker — the fleet serves the same suite its workers do.
+func (c *Coordinator) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	for _, u := range c.reg.urls() {
+		wk := c.reg.get(u)
+		if !wk.ok() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.ProbeTimeout)
+		list, err := wk.client.Workloads(ctx)
+		cancel()
+		if err == nil {
+			service.WriteJSON(w, http.StatusOK, list)
+			return
+		}
+	}
+	service.WriteError(w, noWorkerError())
+}
+
+// CoordinatorHealth is the coordinator's /healthz body.
+type CoordinatorHealth struct {
+	// Status is "ok", "degraded" (some workers down), "no_workers"
+	// (nothing routable) or "draining".
+	Status         string `json:"status"`
+	WorkersHealthy int64  `json:"workers_healthy"`
+	WorkersTotal   int    `json:"workers_total"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	healthy := c.reg.healthyCount()
+	h := CoordinatorHealth{
+		Status:         "ok",
+		WorkersHealthy: healthy,
+		WorkersTotal:   len(c.reg.urls()),
+	}
+	code := http.StatusOK
+	switch {
+	case c.draining.Load():
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case healthy == 0:
+		h.Status = "no_workers"
+		code = http.StatusServiceUnavailable
+	case int(healthy) < h.WorkersTotal:
+		h.Status = "degraded"
+	}
+	service.WriteJSON(w, code, h)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.metrics.WritePrometheus(w, c.reg.healthyCount(), int64(len(c.reg.urls())))
+}
+
+// noWorkerError is the typed rejection when no worker can take a job.
+func noWorkerError() *service.JobError {
+	return &service.JobError{
+		Kind:       service.ErrUnavailable,
+		Message:    "no fleet worker available",
+		RetryAfter: 2 * time.Second,
+	}
+}
+
+// nextJobID mints a coordinator-scoped job identity. Migrated jobs keep
+// it across workers.
+func (c *Coordinator) nextJobID() string {
+	return fmt.Sprintf("fl-%06d", c.jobSeq.Add(1))
+}
+
+// snapStash holds the latest polled checkpoint snapshot per in-flight
+// job — the migration payload if the owning worker dies.
+type snapStash struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (s *snapStash) put(id string, snap []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[id] = snap
+}
+
+// take pops the stashed snapshot (nil when none).
+func (s *snapStash) take(id string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.m[id]
+	delete(s.m, id)
+	return snap
+}

@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the coordinator's counters. All fields are atomic; the
+// zero value is ready to use.
+type Metrics struct {
+	// JobsRouted counts jobs that completed through the fleet.
+	JobsRouted atomic.Int64
+	// AffinityHits counts jobs served by their ring-home worker (the
+	// one whose result cache the key hashes to).
+	AffinityHits atomic.Int64
+	// Failovers counts per-worker attempts abandoned for the next ring
+	// worker (transport death, draining, busy).
+	Failovers atomic.Int64
+	// Migrations counts failovers that carried a stashed checkpoint
+	// snapshot to the next worker instead of restarting from cycle 0.
+	Migrations atomic.Int64
+	// Reattaches counts jobs recovered via status lookup after the
+	// submission connection broke while the worker survived.
+	Reattaches atomic.Int64
+	// SnapshotsFetched counts checkpoint snapshots polled off workers
+	// into the migration stash.
+	SnapshotsFetched atomic.Int64
+	// Probes counts heartbeat sweeps over the fleet.
+	Probes atomic.Int64
+	// BatchRuns counts batch submissions; BatchRows counts the rows they
+	// fanned out.
+	BatchRuns atomic.Int64
+	BatchRows atomic.Int64
+}
+
+// WritePrometheus renders the counters in Prometheus text format,
+// alongside the registry-derived worker gauges.
+func (m *Metrics) WritePrometheus(w io.Writer, workersHealthy, workersTotal int64) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tia_fleet_jobs_routed_total", "Jobs completed through the fleet router.", m.JobsRouted.Load())
+	counter("tia_fleet_affinity_hits_total", "Jobs served by their ring-home worker.", m.AffinityHits.Load())
+	counter("tia_fleet_failovers_total", "Per-worker attempts abandoned for the next ring worker.", m.Failovers.Load())
+	counter("tia_fleet_migrations_total", "Failovers that carried a checkpoint snapshot to the next worker.", m.Migrations.Load())
+	counter("tia_fleet_reattaches_total", "Jobs recovered via status lookup after a broken submission connection.", m.Reattaches.Load())
+	counter("tia_fleet_snapshots_fetched_total", "Checkpoint snapshots polled into the migration stash.", m.SnapshotsFetched.Load())
+	counter("tia_fleet_probes_total", "Heartbeat sweeps over the fleet.", m.Probes.Load())
+	counter("tia_fleet_batch_runs_total", "Batch submissions accepted.", m.BatchRuns.Load())
+	counter("tia_fleet_batch_rows_total", "Batch rows fanned out across the fleet.", m.BatchRows.Load())
+	gauge("tia_fleet_workers_healthy", "Workers currently routable.", workersHealthy)
+	gauge("tia_fleet_workers_total", "Workers registered with the coordinator.", workersTotal)
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"tia/internal/service"
+)
+
+// worker is one registered tiad instance and what the coordinator knows
+// about it.
+type worker struct {
+	// URL is the worker's base URL; it is also its ring identity.
+	URL string
+	// client speaks the job API. MaxAttempts is 1: the router owns
+	// retry/failover policy, so a transport failure must surface
+	// immediately instead of being retried against a dead worker.
+	client *service.Client
+
+	mu      sync.Mutex
+	healthy bool
+	// draining distinguishes "refusing new jobs" from "unreachable":
+	// a draining worker still answers status and snapshot lookups.
+	draining bool
+	lastSeen time.Time
+	lastErr  string
+	// health is the last decoded /healthz body (display only).
+	health service.Health
+}
+
+// setHealth folds one probe outcome into the worker's state.
+func (w *worker) setHealth(h *service.Health, err error, now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		w.healthy = false
+		w.draining = false
+		w.lastErr = err.Error()
+		return
+	}
+	w.health = *h
+	w.lastSeen = now
+	w.lastErr = ""
+	w.draining = h.Status == "draining"
+	w.healthy = !w.draining
+}
+
+// ok reports whether the router should offer this worker new jobs.
+func (w *worker) ok() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// markDown records a router-observed transport failure without waiting
+// for the next heartbeat.
+func (w *worker) markDown(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.healthy = false
+	w.lastErr = err.Error()
+}
+
+// WorkerInfo is one worker's row in GET /v1/fleet.
+type WorkerInfo struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+	// QueueDepth and Running mirror the worker's last /healthz body.
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int64 `json:"running"`
+}
+
+// registry holds the fleet's workers and probes their health.
+type registry struct {
+	order   []string // registration order, for display
+	workers map[string]*worker
+}
+
+// newRegistry builds workers (and their single-attempt clients) for the
+// given base URLs. hc is the shared transport; it must not carry an
+// overall timeout, because job submissions stay open for the full
+// simulation.
+func newRegistry(urls []string, hc *http.Client) *registry {
+	r := &registry{workers: make(map[string]*worker, len(urls))}
+	for _, u := range urls {
+		if _, dup := r.workers[u]; dup {
+			continue
+		}
+		r.order = append(r.order, u)
+		r.workers[u] = &worker{
+			URL:    u,
+			client: &service.Client{BaseURL: u, HTTP: hc, MaxAttempts: 1},
+		}
+	}
+	return r
+}
+
+// urls returns the registered worker URLs in registration order.
+func (r *registry) urls() []string { return r.order }
+
+// get returns the named worker (nil when unknown).
+func (r *registry) get(url string) *worker { return r.workers[url] }
+
+// probeAll probes every worker's /healthz concurrently and folds the
+// outcomes in. Each probe is bounded by timeout so one hung worker
+// cannot stall the heartbeat loop.
+func (r *registry) probeAll(ctx context.Context, timeout time.Duration) {
+	var wg sync.WaitGroup
+	for _, u := range r.order {
+		w := r.workers[u]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			h, err := w.client.Healthz(pctx)
+			w.setHealth(h, err, time.Now())
+		}()
+	}
+	wg.Wait()
+}
+
+// healthyCount counts routable workers.
+func (r *registry) healthyCount() int64 {
+	var n int64
+	for _, u := range r.order {
+		if r.workers[u].ok() {
+			n++
+		}
+	}
+	return n
+}
+
+// infos renders every worker's display row.
+func (r *registry) infos() []WorkerInfo {
+	out := make([]WorkerInfo, 0, len(r.order))
+	for _, u := range r.order {
+		w := r.workers[u]
+		w.mu.Lock()
+		out = append(out, WorkerInfo{
+			URL:        w.URL,
+			Healthy:    w.healthy,
+			Draining:   w.draining,
+			LastErr:    w.lastErr,
+			QueueDepth: w.health.QueueDepth,
+			Running:    w.health.Running,
+		})
+		w.mu.Unlock()
+	}
+	return out
+}

@@ -76,6 +76,25 @@ type JobRequest struct {
 	// carries a Campaign taxonomy summary. Campaign results bypass the
 	// result cache. Netlist jobs reject the option.
 	Faults *FaultCampaignRequest `json:"faults,omitempty"`
+
+	// JobID, when set, names the job instead of letting the server mint
+	// a "job-NNNNNN" identifier. Fleet coordinators use it so one job
+	// keeps a single identity across workers: status lookups, checkpoint
+	// snapshots and journal records are all keyed by it, and a migrated
+	// job resumes on its new worker under the same name. IDs must match
+	// [A-Za-z0-9._-]{1,64}; an ID naming a job that is still queued or
+	// running on this server is rejected.
+	JobID string `json:"job_id,omitempty"`
+
+	// ResumeSnapshot carries a fabric snapshot (as served by
+	// GET /v1/jobs/{id}/snapshot) that this job restores from before
+	// stepping — the snapshot-import half of job migration. Snapshots
+	// are fingerprint-guarded and self-describing, so a snapshot that
+	// does not match this job's assembled program is discarded and the
+	// job runs from cycle zero (migration must never wedge a job that
+	// can be recomputed). Incompatible with Trace and Faults, whose
+	// state lives outside the fabric. JSON carries it base64-encoded.
+	ResumeSnapshot []byte `json:"resume_snapshot,omitempty"`
 }
 
 // FaultCampaignRequest configures a resilience campaign (see
@@ -197,6 +216,13 @@ const (
 	// HTTP layer answers 429 with a Retry-After hint instead of queueing
 	// without bound.
 	ErrBusy ErrorKind = "busy"
+	// ErrNotFound reports a job-status or snapshot lookup for an ID this
+	// server does not know.
+	ErrNotFound ErrorKind = "not_found"
+	// ErrUnavailable reports that no worker could take the job — the
+	// fleet coordinator's analogue of draining, surfaced as 503 with a
+	// Retry-After hint.
+	ErrUnavailable ErrorKind = "unavailable"
 	// ErrInternal is everything else.
 	ErrInternal ErrorKind = "internal"
 )
@@ -224,6 +250,50 @@ func (e *JobError) Error() string {
 // jobErrorf builds a JobError.
 func jobErrorf(kind ErrorKind, format string, args ...any) *JobError {
 	return &JobError{Kind: kind, Message: fmt.Sprintf(format, args...)}
+}
+
+// drainRetryAfter is the resubmission hint attached to draining
+// rejections: a drain usually means a restart or a rolling replacement,
+// so the client should come back on the order of seconds — like the 429
+// path, the hint travels as the HTTP Retry-After header.
+const drainRetryAfter = 2 * time.Second
+
+// drainingError builds the typed draining rejection, Retry-After hint
+// included, so every rejection site (HTTP handler, Submit, scheduler)
+// sheds load with the same shape the busy path uses.
+func drainingError() *JobError {
+	je := jobErrorf(ErrDraining, "server is draining; not accepting jobs")
+	je.RetryAfter = drainRetryAfter
+	return je
+}
+
+// Job lifecycle states reported by GET /v1/jobs/{id}.
+const (
+	// JobStateQueued: accepted, waiting for a worker slot.
+	JobStateQueued = "queued"
+	// JobStateRunning: executing right now.
+	JobStateRunning = "running"
+	// JobStateCompleted: finished with a result.
+	JobStateCompleted = "completed"
+	// JobStateFailed: finished with a typed error (cancellation and
+	// deadline expiry included — the lookup carries the error).
+	JobStateFailed = "failed"
+)
+
+// JobStatus is the GET /v1/jobs/{id} payload: where a job is in its
+// lifecycle, its latest persisted checkpoint, and — once terminal — the
+// result or error it finished with. Coordinators use it to re-find jobs
+// whose submission connection broke without re-running them.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// CheckpointCycle is the cycle of the latest persisted checkpoint
+	// snapshot (0 when none has been written yet).
+	CheckpointCycle int64 `json:"checkpoint_cycle,omitempty"`
+	// Result is set once State is "completed".
+	Result *JobResult `json:"result,omitempty"`
+	// Error is set once State is "failed".
+	Error *JobError `json:"error,omitempty"`
 }
 
 // WorkloadInfo describes one runnable kernel (GET /v1/workloads).

@@ -174,7 +174,9 @@ func (c *Client) submitOnce(ctx context.Context, req *JobRequest) (*JobResult, t
 }
 
 // parseRetryAfter reads a delay-seconds Retry-After header off 429/503
-// responses (the only statuses the service sends it with).
+// responses (the only statuses the service sends it with) — busy and
+// draining rejections carry the hint uniformly, and Submit honors it
+// uniformly for both.
 func parseRetryAfter(resp *http.Response) time.Duration {
 	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
 		return 0
@@ -184,4 +186,109 @@ func parseRetryAfter(resp *http.Response) time.Duration {
 		return 0
 	}
 	return time.Duration(secs) * time.Second
+}
+
+// getJSON performs one GET round trip and decodes the service's JSON
+// wire shape: 200 decodes into out, anything else decodes the typed job
+// error. No retries — the lookup callers (heartbeats, failover probes)
+// need prompt, truthful failures, not backoff.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	payload, status, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return decodeJobError(status, payload)
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("decode %s: %w", path, err)
+	}
+	return nil
+}
+
+// get performs one GET and returns the raw body and status.
+func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, resp.StatusCode, nil
+}
+
+// decodeJobError extracts the typed error from a non-200 payload.
+func decodeJobError(status int, payload []byte) error {
+	var fail struct {
+		Error *JobError `json:"error"`
+	}
+	if err := json.Unmarshal(payload, &fail); err == nil && fail.Error != nil {
+		return fail.Error
+	}
+	return fmt.Errorf("http %d: %s", status, bytes.TrimSpace(payload))
+}
+
+// Status looks up a job's lifecycle state and, once terminal, its
+// result or error (GET /v1/jobs/{id}). An unknown ID is a typed
+// not_found job error.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Healthz probes the server's health endpoint. A draining server
+// answers 503 but still describes itself; that is a successful probe,
+// so the Health body is returned whenever one decodes.
+func (c *Client) Healthz(ctx context.Context) (*Health, error) {
+	payload, status, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	var h Health
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return nil, fmt.Errorf("healthz (http %d): %w", status, err)
+	}
+	return &h, nil
+}
+
+// Workloads lists the server's built-in kernel suite
+// (GET /v1/workloads).
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var out []WorkloadInfo
+	if err := c.getJSON(ctx, "/v1/workloads", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FetchSnapshot downloads a job's latest checkpoint snapshot
+// (GET /v1/jobs/{id}/snapshot). A job with no checkpoint yet returns
+// (nil, nil) — not an error, just nothing to migrate with yet.
+func (c *Client) FetchSnapshot(ctx context.Context, id string) ([]byte, error) {
+	payload, status, err := c.get(ctx, "/v1/jobs/"+id+"/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		return payload, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, decodeJobError(status, payload)
+	}
 }

@@ -91,6 +91,11 @@ func (s *Server) runRecorded(ctx context.Context, id string, req *JobRequest) (*
 	if err := s.journalAppend(journalRecord{Kind: recStarted, ID: id}); err != nil {
 		return nil, jobErrorf(ErrInternal, "journal: %v", err)
 	}
+	s.tracker.setRunning(id)
+	// A staged resume snapshot the run did not consume (cache hit,
+	// early validation failure) must not leak into a later job that
+	// reuses the ID.
+	defer s.takeResume(id)
 	res, err := s.runJob(ctx, id, req)
 	switch {
 	case err == nil:
@@ -145,6 +150,7 @@ func (s *Server) writeCheckpoint(id, fingerprint string, f *fabric.Fabric, cycle
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint %s: %w", id, err)
 	}
+	s.tracker.setCheckpoint(id, cycle)
 	return s.journalAppend(journalRecord{Kind: recCheckpointed, ID: id, Cycles: cycle, File: final})
 }
 
@@ -156,7 +162,20 @@ func (s *Server) removeSnapshot(id string) {
 	os.Remove(s.snapshotPath(id))
 }
 
-// takeResume pops the replayed snapshot staged for a job ID, if any.
+// stageResume parks snapshot bytes for a job ID; the job's run consumes
+// them via restoreOrRestart. Used by journal replay (checkpointed jobs)
+// and by snapshot import (JobRequest.ResumeSnapshot, the migration
+// path) — staging works with or without a journal.
+func (s *Server) stageResume(id string, snap []byte) {
+	s.dur.mu.Lock()
+	defer s.dur.mu.Unlock()
+	if s.dur.resume == nil {
+		s.dur.resume = map[string][]byte{}
+	}
+	s.dur.resume[id] = snap
+}
+
+// takeResume pops the snapshot staged for a job ID, if any.
 func (s *Server) takeResume(id string) []byte {
 	s.dur.mu.Lock()
 	defer s.dur.mu.Unlock()
@@ -169,7 +188,7 @@ func (s *Server) takeResume(id string) []byte {
 // fabric and returns the adjusted cycle budget. A snapshot that fails
 // to restore (corrupt file, different program) is discarded and the job
 // simply runs from cycle zero — a bad checkpoint must never fail a job
-// that can be recomputed.
+// that can be recomputed. A no-op when nothing is staged for the ID.
 func (s *Server) restoreOrRestart(id, fingerprint string, f *fabric.Fabric, budget int64) int64 {
 	snap := s.takeResume(id)
 	if snap == nil {
@@ -179,6 +198,7 @@ func (s *Server) restoreOrRestart(id, fingerprint string, f *fabric.Fabric, budg
 		f.Reset()
 		return budget
 	}
+	s.metrics.JobsResumed.Add(1)
 	if rem := budget - f.Cycle(); rem > 0 {
 		return rem
 	}
@@ -237,12 +257,7 @@ func (s *Server) recoverFromJournal(recs []journalRecord) {
 		}
 		if p.snapFile != "" {
 			if snap, err := os.ReadFile(p.snapFile); err == nil {
-				s.dur.mu.Lock()
-				if s.dur.resume == nil {
-					s.dur.resume = map[string][]byte{}
-				}
-				s.dur.resume[p.id] = snap
-				s.dur.mu.Unlock()
+				s.stageResume(p.id, snap)
 			}
 		}
 		s.dur.lag.Add(1)

@@ -277,7 +277,7 @@ func TestJournaledServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GET /healthz: %v", err)
 	}
-	var h healthStatus
+	var h Health
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatalf("decode healthz: %v", err)
 	}

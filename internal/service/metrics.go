@@ -17,6 +17,10 @@ type Metrics struct {
 	JobsCancelled atomic.Int64 // stopped by cancellation or deadline
 	JobsRejected  atomic.Int64 // refused at admission (queue full)
 	JobsReplayed  atomic.Int64 // re-enqueued from the journal at startup
+	JobsResumed   atomic.Int64 // runs that restored from a checkpoint snapshot
+
+	SnapshotExports atomic.Int64 // checkpoint snapshots served to migrators
+	StatusLookups   atomic.Int64 // GET /v1/jobs/{id} answers
 
 	ResultHits    atomic.Int64
 	ResultMisses  atomic.Int64
@@ -61,6 +65,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("tia_jobs_cancelled_total", "Jobs stopped by cancellation or deadline expiry.", m.JobsCancelled.Load())
 	counter("tia_jobs_rejected_total", "Jobs refused at admission because the queue was full.", m.JobsRejected.Load())
 	counter("tia_jobs_replayed_total", "Jobs re-enqueued from the journal at startup.", m.JobsReplayed.Load())
+	counter("tia_jobs_resumed_total", "Runs restored from a checkpoint snapshot (replay or migration).", m.JobsResumed.Load())
+	counter("tia_snapshot_exports_total", "Checkpoint snapshots served to migrators.", m.SnapshotExports.Load())
+	counter("tia_status_lookups_total", "Job status lookups answered.", m.StatusLookups.Load())
 	counter("tia_result_cache_hits_total", "Completed-result cache hits.", m.ResultHits.Load())
 	counter("tia_result_cache_misses_total", "Completed-result cache misses.", m.ResultMisses.Load())
 	counter("tia_program_cache_hits_total", "Assembled-program cache hits.", m.ProgramHits.Load())
@@ -96,6 +103,9 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"jobs_cancelled":       m.JobsCancelled.Load(),
 		"jobs_rejected":        m.JobsRejected.Load(),
 		"jobs_replayed":        m.JobsReplayed.Load(),
+		"jobs_resumed":         m.JobsResumed.Load(),
+		"snapshot_exports":     m.SnapshotExports.Load(),
+		"status_lookups":       m.StatusLookups.Load(),
 		"result_cache_hits":    m.ResultHits.Load(),
 		"result_cache_misses":  m.ResultMisses.Load(),
 		"program_cache_hits":   m.ProgramHits.Load(),

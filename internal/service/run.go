@@ -195,8 +195,12 @@ func (s *Server) runWorkloadJob(ctx context.Context, id string, req *JobRequest)
 			rec.Attach(pr)
 		}
 	}
+	// Resume staging is independent of checkpointing: a migrated job
+	// carries its snapshot inline (ResumeSnapshot) and restores even on
+	// a server without a journal; only writing new checkpoints needs
+	// durability configured.
+	budget = s.restoreOrRestart(id, key.Fingerprint, inst.Fabric, budget)
 	if s.checkpointsOn(req) {
-		budget = s.restoreOrRestart(id, key.Fingerprint, inst.Fabric, budget)
 		inst.Fabric.SetCheckpoint(s.cfg.CheckpointEvery, func(cycle int64) error {
 			return s.writeCheckpoint(id, key.Fingerprint, inst.Fabric, cycle)
 		})
@@ -293,8 +297,8 @@ func (s *Server) runNetlistJob(ctx context.Context, id string, req *JobRequest) 
 			rec.Attach(pr)
 		}
 	}
+	budget = s.restoreOrRestart(id, prog.fingerprint, nl.Fabric, budget)
 	if s.checkpointsOn(req) {
-		budget = s.restoreOrRestart(id, prog.fingerprint, nl.Fabric, budget)
 		nl.Fabric.SetCheckpoint(s.cfg.CheckpointEvery, func(cycle int64) error {
 			return s.writeCheckpoint(id, prog.fingerprint, nl.Fabric, cycle)
 		})

@@ -169,7 +169,7 @@ func (s *scheduler) submit(ctx context.Context, id string, req *JobRequest) (*Jo
 	s.gate.RLock()
 	if s.draining {
 		s.gate.RUnlock()
-		return nil, jobErrorf(ErrDraining, "server is draining; not accepting jobs")
+		return nil, drainingError()
 	}
 	select {
 	case s.queue <- j:

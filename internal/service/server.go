@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -89,11 +90,21 @@ type Server struct {
 	results  *cache
 	programs *cache
 	sched    *scheduler
+	tracker  *jobTracker
 	mux      *http.ServeMux
 	draining atomic.Bool
 	jobSeq   atomic.Int64
 	dur      durability
 }
+
+// trackedTerminalJobs bounds how many finished jobs GET /v1/jobs/{id}
+// can still answer for; live (queued/running) jobs are always tracked.
+const trackedTerminalJobs = 4096
+
+// validJobID constrains client-supplied job identifiers: they key
+// journal records and checkpoint snapshot filenames, so they must be
+// filesystem-safe and bounded.
+var validJobID = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
 // New builds a ready-to-serve Server. With Config.JournalPath set it
 // opens (or creates) the write-ahead job journal, truncates any torn
@@ -136,8 +147,11 @@ func New(cfg Config) (*Server, error) {
 		programs: newCache(cfg.ProgramCacheEntries),
 	}
 	s.sched = newScheduler(cfg.Workers, cfg.QueueCap, s.metrics, s.runRecorded)
+	s.tracker = newJobTracker(trackedTerminalJobs)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/snapshot", s.handleJobSnapshot)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -217,9 +231,20 @@ func (s *Server) Drain() {
 // Submit returns an ID cannot lose the job.
 func (s *Server) Submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
 	if s.draining.Load() {
-		return nil, jobErrorf(ErrDraining, "server is draining; not accepting jobs")
+		return nil, drainingError()
 	}
-	id := s.nextJobID()
+	if len(req.ResumeSnapshot) > 0 && (req.Trace || req.Faults != nil) {
+		return nil, jobErrorf(ErrBadRequest, "resume_snapshot is incompatible with trace and fault-campaign jobs")
+	}
+	id := req.JobID
+	if id == "" {
+		id = s.nextJobID()
+	} else if !validJobID.MatchString(id) {
+		return nil, jobErrorf(ErrBadRequest, "job_id %q: must match %s", id, validJobID)
+	}
+	if !s.tracker.begin(id) {
+		return nil, jobErrorf(ErrBadRequest, "job_id %q already names a queued or running job", id)
+	}
 	if err := s.journalAppend(journalRecord{Kind: recAccepted, ID: id, Req: req}); err != nil {
 		return nil, jobErrorf(ErrInternal, "journal: %v", err)
 	}
@@ -232,6 +257,10 @@ func (s *Server) Submit(ctx context.Context, req *JobRequest) (*JobResult, error
 // replay it. A draining rejection stays pending on purpose: jobs
 // refused mid-shutdown re-run when the daemon comes back.
 func (s *Server) submitExisting(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
+	s.tracker.begin(id) // no-op when Submit already registered the job
+	if len(req.ResumeSnapshot) > 0 {
+		s.stageResume(id, req.ResumeSnapshot)
+	}
 	if req.DeadlineMs > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
@@ -244,12 +273,32 @@ func (s *Server) submitExisting(ctx context.Context, id string, req *JobRequest)
 			s.journalTerminal(journalRecord{Kind: recFailed, ID: id, Error: je})
 		}
 	}
+	s.trackOutcome(id, res, err)
 	return res, err
+}
+
+// trackOutcome folds a finished submission into the status tracker so
+// GET /v1/jobs/{id} keeps answering after the submitter is gone. A
+// draining rejection stays queued in the tracker on purpose — the job
+// is still pending in the journal and re-runs on restart.
+func (s *Server) trackOutcome(id string, res *JobResult, err error) {
+	if err == nil {
+		s.tracker.finish(id, res, nil)
+		return
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		je = jobErrorf(ErrInternal, "%v", err)
+	}
+	if je.Kind == ErrDraining {
+		return
+	}
+	s.tracker.finish(id, nil, je)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, jobErrorf(ErrDraining, "server is draining; not accepting jobs"))
+		writeError(w, drainingError())
 		return
 	}
 	var req JobRequest
@@ -267,6 +316,46 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// handleJobStatus answers GET /v1/jobs/{id}: the job's lifecycle state,
+// latest checkpoint cycle, and its result or error once terminal.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.tracker.get(id)
+	if !ok {
+		writeError(w, jobErrorf(ErrNotFound, "unknown job %q", id))
+		return
+	}
+	s.metrics.StatusLookups.Add(1)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobSnapshot serves a job's latest persisted checkpoint snapshot
+// as raw bytes — the snapshot-export half of job migration. The
+// snapshot is self-describing and fingerprint-guarded (see
+// fabric.Snapshot), so the importer can verify it belongs to the same
+// program. 404 until the job's first checkpoint lands, or when
+// durability (and with it checkpointing) is off.
+func (s *Server) handleJobSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validJobID.MatchString(id) {
+		writeError(w, jobErrorf(ErrBadRequest, "job id %q: must match %s", id, validJobID))
+		return
+	}
+	if s.dur.snapshotDir == "" {
+		writeError(w, jobErrorf(ErrNotFound, "checkpointing is not enabled on this server"))
+		return
+	}
+	snap, err := os.ReadFile(s.snapshotPath(id))
+	if err != nil {
+		writeError(w, jobErrorf(ErrNotFound, "no checkpoint snapshot for job %q", id))
+		return
+	}
+	s.metrics.SnapshotExports.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(snap)
+}
+
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	var out []WorkloadInfo
 	for _, spec := range workloads.All() {
@@ -279,8 +368,10 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// healthStatus is the /healthz JSON body.
-type healthStatus struct {
+// Health is the /healthz JSON body. It is exported so fleet
+// coordinators (and other probers) can decode it with the same type the
+// server encodes.
+type Health struct {
 	// Status is "ok" or "draining".
 	Status string `json:"status"`
 	// QueueDepth and Running mirror the tia_jobs_queued /
@@ -294,7 +385,7 @@ type healthStatus struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	h := healthStatus{
+	h := Health{
 		Status:     "ok",
 		QueueDepth: s.metrics.QueueDepth.Load(),
 		Running:    s.metrics.Running.Load(),
@@ -325,10 +416,12 @@ func httpStatus(kind ErrorKind) int {
 		return 499 // client closed request (nginx convention)
 	case ErrDeadlock, ErrCycleBudget, ErrVerify:
 		return http.StatusUnprocessableEntity
-	case ErrDraining:
+	case ErrDraining, ErrUnavailable:
 		return http.StatusServiceUnavailable
 	case ErrBusy:
 		return http.StatusTooManyRequests
+	case ErrNotFound:
+		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}
@@ -353,3 +446,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+// WriteError renders err in the service's wire shape — typed JobErrors
+// keep their kind/status mapping and Retry-After hint, anything else
+// becomes an internal error. Exported for the fleet coordinator, whose
+// endpoints speak the same error protocol as the workers they front.
+func WriteError(w http.ResponseWriter, err error) { writeError(w, err) }
+
+// WriteJSON renders v as the service's indented JSON. Exported for the
+// fleet coordinator.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// DrainingError returns the typed draining rejection (503 + Retry-After
+// hint) — exported so the coordinator sheds load with the same shape.
+func DrainingError() *JobError { return drainingError() }

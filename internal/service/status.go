@@ -1,0 +1,118 @@
+package service
+
+import "sync"
+
+// jobTracker records every job's lifecycle so GET /v1/jobs/{id} can
+// answer for jobs the asker did not submit — the coordinator's failover
+// path depends on it: when a submission connection breaks, the
+// coordinator asks the worker whether the job is still running (or
+// already finished) before deciding to migrate it.
+//
+// Queued and running entries are never evicted — they describe live
+// work. Terminal entries (completed/failed) are retained FIFO up to a
+// bound so the tracker cannot grow without limit under sustained
+// traffic; a terminal entry that ages out simply turns the lookup into
+// not-found, which callers already handle (the result itself lives in
+// the content-addressed result cache and the journal).
+type jobTracker struct {
+	mu       sync.Mutex
+	max      int      // retained terminal entries
+	terminal []string // FIFO eviction order of terminal IDs
+	jobs     map[string]*JobStatus
+}
+
+func newJobTracker(max int) *jobTracker {
+	if max < 1 {
+		max = 1
+	}
+	return &jobTracker{max: max, jobs: map[string]*JobStatus{}}
+}
+
+// begin registers a freshly accepted job as queued. It reports false if
+// the ID already names a job that is still queued or running — the one
+// collision that must be refused, because two live runs would share a
+// checkpoint file and a journal identity. A terminal entry under the
+// same ID is displaced: resubmitting a finished job's ID is how a
+// coordinator re-runs work on a restarted worker.
+func (t *jobTracker) begin(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.jobs[id]; ok {
+		switch st.State {
+		case JobStateQueued, JobStateRunning:
+			return false
+		}
+		t.dropTerminalLocked(id)
+	}
+	t.jobs[id] = &JobStatus{ID: id, State: JobStateQueued}
+	return true
+}
+
+// setRunning marks a job as executing.
+func (t *jobTracker) setRunning(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.jobs[id]; ok {
+		st.State = JobStateRunning
+	}
+}
+
+// setCheckpoint records the latest persisted checkpoint's cycle.
+func (t *jobTracker) setCheckpoint(id string, cycle int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.jobs[id]; ok {
+		st.CheckpointCycle = cycle
+	}
+}
+
+// finish records a job's terminal outcome and enforces the retention
+// bound on terminal entries.
+func (t *jobTracker) finish(id string, res *JobResult, jobErr *JobError) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.jobs[id]
+	if !ok {
+		st = &JobStatus{ID: id}
+		t.jobs[id] = st
+	}
+	if jobErr != nil {
+		st.State = JobStateFailed
+		st.Error = jobErr
+	} else {
+		st.State = JobStateCompleted
+		st.Result = res
+	}
+	t.terminal = append(t.terminal, id)
+	for len(t.terminal) > t.max {
+		victim := t.terminal[0]
+		t.terminal = t.terminal[1:]
+		if v, ok := t.jobs[victim]; ok && (v.State == JobStateCompleted || v.State == JobStateFailed) {
+			delete(t.jobs, victim)
+		}
+	}
+}
+
+// get returns a copy of the job's status (the tracker keeps mutating
+// the original).
+func (t *jobTracker) get(id string) (*JobStatus, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	cp := *st
+	return &cp, true
+}
+
+// dropTerminalLocked removes a terminal entry and its eviction slot.
+func (t *jobTracker) dropTerminalLocked(id string) {
+	delete(t.jobs, id)
+	for i, v := range t.terminal {
+		if v == id {
+			t.terminal = append(t.terminal[:i], t.terminal[i+1:]...)
+			break
+		}
+	}
+}

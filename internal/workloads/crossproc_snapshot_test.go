@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tia/internal/asm"
+)
+
+// Cross-process snapshot migration: a fabric snapshot encoded by one
+// process must restore in another and complete byte-identically. This
+// is the portability contract the fleet's job migration rides on — the
+// coordinator hands a snapshot polled off a (now dead) worker process
+// to a different worker process. The in-package differential tests
+// prove snapshot/restore within one address space; this one proves the
+// encoding carries no process-local state (pointers, map order,
+// interned indices) by round-tripping through a file written by a
+// re-executed child test binary.
+
+const (
+	crossprocOutEnv = "TIA_CROSSPROC_SNAPSHOT_OUT"
+	crossprocName   = "mergesort"
+	crossprocSize   = 64
+	crossprocSeed   = 7
+)
+
+// crossprocFingerprint derives the instance's real program-hash
+// fingerprint, the way the service layer keys snapshots — both
+// processes must compute the same one or restore refuses the snapshot.
+func crossprocFingerprint(inst *Instance) string {
+	fp := ""
+	for _, pr := range inst.PEs {
+		fp += asm.HashTIAProgram(pr.Program())
+	}
+	return fp
+}
+
+func crossprocBuild(t *testing.T) (*Instance, Params, *Spec) {
+	t.Helper()
+	spec, err := ByName(crossprocName)
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	p := spec.Normalize(Params{Size: crossprocSize, Seed: crossprocSeed})
+	inst, err := spec.BuildTIA(p)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return inst, p, spec
+}
+
+// TestCrossProcSnapshotChild is the re-executed half: it runs the
+// kernel to its midpoint, snapshots with the real fingerprint, and
+// writes the snapshot to the path named by the environment. Skipped in
+// normal test runs.
+func TestCrossProcSnapshotChild(t *testing.T) {
+	out := os.Getenv(crossprocOutEnv)
+	if out == "" {
+		t.Skip("helper process for TestCrossProcessSnapshotMigration")
+	}
+	ref, p, spec := crossprocBuild(t)
+	res, err := ref.Fabric.Run(spec.MaxCycles(p))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	mid := res.Cycles / 2
+	if mid < 1 {
+		mid = 1
+	}
+
+	inst, _, _ := crossprocBuild(t)
+	fp := crossprocFingerprint(inst)
+	var snap []byte
+	inst.Fabric.SetCheckpoint(mid, func(int64) error {
+		if snap != nil {
+			return nil
+		}
+		s, err := inst.Fabric.Snapshot(fp)
+		if err != nil {
+			return err
+		}
+		snap = s
+		return nil
+	})
+	if _, err := inst.Fabric.Run(spec.MaxCycles(p)); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if snap == nil {
+		t.Fatalf("no checkpoint fired (run took %d cycles)", res.Cycles)
+	}
+	if err := os.WriteFile(out, snap, 0o644); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+}
+
+// TestCrossProcessSnapshotMigration re-executes the test binary to
+// produce a mid-run snapshot in a separate OS process, restores it
+// here, and requires the migrated completion to match an uninterrupted
+// local run exactly — observations deeply equal and the final fabric
+// snapshots byte-identical.
+func TestCrossProcessSnapshotMigration(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("executable: %v", err)
+	}
+	snapFile := filepath.Join(t.TempDir(), "mid.snap")
+	cmd := exec.Command(exe, "-test.run", "^TestCrossProcSnapshotChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(), crossprocOutEnv+"="+snapFile)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("child process: %v\n%s", err, out)
+	}
+	snap, err := os.ReadFile(snapFile)
+	if err != nil {
+		t.Fatalf("read child snapshot: %v", err)
+	}
+
+	// Uninterrupted local reference.
+	ref, p, spec := crossprocBuild(t)
+	fp := crossprocFingerprint(ref)
+	refRes, err := ref.Fabric.Run(spec.MaxCycles(p))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refObs := snapObserve(ref, nil, refRes.Cycles, refRes.Completed, nil)
+	refFinal, err := ref.Fabric.Snapshot(fp)
+	if err != nil {
+		t.Fatalf("reference final snapshot: %v", err)
+	}
+
+	// Restore the child's mid-run snapshot and finish here.
+	mig, _, _ := crossprocBuild(t)
+	if err := mig.Fabric.Restore(snap, fp); err != nil {
+		t.Fatalf("restore child snapshot: %v", err)
+	}
+	mid := refRes.Cycles / 2
+	if mid < 1 {
+		mid = 1
+	}
+	if got := mig.Fabric.Cycle(); got != mid {
+		t.Fatalf("restored to cycle %d, want midpoint %d", got, mid)
+	}
+	migRes, err := mig.Fabric.Run(spec.MaxCycles(p) - mid)
+	if err != nil {
+		t.Fatalf("migrated run: %v", err)
+	}
+	migObs := snapObserve(mig, nil, migRes.Cycles, migRes.Completed, nil)
+	if !reflect.DeepEqual(refObs, migObs) {
+		t.Errorf("migrated completion diverged:\nuninterrupted %+v\nmigrated      %+v", refObs, migObs)
+	}
+	migFinal, err := mig.Fabric.Snapshot(fp)
+	if err != nil {
+		t.Fatalf("migrated final snapshot: %v", err)
+	}
+	if !bytes.Equal(refFinal, migFinal) {
+		t.Errorf("final snapshots differ: %d vs %d bytes", len(refFinal), len(migFinal))
+	}
+}
