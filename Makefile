@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke check
+.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke check
 
 all: build
 
@@ -90,4 +90,15 @@ compile-smoke:
 fleet-smoke:
 	$(GO) test -race -run 'TestFleetE2E' -count=1 ./internal/fleet
 
-check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke
+# Deterministic chaos soak under the race detector: the seeded fault
+# harness's own replay contracts (internal/chaos) plus the fleet-level
+# scenarios — partitions, corrupt snapshots, worker crash-restart —
+# where every accepted job reaches exactly one terminal state, results
+# match a chaos-free reference byte for byte, and a same-seed rerun
+# injects the identical fault log. The breaker, stash, journal and
+# goroutine-leak gates ride along (see internal/fleet/chaos_soak_test.go).
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -run 'TestChaosSoak|TestBreaker|TestStaleHeartbeatSkew|TestRegistryConcurrentProbes|TestStash|TestCoordinatorJournal|TestCoordinatorShutdownGoroutines' -count=1 ./internal/fleet
+
+check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke

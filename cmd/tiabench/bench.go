@@ -59,7 +59,10 @@ type benchReport struct {
 	Micro      []benchMicro  `json:"micro"`
 	// Fleet is the serving-layer throughput point: an in-process
 	// three-worker fleet fanning a 64-seed batch (see fleet.go).
-	Fleet      *benchFleet `json:"fleet,omitempty"`
+	Fleet *benchFleet `json:"fleet,omitempty"`
+	// Chaos is the same fleet surviving a seeded 5% transport-fault
+	// plan — throughput with the hardening path engaged (see chaos.go).
+	Chaos      *benchChaos `json:"chaos,omitempty"`
 	TotalMinMs float64     `json:"total_min_ms"`
 }
 
@@ -98,6 +101,11 @@ func emitBenchJSON(ctx context.Context, p workloads.Params, shards int, compiled
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	rep.Fleet = fl
+	ch, err := benchChaosRow()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	rep.Chaos = ch
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

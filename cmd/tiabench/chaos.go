@@ -1,0 +1,114 @@
+// Chaos-survivability row for the bench report: the same loopback
+// three-worker fleet as the fleet row, but with a seeded chaos plan
+// injecting transport faults at a 5% rate into every submit. The row
+// records surviving throughput — jobs/sec with the retry/failover
+// machinery absorbing the faults — so a regression in the hardening
+// path (breakers, retry budgets, reattachment) shows up in the
+// committed BENCH_*.json trajectory as a throughput collapse, not just
+// a red test.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"tia/internal/chaos"
+	"tia/internal/fleet"
+	"tia/internal/service"
+)
+
+// benchChaosSeed pins the plan so every trajectory point injects the
+// identical fault sequence.
+const benchChaosSeed = 42
+
+// benchChaos is the chaos-survivability row of the report.
+type benchChaos struct {
+	Workers    int     `json:"workers"`
+	Jobs       int     `json:"jobs"`
+	FaultRate  float64 `json:"fault_rate"`
+	Faults     int     `json:"faults"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// benchChaosRow stands up the loopback fleet behind a seeded fault
+// harness and times one cold batch through it. Every job must still
+// complete: surviving the plan is the row's precondition, its cost is
+// the measurement.
+func benchChaosRow() (*benchChaos, error) {
+	const nWorkers, nJobs, faultRate = 3, 64, 0.05
+	harness, err := chaos.New(chaos.Plan{
+		Seed:           benchChaosSeed,
+		ResetRate:      faultRate,
+		ResetAfterRate: faultRate,
+		TruncateRate:   faultRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer harness.Close()
+
+	urls := make([]string, 0, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		svc, err := service.New(service.Config{Workers: 2})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+		harness.Alias(ts.URL, fmt.Sprintf("w%d", i))
+	}
+	coord, err := fleet.New(fleet.Config{
+		Workers:        urls,
+		HeartbeatEvery: time.Hour,
+		RetryBudget:    8 * nJobs, // ample: exhaustion here is a bug, not load
+		RetryBackoff:   time.Millisecond,
+		HTTP:           &http.Client{Transport: harness.Transport(&http.Transport{})},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	seeds := make([]int64, nJobs)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	body, err := json.Marshal(fleet.BatchRequest{
+		Template: service.JobRequest{Workload: "dmm"},
+		Seeds:    seeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	resp, err := http.Post(cts.URL+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var result fleet.BatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(t0)
+	if result.Completed != nJobs {
+		return nil, fmt.Errorf("chaos batch: %d/%d jobs completed (%d failed)", result.Completed, nJobs, result.Failed)
+	}
+	return &benchChaos{
+		Workers:    nWorkers,
+		Jobs:       nJobs,
+		FaultRate:  faultRate,
+		Faults:     len(harness.Events()),
+		ElapsedMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		JobsPerSec: float64(nJobs) / elapsed.Seconds(),
+	}, nil
+}

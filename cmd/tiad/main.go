@@ -57,10 +57,19 @@
 // migrating checkpointed progress via the workers' snapshot API — and
 // fanning out campaign batches (POST /v1/batches, optionally streamed
 // as NDJSON). See internal/fleet.
+//
+// Coordinator hardening knobs: -retry-budget bounds total routing
+// attempts per job, -coord-journal makes accepted jobs survive a
+// coordinator crash (a restarted coordinator re-drives interrupted
+// jobs to completion), and -chaos arms a seeded deterministic
+// fault-injection plan (internal/chaos) on all worker-bound traffic —
+// a testing feature that reproduces a fault mix bit-identically from
+// its seed.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -71,6 +80,7 @@ import (
 	"syscall"
 	"time"
 
+	"tia/internal/chaos"
 	"tia/internal/fleet"
 	"tia/internal/service"
 )
@@ -94,13 +104,26 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "worker health probe cadence (coordinator mode)")
 	pollEvery := flag.Duration("poll-every", 250*time.Millisecond, "in-flight job snapshot poll cadence (coordinator mode)")
 	maxFailover := flag.Int("failover", 0, "max distinct workers tried per job (0 = all; coordinator mode)")
+	retryBudget := flag.Int("retry-budget", 0, "total routing attempts per job across all workers (0 = default; coordinator mode)")
+	coordJournal := flag.String("coord-journal", "", "coordinator journal path: accepted jobs survive a coordinator crash and are re-driven on restart (coordinator mode)")
+	chaosPlan := flag.String("chaos", "", `seeded chaos plan as JSON with Go field names, e.g. '{"Seed":1,"ResetRate":0.1}'; durations in nanoseconds (coordinator mode, testing)`)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tiad [flags]; see -h")
 		os.Exit(2)
 	}
 	if *coordinator {
-		runCoordinator(*addr, *peers, *heartbeat, *pollEvery, *maxFailover, *drainTimeout)
+		runCoordinator(coordOpts{
+			addr:        *addr,
+			peers:       *peers,
+			heartbeat:   *heartbeat,
+			pollEvery:   *pollEvery,
+			maxFailover: *maxFailover,
+			retryBudget: *retryBudget,
+			journal:     *coordJournal,
+			chaosPlan:   *chaosPlan,
+			drain:       *drainTimeout,
+		})
 		return
 	}
 
@@ -170,11 +193,25 @@ func main() {
 	log.Printf("tiad: stopped")
 }
 
+// coordOpts carries the coordinator-mode flag values.
+type coordOpts struct {
+	addr        string
+	peers       string
+	heartbeat   time.Duration
+	pollEvery   time.Duration
+	maxFailover int
+	retryBudget int
+	journal     string
+	chaosPlan   string
+	drain       time.Duration
+}
+
 // runCoordinator is tiad's fleet-coordinator mode: no local simulation,
 // just routing over the peer workers.
-func runCoordinator(addr, peers string, heartbeat, pollEvery time.Duration, maxFailover int, drainTimeout time.Duration) {
+func runCoordinator(opts coordOpts) {
+	addr, drainTimeout := opts.addr, opts.drain
 	var workers []string
-	for _, u := range strings.Split(peers, ",") {
+	for _, u := range strings.Split(opts.peers, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			workers = append(workers, strings.TrimRight(u, "/"))
 		}
@@ -183,14 +220,38 @@ func runCoordinator(addr, peers string, heartbeat, pollEvery time.Duration, maxF
 		fmt.Fprintln(os.Stderr, "tiad: -coordinator requires -peers URL[,URL...]")
 		os.Exit(2)
 	}
+	// -chaos arms the deterministic fault harness on all worker-bound
+	// traffic. Operationally a testing feature: a staging fleet under a
+	// seeded plan reproduces a production incident's fault mix on demand.
+	var harness *chaos.Harness
+	var httpClient *http.Client
+	if opts.chaosPlan != "" {
+		var plan chaos.Plan
+		if err := json.Unmarshal([]byte(opts.chaosPlan), &plan); err != nil {
+			log.Fatalf("tiad: -chaos: %v", err)
+		}
+		h, err := chaos.New(plan)
+		if err != nil {
+			log.Fatalf("tiad: -chaos: %v", err)
+		}
+		harness = h
+		httpClient = &http.Client{Transport: harness.Transport(nil)}
+		log.Printf("tiad: chaos plan armed (seed %d)", plan.Seed)
+	}
 	coord, err := fleet.New(fleet.Config{
 		Workers:        workers,
-		HeartbeatEvery: heartbeat,
-		PollEvery:      pollEvery,
-		MaxFailover:    maxFailover,
+		HeartbeatEvery: opts.heartbeat,
+		PollEvery:      opts.pollEvery,
+		MaxFailover:    opts.maxFailover,
+		RetryBudget:    opts.retryBudget,
+		JournalPath:    opts.journal,
+		HTTP:           httpClient,
 	})
 	if err != nil {
 		log.Fatalf("tiad: %v", err)
+	}
+	if opts.journal != "" {
+		log.Printf("tiad: coordinator journal %s open", opts.journal)
 	}
 
 	httpSrv := &http.Server{
@@ -222,5 +283,8 @@ func runCoordinator(addr, peers string, heartbeat, pollEvery time.Duration, maxF
 		log.Printf("tiad: shutdown: %v", err)
 	}
 	coord.Close()
+	if harness != nil {
+		harness.Close()
+	}
 	log.Printf("tiad: coordinator stopped")
 }

@@ -1,0 +1,237 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tia/internal/snapshot"
+)
+
+// Transport wraps an http.RoundTripper with the harness's fault
+// injection. Install it as the coordinator's HTTP transport and every
+// worker request flows through the plan. base nil means
+// http.DefaultTransport.
+func (h *Harness) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{h: h, base: base}
+}
+
+type transport struct {
+	h    *Harness
+	base http.RoundTripper
+}
+
+// classify buckets a request by what drives it (see Class).
+func classify(req *http.Request) Class {
+	path := req.URL.Path
+	switch {
+	case req.Method == http.MethodPost && (path == "/v1/jobs" || path == "/v1/batches"):
+		return ClassSubmit
+	case req.Method == http.MethodGet && strings.HasSuffix(path, "/snapshot") && strings.HasPrefix(path, "/v1/jobs/"):
+		return ClassSnapshot
+	case req.Method == http.MethodGet && strings.HasPrefix(path, "/v1/jobs/"):
+		return ClassStatus
+	case path == "/healthz":
+		return ClassHealth
+	default:
+		return ClassOther
+	}
+}
+
+// submitDraws is one submit request's full fault decision, drawn from
+// the request's own derived generator in a fixed order before anything
+// executes — the draw count never depends on which faults fire.
+type submitDraws struct {
+	reset     bool
+	latency   time.Duration
+	resetAft  bool
+	truncate  bool
+	slowLoris bool
+}
+
+func (t *transport) drawSubmit(name string, seq int64) submitDraws {
+	p := &t.h.plan
+	r := derivedRand(p.Seed, fmt.Sprintf("%s|submit|%d", name, seq))
+	var d submitDraws
+	d.reset = r.Float64() < p.ResetRate
+	if r.Float64() < p.LatencyRate {
+		d.latency = time.Duration(1 + r.Int63n(int64(p.LatencyMax)))
+	}
+	d.resetAft = r.Float64() < p.ResetAfterRate
+	d.truncate = r.Float64() < p.TruncateRate
+	d.slowLoris = r.Float64() < p.SlowLorisRate
+	return d
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !t.h.plan.active() {
+		return t.base.RoundTrip(req)
+	}
+	class := classify(req)
+	if class != ClassSubmit && class != ClassSnapshot {
+		return t.base.RoundTrip(req)
+	}
+	url := req.URL.Scheme + "://" + req.URL.Host
+	s, seq := t.h.siteFor(url, class)
+	if !t.h.matches(s.name) {
+		return t.base.RoundTrip(req)
+	}
+	if class == ClassSnapshot {
+		return t.snapshotTrip(req, s, seq)
+	}
+	return t.submitTrip(req, s, seq)
+}
+
+// submitTrip runs one submit-class request through the partition
+// windows and the per-request fault draw.
+func (t *transport) submitTrip(req *http.Request, s *site, seq int64) (*http.Response, error) {
+	if t.h.partitioned(s, seq) {
+		t.h.record(Event{Site: s.name, Class: ClassSubmit, Seq: seq, Kind: "partition"})
+		closeReqBody(req)
+		return nil, &Error{Kind: "partition", Site: s.name, Seq: seq}
+	}
+	d := t.drawSubmit(s.name, seq)
+	if d.reset {
+		// Severed before reaching the worker: the worker never sees it.
+		t.h.record(Event{Site: s.name, Class: ClassSubmit, Seq: seq, Kind: "reset"})
+		closeReqBody(req)
+		return nil, &Error{Kind: "reset", Site: s.name, Seq: seq}
+	}
+	if d.latency > 0 {
+		t.h.record(Event{Site: s.name, Class: ClassSubmit, Seq: seq, Kind: "latency", Detail: d.latency.String()})
+		select {
+		case <-time.After(d.latency):
+		case <-req.Context().Done():
+			closeReqBody(req)
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if d.resetAft {
+		// The worker processed the request; the submitter never learns.
+		// This is the duplicate-risk fault reattachment exists for.
+		resp.Body.Close()
+		t.h.record(Event{Site: s.name, Class: ClassSubmit, Seq: seq, Kind: "reset-after"})
+		return nil, &Error{Kind: "reset-after", Site: s.name, Seq: seq}
+	}
+	if d.truncate {
+		// No byte counts in the event: response sizes depend on content
+		// (cache flags, ids), and the deterministic log must be a pure
+		// function of the seed and the request sequence.
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.h.record(Event{Site: s.name, Class: ClassSubmit, Seq: seq, Kind: "truncate"})
+		resp.Body = &truncatedBody{data: body[:len(body)/2]}
+		return resp, nil
+	}
+	if d.slowLoris {
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.h.record(Event{Site: s.name, Class: ClassSubmit, Seq: seq, Kind: "slow-loris"})
+		resp.Body = &trickleBody{data: body, delay: t.h.plan.SlowLorisDelay}
+		return resp, nil
+	}
+	return resp, nil
+}
+
+// snapshotTrip passes snapshot fetches through, feeding verified
+// checkpoint cycles to the crash schedule and (optionally) flipping one
+// seeded bit in the body. The crash check runs on the clean body, so
+// the schedule is independent of the corruption rate.
+func (t *transport) snapshotTrip(req *http.Request, s *site, seq int64) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if hdr, verr := snapshot.Verify(body); verr == nil {
+		t.h.observeCycle(s, hdr.Cycle)
+	}
+	p := &t.h.plan
+	if p.CorruptSnapshotRate > 0 {
+		r := derivedRand(p.Seed, fmt.Sprintf("%s|snapshot|%d", s.name, seq))
+		if r.Float64() < p.CorruptSnapshotRate && len(body) > 0 {
+			bit := r.Int63n(int64(len(body)) * 8)
+			body = append([]byte(nil), body...)
+			body[bit/8] ^= 1 << (bit % 8)
+			t.h.record(Event{Site: s.name, Class: ClassSnapshot, Seq: seq, Kind: "corrupt-snapshot",
+				Detail: fmt.Sprintf("bit %d of %d bytes", bit, len(body))})
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+// closeReqBody honors the RoundTripper contract on paths that fail a
+// request without handing it to the base transport.
+func closeReqBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// truncatedBody yields its prefix then fails the read mid-stream, the
+// signature of a connection cut while the response body was in flight.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+// trickleBody delivers the full body, slowly: a bounded chunk per read
+// with a fixed delay before each — a cooperative slow-loris (it always
+// terminates, so soaks stay bounded; the harm modeled is stalling, not
+// starvation).
+type trickleBody struct {
+	data  []byte
+	off   int
+	delay time.Duration
+}
+
+// trickleChunk bounds bytes per read.
+const trickleChunk = 256
+
+func (b *trickleBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	limit := len(p)
+	if limit > trickleChunk {
+		limit = trickleChunk
+	}
+	n := copy(p[:limit], b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *trickleBody) Close() error { return nil }

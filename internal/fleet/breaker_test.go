@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock injects a controllable time into a Registry.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newClockedRegistry(urls []string, cfg breakerConfig) (*Registry, *fakeClock) {
+	r := newRegistry(urls, &http.Client{}, cfg, &Metrics{})
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	r.now = clk.now
+	return r, clk
+}
+
+var errDown = &netError{}
+
+type netError struct{}
+
+func (*netError) Error() string { return "connection refused" }
+
+// TestBreakerLifecycle walks one worker's breaker through the full
+// state machine: threshold opens it, the cooldown gates it, half-open
+// admits one probe, a failed probe re-opens with a doubled cooldown,
+// and a success closes it again.
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := breakerConfig{threshold: 3, cooldown: time.Second, maxCooldown: 4 * time.Second}
+	r, clk := newClockedRegistry([]string{"http://w0"}, cfg)
+	w := r.get("http://w0")
+	r.reportUp(w) // healthy baseline
+
+	// Two failures: still closed (threshold 3), still admissible? No —
+	// closed-breaker admissibility is the health flag, and failures clear
+	// it; but the breaker itself has not opened.
+	r.markDown(w, errDown)
+	r.markDown(w, errDown)
+	if got := r.metrics.BreakerOpens.Load(); got != 0 {
+		t.Fatalf("breaker opened after 2 failures (opens=%d), threshold is 3", got)
+	}
+	r.markDown(w, errDown)
+	if got := r.metrics.BreakerOpens.Load(); got != 1 {
+		t.Fatalf("breaker opens = %d after threshold, want 1", got)
+	}
+	if r.admissible(w) {
+		t.Fatal("open breaker admitted traffic inside its cooldown")
+	}
+	if ok := r.acquire(w); ok {
+		t.Fatal("open breaker granted an attempt slot inside its cooldown")
+	}
+
+	// Cooldown expires: exactly one probe slot.
+	clk.advance(cfg.cooldown + time.Millisecond)
+	if !r.admissible(w) {
+		t.Fatal("expired cooldown not probe-eligible")
+	}
+	if !r.acquire(w) {
+		t.Fatal("expired cooldown refused the probe")
+	}
+	if r.acquire(w) {
+		t.Fatal("half-open granted a second concurrent probe")
+	}
+	if got := r.metrics.BreakerProbes.Load(); got != 1 {
+		t.Fatalf("probes = %d, want 1", got)
+	}
+
+	// Probe fails: re-open, cooldown doubled.
+	r.markDown(w, errDown)
+	if got := r.metrics.BreakerOpens.Load(); got != 2 {
+		t.Fatalf("opens = %d after failed probe, want 2", got)
+	}
+	clk.advance(cfg.cooldown + time.Millisecond) // old cooldown: not enough now
+	if r.admissible(w) {
+		t.Fatal("doubled cooldown honored the old one")
+	}
+	clk.advance(cfg.cooldown) // total 2x+: probe-eligible again
+	if !r.acquire(w) {
+		t.Fatal("doubled cooldown expired but probe refused")
+	}
+
+	// Probe succeeds: closed, healthy, counters reset.
+	r.reportUp(w)
+	if !r.admissible(w) || !r.acquire(w) {
+		t.Fatal("closed breaker after successful probe refuses traffic")
+	}
+	if infos := r.infos(); infos[0].Breaker != "closed" {
+		t.Fatalf("breaker state %q, want closed", infos[0].Breaker)
+	}
+}
+
+// TestBreakerCooldownCap: re-opens double the cooldown only up to the
+// configured max.
+func TestBreakerCooldownCap(t *testing.T) {
+	cfg := breakerConfig{threshold: 1, cooldown: time.Second, maxCooldown: 3 * time.Second}
+	r, clk := newClockedRegistry([]string{"http://w0"}, cfg)
+	w := r.get("http://w0")
+	r.markDown(w, errDown) // opens at 1s
+	for i := 0; i < 4; i++ {
+		clk.advance(time.Hour) // any cooldown expires
+		if !r.acquire(w) {
+			t.Fatalf("round %d: probe refused", i)
+		}
+		r.markDown(w, errDown) // probe fails, cooldown doubles (capped)
+	}
+	w.mu.Lock()
+	cd := w.cooldown
+	w.mu.Unlock()
+	if cd != cfg.maxCooldown {
+		t.Fatalf("cooldown after repeated re-opens = %v, want capped at %v", cd, cfg.maxCooldown)
+	}
+}
+
+// TestStaleHeartbeatSkew: a heartbeat too old OR too far in the future
+// (worker clock skew) makes a worker inadmissible until a fresh probe.
+func TestStaleHeartbeatSkew(t *testing.T) {
+	cfg := breakerConfig{threshold: 3, cooldown: time.Second, maxCooldown: time.Second, staleAfter: 10 * time.Second}
+	r, clk := newClockedRegistry([]string{"http://w0"}, cfg)
+	w := r.get("http://w0")
+	r.reportUp(w)
+	if !r.admissible(w) {
+		t.Fatal("fresh worker inadmissible")
+	}
+	// Ancient heartbeat.
+	clk.advance(time.Minute)
+	if r.admissible(w) {
+		t.Fatal("stale heartbeat (60s old, bound 10s) still admissible")
+	}
+	if ok := r.acquire(w); ok {
+		t.Fatal("stale worker granted an attempt slot")
+	}
+	// Future heartbeat: same verdict, by symmetry.
+	w.mu.Lock()
+	w.lastSeen = clk.now().Add(time.Minute)
+	w.mu.Unlock()
+	if r.admissible(w) {
+		t.Fatal("future heartbeat (skewed worker clock) still admissible")
+	}
+	// A fresh probe restores service.
+	r.reportUp(w)
+	if !r.admissible(w) {
+		t.Fatal("fresh probe did not restore admissibility")
+	}
+	// Zero lastSeen (never probed) is exempt: routing discovers it.
+	r2, _ := newClockedRegistry([]string{"http://w1"}, cfg)
+	w1 := r2.get("http://w1")
+	w1.mu.Lock()
+	w1.healthy = true
+	w1.mu.Unlock()
+	if !r2.admissible(w1) {
+		t.Fatal("never-probed worker excluded by staleness")
+	}
+}
+
+// TestRegistryConcurrentProbes hammers one Registry from four sides at
+// once — heartbeat sweeps, router markDown/reportUp, acquire, and
+// info rendering — under -race. The invariant checked at the end is
+// that a final health sweep leaves every live worker admissible.
+func TestRegistryConcurrentProbes(t *testing.T) {
+	var flaky atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if flaky.Load() {
+			hj, _ := w.(http.Hijacker)
+			if hj != nil {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv2.Close()
+
+	cfg := breakerConfig{threshold: 2, cooldown: time.Millisecond, maxCooldown: 4 * time.Millisecond}
+	r := newRegistry([]string{srv.URL, srv2.URL}, &http.Client{}, cfg, &Metrics{})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := r.get(r.urls()[i%2])
+				switch g {
+				case 0:
+					r.probeAll(context.Background(), 200*time.Millisecond)
+				case 1:
+					if i%3 == 0 {
+						r.markDown(w, errDown)
+					} else {
+						r.reportUp(w)
+					}
+				case 2:
+					if r.acquire(w) && i%2 == 0 {
+						r.reportUp(w)
+					}
+				case 3:
+					r.infos()
+					r.healthyCount()
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	flaky.Store(true)
+	time.Sleep(50 * time.Millisecond)
+	flaky.Store(false)
+	close(stop)
+	wg.Wait()
+
+	// Let breakers cool down, then a clean sweep must restore the fleet.
+	time.Sleep(10 * time.Millisecond)
+	r.probeAll(context.Background(), time.Second)
+	for _, u := range r.urls() {
+		if !r.admissible(r.get(u)) {
+			// One more sweep in case the first landed mid-cooldown.
+			time.Sleep(10 * time.Millisecond)
+			r.probeAll(context.Background(), time.Second)
+			if !r.admissible(r.get(u)) {
+				t.Errorf("worker %s inadmissible after clean probes: %+v", u, r.infos())
+			}
+		}
+	}
+}

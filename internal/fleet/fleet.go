@@ -23,6 +23,18 @@
 // while the worker survives is reattached through GET /v1/jobs/{id}
 // instead of re-running the job.
 //
+// The failure model is adversarial, not just clean-kill (see
+// internal/chaos, which soaks this package under seeded partitions,
+// resets, corruption and crash-restart): per-worker circuit breakers
+// with half-open probes keep dead workers from bleeding every job's
+// retry budget, each job's failover is budgeted (no infinite ring
+// walking), snapshots are digest-verified before they are stashed or
+// resubmitted (corruption is quarantined, the job falls back to a
+// fresh run), deadlines propagate coordinator → worker, and an
+// optional write-ahead journal (the PR 4 WAL framing via internal/wal)
+// plus an on-disk stash mirror let a restarted coordinator re-drive
+// every accepted-but-unfinished job to exactly one terminal state.
+//
 // Campaign traffic fans out with POST /v1/batches: one request times
 // many seeds/configs, spread across the ring, with results either
 // collected (sorted by run index) or streamed as NDJSON rows the moment
@@ -34,6 +46,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,9 +69,30 @@ type Config struct {
 	// PollEvery is how often an in-flight job's checkpoint snapshot is
 	// polled from its worker (the migration stash); 0 means 250ms.
 	PollEvery time.Duration
-	// MaxFailover bounds how many distinct workers one job may try;
-	// 0 means every worker on the ring.
+	// MaxFailover bounds how many distinct workers one job may try per
+	// failover pass; 0 means every worker on the ring.
 	MaxFailover int
+	// RetryBudget bounds total submission attempts per job across all
+	// failover passes — the "no infinite ring-walking" guarantee. Once
+	// spent, the job fails with the last worker error (or unavailable).
+	// 0 means 3 attempts per registered worker, at least 4.
+	RetryBudget int
+	// RetryBackoff is the pause between failover passes over the ring
+	// (a transiently fully-partitioned fleet deserves a beat before the
+	// next sweep, not a hot loop); 0 means 100ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// worker's circuit breaker; 0 means 3, negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the first breaker-open period (doubling per
+	// re-open, capped at BreakerMaxCooldown); 0s mean 2s / 30s.
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// StaleAfter bounds heartbeat age (either direction — clock skew on
+	// a worker that reports a future timestamp is as disqualifying as a
+	// stale one) before a worker stops receiving new jobs; 0 means
+	// 3 × HeartbeatEvery, negative disables the check.
+	StaleAfter time.Duration
 	// BatchConcurrency bounds concurrently routed runs per batch;
 	// 0 means 4 per worker.
 	BatchConcurrency int
@@ -66,6 +100,19 @@ type Config struct {
 	MaxBatchRuns int
 	// MaxRequestBytes bounds request bodies; 0 means 8 MiB.
 	MaxRequestBytes int64
+	// MaxStashBytes caps the migration stash's resident bytes; crossing
+	// it evicts the oldest entries (their jobs migrate by fresh re-run
+	// instead). 0 means 256 MiB, negative disables the cap.
+	MaxStashBytes int64
+	// JournalPath, when set, makes accepted jobs durable: every job is
+	// journaled (internal/wal framing) before routing and marked
+	// terminal after, and a restarted coordinator re-drives the
+	// difference to exactly one terminal state each.
+	JournalPath string
+	// StashDir, when set (or defaulted to JournalPath+".stash" when
+	// journaling), mirrors the migration stash to disk so recovered
+	// jobs resume from their last checkpoint instead of cycle 0.
+	StashDir string
 	// HTTP is the transport shared by all worker clients; nil means a
 	// client without an overall timeout (submissions stay open for the
 	// whole simulation).
@@ -79,22 +126,27 @@ type Coordinator struct {
 	cfg     Config
 	metrics *Metrics
 	ring    *ring
-	reg     *registry
+	reg     *Registry
 	fps     *fingerprints
-	stash   snapStash
+	stash   *snapStash
+	journal *coordJournal
 	mux     *http.ServeMux
 
 	jobSeq   atomic.Int64
 	draining atomic.Bool
 
-	stop     chan struct{}
-	probing  sync.WaitGroup
-	stopOnce sync.Once
+	stop          chan struct{}
+	probing       sync.WaitGroup
+	recovering    sync.WaitGroup
+	recoverCancel context.CancelFunc
+	stopOnce      sync.Once
+	journalOnce   sync.Once
 }
 
 // New builds a Coordinator over the configured workers, probes them
 // once synchronously (so a freshly started coordinator routes sensibly
-// from its first request), and starts the heartbeat loop.
+// from its first request), replays its journal if one is configured,
+// and starts the heartbeat loop.
 func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("fleet: no workers configured")
@@ -108,6 +160,27 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.PollEvery <= 0 {
 		cfg.PollEvery = 250 * time.Millisecond
 	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 3 * len(cfg.Workers)
+		if cfg.RetryBudget < 4 {
+			cfg.RetryBudget = 4
+		}
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.BreakerMaxCooldown <= 0 {
+		cfg.BreakerMaxCooldown = 30 * time.Second
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = 3 * cfg.HeartbeatEvery
+	}
 	if cfg.BatchConcurrency <= 0 {
 		cfg.BatchConcurrency = 4 * len(cfg.Workers)
 	}
@@ -117,15 +190,39 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = 8 << 20
 	}
+	if cfg.MaxStashBytes == 0 {
+		cfg.MaxStashBytes = 256 << 20
+	}
+	if cfg.StashDir == "" && cfg.JournalPath != "" {
+		cfg.StashDir = cfg.JournalPath + ".stash"
+	}
 	if cfg.HTTP == nil {
 		cfg.HTTP = &http.Client{}
 	}
+	metrics := &Metrics{}
+	brCfg := breakerConfig{
+		threshold:   cfg.BreakerThreshold,
+		cooldown:    cfg.BreakerCooldown,
+		maxCooldown: cfg.BreakerMaxCooldown,
+		staleAfter:  cfg.StaleAfter,
+	}
+	if brCfg.threshold < 0 {
+		brCfg.threshold = 0 // breakers disabled
+	}
+	if brCfg.staleAfter < 0 {
+		brCfg.staleAfter = 0 // staleness check disabled
+	}
+	if cfg.StashDir != "" {
+		if err := os.MkdirAll(cfg.StashDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: stash dir: %w", err)
+		}
+	}
 	c := &Coordinator{
 		cfg:     cfg,
-		metrics: &Metrics{},
-		reg:     newRegistry(cfg.Workers, cfg.HTTP),
+		metrics: metrics,
+		reg:     newRegistry(cfg.Workers, cfg.HTTP, brCfg, metrics),
 		fps:     newFingerprints(128),
-		stash:   snapStash{m: map[string][]byte{}},
+		stash:   newSnapStash(cfg.MaxStashBytes, cfg.StashDir, metrics),
 		stop:    make(chan struct{}),
 	}
 	c.ring = newRing(c.reg.urls(), cfg.Replicas)
@@ -136,6 +233,16 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/workloads", c.handleWorkloads)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+
+	var pending []coordRecord
+	if cfg.JournalPath != "" {
+		j, p, err := openCoordJournal(cfg.JournalPath, &c.jobSeq)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		pending = p
+	}
 
 	probeCtx, cancelProbes := context.WithCancel(context.Background())
 	c.reg.probeAll(probeCtx, cfg.ProbeTimeout)
@@ -155,6 +262,23 @@ func New(cfg Config) (*Coordinator, error) {
 			}
 		}
 	}()
+
+	if len(pending) > 0 {
+		recoverCtx, cancel := context.WithCancel(context.Background())
+		c.recoverCancel = cancel
+		c.recovering.Add(1)
+		go func() {
+			defer c.recovering.Done()
+			// Sequential on purpose: recovery traffic is rare, and a
+			// deterministic drive order makes restarts reproducible.
+			for _, rec := range pending {
+				if recoverCtx.Err() != nil {
+					return
+				}
+				c.recoverJob(recoverCtx, rec.ID, rec.Req)
+			}
+		}()
+	}
 	return c, nil
 }
 
@@ -168,11 +292,27 @@ func (c *Coordinator) Metrics() *Metrics { return c.metrics }
 // workers and their HTTP responses complete normally.
 func (c *Coordinator) Drain() { c.draining.Store(true) }
 
-// Close stops the heartbeat loop. Idempotent.
+// Close stops the heartbeat loop and journal replay, then closes the
+// journal. Idempotent.
 func (c *Coordinator) Close() {
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		if c.recoverCancel != nil {
+			c.recoverCancel()
+		}
+	})
 	c.probing.Wait()
+	c.recovering.Wait()
+	c.journalOnce.Do(func() {
+		if c.journal != nil {
+			_ = c.journal.close()
+		}
+	})
 }
+
+// WaitRecovered blocks until journal replay has driven every pending
+// job to a terminal state (tests, orchestration).
+func (c *Coordinator) WaitRecovered() { c.recovering.Wait() }
 
 // handleJobs routes one job across the fleet.
 func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -222,7 +362,7 @@ func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
 func (c *Coordinator) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	for _, u := range c.reg.urls() {
 		wk := c.reg.get(u)
-		if !wk.ok() {
+		if !c.reg.admissible(wk) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.ProbeTimeout)
@@ -243,6 +383,8 @@ type CoordinatorHealth struct {
 	Status         string `json:"status"`
 	WorkersHealthy int64  `json:"workers_healthy"`
 	WorkersTotal   int    `json:"workers_total"`
+	// Journal reports whether the coordinator journal is active.
+	Journal bool `json:"journal,omitempty"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -251,6 +393,7 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Status:         "ok",
 		WorkersHealthy: healthy,
 		WorkersTotal:   len(c.reg.urls()),
+		Journal:        c.journal != nil,
 	}
 	code := http.StatusOK
 	switch {
@@ -284,26 +427,4 @@ func noWorkerError() *service.JobError {
 // it across workers.
 func (c *Coordinator) nextJobID() string {
 	return fmt.Sprintf("fl-%06d", c.jobSeq.Add(1))
-}
-
-// snapStash holds the latest polled checkpoint snapshot per in-flight
-// job — the migration payload if the owning worker dies.
-type snapStash struct {
-	mu sync.Mutex
-	m  map[string][]byte
-}
-
-func (s *snapStash) put(id string, snap []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m[id] = snap
-}
-
-// take pops the stashed snapshot (nil when none).
-func (s *snapStash) take(id string) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	snap := s.m[id]
-	delete(s.m, id)
-	return snap
 }

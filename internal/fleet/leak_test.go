@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"tia/internal/service"
+)
+
+// TestCoordinatorShutdownGoroutines is the leak gate: a full
+// coordinator lifecycle — heartbeats, routed jobs, a batch, journal
+// replay machinery — must return the process to its pre-coordinator
+// goroutine count once Close returns and idle connections are dropped.
+func TestCoordinatorShutdownGoroutines(t *testing.T) {
+	workers := make([]*testWorker, 2)
+	urls := make([]string, 2)
+	for i := range workers {
+		workers[i] = newTestWorker(t, nil)
+		urls[i] = workers[i].ts.URL
+	}
+	// Settle and baseline after the workers exist: their serving
+	// goroutines are not the coordinator's to clean up.
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	base := runtime.NumGoroutine()
+
+	tr := &http.Transport{}
+	coord, err := New(Config{
+		Workers:        urls,
+		HeartbeatEvery: 10 * time.Millisecond, // exercise the heartbeat loop for real
+		PollEvery:      5 * time.Millisecond,
+		JournalPath:    filepath.Join(t.TempDir(), "coord.wal"),
+		HTTP:           &http.Client{Transport: tr},
+	})
+	if err != nil {
+		t.Fatalf("fleet.New: %v", err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	for seed := int64(1); seed <= 4; seed++ {
+		_, _, _, jerr := postCoordinator(t, ts.URL, &service.JobRequest{Workload: "dmm", Seed: seed})
+		if jerr != nil {
+			t.Fatalf("seed %d: %v", seed, jerr)
+		}
+	}
+	ts.Close()
+	coord.Close()
+	tr.CloseIdleConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.NumGoroutine()
+			stack := buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines after shutdown: %d, baseline %d\n%s", n, base, stack)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

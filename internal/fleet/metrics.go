@@ -32,6 +32,23 @@ type Metrics struct {
 	// fanned out.
 	BatchRuns atomic.Int64
 	BatchRows atomic.Int64
+	// BreakerOpens counts circuit-breaker open (and re-open) events;
+	// BreakerProbes counts half-open probe jobs admitted.
+	BreakerOpens  atomic.Int64
+	BreakerProbes atomic.Int64
+	// CorruptSnapshots counts digest-failed snapshots quarantined out of
+	// the migration stash instead of being shipped to a worker.
+	CorruptSnapshots atomic.Int64
+	// StashEvictions counts stash entries dropped by the byte cap.
+	StashEvictions atomic.Int64
+	// StashBytes gauges the migration stash's current resident bytes.
+	StashBytes atomic.Int64
+	// RetriesExhausted counts jobs that spent their whole retry/failover
+	// budget without an answer.
+	RetriesExhausted atomic.Int64
+	// JobsRecovered counts journaled jobs re-driven to a terminal state
+	// after a coordinator restart.
+	JobsRecovered atomic.Int64
 }
 
 // WritePrometheus renders the counters in Prometheus text format,
@@ -52,6 +69,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, workersHealthy, workersTotal int6
 	counter("tia_fleet_probes_total", "Heartbeat sweeps over the fleet.", m.Probes.Load())
 	counter("tia_fleet_batch_runs_total", "Batch submissions accepted.", m.BatchRuns.Load())
 	counter("tia_fleet_batch_rows_total", "Batch rows fanned out across the fleet.", m.BatchRows.Load())
+	counter("tia_fleet_breaker_opens_total", "Circuit-breaker open and re-open events.", m.BreakerOpens.Load())
+	counter("tia_fleet_breaker_probes_total", "Half-open breaker probe jobs admitted.", m.BreakerProbes.Load())
+	counter("tia_fleet_corrupt_snapshots_total", "Digest-failed snapshots quarantined from the migration stash.", m.CorruptSnapshots.Load())
+	counter("tia_fleet_stash_evictions_total", "Migration-stash entries evicted by the byte cap.", m.StashEvictions.Load())
+	counter("tia_fleet_retries_exhausted_total", "Jobs that exhausted their retry/failover budget.", m.RetriesExhausted.Load())
+	counter("tia_fleet_jobs_recovered_total", "Journaled jobs re-driven to terminal state after coordinator restart.", m.JobsRecovered.Load())
+	gauge("tia_fleet_stash_bytes", "Migration-stash resident bytes.", m.StashBytes.Load())
 	gauge("tia_fleet_workers_healthy", "Workers currently routable.", workersHealthy)
 	gauge("tia_fleet_workers_total", "Workers registered with the coordinator.", workersTotal)
 }

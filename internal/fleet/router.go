@@ -14,6 +14,7 @@ import (
 	"tia/internal/isa"
 	"tia/internal/pcpe"
 	"tia/internal/service"
+	"tia/internal/snapshot"
 )
 
 // affinityFields is the canonical routing identity of a job: the same
@@ -135,11 +136,47 @@ func transientKind(k service.ErrorKind) bool {
 	return k == service.ErrDraining || k == service.ErrBusy || k == service.ErrUnavailable
 }
 
-// routeJob places one job on the ring and runs it to completion,
-// failing over (and migrating checkpointed progress) along the key's
-// deterministic worker sequence. It returns the result, the worker URL
-// that served it (or the last one tried), and the terminal error.
+// ctxJobError converts an expired routing context into the typed error
+// the client should see.
+func ctxJobError(ctx context.Context) *service.JobError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &service.JobError{Kind: service.ErrDeadline, Message: "job deadline exceeded before the fleet finished it"}
+	}
+	return &service.JobError{Kind: service.ErrCancelled, Message: "job cancelled"}
+}
+
+// routeJob places one job on the ring and runs it to a terminal state,
+// journaling acceptance and termination when the coordinator journal is
+// configured. It returns the result, the worker URL that served it (or
+// the last one tried), and the terminal error.
 func (c *Coordinator) routeJob(ctx context.Context, req *service.JobRequest) (*service.JobResult, string, error) {
+	// One identity for the job's whole fleet lifetime: journal records,
+	// status lookups and checkpoint snapshots on every worker it touches
+	// are keyed by it.
+	id := req.JobID
+	if id == "" {
+		id = c.nextJobID()
+	}
+	if err := c.journalAccepted(id, req); err != nil {
+		// A journal that cannot accept is a coordinator that cannot keep
+		// its durability promise; reject rather than silently degrade.
+		return nil, "", &service.JobError{Kind: service.ErrInternal, Message: fmt.Sprintf("coordinator journal: %v", err)}
+	}
+	res, u, err := c.routeJobAs(ctx, id, req)
+	if isTerminalOutcome(err) {
+		c.journalTerminal(id)
+	}
+	return res, u, err
+}
+
+// routeJobAs is the routing core: budgeted, breaker-aware failover (and
+// checkpoint migration) along the key's deterministic worker sequence.
+//
+// Termination is structural: every pass either makes at least one
+// submission attempt or is itself charged against the retry budget, so
+// no job can ring-walk forever — it completes, fails on its own merits,
+// or exhausts the budget with a typed, retryable error.
+func (c *Coordinator) routeJobAs(ctx context.Context, id string, req *service.JobRequest) (*service.JobResult, string, error) {
 	key := c.affinityKey(req)
 	seq := c.ring.sequence(key, c.cfg.MaxFailover)
 	if len(seq) == 0 {
@@ -147,69 +184,139 @@ func (c *Coordinator) routeJob(ctx context.Context, req *service.JobRequest) (*s
 	}
 	home := seq[0]
 
-	// Prefer workers the heartbeat believes are up; if none are, try the
-	// full sequence anyway — the heartbeat may simply be stale.
-	candidates := make([]string, 0, len(seq))
-	for _, u := range seq {
-		if c.reg.get(u).ok() {
-			candidates = append(candidates, u)
-		}
+	// End-to-end deadline: the client's budget bounds every retry,
+	// backoff and migration below, and runOn hands each worker only the
+	// remainder.
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
 	}
-	if len(candidates) == 0 {
-		candidates = seq
-	}
-
-	// One identity for the job's whole fleet lifetime: status lookups,
-	// checkpoint snapshots and journal records on every worker it
-	// touches are keyed by it.
-	id := req.JobID
-	if id == "" {
-		id = c.nextJobID()
-	}
-	defer c.stash.take(id) // drop any leftover migration stash
+	// Terminal eviction: however this returns, the job's migration stash
+	// entry (and its disk mirror) must not outlive it.
+	defer c.stash.close(id)
 
 	snap := req.ResumeSnapshot
-	var lastErr error
-	for attempt, u := range candidates {
-		w := c.reg.get(u)
-		// Migrate forward: the latest snapshot polled off the previous
-		// worker supersedes whatever we restored that worker with.
-		if s := c.stash.take(id); len(s) > 0 {
-			snap = s
+	if len(snap) > 0 {
+		if _, err := snapshot.Verify(snap); err != nil {
+			// Quarantine: corrupt resume material is dropped and the job
+			// falls back to a fresh run — determinism makes that merely
+			// slower, never wrong.
+			c.metrics.CorruptSnapshots.Add(1)
+			snap = nil
 		}
-		if attempt > 0 {
-			c.metrics.Failovers.Add(1)
-			if len(snap) > 0 {
-				c.metrics.Migrations.Add(1)
-			}
-		}
-		res, err := c.runOn(ctx, w, id, req, snap)
-		if err == nil {
-			c.metrics.JobsRouted.Add(1)
-			if u == home {
-				c.metrics.AffinityHits.Add(1)
-			}
-			return res, u, nil
-		}
-		if ctx.Err() != nil {
-			return nil, u, err
-		}
-		if je, typed := asJobError(err); typed {
-			if !transientKind(je.Kind) {
-				// Deterministic failure (compile, verify, deadlock,
-				// budget…): rerunning elsewhere fails identically.
-				return nil, u, je
-			}
-		} else {
-			w.markDown(err)
-		}
-		lastErr = err
 	}
+
+	attempts := 0
+	var lastErr error
+	lastURL := ""
+	for pass := 0; attempts < c.cfg.RetryBudget; pass++ {
+		if pass > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, lastURL, ctxJobError(ctx)
+			case <-time.After(c.cfg.RetryBackoff):
+			}
+		}
+		// Prefer workers whose breakers admit traffic; when every breaker
+		// refuses, sweep the full sequence anyway with acquire bypassed —
+		// breakers are advice, and a job must not starve on advice.
+		candidates := make([]string, 0, len(seq))
+		for _, u := range seq {
+			if c.reg.admissible(c.reg.get(u)) {
+				candidates = append(candidates, u)
+			}
+		}
+		bypass := false
+		if len(candidates) == 0 {
+			candidates, bypass = seq, true
+		}
+		tried := false
+		for _, u := range candidates {
+			if attempts >= c.cfg.RetryBudget {
+				break
+			}
+			if ctx.Err() != nil {
+				return nil, lastURL, ctxJobError(ctx)
+			}
+			w := c.reg.get(u)
+			if !bypass && !c.reg.acquire(w) {
+				continue // half-open probe slot already claimed
+			}
+			attempts++
+			tried = true
+			lastURL = u
+			// Migrate forward: the latest snapshot polled off the previous
+			// worker supersedes whatever this job started with.
+			if s, _ := c.stash.take(id); len(s) > 0 {
+				snap = s
+			}
+			if attempts > 1 {
+				c.metrics.Failovers.Add(1)
+				if len(snap) > 0 {
+					c.metrics.Migrations.Add(1)
+				}
+			}
+			res, err := c.runOn(ctx, w, id, req, snap)
+			if err == nil {
+				c.reg.reportUp(w)
+				c.metrics.JobsRouted.Add(1)
+				if u == home {
+					c.metrics.AffinityHits.Add(1)
+				}
+				return res, u, nil
+			}
+			if ctx.Err() != nil {
+				return nil, u, ctxJobError(ctx)
+			}
+			if je, typed := asJobError(err); typed {
+				// The worker answered; whatever it said, it is alive.
+				c.reg.reportUp(w)
+				if je.Kind == service.ErrConflict {
+					// The job is already live there — an earlier severed
+					// submission landed after all. Follow it through the
+					// status API instead of failing the client.
+					if res, jerr, ok := c.reattach(ctx, w, id); ok {
+						c.metrics.Reattaches.Add(1)
+						if jerr == nil {
+							c.metrics.JobsRouted.Add(1)
+							if u == home {
+								c.metrics.AffinityHits.Add(1)
+							}
+							return res, u, nil
+						}
+						if !transientKind(jerr.Kind) {
+							return nil, u, jerr
+						}
+						lastErr = jerr
+					} else {
+						lastErr = je
+					}
+					continue
+				}
+				if !transientKind(je.Kind) {
+					// Deterministic failure (compile, verify, deadlock,
+					// budget…): rerunning elsewhere fails identically.
+					return nil, u, je
+				}
+				lastErr = je
+				continue
+			}
+			c.reg.markDown(w, err)
+			lastErr = err
+		}
+		if !tried {
+			// Every candidate was skipped (probe slots taken): the sweep
+			// still charges the budget, so the loop provably terminates.
+			attempts++
+		}
+	}
+	c.metrics.RetriesExhausted.Add(1)
 	if je, typed := asJobError(lastErr); typed {
 		// Propagate the workers' own busy/draining hint (Retry-After).
-		return nil, "", je
+		return nil, lastURL, je
 	}
-	return nil, "", noWorkerError()
+	return nil, lastURL, noWorkerError()
 }
 
 // runOn submits the job to one worker and supervises it: while the
@@ -221,6 +328,15 @@ func (c *Coordinator) runOn(ctx context.Context, w *worker, id string, req *serv
 	r := *req
 	r.JobID = id
 	r.ResumeSnapshot = snap
+	if dl, ok := ctx.Deadline(); ok {
+		// Hand the worker the remaining budget, not the original one —
+		// time already burned on dead workers must not be granted twice.
+		rem := time.Until(dl).Milliseconds()
+		if rem < 1 {
+			rem = 1
+		}
+		r.DeadlineMs = rem
+	}
 
 	type outcome struct {
 		res *service.JobResult
@@ -260,8 +376,11 @@ func (c *Coordinator) runOn(ctx context.Context, w *worker, id string, req *serv
 }
 
 // reattach follows a running job through the status API until it turns
-// terminal. ok is false when the worker is unreachable or no longer
-// knows the job (restarted) — the caller falls back to failover.
+// terminal. ok is false when the worker is unreachable, no longer knows
+// the job (restarted), or only knows it as cancelled — a cancellation
+// while our own context is live means the job's previous incarnation
+// was severed, and determinism makes re-running it safe, so the caller
+// falls back to failover instead of delivering the stale cancellation.
 func (c *Coordinator) reattach(ctx context.Context, w *worker, id string) (res *service.JobResult, jobErr *service.JobError, ok bool) {
 	for {
 		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
@@ -274,6 +393,9 @@ func (c *Coordinator) reattach(ctx context.Context, w *worker, id string) (res *
 		case service.JobStateCompleted:
 			return st.Result, nil, true
 		case service.JobStateFailed:
+			if st.Error != nil && st.Error.Kind == service.ErrCancelled {
+				return nil, nil, false
+			}
 			return nil, st.Error, true
 		}
 		c.pollSnapshot(ctx, w, id)
@@ -288,13 +410,12 @@ func (c *Coordinator) reattach(ctx context.Context, w *worker, id string) (res *
 // pollSnapshot pulls the job's latest checkpoint snapshot off its
 // worker into the migration stash. Best-effort: a worker without
 // durability configured, or a job before its first checkpoint, simply
-// yields nothing.
+// yields nothing; a corrupted body is quarantined by the stash.
 func (c *Coordinator) pollSnapshot(ctx context.Context, w *worker, id string) {
 	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 	defer cancel()
 	snap, err := w.client.FetchSnapshot(pctx, id)
-	if err == nil && len(snap) > 0 {
-		c.stash.put(id, snap)
+	if err == nil && len(snap) > 0 && c.stash.put(id, snap) {
 		c.metrics.SnapshotsFetched.Add(1)
 	}
 }

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tia/internal/snapshot"
+)
+
+func testSnap(cycle int64, size int) []byte {
+	return snapshot.Encode(snapshot.Header{Fingerprint: "fp", Cycle: cycle}, bytes.Repeat([]byte("s"), size))
+}
+
+// TestStashTerminalEviction is the regression test for the stash-growth
+// bug: a terminal job's entry must be dropped, and a late poll racing
+// the completion must be fenced by the tombstone instead of leaking the
+// entry forever.
+func TestStashTerminalEviction(t *testing.T) {
+	m := &Metrics{}
+	s := newSnapStash(0, "", m)
+	snap := testSnap(100, 256)
+	if !s.put("j1", snap) {
+		t.Fatal("valid snapshot rejected")
+	}
+	if n, b := s.resident(); n != 1 || b != int64(len(snap)) {
+		t.Fatalf("resident = (%d, %d), want (1, %d)", n, b, len(snap))
+	}
+	s.close("j1")
+	if n, b := s.resident(); n != 0 || b != 0 {
+		t.Fatalf("resident after close = (%d, %d), want (0, 0)", n, b)
+	}
+	// The race: a poll that was in flight when the job went terminal.
+	if s.put("j1", snap) {
+		t.Fatal("post-terminal put accepted; the stash would leak")
+	}
+	if n, b := s.resident(); n != 0 || b != 0 {
+		t.Fatalf("resident after fenced put = (%d, %d), want (0, 0)", n, b)
+	}
+	if m.StashBytes.Load() != 0 {
+		t.Fatalf("stash bytes gauge = %d, want 0", m.StashBytes.Load())
+	}
+}
+
+// TestStashByteCap: crossing the cap evicts the oldest other entries,
+// never the one just written.
+func TestStashByteCap(t *testing.T) {
+	m := &Metrics{}
+	one := int64(len(testSnap(1, 256)))
+	s := newSnapStash(2*one+one/2, "", m) // room for two entries, not three
+	s.put("a", testSnap(1, 256))
+	s.put("b", testSnap(2, 256))
+	s.put("c", testSnap(3, 256))
+	if n, b := s.resident(); n != 2 || b > s.maxBytes {
+		t.Fatalf("resident = (%d, %d), want 2 entries within cap %d", n, b, s.maxBytes)
+	}
+	if m.StashEvictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", m.StashEvictions.Load())
+	}
+	if snap, _ := s.take("a"); snap != nil {
+		t.Fatal("oldest entry survived the cap")
+	}
+	if snap, cycle := s.take("c"); snap == nil || cycle != 3 {
+		t.Fatalf("newest entry missing (cycle %d)", cycle)
+	}
+}
+
+// TestStashQuarantine: corrupt and cycle-regressing puts are rejected.
+func TestStashQuarantine(t *testing.T) {
+	m := &Metrics{}
+	s := newSnapStash(0, "", m)
+	good := testSnap(500, 128)
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	if s.put("j", bad) {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if m.CorruptSnapshots.Load() != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", m.CorruptSnapshots.Load())
+	}
+	if !s.put("j", good) {
+		t.Fatal("good snapshot rejected")
+	}
+	// A lagging poll with an older checkpoint must not regress state.
+	if s.put("j", testSnap(400, 128)) {
+		t.Fatal("cycle-regressing snapshot accepted")
+	}
+	snap, cycle := s.take("j")
+	if cycle != 500 || !bytes.Equal(snap, good) {
+		t.Fatalf("take = cycle %d, want the cycle-500 snapshot", cycle)
+	}
+}
+
+// TestStashDiskMirror: with a directory configured, entries mirror to
+// disk (surviving take, for crash recovery) and are removed at close;
+// diskSnapshot quarantines damage.
+func TestStashDiskMirror(t *testing.T) {
+	dir := t.TempDir()
+	m := &Metrics{}
+	s := newSnapStash(0, dir, m)
+	good := testSnap(700, 128)
+	s.put("j", good)
+	if got := s.diskSnapshot("j"); !bytes.Equal(got, good) {
+		t.Fatal("disk mirror missing or wrong")
+	}
+	if snap, _ := s.take("j"); !bytes.Equal(snap, good) {
+		t.Fatal("take lost the entry")
+	}
+	// take keeps the mirror: a crash between take and resubmit must not
+	// lose the checkpoint.
+	if got := s.diskSnapshot("j"); !bytes.Equal(got, good) {
+		t.Fatal("take dropped the disk mirror")
+	}
+	// Damage the file: diskSnapshot must refuse it.
+	raw, _ := os.ReadFile(filepath.Join(dir, "j.snap"))
+	raw[len(raw)-1] ^= 0xFF
+	os.WriteFile(filepath.Join(dir, "j.snap"), raw, 0o644)
+	if got := s.diskSnapshot("j"); got != nil {
+		t.Fatal("damaged disk mirror returned")
+	}
+	if m.CorruptSnapshots.Load() == 0 {
+		t.Fatal("damaged mirror not counted")
+	}
+	s.close("j")
+	if _, err := os.Stat(filepath.Join(dir, "j.snap")); !os.IsNotExist(err) {
+		t.Fatal("close left the disk mirror behind")
+	}
+}

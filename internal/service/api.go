@@ -219,6 +219,11 @@ const (
 	// ErrNotFound reports a job-status or snapshot lookup for an ID this
 	// server does not know.
 	ErrNotFound ErrorKind = "not_found"
+	// ErrConflict rejects a submission whose JobID names a job that is
+	// still queued or running on this server (HTTP 409). A coordinator
+	// seeing it during failover knows the job is already alive right
+	// there and should reattach to it instead of failing the client.
+	ErrConflict ErrorKind = "conflict"
 	// ErrUnavailable reports that no worker could take the job — the
 	// fleet coordinator's analogue of draining, surfaced as 503 with a
 	// Retry-After hint.
@@ -266,6 +271,13 @@ func drainingError() *JobError {
 	je.RetryAfter = drainRetryAfter
 	return je
 }
+
+// DeadlineHeader carries the submitter's remaining wall-clock budget in
+// milliseconds on POST /v1/jobs. A coordinator that has already burned
+// part of a job's deadline on failed attempts sets it so the worker
+// never runs past what the original caller will wait for; the server
+// folds it into the request's DeadlineMs, keeping whichever is sooner.
+const DeadlineHeader = "X-Tia-Deadline-Ms"
 
 // Job lifecycle states reported by GET /v1/jobs/{id}.
 const (

@@ -32,6 +32,13 @@ type Client struct {
 	// uniformly in [delay/2, delay).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// MaxTotalBackoff caps the cumulative time one Submit call may spend
+	// sleeping between attempts (default 30s). Per-attempt caps alone do
+	// not bound a call: a server feeding maximal Retry-After hints to a
+	// generously configured client could stretch a single submission
+	// arbitrarily. Once the budget is spent the call returns the last
+	// error instead of sleeping again.
+	MaxTotalBackoff time.Duration
 	// Sleep is the delay function, injectable for tests; nil means
 	// time.Sleep (interruptible by ctx).
 	Sleep func(context.Context, time.Duration)
@@ -90,9 +97,15 @@ func (c *Client) backoff(n int, base, maxB time.Duration) time.Duration {
 }
 
 // Submit posts one job, retrying transport errors and draining/busy
-// rejections. The context bounds the whole retry loop.
+// rejections. The context bounds the whole retry loop, and so does the
+// cumulative MaxTotalBackoff sleep budget.
 func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobResult, error) {
 	attempts, base, maxB := c.defaults()
+	budget := c.MaxTotalBackoff
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	var slept time.Duration
 	var lastErr error
 	var hint time.Duration // server's Retry-After from the last rejection
 	for n := 0; n < attempts; n++ {
@@ -104,6 +117,10 @@ func (c *Client) Submit(ctx context.Context, req *JobRequest) (*JobResult, error
 			if hint > 0 && hint < delay {
 				delay = hint
 			}
+			if slept+delay > budget {
+				return nil, fmt.Errorf("service client: backoff budget %v exhausted after %d attempts: %w", budget, n, lastErr)
+			}
+			slept += delay
 			if c.Sleep != nil {
 				c.Sleep(ctx, delay)
 			} else {
@@ -142,6 +159,17 @@ func (c *Client) submitOnce(ctx context.Context, req *JobRequest) (*JobResult, t
 		return nil, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's remaining wall-clock budget so the server
+	// bounds the job by it even if this connection later breaks (a
+	// broken connection cancels the handler, but a reattached job found
+	// via status polling would otherwise run unbounded).
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		hreq.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
@@ -173,10 +201,19 @@ func (c *Client) submitOnce(ctx context.Context, req *JobRequest) (*JobResult, t
 	return &res, 0, nil
 }
 
+// maxRetryAfterHint caps how large a server Retry-After hint the client
+// will believe. Beyond defending against absurd values, the cap keeps
+// the seconds→Duration conversion below from overflowing: an attacker-
+// or bug-supplied hint near MaxInt64 seconds would wrap negative, and a
+// negative "hint" would then undercut every computed backoff to nothing
+// — turning the retry loop into a hot spin against a struggling server.
+const maxRetryAfterHint = 5 * time.Minute
+
 // parseRetryAfter reads a delay-seconds Retry-After header off 429/503
 // responses (the only statuses the service sends it with) — busy and
 // draining rejections carry the hint uniformly, and Submit honors it
-// uniformly for both.
+// uniformly for both. Negative, non-numeric, and overflow-sized hints
+// are rejected (treated as absent).
 func parseRetryAfter(resp *http.Response) time.Duration {
 	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
 		return 0
@@ -184,6 +221,9 @@ func parseRetryAfter(resp *http.Response) time.Duration {
 	secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64)
 	if err != nil || secs < 0 {
 		return 0
+	}
+	if secs > int64(maxRetryAfterHint/time.Second) {
+		return maxRetryAfterHint
 	}
 	return time.Duration(secs) * time.Second
 }

@@ -1,0 +1,144 @@
+package service
+
+// Retry-hint hardening tests for the client: Retry-After parsing under
+// hostile header values (negative, overflow, garbage), the cumulative
+// backoff budget, and deadline-header propagation. These complement the
+// behavioural retry tests in hardening_test.go.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfterTable drives parseRetryAfter through the header
+// values a hostile or broken server could send on 429/503 responses.
+// The two load-shedding statuses must parse identically, every other
+// status must ignore the header entirely, and no value may ever produce
+// a negative duration (a negative "hint" would undercut computed
+// backoff to nothing and turn the retry loop into a hot spin).
+func TestParseRetryAfterTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		header string
+		want   time.Duration
+	}{
+		{"429 plain seconds", http.StatusTooManyRequests, "2", 2 * time.Second},
+		{"503 plain seconds", http.StatusServiceUnavailable, "7", 7 * time.Second},
+		{"429 zero", http.StatusTooManyRequests, "0", 0},
+		{"429 negative", http.StatusTooManyRequests, "-5", 0},
+		{"503 negative", http.StatusServiceUnavailable, "-1", 0},
+		{"429 overflow seconds", http.StatusTooManyRequests, "9223372036854775807", maxRetryAfterHint},
+		{"503 overflow seconds", http.StatusServiceUnavailable, "99999999999999", maxRetryAfterHint},
+		{"429 wider than int64", http.StatusTooManyRequests, "92233720368547758079", 0},
+		{"429 just above cap", http.StatusTooManyRequests, "301", maxRetryAfterHint},
+		{"429 at cap", http.StatusTooManyRequests, "300", maxRetryAfterHint},
+		{"429 garbage", http.StatusTooManyRequests, "soon", 0},
+		{"429 http-date form unsupported", http.StatusTooManyRequests, "Fri, 07 Aug 2026 09:00:00 GMT", 0},
+		{"429 empty", http.StatusTooManyRequests, "", 0},
+		{"429 float", http.StatusTooManyRequests, "1.5", 0},
+		{"200 ignores header", http.StatusOK, "2", 0},
+		{"500 ignores header", http.StatusInternalServerError, "2", 0},
+		{"404 ignores header", http.StatusNotFound, "2", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{StatusCode: tc.status, Header: http.Header{}}
+			if tc.header != "" {
+				resp.Header.Set("Retry-After", tc.header)
+			}
+			got := parseRetryAfter(resp)
+			if got != tc.want {
+				t.Errorf("parseRetryAfter(%d, %q) = %v, want %v", tc.status, tc.header, got, tc.want)
+			}
+			if got < 0 {
+				t.Errorf("parseRetryAfter returned a negative hint %v", got)
+			}
+		})
+	}
+}
+
+// TestClientBackoffBudget pins the cumulative sleep cap: a server that
+// rejects forever with generous Retry-After hints must not hold one
+// Submit call hostage — the call fails once the total backoff budget is
+// spent, well before MaxAttempts alone would let it stop.
+func TestClientBackoffBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "9999999")
+		WriteError(w, &JobError{Kind: ErrBusy, Message: "always busy"})
+	}))
+	defer ts.Close()
+
+	var slept time.Duration
+	cl := &Client{
+		BaseURL:     ts.URL,
+		MaxAttempts: 100,
+		BaseBackoff: 40 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+		// 100ms budget admits the first two 20–40ms jittered sleeps but
+		// must refuse long before 99 retries.
+		MaxTotalBackoff: 100 * time.Millisecond,
+		Sleep:           func(_ context.Context, d time.Duration) { slept += d },
+	}
+	_, err := cl.Submit(context.Background(), &JobRequest{Workload: "dmm"})
+	if err == nil {
+		t.Fatal("Submit against an always-busy server succeeded")
+	}
+	if slept > cl.MaxTotalBackoff {
+		t.Errorf("cumulative sleep %v exceeded budget %v", slept, cl.MaxTotalBackoff)
+	}
+	je, ok := err.(*JobError)
+	if ok {
+		t.Fatalf("budget exhaustion returned bare JobError %v; want a wrapped exhaustion error", je)
+	}
+}
+
+// TestClientDeadlineHeader checks that Submit forwards the caller's
+// remaining context budget as X-Tia-Deadline-Ms and that the server
+// folds it into the job's DeadlineMs, keeping the sooner bound.
+func TestClientDeadlineHeader(t *testing.T) {
+	var gotHeader string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(DeadlineHeader)
+		WriteJSON(w, http.StatusOK, &JobResult{Completed: true})
+	}))
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, MaxAttempts: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Submit(ctx, &JobRequest{Workload: "dmm"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ms, err := strconv.ParseInt(gotHeader, 10, 64)
+	if err != nil || ms <= 0 || ms > 5000 {
+		t.Fatalf("deadline header = %q, want ~5000ms remaining", gotHeader)
+	}
+
+	// Server side: the header tightens DeadlineMs but never loosens it.
+	for _, tc := range []struct {
+		header  string
+		reqMs   int64
+		wantMs  int64
+		comment string
+	}{
+		{"3000", 0, 3000, "header fills an unset deadline"},
+		{"3000", 1000, 1000, "sooner request deadline wins"},
+		{"500", 9000, 500, "sooner header wins"},
+		{"garbage", 1000, 1000, "malformed header ignored"},
+		{"-4", 1000, 1000, "negative header ignored"},
+		{"0", 1000, 1000, "zero header ignored"},
+	} {
+		r := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+		r.Header.Set(DeadlineHeader, tc.header)
+		req := &JobRequest{DeadlineMs: tc.reqMs}
+		applyDeadlineHeader(r, req)
+		if req.DeadlineMs != tc.wantMs {
+			t.Errorf("%s: DeadlineMs = %d, want %d", tc.comment, req.DeadlineMs, tc.wantMs)
+		}
+	}
+}

@@ -1,13 +1,10 @@
 package service
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
-	"sync"
+
+	"tia/internal/wal"
 )
 
 // The write-ahead job journal makes accepted jobs durable across daemon
@@ -28,10 +25,9 @@ import (
 // checkpointed) was lost to a crash and is re-enqueued on recovery —
 // resuming from its latest snapshot when one was checkpointed.
 //
-// Framing is length + CRC32 + JSON payload. A torn final write (the
-// normal signature of a crash mid-append) is detected by the CRC or the
-// short read, and recovery truncates the file back to the last intact
-// record instead of refusing to start.
+// Framing, fsync discipline, and torn-tail truncation live in
+// internal/wal (extracted from here so the fleet coordinator's journal
+// shares them); this file only defines the record vocabulary.
 const (
 	recAccepted     = "accepted"
 	recStarted      = "started"
@@ -42,7 +38,7 @@ const (
 
 // maxJournalRecord bounds one record's payload; a length prefix beyond
 // it is treated as tail corruption, not an allocation request.
-const maxJournalRecord = 64 << 20
+const maxJournalRecord = wal.DefaultMaxRecord
 
 // journalRecord is one framed journal entry.
 type journalRecord struct {
@@ -61,80 +57,31 @@ type journalRecord struct {
 	Error *JobError `json:"error,omitempty"`
 }
 
-// journal is the append side of the WAL. Appends are serialized and
-// fsync'd; the file is only ever extended (recovery may truncate a torn
-// tail once, at open).
+// journal is the job-record view over a wal.Log.
 type journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	log *wal.Log
 }
 
 // openJournal opens (creating if absent) a journal, replays every intact
 // record, truncates any torn tail, and positions the file for appends.
-// It returns the replayed records in append order.
+// It returns the replayed records in append order. A record that frames
+// and checksums correctly but does not parse as a journalRecord is
+// skipped (it cannot be a torn tail — the WAL already validated the
+// framing — so later intact records must not be discarded with it).
 func openJournal(path string) (*journal, []journalRecord, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	log, payloads, err := wal.Open(path, maxJournalRecord)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-	recs, good, err := readJournal(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
-	}
-	// Drop a torn or corrupt tail: everything after the last record that
-	// framed and checksummed correctly is the residue of a crash
-	// mid-append and is unrecoverable by construction.
-	if fi, err := f.Stat(); err == nil && fi.Size() > good {
-		if err := f.Truncate(good); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("journal %s: truncate torn tail: %w", path, err)
-		}
-	}
-	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
-	}
-	return &journal{f: f, path: path}, recs, nil
-}
-
-// readJournal scans records from the start of the file, returning the
-// intact records and the offset just past the last one. Framing damage
-// (short header, short payload, CRC mismatch, unparseable JSON, absurd
-// length) ends the scan without error: it marks the torn tail.
-func readJournal(f *os.File) ([]journalRecord, int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, err
-	}
-	var (
-		recs   []journalRecord
-		good   int64
-		header [8]byte
-	)
-	for {
-		if _, err := io.ReadFull(f, header[:]); err != nil {
-			return recs, good, nil // clean EOF or torn header: stop here
-		}
-		n := binary.LittleEndian.Uint32(header[0:4])
-		sum := binary.LittleEndian.Uint32(header[4:8])
-		if n == 0 || n > maxJournalRecord {
-			return recs, good, nil
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return recs, good, nil
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, good, nil
-		}
+	recs := make([]journalRecord, 0, len(payloads))
+	for _, p := range payloads {
 		var rec journalRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, good, nil
+		if err := json.Unmarshal(p, &rec); err != nil {
+			continue
 		}
 		recs = append(recs, rec)
-		good += int64(len(header)) + int64(n)
 	}
+	return &journal{log: log}, recs, nil
 }
 
 // append frames one record, writes it, and fsyncs before returning; once
@@ -144,25 +91,8 @@ func (j *journal) append(rec journalRecord) error {
 	if err != nil {
 		return fmt.Errorf("journal: encode %s record: %w", rec.Kind, err)
 	}
-	buf := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[8:], payload)
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Write(buf); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
-	}
-	return nil
+	return j.log.Append(payload)
 }
 
 // close releases the journal file.
-func (j *journal) close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
-}
+func (j *journal) close() error { return j.log.Close() }

@@ -243,7 +243,7 @@ func (s *Server) Submit(ctx context.Context, req *JobRequest) (*JobResult, error
 		return nil, jobErrorf(ErrBadRequest, "job_id %q: must match %s", id, validJobID)
 	}
 	if !s.tracker.begin(id) {
-		return nil, jobErrorf(ErrBadRequest, "job_id %q already names a queued or running job", id)
+		return nil, jobErrorf(ErrConflict, "job_id %q already names a queued or running job", id)
 	}
 	if err := s.journalAppend(journalRecord{Kind: recAccepted, ID: id, Req: req}); err != nil {
 		return nil, jobErrorf(ErrInternal, "journal: %v", err)
@@ -308,6 +308,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, jobErrorf(ErrBadRequest, "decode request: %v", err))
 		return
 	}
+	applyDeadlineHeader(r, &req)
 	res, err := s.Submit(r.Context(), &req)
 	if err != nil {
 		writeError(w, err)
@@ -405,6 +406,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.WritePrometheus(w)
 }
 
+// applyDeadlineHeader folds the X-Tia-Deadline-Ms header into the
+// request's DeadlineMs, keeping whichever budget is sooner. A malformed
+// or non-positive header is ignored — an upstream with a broken clock
+// must degrade to "no extra bound", not reject jobs.
+func applyDeadlineHeader(r *http.Request, req *JobRequest) {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return
+	}
+	if req.DeadlineMs == 0 || ms < req.DeadlineMs {
+		req.DeadlineMs = ms
+	}
+}
+
 // httpStatus maps typed job errors onto HTTP status codes.
 func httpStatus(kind ErrorKind) int {
 	switch kind {
@@ -422,6 +441,8 @@ func httpStatus(kind ErrorKind) int {
 		return http.StatusTooManyRequests
 	case ErrNotFound:
 		return http.StatusNotFound
+	case ErrConflict:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}

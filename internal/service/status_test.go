@@ -76,8 +76,8 @@ func TestJobStatusLookup(t *testing.T) {
 		done <- err
 	}()
 	waitState(t, cl, "st-live", service.JobStateRunning)
-	if je := submitErr(t, svc, &service.JobRequest{Workload: "dmm", JobID: "st-live"}); je.Kind != service.ErrBadRequest {
-		t.Errorf("duplicate live job_id error kind = %s, want bad_request", je.Kind)
+	if je := submitErr(t, svc, &service.JobRequest{Workload: "dmm", JobID: "st-live"}); je.Kind != service.ErrConflict {
+		t.Errorf("duplicate live job_id error kind = %s, want conflict", je.Kind)
 	}
 	if _, err := svc.Submit(context.Background(), &service.JobRequest{Workload: "dmm", JobID: "st-1"}); err != nil {
 		t.Errorf("reusing terminal job_id: %v", err)

@@ -234,6 +234,28 @@ func Encode(h Header, body []byte) []byte {
 // the body. Every failure wraps ErrCorrupt; malformed input never
 // panics (the fuzz harness holds it to that).
 func Decode(data []byte) (Header, *Decoder, error) {
+	h, body, err := verify(data)
+	if err != nil {
+		return h, nil, err
+	}
+	return h, NewDecoder(body), nil
+}
+
+// Verify runs the full container integrity check — magic, digest,
+// version, framing — without exposing the body. It is the pre-check for
+// code that relays snapshots it does not itself restore (the fleet
+// coordinator's migration stash quarantines anything Verify rejects
+// rather than shipping damage to a worker). Every failure wraps
+// ErrCorrupt, exactly as Decode's would.
+func Verify(data []byte) (Header, error) {
+	h, _, err := verify(data)
+	return h, err
+}
+
+// verify is the shared container check behind Decode and Verify: it
+// validates magic and digest before touching a byte of payload, then
+// parses the header and bounds the body.
+func verify(data []byte) (Header, []byte, error) {
 	var h Header
 	if len(data) < len(Magic)+sha256.Size {
 		return h, nil, fmt.Errorf("%w: %d bytes is shorter than any snapshot", ErrCorrupt, len(data))
@@ -261,5 +283,5 @@ func Decode(data []byte) (Header, *Decoder, error) {
 	if d.Remaining() != 0 {
 		return h, nil, fmt.Errorf("%w: %d trailing bytes after body", ErrCorrupt, d.Remaining())
 	}
-	return h, NewDecoder(body), nil
+	return h, body, nil
 }

@@ -1,0 +1,127 @@
+// Package wal is the CRC-framed, fsync'd append-only record log that
+// crash-safe state in this repo is built on. It was extracted from the
+// service's job journal (PR 4) so the fleet coordinator's durable state
+// can reuse the exact same framing and torn-tail recovery instead of
+// inventing a second one.
+//
+// Framing is length + CRC32 + payload per record. The log is only ever
+// extended; the single destructive operation is truncating a torn tail
+// at open — everything after the last record that framed and
+// checksummed correctly is the residue of a crash mid-append and is
+// unrecoverable by construction. Appends are serialized and fsync'd
+// before returning, so once Append returns nil the record survives a
+// crash.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultMaxRecord bounds one record's payload when Open is given no
+// limit; a length prefix beyond the bound is treated as tail
+// corruption, not an allocation request.
+const DefaultMaxRecord = 64 << 20
+
+// Log is the append side of a write-ahead log.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if absent) a log at path, replays every intact
+// record, truncates any torn tail, and positions the file for appends.
+// It returns the replayed payloads in append order. maxRecord bounds a
+// single record's payload; <= 0 means DefaultMaxRecord.
+func Open(path string, maxRecord int) (*Log, [][]byte, error) {
+	if maxRecord <= 0 {
+		maxRecord = DefaultMaxRecord
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	recs, good, err := readAll(f, maxRecord)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal %s: %w", path, err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal %s: truncate torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal %s: %w", path, err)
+	}
+	return &Log{f: f, path: path}, recs, nil
+}
+
+// readAll scans records from the start of the file, returning the
+// intact payloads and the offset just past the last one. Framing damage
+// (short header, short payload, CRC mismatch, absurd length) ends the
+// scan without error: it marks the torn tail.
+func readAll(f *os.File, maxRecord int) ([][]byte, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var (
+		recs   [][]byte
+		good   int64
+		header [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			return recs, good, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if n == 0 || n > uint32(maxRecord) {
+			return recs, good, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, good, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, good, nil
+		}
+		recs = append(recs, payload)
+		good += int64(len(header)) + int64(n)
+	}
+}
+
+// Append frames one payload, writes it, and fsyncs before returning.
+func (l *Log) Append(payload []byte) error {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close releases the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
