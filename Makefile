@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke check
+.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke fuzz-smoke check
 
 all: build
 
@@ -101,4 +101,12 @@ chaos-smoke:
 	$(GO) test -race -count=1 ./internal/chaos
 	$(GO) test -race -run 'TestChaosSoak|TestBreaker|TestStaleHeartbeatSkew|TestRegistryConcurrentProbes|TestStash|TestCoordinatorJournal|TestCoordinatorShutdownGoroutines' -count=1 ./internal/fleet
 
-check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke
+# Generative differential fuzz smoke: 60 seconds of FuzzSimulate —
+# seeded random netlists (plus hostile mutations) assembled, validated
+# and run on all four stepping backends to bit-identical results, with a
+# mid-run snapshot/restore arm (see internal/gen). The committed corpus
+# also replays as an ordinary test in `make test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzSimulate' -fuzztime 60s ./internal/gen
+
+check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke fuzz-smoke

@@ -12,6 +12,7 @@
 //	tiabench -json               # machine-readable suite results
 //	tiabench -faults [-fault-runs N] [-fault-seed S] [-state FILE]   # resilience campaigns
 //	tiabench -json-out BENCH_$(date +%F).json   # perf-trajectory report
+//	tiabench -gen SEED [-size N]   # benchmark a generated netlist (internal/gen)
 //
 // -shards K turns on sharded parallel stepping inside each simulation
 // (bit-identical results; K < 0 means auto). The count is arbitrated
@@ -76,7 +77,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "total wall-clock budget; expiry cancels simulations and prints partial results (0 = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	genSeed := flag.Int64("gen", 0, "benchmark a generated netlist with this seed (internal/gen; scaled by -size) instead of the experiments")
 	flag.Parse()
+	genSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "gen" {
+			genSet = true
+		}
+	})
 
 	core.MaxWorkers = *workers
 	core.Shards = *shards
@@ -117,6 +125,13 @@ func main() {
 	}
 
 	p := workloads.Params{Size: *size, Seed: *seed}
+	if genSet {
+		if err := runGenerated(ctx, os.Stdout, *genSeed, *size, *shards, *compiled); err != nil {
+			fmt.Fprintln(os.Stderr, "tiabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchOut != "" {
 		rep, err := emitBenchJSON(ctx, p, *shards, *compiled, *benchOut)
 		if err != nil {

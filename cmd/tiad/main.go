@@ -12,6 +12,15 @@
 // Worker panics are recovered per job: a panicking simulation fails
 // that job with a typed "internal" error and the daemon keeps serving.
 //
+// Hostile or oversized netlists never reach construction: submissions
+// go through the structural validator (typed bad_request diagnostics
+// with line numbers) and then the resource governor (internal/limits),
+// which cost-models the topology against the -max-elements,
+// -max-channel-tokens, -max-scratchpad-words, -max-cost-words per-job
+// ceilings and the -server-cost-budget fleet-of-one budget. Over-budget
+// jobs fail with a typed resource_limit error (HTTP 422) before any
+// fabric allocation, counted by tia_jobs_rejected_resource_total.
+//
 // Usage:
 //
 //	tiad [-addr :8080] [-workers N] [-queue N] [-result-cache N]
@@ -19,6 +28,9 @@
 //	     [-compiled]
 //	     [-drain-timeout D] [-journal FILE] [-snapshot-dir DIR]
 //	     [-checkpoint-every N]
+//	     [-max-elements N] [-max-channel-tokens N]
+//	     [-max-scratchpad-words N] [-max-cost-words N]
+//	     [-server-cost-budget N]
 //
 // -shards K turns on sharded parallel stepping inside each simulation
 // (bit-identical results; K < 0 means auto). Per-job requests via the
@@ -82,6 +94,7 @@ import (
 
 	"tia/internal/chaos"
 	"tia/internal/fleet"
+	"tia/internal/limits"
 	"tia/internal/service"
 )
 
@@ -107,6 +120,11 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "total routing attempts per job across all workers (0 = default; coordinator mode)")
 	coordJournal := flag.String("coord-journal", "", "coordinator journal path: accepted jobs survive a coordinator crash and are re-driven on restart (coordinator mode)")
 	chaosPlan := flag.String("chaos", "", `seeded chaos plan as JSON with Go field names, e.g. '{"Seed":1,"ResetRate":0.1}'; durations in nanoseconds (coordinator mode, testing)`)
+	maxElements := flag.Int("max-elements", 0, "per-job fabric element ceiling (0 = unlimited)")
+	maxChanTokens := flag.Int("max-channel-tokens", 0, "per-job total channel buffer capacity ceiling (0 = unlimited)")
+	maxSpWords := flag.Int("max-scratchpad-words", 0, "per-job total scratchpad words ceiling (0 = unlimited)")
+	maxCostWords := flag.Int64("max-cost-words", 0, "per-job modeled memory cost ceiling in words (0 = unlimited)")
+	serverBudget := flag.Int64("server-cost-budget", 0, "server-wide modeled memory budget in words across concurrent jobs (0 = unlimited)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tiad [flags]; see -h")
@@ -139,6 +157,13 @@ func main() {
 	cfg.JournalPath = *journal
 	cfg.SnapshotDir = *snapshotDir
 	cfg.CheckpointEvery = *checkpointEvery
+	cfg.Limits = limits.Limits{
+		MaxElements:        *maxElements,
+		MaxChannelTokens:   *maxChanTokens,
+		MaxScratchpadWords: *maxSpWords,
+		MaxCostWords:       *maxCostWords,
+		ServerCostWords:    *serverBudget,
+	}
 	svc, err := service.New(cfg)
 	if err != nil {
 		log.Fatalf("tiad: %v", err)

@@ -23,24 +23,50 @@ type Netlist struct {
 	PCPEs   map[string]*pcpe.PE
 	Mems    map[string]*mem.Scratchpad
 
-	tiaProgs map[string]*TIAProgram
-	pcProgs  map[string]*PCProgram
-
 	// fpRecs are canonical one-record-per-declaration strings derived from
 	// the *assembled* fabric (formatted programs, resolved port indices,
-	// effective channel capacities/latencies), collected during parsing.
-	// Fingerprint hashes them; see hash.go.
+	// effective channel capacities/latencies). Fingerprint hashes them; see
+	// hash.go.
 	fpRecs []string
 }
 
-// netParser carries parse state across the file.
-type netParser struct {
-	n      *Netlist
-	tiaCfg isa.Config
-	pcCfg  pcpe.Config
-	fabCfg fabric.Config
-	places []placement
-	wires  []wireDecl
+// Declaration IR: the parse phase records what the source declares
+// without constructing anything, so validation and resource admission
+// can run before the first allocation.
+
+type sourceDecl struct {
+	line int
+	name string
+	toks []channel.Token
+}
+
+type sinkDecl struct {
+	line int
+	name string
+	mode string // "eods" or "count"
+	n    int
+}
+
+type spDecl struct {
+	line  int
+	name  string
+	size  int
+	lat   int
+	image []isa.Word
+}
+
+type peDecl struct {
+	line int
+	kind string // "pe" or "pcpe"
+	name string
+	cfg  isa.Config // pe only
+	tia  *TIAProgram
+	pc   *PCProgram
+
+	// Built by the validate phase (PE construction is bounded small by
+	// isa.Config.CheckLimits, so it is safe ahead of admission).
+	tiaProc *pe.PE
+	pcProc  *pcpe.PE
 }
 
 type placement struct {
@@ -54,6 +80,61 @@ type wireDecl struct {
 	srcElem, srcPort string
 	dstElem, dstPort string
 	capacity, lat    int // -1 means fabric default
+
+	// Resolved by the validate phase.
+	srcIdx, dstIdx int
+}
+
+// Structural size ceilings, enforced by the validate phase regardless
+// of any resource governor: both scratchpad words and channel buffers
+// are allocated eagerly at construction, so an absurd size in either is
+// a one-line memory bomb, not a plausible design.
+const (
+	maxScratchpadWords = 1 << 22
+	maxChannelCap      = 1 << 20
+)
+
+type elemKind int
+
+const (
+	kindSource elemKind = iota
+	kindSink
+	kindPE
+	kindPCPE
+	kindMem
+)
+
+func (k elemKind) String() string {
+	switch k {
+	case kindSource:
+		return "source"
+	case kindSink:
+		return "sink"
+	case kindPE:
+		return "pe"
+	case kindPCPE:
+		return "pcpe"
+	default:
+		return "scratchpad"
+	}
+}
+
+// netParser carries state across the parse, validate and build phases.
+type netParser struct {
+	tiaCfg isa.Config
+	pcCfg  pcpe.Config
+	fabCfg fabric.Config
+
+	diags     Diagnostics
+	names     map[string]elemKind
+	pesByName map[string]*peDecl
+
+	srcDecls  []sourceDecl
+	sinkDecls []sinkDecl
+	spDecls   []spDecl
+	peDecls   []*peDecl
+	places    []placement
+	wires     []wireDecl
 }
 
 // ParseNetlist parses a complete fabric description:
@@ -75,21 +156,61 @@ type wireDecl struct {
 // Scratchpad ports are named raddr, waddr, wdata (inputs) and rdata
 // (output); sources expose output 0 and sinks input 0; PE ports go by
 // their declared channel names.
+//
+// Parsing runs in three phases — parse (declaration IR, no
+// construction), validate (structural checks with source positions,
+// reported together as a Diagnostics multi-error), build (construction
+// through error-returning fabric APIs) — so a malformed or hostile
+// netlist is rejected with typed diagnostics instead of a panic, and
+// nothing is allocated for a netlist that fails validation.
 func ParseNetlist(src string, tiaCfg isa.Config, pcCfg pcpe.Config) (*Netlist, error) {
-	np := &netParser{
-		n: &Netlist{
-			Sources:  map[string]*fabric.Source{},
-			Sinks:    map[string]*fabric.Sink{},
-			PEs:      map[string]*pe.PE{},
-			PCPEs:    map[string]*pcpe.PE{},
-			Mems:     map[string]*mem.Scratchpad{},
-			tiaProgs: map[string]*TIAProgram{},
-			pcProgs:  map[string]*PCProgram{},
-		},
-		tiaCfg: tiaCfg,
-		pcCfg:  pcCfg,
-		fabCfg: fabric.DefaultConfig(),
+	return ParseNetlistAdmit(src, tiaCfg, pcCfg, nil)
+}
+
+// ParseNetlistAdmit is ParseNetlist with a resource-admission hook: after
+// validation succeeds and before anything is built, admit is called with
+// the netlist's resource Census. If admit returns an error, construction
+// is abandoned and that error is returned verbatim (so callers can
+// surface typed resource-limit errors). A nil admit admits everything.
+func ParseNetlistAdmit(src string, tiaCfg isa.Config, pcCfg pcpe.Config, admit func(Census) error) (*Netlist, error) {
+	np := newNetParser(tiaCfg, pcCfg)
+	np.parse(src)
+	census := np.validate()
+	if err := np.diags.errOrNil(); err != nil {
+		return nil, err
 	}
+	if admit != nil {
+		if err := admit(census); err != nil {
+			return nil, err
+		}
+	}
+	return np.build()
+}
+
+// CheckNetlist runs the parse and validate phases only, returning the
+// netlist's resource Census without building a fabric. Coordinators use
+// it to vet batch templates cheaply; the error (if any) is a
+// Diagnostics multi-error.
+func CheckNetlist(src string, tiaCfg isa.Config, pcCfg pcpe.Config) (Census, error) {
+	np := newNetParser(tiaCfg, pcCfg)
+	np.parse(src)
+	census := np.validate()
+	return census, np.diags.errOrNil()
+}
+
+func newNetParser(tiaCfg isa.Config, pcCfg pcpe.Config) *netParser {
+	return &netParser{
+		tiaCfg:    tiaCfg,
+		pcCfg:     pcCfg,
+		fabCfg:    fabric.DefaultConfig(),
+		names:     map[string]elemKind{},
+		pesByName: map[string]*peDecl{},
+	}
+}
+
+// parse scans the source into declaration IR, accumulating diagnostics
+// instead of stopping at the first problem.
+func (np *netParser) parse(src string) {
 	lines := strings.Split(src, "\n")
 	for i := 0; i < len(lines); i++ {
 		line := stripComment(lines[i])
@@ -97,20 +218,19 @@ func ParseNetlist(src string, tiaCfg isa.Config, pcCfg pcpe.Config) (*Netlist, e
 			continue
 		}
 		fields := strings.Fields(line)
-		var err error
 		switch fields[0] {
 		case "config":
-			err = np.parseConfig(i+1, fields[1:])
+			np.parseConfig(i+1, fields[1:])
 		case "source":
-			err = np.parseSource(i+1, line)
+			np.parseSource(i+1, line)
 		case "sink":
-			err = np.parseSink(i+1, fields[1:])
+			np.parseSink(i+1, fields[1:])
 		case "scratchpad":
-			err = np.parseScratchpad(i+1, line)
+			np.parseScratchpad(i+1, line)
 		case "place":
-			err = np.parsePlace(i+1, fields[1:])
+			np.parsePlace(i+1, fields[1:])
 		case "wire":
-			err = np.parseWire(i+1, fields[1:])
+			np.parseWire(i+1, fields[1:])
 		case "pe", "pcpe":
 			var body []string
 			j := i + 1
@@ -121,84 +241,93 @@ func ParseNetlist(src string, tiaCfg isa.Config, pcCfg pcpe.Config) (*Netlist, e
 				body = append(body, lines[j])
 			}
 			if j == len(lines) {
-				return nil, srcError(i+1, "unterminated %s block (missing end)", fields[0])
+				np.diags.add(i+1, "unterminated %s block (missing end)", fields[0])
+				return
 			}
 			if len(fields) < 2 {
-				return nil, srcError(i+1, "%s needs a name", fields[0])
+				np.diags.add(i+1, "%s needs a name", fields[0])
+			} else {
+				np.parsePEBlock(i+1, fields[0], fields[1], fields[2:], strings.Join(body, "\n"))
 			}
-			err = np.parsePEBlock(i+1, fields[0], fields[1], fields[2:], strings.Join(body, "\n"))
 			i = j
 		default:
-			err = srcError(i+1, "unknown directive %q", fields[0])
-		}
-		if err != nil {
-			return nil, err
+			np.diags.add(i+1, "unknown directive %q", fields[0])
 		}
 	}
-	return np.finish()
 }
 
-func (np *netParser) parseConfig(ln int, fields []string) error {
+func (np *netParser) parseConfig(ln int, fields []string) {
 	for i := 0; i+1 < len(fields); i += 2 {
 		v, err := strconv.Atoi(fields[i+1])
 		if err != nil {
-			return srcError(ln, "bad config value %q", fields[i+1])
+			np.diags.add(ln, "bad config value %q", fields[i+1])
+			return
 		}
 		switch fields[i] {
 		case "cap":
+			if v < 1 {
+				np.diags.add(ln, "config cap %d < 1", v)
+				return
+			}
+			if v > maxChannelCap {
+				np.diags.add(ln, "config cap %d exceeds the %d-token fabric limit", v, maxChannelCap)
+				return
+			}
 			np.fabCfg.ChannelCapacity = v
 		case "lat":
+			if v < 0 {
+				np.diags.add(ln, "config lat %d < 0", v)
+				return
+			}
 			np.fabCfg.ChannelLatency = v
 		default:
-			return srcError(ln, "unknown config key %q", fields[i])
+			np.diags.add(ln, "unknown config key %q", fields[i])
+			return
 		}
 	}
-	return nil
 }
 
-func (np *netParser) checkFresh(ln int, name string) error {
+// declareName validates and registers an element name, reporting a bad
+// or duplicate name. It returns false when the declaration must be
+// dropped entirely (the name cannot be referenced).
+func (np *netParser) declareName(ln int, name string, kind elemKind) bool {
 	if !ident(name) {
-		return srcError(ln, "bad element name %q", name)
+		np.diags.add(ln, "bad element name %q", name)
+		return false
 	}
-	for _, exists := range []bool{
-		np.n.Sources[name] != nil, np.n.Sinks[name] != nil,
-		np.n.PEs[name] != nil, np.n.PCPEs[name] != nil, np.n.Mems[name] != nil,
-	} {
-		if exists {
-			return srcError(ln, "element %q already defined", name)
-		}
+	if _, dup := np.names[name]; dup {
+		np.diags.add(ln, "element %q already defined", name)
+		return false
 	}
-	return nil
+	np.names[name] = kind
+	return true
 }
 
-func (np *netParser) parseSource(ln int, line string) error {
+func (np *netParser) parseSource(ln int, line string) {
 	colon := strings.Index(line, ":")
 	if colon < 0 {
-		return srcError(ln, "source needs ': tokens'")
+		np.diags.add(ln, "source needs ': tokens'")
+		return
 	}
 	head := strings.Fields(line[:colon])
 	if len(head) != 2 {
-		return srcError(ln, "source needs exactly one name")
+		np.diags.add(ln, "source needs exactly one name")
+		return
 	}
 	name := head[1]
-	if err := np.checkFresh(ln, name); err != nil {
-		return err
+	if !np.declareName(ln, name, kindSource) {
+		return
 	}
 	var toks []channel.Token
 	for _, f := range strings.Fields(line[colon+1:]) {
 		tok, err := parseToken(f)
 		if err != nil {
-			return srcError(ln, "%v", err)
+			np.diags.add(ln, "%v", err)
+			return
 		}
 		toks = append(toks, tok)
 	}
-	np.n.Sources[name] = fabric.NewSource(name, toks)
-	parts := make([]string, len(toks))
-	for i, t := range toks {
-		parts[i] = t.String()
-	}
-	np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("source %s : %s", name, strings.Join(parts, " ")))
-	return nil
+	np.srcDecls = append(np.srcDecls, sourceDecl{line: ln, name: name, toks: toks})
 }
 
 // parseToken parses "eod", a bare word, or value#tag.
@@ -224,39 +353,38 @@ func parseToken(f string) (channel.Token, error) {
 	return channel.Data(v), nil
 }
 
-func (np *netParser) parseSink(ln int, fields []string) error {
+func (np *netParser) parseSink(ln int, fields []string) {
 	if len(fields) == 0 {
-		return srcError(ln, "sink needs a name")
+		np.diags.add(ln, "sink needs a name")
+		return
 	}
 	name := fields[0]
-	if err := np.checkFresh(ln, name); err != nil {
-		return err
+	if !np.declareName(ln, name, kindSink) {
+		return
 	}
 	switch {
 	case len(fields) == 1:
-		np.n.Sinks[name] = fabric.NewSink(name)
-		np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("sink %s eods 1", name))
+		np.sinkDecls = append(np.sinkDecls, sinkDecl{line: ln, name: name, mode: "eods", n: 1})
 	case len(fields) == 3 && fields[1] == "count":
 		n, err := strconv.Atoi(fields[2])
 		if err != nil || n <= 0 {
-			return srcError(ln, "bad sink count %q", fields[2])
+			np.diags.add(ln, "bad sink count %q", fields[2])
+			return
 		}
-		np.n.Sinks[name] = fabric.NewCountingSink(name, n)
-		np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("sink %s count %d", name, n))
+		np.sinkDecls = append(np.sinkDecls, sinkDecl{line: ln, name: name, mode: "count", n: n})
 	case len(fields) == 3 && fields[1] == "eods":
 		n, err := strconv.Atoi(fields[2])
 		if err != nil || n <= 0 {
-			return srcError(ln, "bad sink eods %q", fields[2])
+			np.diags.add(ln, "bad sink eods %q", fields[2])
+			return
 		}
-		np.n.Sinks[name] = fabric.NewMultiEODSink(name, n)
-		np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("sink %s eods %d", name, n))
+		np.sinkDecls = append(np.sinkDecls, sinkDecl{line: ln, name: name, mode: "eods", n: n})
 	default:
-		return srcError(ln, "bad sink declaration")
+		np.diags.add(ln, "bad sink declaration")
 	}
-	return nil
 }
 
-func (np *netParser) parseScratchpad(ln int, line string) error {
+func (np *netParser) parseScratchpad(ln int, line string) {
 	spec := line
 	var image []isa.Word
 	if colon := strings.Index(line, ":"); colon >= 0 {
@@ -264,103 +392,116 @@ func (np *netParser) parseScratchpad(ln int, line string) error {
 		for _, f := range strings.Fields(line[colon+1:]) {
 			w, err := parseWord(f)
 			if err != nil {
-				return srcError(ln, "%v", err)
+				np.diags.add(ln, "%v", err)
+				return
 			}
 			image = append(image, w)
 		}
 	}
 	fields := strings.Fields(spec)
 	if len(fields) < 3 {
-		return srcError(ln, "scratchpad needs name and size")
+		np.diags.add(ln, "scratchpad needs name and size")
+		return
 	}
 	name := fields[1]
-	if err := np.checkFresh(ln, name); err != nil {
-		return err
+	if !np.declareName(ln, name, kindMem) {
+		return
 	}
 	size, err := strconv.Atoi(fields[2])
 	if err != nil || size <= 0 {
-		return srcError(ln, "bad scratchpad size %q", fields[2])
+		np.diags.add(ln, "bad scratchpad size %q", fields[2])
+		return
 	}
 	// On-fabric scratchpads are small by definition; reject sizes that
 	// could only be a typo (or a hostile input).
-	const maxScratchpadWords = 1 << 22
 	if size > maxScratchpadWords {
-		return srcError(ln, "scratchpad size %d exceeds the %d-word fabric limit", size, maxScratchpadWords)
+		np.diags.add(ln, "scratchpad size %d exceeds the %d-word fabric limit", size, maxScratchpadWords)
+		return
 	}
-	m := mem.New(name, size)
+	d := spDecl{line: ln, name: name, size: size, image: image}
 	for i := 3; i+1 < len(fields); i += 2 {
 		v, err := strconv.Atoi(fields[i+1])
 		if err != nil || v < 0 {
-			return srcError(ln, "bad scratchpad option value %q", fields[i+1])
+			np.diags.add(ln, "bad scratchpad option value %q", fields[i+1])
+			return
 		}
 		switch fields[i] {
 		case "lat":
-			m.SetReadLatency(v)
+			d.lat = v
 		default:
-			return srcError(ln, "unknown scratchpad option %q", fields[i])
+			np.diags.add(ln, "unknown scratchpad option %q", fields[i])
+			return
 		}
 	}
 	if (len(fields)-3)%2 != 0 {
-		return srcError(ln, "scratchpad options must be key value pairs")
+		np.diags.add(ln, "scratchpad options must be key value pairs")
+		return
 	}
 	if len(image) > size {
-		return srcError(ln, "scratchpad %s: %d-word image exceeds %d-word size", name, len(image), size)
+		np.diags.add(ln, "scratchpad %s: %d-word image exceeds %d-word size", name, len(image), size)
+		return
 	}
-	if image != nil {
-		m.Load(image)
-	}
-	np.n.Mems[name] = m
-	imgParts := make([]string, len(image))
-	for i, w := range image {
-		imgParts[i] = fmt.Sprintf("%d", w)
-	}
-	np.n.fpRecs = append(np.n.fpRecs,
-		fmt.Sprintf("scratchpad %s %d lat %d : %s", name, size, m.ReadLatency(), strings.Join(imgParts, " ")))
-	return nil
+	np.spDecls = append(np.spDecls, d)
 }
 
-func (np *netParser) parsePlace(ln int, fields []string) error {
+func (np *netParser) parsePlace(ln int, fields []string) {
 	if len(fields) != 3 {
-		return srcError(ln, "place needs name x y")
+		np.diags.add(ln, "place needs name x y")
+		return
 	}
 	x, err1 := strconv.Atoi(fields[1])
 	y, err2 := strconv.Atoi(fields[2])
 	if err1 != nil || err2 != nil {
-		return srcError(ln, "bad coordinates")
+		np.diags.add(ln, "bad coordinates")
+		return
 	}
 	np.places = append(np.places, placement{name: fields[0], x: x, y: y, line: ln})
-	return nil
 }
 
-func (np *netParser) parseWire(ln int, fields []string) error {
+func (np *netParser) parseWire(ln int, fields []string) {
 	// wire a.p -> b.q [cap N] [lat N]
 	if len(fields) < 3 || fields[1] != "->" {
-		return srcError(ln, "wire syntax: wire src.port -> dst.port [cap N] [lat N]")
+		np.diags.add(ln, "wire syntax: wire src.port -> dst.port [cap N] [lat N]")
+		return
 	}
 	w := wireDecl{line: ln, capacity: -1, lat: -1}
 	var ok bool
 	if w.srcElem, w.srcPort, ok = splitPort(fields[0]); !ok {
-		return srcError(ln, "bad endpoint %q", fields[0])
+		np.diags.add(ln, "bad endpoint %q", fields[0])
+		return
 	}
 	if w.dstElem, w.dstPort, ok = splitPort(fields[2]); !ok {
-		return srcError(ln, "bad endpoint %q", fields[2])
+		np.diags.add(ln, "bad endpoint %q", fields[2])
+		return
 	}
 	for i := 3; i+1 < len(fields); i += 2 {
 		v, err := strconv.Atoi(fields[i+1])
 		if err != nil {
-			return srcError(ln, "bad wire option value %q", fields[i+1])
+			np.diags.add(ln, "bad wire option value %q", fields[i+1])
+			return
 		}
 		switch fields[i] {
 		case "cap":
+			// Validated here, not in the validate phase: -1 is the
+			// internal "use the fabric default" sentinel, so an explicit
+			// negative must not survive parsing.
+			if v < 1 {
+				np.diags.add(ln, "bad wire capacity %d (must be >= 1)", v)
+				return
+			}
 			w.capacity = v
 		case "lat":
+			if v < 0 {
+				np.diags.add(ln, "bad wire latency %d (must be >= 0)", v)
+				return
+			}
 			w.lat = v
 		default:
-			return srcError(ln, "unknown wire option %q", fields[i])
+			np.diags.add(ln, "unknown wire option %q", fields[i])
+			return
 		}
 	}
 	np.wires = append(np.wires, w)
-	return nil
 }
 
 func splitPort(s string) (elem, port string, ok bool) {
@@ -371,26 +512,31 @@ func splitPort(s string) (elem, port string, ok bool) {
 	return s[:dot], s[dot+1:], true
 }
 
-// parsePEBlock compiles one pe/pcpe block. Optional key=value options on
+// parsePEBlock parses one pe/pcpe block. Optional key=value options on
 // the header line override the PE configuration, e.g.
 //
 //	pe sched insts=32 preds=16
 //
 // Recognized keys: insts (trigger pool), preds, regs, in, out.
-func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body string) error {
-	if err := np.checkFresh(ln, name); err != nil {
-		return err
+func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body string) {
+	if !np.declareName(ln, name, map[string]elemKind{"pe": kindPE, "pcpe": kindPCPE}[kind]) {
+		return
 	}
+	d := &peDecl{line: ln, kind: kind, name: name}
+	np.pesByName[name] = d
+	np.peDecls = append(np.peDecls, d)
 	if kind == "pe" {
 		cfg := np.tiaCfg
 		for _, opt := range opts {
 			eq := strings.Index(opt, "=")
 			if eq < 0 {
-				return srcError(ln, "bad PE option %q (want key=value)", opt)
+				np.diags.add(ln, "bad PE option %q (want key=value)", opt)
+				return
 			}
 			v, err := strconv.Atoi(opt[eq+1:])
 			if err != nil || v < 1 {
-				return srcError(ln, "bad PE option value %q", opt)
+				np.diags.add(ln, "bad PE option value %q", opt)
+				return
 			}
 			switch opt[:eq] {
 			case "insts":
@@ -404,157 +550,181 @@ func (np *netParser) parsePEBlock(ln int, kind, name string, opts []string, body
 			case "out":
 				cfg.NumOut = v
 			default:
-				return srcError(ln, "unknown PE option %q", opt[:eq])
+				np.diags.add(ln, "unknown PE option %q", opt[:eq])
+				return
 			}
 		}
+		d.cfg = cfg
 		prog, err := ParseTIA(name, body)
 		if err != nil {
-			return err
+			np.diags.add(0, "%v", err)
+			return
 		}
-		proc, err := prog.Build(cfg)
-		if err != nil {
-			return err
-		}
-		np.n.PEs[name] = proc
-		np.n.tiaProgs[name] = prog
-		np.n.fpRecs = append(np.n.fpRecs,
-			fmt.Sprintf("pe %s cfg=%+v init=%s\n%s", name, cfg, initRecord(prog.RegInit, prog.PredInit), FormatTIA(proc.Program())))
-		return nil
+		d.tia = prog
+		return
 	}
 	if len(opts) > 0 {
-		return srcError(ln, "pcpe blocks take no options")
+		np.diags.add(ln, "pcpe blocks take no options")
+		return
 	}
 	prog, err := ParsePC(name, body)
 	if err != nil {
-		return err
+		np.diags.add(0, "%v", err)
+		return
 	}
-	proc, err := prog.Build(np.pcCfg)
-	if err != nil {
-		return err
-	}
-	np.n.PCPEs[name] = proc
-	np.n.pcProgs[name] = prog
-	np.n.fpRecs = append(np.n.fpRecs,
-		fmt.Sprintf("pcpe %s cfg=%+v init=%s\n%s", name, np.pcCfg, initRecord(prog.RegInit, nil), FormatPC(proc.Program())))
-	return nil
+	d.pc = prog
 }
 
-func (np *netParser) finish() (*Netlist, error) {
-	f := fabric.New(np.fabCfg)
-	np.n.Fabric = f
-	elems := map[string]fabric.Element{}
-	for name, s := range np.n.Sources {
-		f.Add(s)
-		elems[name] = s
+// validate runs the structural checks that need the whole file: PE
+// program validation against their configurations (register, predicate
+// and channel indices), placement and wire endpoint existence, port
+// resolution with bounds checks, double-connection detection, and
+// channel parameter sanity. It returns the resource Census used for
+// admission; diagnostics accumulate in np.diags.
+func (np *netParser) validate() Census {
+	var c Census
+
+	// PE programs: building the processing element validates the program
+	// against its configuration (isa.Config.ValidateProgram) and is
+	// bounded small by isa.Config.CheckLimits, so it is safe pre-admission.
+	for _, d := range np.peDecls {
+		switch {
+		case d.tia != nil:
+			proc, err := d.tia.Build(d.cfg)
+			if err != nil {
+				np.diags.add(0, "%v", err)
+				continue
+			}
+			d.tiaProc = proc
+			c.Instructions += len(proc.Program())
+		case d.pc != nil:
+			proc, err := d.pc.Build(np.pcCfg)
+			if err != nil {
+				np.diags.add(0, "%v", err)
+				continue
+			}
+			d.pcProc = proc
+			c.Instructions += len(proc.Program())
+		}
 	}
-	for name, m := range np.n.Mems {
-		f.Add(m)
-		elems[name] = m
-	}
-	for name, p := range np.n.PEs {
-		f.Add(p)
-		elems[name] = p
-	}
-	for name, p := range np.n.PCPEs {
-		f.Add(p)
-		elems[name] = p
-	}
-	for name, s := range np.n.Sinks {
-		f.Add(s)
-		elems[name] = s
-	}
+
 	for _, pl := range np.places {
-		e, ok := elems[pl.name]
-		if !ok {
-			return nil, srcError(pl.line, "place of unknown element %q", pl.name)
-		}
-		f.Place(e, pl.x, pl.y)
-	}
-	for _, w := range np.wires {
-		if err := np.applyWire(f, elems, w); err != nil {
-			return nil, err
+		if _, ok := np.names[pl.name]; !ok {
+			np.diags.add(pl.line, "place of unknown element %q", pl.name)
 		}
 	}
-	return np.n, nil
-}
 
-func (np *netParser) applyWire(f *fabric.Fabric, elems map[string]fabric.Element, w wireDecl) error {
-	srcElem, ok := elems[w.srcElem]
-	if !ok {
-		return srcError(w.line, "wire from unknown element %q", w.srcElem)
-	}
-	dstElem, ok := elems[w.dstElem]
-	if !ok {
-		return srcError(w.line, "wire to unknown element %q", w.dstElem)
-	}
-	srcPort, err := np.resolveOutPort(w.srcElem, w.srcPort)
-	if err != nil {
-		return srcError(w.line, "%v", err)
-	}
-	dstPort, err := np.resolveInPort(w.dstElem, w.dstPort)
-	if err != nil {
-		return srcError(w.line, "%v", err)
-	}
-	src, ok := srcElem.(fabric.OutPort)
-	if !ok {
-		return srcError(w.line, "element %q has no outputs", w.srcElem)
-	}
-	dst, ok := dstElem.(fabric.InPort)
-	if !ok {
-		return srcError(w.line, "element %q has no inputs", w.dstElem)
-	}
-	// Element connect methods treat bad indices and double connections as
-	// programming errors and panic; from a netlist they are user input,
-	// so convert them into parse errors.
-	var ch *channel.Channel
-	err = catchWirePanic(w.line, func() {
-		if w.capacity < 0 && w.lat < 0 {
-			ch = f.Wire(src, srcPort, dst, dstPort) // placement-aware default
-			return
+	// Wires: endpoint existence, port resolution (with numeric bounds),
+	// single-producer/single-consumer, channel parameter sanity.
+	usedOut := map[string]int{} // "elem.port" -> first line
+	usedIn := map[string]int{}
+	for i := range np.wires {
+		w := &np.wires[i]
+		srcKind, ok := np.names[w.srcElem]
+		if !ok {
+			np.diags.add(w.line, "wire from unknown element %q", w.srcElem)
+			continue
 		}
-		capacity, lat := w.capacity, w.lat
+		dstKind, ok := np.names[w.dstElem]
+		if !ok {
+			np.diags.add(w.line, "wire to unknown element %q", w.dstElem)
+			continue
+		}
+		srcIdx, err := np.resolveOutPort(srcKind, w.srcElem, w.srcPort)
+		if err != nil {
+			np.diags.add(w.line, "%v", err)
+			continue
+		}
+		dstIdx, err := np.resolveInPort(dstKind, w.dstElem, w.dstPort)
+		if err != nil {
+			np.diags.add(w.line, "%v", err)
+			continue
+		}
+		if srcIdx < 0 || dstIdx < 0 {
+			// Port belongs to a PE whose program failed to parse; that
+			// diagnostic is already reported.
+			continue
+		}
+		if w.capacity != -1 && w.capacity < 1 {
+			np.diags.add(w.line, "bad wire capacity %d (must be >= 1)", w.capacity)
+			continue
+		}
+		if w.capacity > maxChannelCap {
+			// Channel buffers are allocated eagerly; an unbounded cap is a
+			// one-line memory bomb.
+			np.diags.add(w.line, "wire capacity %d exceeds the %d-token fabric limit", w.capacity, maxChannelCap)
+			continue
+		}
+		if w.lat != -1 && w.lat < 0 {
+			np.diags.add(w.line, "bad wire latency %d (must be >= 0)", w.lat)
+			continue
+		}
+		outKey := fmt.Sprintf("%s.%d", w.srcElem, srcIdx)
+		if first, dup := usedOut[outKey]; dup {
+			np.diags.add(w.line, "output %s.%s already connected (line %d)", w.srcElem, w.srcPort, first)
+			continue
+		}
+		inKey := fmt.Sprintf("%s.%d", w.dstElem, dstIdx)
+		if first, dup := usedIn[inKey]; dup {
+			np.diags.add(w.line, "input %s.%s already connected (line %d)", w.dstElem, w.dstPort, first)
+			continue
+		}
+		usedOut[outKey] = w.line
+		usedIn[inKey] = w.line
+		w.srcIdx, w.dstIdx = srcIdx, dstIdx
+
+		capacity := w.capacity
 		if capacity < 0 {
 			capacity = np.fabCfg.ChannelCapacity
+			if capacity < 1 {
+				capacity = 4 // fabric.New's clamp of an unset default
+			}
 		}
-		if lat < 0 {
-			lat = np.fabCfg.ChannelLatency
-		}
-		ch = f.WireOpt(src, srcPort, dst, dstPort, capacity, lat)
-	})
-	if err != nil {
-		return err
+		c.Channels++
+		c.ChannelTokens += capacity
 	}
-	// The effective capacity/latency (after defaults and placement) is
-	// what matters for behaviour, so fingerprint those, not the syntax.
-	np.n.fpRecs = append(np.n.fpRecs, fmt.Sprintf("wire %s.%d -> %s.%d cap %d lat %d",
-		w.srcElem, srcPort, w.dstElem, dstPort, ch.Cap(), ch.Latency()))
-	return nil
+
+	c.Sources = len(np.srcDecls)
+	c.Sinks = len(np.sinkDecls)
+	c.Scratchpads = len(np.spDecls)
+	for _, d := range np.peDecls {
+		if d.kind == "pe" {
+			c.PEs++
+		} else {
+			c.PCPEs++
+		}
+	}
+	c.Elements = c.Sources + c.Sinks + c.Scratchpads + c.PEs + c.PCPEs
+	for _, d := range np.srcDecls {
+		c.SourceTokens += len(d.toks)
+	}
+	for _, d := range np.spDecls {
+		c.ScratchpadWords += d.size
+	}
+	return c
 }
 
-func catchWirePanic(line int, wire func()) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = srcError(line, "bad wire: %v", r)
+// resolveOutPort maps a named or numeric output port to its index. A
+// negative index with nil error means "unresolvable because an earlier
+// diagnostic already covers it".
+func (np *netParser) resolveOutPort(kind elemKind, elem, port string) (int, error) {
+	switch kind {
+	case kindPE, kindPCPE:
+		d := np.pesByName[elem]
+		if d.tia != nil {
+			if i, ok := d.tia.OutIndex(port); ok {
+				return i, nil
+			}
+			return 0, fmt.Errorf("pe %q has no output %q", elem, port)
 		}
-	}()
-	wire()
-	return nil
-}
-
-func (np *netParser) resolveOutPort(elem, port string) (int, error) {
-	if prog, ok := np.n.tiaProgs[elem]; ok {
-		if i, ok := prog.OutIndex(port); ok {
-			return i, nil
+		if d.pc != nil {
+			if i, ok := d.pc.OutIndex(port); ok {
+				return i, nil
+			}
+			return 0, fmt.Errorf("pcpe %q has no output %q", elem, port)
 		}
-		return 0, fmt.Errorf("pe %q has no output %q", elem, port)
-	}
-	if prog, ok := np.n.pcProgs[elem]; ok {
-		if i, ok := prog.OutIndex(port); ok {
-			return i, nil
-		}
-		return 0, fmt.Errorf("pcpe %q has no output %q", elem, port)
-	}
-	if _, ok := np.n.Mems[elem]; ok {
+		return -1, nil // program failed to parse; already diagnosed
+	case kindMem:
 		switch port {
 		case "rdata":
 			return mem.PortReadData, nil
@@ -562,27 +732,37 @@ func (np *netParser) resolveOutPort(elem, port string) (int, error) {
 			return mem.PortWriteAck, nil
 		}
 		return 0, fmt.Errorf("scratchpad %q has no output %q (use rdata/wack)", elem, port)
+	case kindSource:
+		if n, err := strconv.Atoi(port); err == nil {
+			if n != 0 {
+				return 0, fmt.Errorf("source %q: output index %d out of range (only output 0 exists)", elem, n)
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("element %q: bad output port %q", elem, port)
+	default: // kindSink
+		return 0, fmt.Errorf("element %q has no outputs", elem)
 	}
-	if n, err := strconv.Atoi(port); err == nil {
-		return n, nil
-	}
-	return 0, fmt.Errorf("element %q: bad output port %q", elem, port)
 }
 
-func (np *netParser) resolveInPort(elem, port string) (int, error) {
-	if prog, ok := np.n.tiaProgs[elem]; ok {
-		if i, ok := prog.InIndex(port); ok {
-			return i, nil
+func (np *netParser) resolveInPort(kind elemKind, elem, port string) (int, error) {
+	switch kind {
+	case kindPE, kindPCPE:
+		d := np.pesByName[elem]
+		if d.tia != nil {
+			if i, ok := d.tia.InIndex(port); ok {
+				return i, nil
+			}
+			return 0, fmt.Errorf("pe %q has no input %q", elem, port)
 		}
-		return 0, fmt.Errorf("pe %q has no input %q", elem, port)
-	}
-	if prog, ok := np.n.pcProgs[elem]; ok {
-		if i, ok := prog.InIndex(port); ok {
-			return i, nil
+		if d.pc != nil {
+			if i, ok := d.pc.InIndex(port); ok {
+				return i, nil
+			}
+			return 0, fmt.Errorf("pcpe %q has no input %q", elem, port)
 		}
-		return 0, fmt.Errorf("pcpe %q has no input %q", elem, port)
-	}
-	if _, ok := np.n.Mems[elem]; ok {
+		return -1, nil
+	case kindMem:
 		switch port {
 		case "raddr":
 			return mem.PortReadAddr, nil
@@ -592,9 +772,149 @@ func (np *netParser) resolveInPort(elem, port string) (int, error) {
 			return mem.PortWriteData, nil
 		}
 		return 0, fmt.Errorf("scratchpad %q has no input %q (use raddr/waddr/wdata)", elem, port)
+	case kindSink:
+		if n, err := strconv.Atoi(port); err == nil {
+			if n != 0 {
+				return 0, fmt.Errorf("sink %q: input index %d out of range (only input 0 exists)", elem, n)
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("element %q: bad input port %q", elem, port)
+	default: // kindSource
+		return 0, fmt.Errorf("element %q has no inputs", elem)
 	}
-	if n, err := strconv.Atoi(port); err == nil {
-		return n, nil
+}
+
+// build constructs the fabric from validated declarations using only
+// error-returning construction APIs; a failure here is either a
+// half-connected fabric (reported as Diagnostics and discarded) or an
+// internal inconsistency.
+func (np *netParser) build() (*Netlist, error) {
+	n := &Netlist{
+		Sources: map[string]*fabric.Source{},
+		Sinks:   map[string]*fabric.Sink{},
+		PEs:     map[string]*pe.PE{},
+		PCPEs:   map[string]*pcpe.PE{},
+		Mems:    map[string]*mem.Scratchpad{},
 	}
-	return 0, fmt.Errorf("element %q: bad input port %q", elem, port)
+	f := fabric.New(np.fabCfg)
+	n.Fabric = f
+	elems := map[string]fabric.Element{}
+
+	addElem := func(name string, e fabric.Element) error {
+		if err := f.TryAdd(e); err != nil {
+			return Diagnostics{{Msg: err.Error()}}
+		}
+		elems[name] = e
+		return nil
+	}
+
+	for _, d := range np.srcDecls {
+		s := fabric.NewSource(d.name, d.toks)
+		if err := addElem(d.name, s); err != nil {
+			return nil, err
+		}
+		n.Sources[d.name] = s
+		parts := make([]string, len(d.toks))
+		for i, t := range d.toks {
+			parts[i] = t.String()
+		}
+		n.fpRecs = append(n.fpRecs, fmt.Sprintf("source %s : %s", d.name, strings.Join(parts, " ")))
+	}
+	for _, d := range np.spDecls {
+		m, err := mem.NewChecked(d.name, d.size)
+		if err != nil {
+			return nil, Diagnostics{{Line: d.line, Msg: err.Error()}}
+		}
+		m.SetReadLatency(d.lat)
+		if d.image != nil {
+			if err := m.TryLoad(d.image); err != nil {
+				return nil, Diagnostics{{Line: d.line, Msg: err.Error()}}
+			}
+		}
+		if err := addElem(d.name, m); err != nil {
+			return nil, err
+		}
+		n.Mems[d.name] = m
+		imgParts := make([]string, len(d.image))
+		for i, w := range d.image {
+			imgParts[i] = fmt.Sprintf("%d", w)
+		}
+		n.fpRecs = append(n.fpRecs,
+			fmt.Sprintf("scratchpad %s %d lat %d : %s", d.name, d.size, m.ReadLatency(), strings.Join(imgParts, " ")))
+	}
+	for _, d := range np.peDecls {
+		switch {
+		case d.tiaProc != nil:
+			if err := addElem(d.name, d.tiaProc); err != nil {
+				return nil, err
+			}
+			n.PEs[d.name] = d.tiaProc
+			n.fpRecs = append(n.fpRecs,
+				fmt.Sprintf("pe %s cfg=%+v init=%s\n%s", d.name, d.cfg, initRecord(d.tia.RegInit, d.tia.PredInit), FormatTIA(d.tiaProc.Program())))
+		case d.pcProc != nil:
+			if err := addElem(d.name, d.pcProc); err != nil {
+				return nil, err
+			}
+			n.PCPEs[d.name] = d.pcProc
+			n.fpRecs = append(n.fpRecs,
+				fmt.Sprintf("pcpe %s cfg=%+v init=%s\n%s", d.name, np.pcCfg, initRecord(d.pc.RegInit, nil), FormatPC(d.pcProc.Program())))
+		}
+	}
+	for _, d := range np.sinkDecls {
+		var s *fabric.Sink
+		switch d.mode {
+		case "count":
+			s = fabric.NewCountingSink(d.name, d.n)
+			n.fpRecs = append(n.fpRecs, fmt.Sprintf("sink %s count %d", d.name, d.n))
+		default:
+			if d.n == 1 {
+				s = fabric.NewSink(d.name)
+			} else {
+				s = fabric.NewMultiEODSink(d.name, d.n)
+			}
+			n.fpRecs = append(n.fpRecs, fmt.Sprintf("sink %s eods %d", d.name, d.n))
+		}
+		if err := addElem(d.name, s); err != nil {
+			return nil, err
+		}
+		n.Sinks[d.name] = s
+	}
+
+	for _, pl := range np.places {
+		f.Place(elems[pl.name], pl.x, pl.y)
+	}
+
+	for _, w := range np.wires {
+		src, _ := elems[w.srcElem].(fabric.OutPort)
+		dst, _ := elems[w.dstElem].(fabric.InPort)
+		var ch *channel.Channel
+		var err error
+		if w.capacity < 0 && w.lat < 0 {
+			ch, err = f.TryWire(src, w.srcIdx, dst, w.dstIdx) // placement-aware default
+		} else {
+			capacity, lat := w.capacity, w.lat
+			if capacity < 0 {
+				capacity = np.fabCfg.ChannelCapacity
+			}
+			if lat < 0 {
+				lat = np.fabCfg.ChannelLatency
+			}
+			ch, err = f.TryWireOpt(src, w.srcIdx, dst, w.dstIdx, capacity, lat)
+		}
+		if err != nil {
+			return nil, Diagnostics{{Line: w.line, Msg: fmt.Sprintf("bad wire: %v", err)}}
+		}
+		// The effective capacity/latency (after defaults and placement) is
+		// what matters for behaviour, so fingerprint those, not the syntax.
+		n.fpRecs = append(n.fpRecs, fmt.Sprintf("wire %s.%d -> %s.%d cap %d lat %d",
+			w.srcElem, w.srcIdx, w.dstElem, w.dstIdx, ch.Cap(), ch.Latency()))
+	}
+
+	// Dangling-connection check (program references an unwired channel):
+	// surface it at parse time rather than at first Run.
+	if err := f.Validate(); err != nil {
+		return nil, Diagnostics{{Msg: err.Error()}}
+	}
+	return n, nil
 }

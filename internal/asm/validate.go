@@ -1,0 +1,80 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagnostic is one structural problem found in a netlist source, with
+// the 1-based source line it was found on (0 when the problem has no
+// single line, e.g. a program-level error that carries its own position).
+type Diagnostic struct {
+	Line int
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	if d.Line > 0 {
+		return fmt.Sprintf("line %d: %s", d.Line, d.Msg)
+	}
+	return d.Msg
+}
+
+// maxDiagnostics bounds how many problems one validation pass reports;
+// a hostile input full of errors should not cost memory proportional to
+// its error count.
+const maxDiagnostics = 20
+
+// Diagnostics is the typed multi-error a netlist validation pass
+// returns. A single-entry Diagnostics renders exactly like the parser's
+// historical one-error form ("line N: msg"), so callers that match on
+// error text keep working.
+type Diagnostics []Diagnostic
+
+func (ds Diagnostics) Error() string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// add appends a diagnostic unless the report is already full; the last
+// slot is replaced by a truncation marker when the cap is hit.
+func (ds *Diagnostics) add(line int, format string, args ...any) {
+	if len(*ds) >= maxDiagnostics {
+		return
+	}
+	d := Diagnostic{Line: line, Msg: fmt.Sprintf(format, args...)}
+	if len(*ds) == maxDiagnostics-1 {
+		d = Diagnostic{Msg: "too many errors; further diagnostics suppressed"}
+	}
+	*ds = append(*ds, d)
+}
+
+func (ds Diagnostics) errOrNil() error {
+	if len(ds) == 0 {
+		return nil
+	}
+	return ds
+}
+
+// Census is the resource footprint of a netlist, computed by validation
+// before anything is allocated. A resource governor (internal/limits)
+// uses it to admit or reject a job before construction; the counts are
+// exact for elements and channel capacities and conservative (pre-clamp)
+// for fabric defaults.
+type Census struct {
+	Elements    int // total fabric elements
+	Sources     int
+	Sinks       int
+	PEs         int // triggered PEs
+	PCPEs       int // program-counter PEs
+	Scratchpads int
+
+	Channels        int // wires declared
+	ChannelTokens   int // sum of effective channel capacities, in tokens
+	ScratchpadWords int
+	SourceTokens    int // total tokens across all source streams
+	Instructions    int // total PE program instructions
+}

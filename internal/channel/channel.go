@@ -111,12 +111,24 @@ type Channel struct {
 
 // New returns a channel with the given FIFO capacity (>= 1) and extra wire
 // latency (>= 0 cycles beyond the mandatory one-cycle registered hop).
+// It panics on invalid parameters; construction paths fed by untrusted
+// input should use NewChecked instead.
 func New(name string, capacity, latency int) *Channel {
+	c, err := NewChecked(name, capacity, latency)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// NewChecked is New with invalid parameters reported as an error instead
+// of a panic.
+func NewChecked(name string, capacity, latency int) (*Channel, error) {
 	if capacity < 1 {
-		panic(fmt.Sprintf("channel %s: capacity %d < 1", name, capacity))
+		return nil, fmt.Errorf("channel %s: capacity %d < 1", name, capacity)
 	}
 	if latency < 0 {
-		panic(fmt.Sprintf("channel %s: negative latency %d", name, latency))
+		return nil, fmt.Errorf("channel %s: negative latency %d", name, latency)
 	}
 	c := &Channel{name: name, capacity: capacity, latency: latency}
 	c.queue = make([]Token, capacity)
@@ -124,7 +136,7 @@ func New(name string, capacity, latency int) *Channel {
 		c.inflight = make([]flight, capacity)
 	}
 	c.stagedSend = make([]Token, 0, capacity)
-	return c
+	return c, nil
 }
 
 // Name returns the channel's debug name.

@@ -295,10 +295,19 @@ func (f *Fabric) SetFaultInjector(inj FaultInjector) { f.inj = inj }
 // exists as that test's baseline and as a debugging aid.
 func (f *Fabric) SetDenseStepping(on bool) { f.dense = on }
 
-// Add registers an element. Names must be unique.
+// Add registers an element. Names must be unique; Add panics on a
+// duplicate (use TryAdd on untrusted construction paths).
 func (f *Fabric) Add(e Element) {
+	if err := f.TryAdd(e); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryAdd is Add with the duplicate-name case reported as an error
+// instead of a panic.
+func (f *Fabric) TryAdd(e Element) error {
 	if f.names[e.Name()] {
-		panic(fmt.Sprintf("fabric: duplicate element name %q", e.Name()))
+		return fmt.Errorf("fabric: duplicate element name %q", e.Name())
 	}
 	f.names[e.Name()] = true
 	f.elems = append(f.elems, e)
@@ -306,6 +315,7 @@ func (f *Fabric) Add(e Element) {
 		f.sinks = append(f.sinks, s)
 	}
 	f.prep.valid = false
+	return nil
 }
 
 // Elements returns the registered elements in registration order.
@@ -372,16 +382,96 @@ func (f *Fabric) Wire(src OutPort, outIdx int, dst InPort, inIdx int) *channel.C
 
 // WireOpt is Wire with explicit channel capacity and latency.
 func (f *Fabric) WireOpt(src OutPort, outIdx int, dst InPort, inIdx int, capacity, latency int) *channel.Channel {
+	ch, err := f.TryWireOpt(src, outIdx, dst, inIdx, capacity, latency)
+	if err != nil {
+		panic(err.Error())
+	}
+	return ch
+}
+
+// CheckedOutPort is implemented by elements whose output-port connection
+// reports invalid indices and double-connections as errors. TryWireOpt
+// prefers it over the panicking OutPort.ConnectOut.
+type CheckedOutPort interface {
+	TryConnectOut(idx int, ch *channel.Channel) error
+}
+
+// CheckedInPort is the input-side counterpart of CheckedOutPort.
+type CheckedInPort interface {
+	TryConnectIn(idx int, ch *channel.Channel) error
+}
+
+// TryWire is Wire with connection failures reported as errors instead of
+// panics. See TryWireOpt.
+func (f *Fabric) TryWire(src OutPort, outIdx int, dst InPort, inIdx int) (*channel.Channel, error) {
+	lat := f.cfg.ChannelLatency
+	se, seOK := src.(Element)
+	de, deOK := dst.(Element)
+	if seOK && deOK {
+		if sp, ok1 := f.place[se]; ok1 {
+			if dp, ok2 := f.place[de]; ok2 {
+				d := abs(sp.x-dp.x) + abs(sp.y-dp.y)
+				if d > 0 {
+					lat = f.cfg.ChannelLatency + d - 1
+				}
+			}
+		}
+	}
+	return f.TryWireOpt(src, outIdx, dst, inIdx, f.cfg.ChannelCapacity, lat)
+}
+
+// TryWireOpt is WireOpt with invalid channel parameters, bad port
+// indices, and double-connections reported as errors instead of panics.
+// This is the wiring entry point for untrusted construction paths (the
+// netlist builder); on error the fabric may hold a half-connected
+// channel and must be discarded.
+func (f *Fabric) TryWireOpt(src OutPort, outIdx int, dst InPort, inIdx int, capacity, latency int) (*channel.Channel, error) {
 	name := fmt.Sprintf("%s.out%d->%s.in%d", elemName(src), outIdx, elemName(dst), inIdx)
-	ch := channel.New(name, capacity, latency)
-	src.ConnectOut(outIdx, ch)
-	dst.ConnectIn(inIdx, ch)
+	ch, err := channel.NewChecked(name, capacity, latency)
+	if err != nil {
+		return nil, err
+	}
+	if err := connectOutChecked(src, outIdx, ch); err != nil {
+		return nil, err
+	}
+	if err := connectInChecked(dst, inIdx, ch); err != nil {
+		return nil, err
+	}
 	f.chans = append(f.chans, ch)
 	se, _ := src.(Element)
 	de, _ := dst.(Element)
 	f.binds = append(f.binds, bind{ch: ch, sender: se, receiver: de})
 	f.prep.valid = false
-	return ch
+	return ch, nil
+}
+
+// connectOutChecked routes through TryConnectOut when the element
+// implements it, falling back to recovering the legacy panic so exotic
+// elements still fail as errors rather than crashing the worker.
+func connectOutChecked(src OutPort, idx int, ch *channel.Channel) (err error) {
+	if c, ok := src.(CheckedOutPort); ok {
+		return c.TryConnectOut(idx, ch)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	src.ConnectOut(idx, ch)
+	return nil
+}
+
+func connectInChecked(dst InPort, idx int, ch *channel.Channel) (err error) {
+	if c, ok := dst.(CheckedInPort); ok {
+		return c.TryConnectIn(idx, ch)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	dst.ConnectIn(idx, ch)
+	return nil
 }
 
 func elemName(v any) string {

@@ -40,13 +40,21 @@ func (s *Sink) Name() string { return s.name }
 
 // ConnectIn implements InPort; only index 0 exists.
 func (s *Sink) ConnectIn(idx int, ch *channel.Channel) {
+	if err := s.TryConnectIn(idx, ch); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryConnectIn implements CheckedInPort.
+func (s *Sink) TryConnectIn(idx int, ch *channel.Channel) error {
 	if idx != 0 {
-		panic(fmt.Sprintf("sink %s: input index %d out of range", s.name, idx))
+		return fmt.Errorf("sink %s: input index %d out of range", s.name, idx)
 	}
 	if s.in != nil {
-		panic(fmt.Sprintf("sink %s: input connected twice", s.name))
+		return fmt.Errorf("sink %s: input connected twice", s.name)
 	}
 	s.in = ch
+	return nil
 }
 
 // CheckConnections implements the fabric's connection check.

@@ -40,13 +40,21 @@ func (s *Source) Name() string { return s.name }
 
 // ConnectOut implements OutPort; only index 0 exists.
 func (s *Source) ConnectOut(idx int, ch *channel.Channel) {
+	if err := s.TryConnectOut(idx, ch); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryConnectOut implements CheckedOutPort.
+func (s *Source) TryConnectOut(idx int, ch *channel.Channel) error {
 	if idx != 0 {
-		panic(fmt.Sprintf("source %s: output index %d out of range", s.name, idx))
+		return fmt.Errorf("source %s: output index %d out of range", s.name, idx)
 	}
 	if s.out != nil {
-		panic(fmt.Sprintf("source %s: output connected twice", s.name))
+		return fmt.Errorf("source %s: output connected twice", s.name)
 	}
 	s.out = ch
+	return nil
 }
 
 // CheckConnections implements the fabric's connection check.

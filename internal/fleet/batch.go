@@ -8,6 +8,9 @@ import (
 	"sort"
 	"sync"
 
+	"tia/internal/asm"
+	"tia/internal/isa"
+	"tia/internal/pcpe"
 	"tia/internal/service"
 )
 
@@ -22,7 +25,13 @@ type BatchRequest struct {
 	// Template plus Seeds expands to len(Seeds) runs.
 	Template service.JobRequest `json:"template"`
 	Seeds    []int64            `json:"seeds,omitempty"`
-	// Requests lists fully explicit runs instead.
+	// SeedCount plus SeedStart is the dense form of Seeds: SeedCount
+	// runs seeded SeedStart, SeedStart+1, ... Must be positive when set.
+	SeedCount int   `json:"seed_count,omitempty"`
+	SeedStart int64 `json:"seed_start,omitempty"`
+	// Requests lists fully explicit runs instead. Runs may carry their
+	// own JobIDs (e.g. for later status lookups) but they must be unique
+	// within the batch.
 	Requests []service.JobRequest `json:"requests,omitempty"`
 	// Stream selects NDJSON delivery: one BatchRow per line, written the
 	// moment its run finishes (completion order). Without it the
@@ -51,10 +60,47 @@ type BatchResult struct {
 	Rows      []BatchRow `json:"rows"`
 }
 
-// expandBatch turns the request into the concrete run list.
+// expandBatch turns the request into the concrete run list, validating
+// it strictly: exactly one expansion mode, positive seed counts, unique
+// explicit JobIDs, no resume snapshots, and a template netlist that
+// passes the structural validator (so a doomed sweep is rejected in one
+// coordinator-side check instead of fanning N identical failures out
+// across the fleet).
 func expandBatch(req *BatchRequest, maxRuns int) ([]service.JobRequest, *service.JobError) {
-	if len(req.Requests) > 0 && len(req.Seeds) > 0 {
-		return nil, &service.JobError{Kind: service.ErrBadRequest, Message: "batch: set either requests or template+seeds, not both"}
+	bad := func(format string, args ...any) *service.JobError {
+		return &service.JobError{Kind: service.ErrBadRequest, Message: fmt.Sprintf(format, args...)}
+	}
+	modes := 0
+	if len(req.Requests) > 0 {
+		modes++
+	}
+	if len(req.Seeds) > 0 {
+		modes++
+	}
+	if req.SeedCount != 0 || req.SeedStart != 0 {
+		modes++
+	}
+	if modes > 1 {
+		return nil, bad("batch: set exactly one of requests, template+seeds, or template+seed_count")
+	}
+	if req.SeedCount < 0 {
+		return nil, bad("batch: seed_count %d must be positive", req.SeedCount)
+	}
+	if req.SeedStart != 0 && req.SeedCount == 0 {
+		return nil, bad("batch: seed_start needs a positive seed_count")
+	}
+	templated := len(req.Seeds) > 0 || req.SeedCount > 0
+	if templated {
+		if req.Template.JobID != "" || len(req.Template.ResumeSnapshot) > 0 {
+			return nil, bad("batch: template job_id and resume_snapshot are per-job options, not batch options")
+		}
+		// Vet the template once before fanning it out: a netlist that
+		// fails validation would fail identically on every worker.
+		if req.Template.Netlist != "" {
+			if _, err := asm.CheckNetlist(req.Template.Netlist, isa.DefaultConfig(), pcpe.DefaultConfig()); err != nil {
+				return nil, bad("batch: template netlist: %v", err)
+			}
+		}
 	}
 	var runs []service.JobRequest
 	switch {
@@ -67,15 +113,32 @@ func expandBatch(req *BatchRequest, maxRuns int) ([]service.JobRequest, *service
 			r.Seed = seed
 			runs[i] = r
 		}
+	case req.SeedCount > 0:
+		if req.SeedCount > maxRuns {
+			return nil, bad("batch: %d runs exceeds the limit of %d", req.SeedCount, maxRuns)
+		}
+		runs = make([]service.JobRequest, req.SeedCount)
+		for i := range runs {
+			r := req.Template
+			r.Seed = req.SeedStart + int64(i)
+			runs[i] = r
+		}
 	default:
-		return nil, &service.JobError{Kind: service.ErrBadRequest, Message: "batch: no runs (set requests, or template plus seeds)"}
+		return nil, bad("batch: no runs (set requests, or template plus seeds)")
 	}
 	if len(runs) > maxRuns {
-		return nil, &service.JobError{Kind: service.ErrBadRequest, Message: fmt.Sprintf("batch: %d runs exceeds the limit of %d", len(runs), maxRuns)}
+		return nil, bad("batch: %d runs exceeds the limit of %d", len(runs), maxRuns)
 	}
+	seenIDs := make(map[string]int)
 	for i := range runs {
-		if runs[i].JobID != "" || len(runs[i].ResumeSnapshot) > 0 {
-			return nil, &service.JobError{Kind: service.ErrBadRequest, Message: fmt.Sprintf("batch: run %d: job_id and resume_snapshot are per-job options, not batch options", i)}
+		if len(runs[i].ResumeSnapshot) > 0 {
+			return nil, bad("batch: run %d: resume_snapshot is a per-job option, not a batch option", i)
+		}
+		if id := runs[i].JobID; id != "" {
+			if first, dup := seenIDs[id]; dup {
+				return nil, bad("batch: runs %d and %d share job_id %q", first, i, id)
+			}
+			seenIDs[id] = i
 		}
 	}
 	return runs, nil

@@ -237,7 +237,16 @@ func TestFleetE2E(t *testing.T) {
 		t.Errorf("batch used %d worker(s), want >= 2", len(batchWorkers))
 	}
 
-	// (d) The tiad -coordinator process fronts the same fleet.
+	// (d) The tiad -coordinator process fronts the same fleet. Step (b)
+	// killed one worker for good — and with the ring keyed by random
+	// loopback ports, the victim is sometimes dmm's cache home — so
+	// first re-establish which survivor serves dmm (home if it lived,
+	// deterministic failover if not), then require the coordinator
+	// process to route to that same worker's cache.
+	_, whome, _, jerr := postCoordinator(t, ts.URL, &service.JobRequest{Workload: "dmm"})
+	if jerr != nil {
+		t.Fatalf("dmm re-home after kill: %v", jerr)
+	}
 	cport := freePort(t)
 	curl := fmt.Sprintf("http://127.0.0.1:%d", cport)
 	ccmd := exec.Command(bin,
@@ -251,14 +260,17 @@ func TestFleetE2E(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = ccmd.Process.Kill(); _, _ = ccmd.Process.Wait() })
 	waitHealthy(t, curl)
-	_, _, cres, cjerr := postCoordinator(t, curl, &service.JobRequest{Workload: "dmm"})
+	_, cworker, cres, cjerr := postCoordinator(t, curl, &service.JobRequest{Workload: "dmm"})
 	if cjerr != nil {
 		t.Fatalf("job through coordinator process: %v", cjerr)
 	}
 	if !cres.Cached {
-		// The fleet already ran seed-0 dmm in (a); the coordinator
-		// process must route it to the same worker's cache.
+		// The fleet just served dmm from whome's cache; the coordinator
+		// process must build the same ring and route there too.
 		t.Error("coordinator process missed the fleet-wide cache")
+	}
+	if cworker != whome {
+		t.Errorf("coordinator process routed dmm to %q, in-process coordinator to %q (ring divergence)", cworker, whome)
 	}
 }
 

@@ -242,7 +242,7 @@ func TestFleetFailover(t *testing.T) {
 	}
 }
 
-// TestFleetNoFailoverOnDeterministicError: a compile error would fail
+// TestFleetNoFailoverOnDeterministicError: a validation error would fail
 // identically on every worker; the router must return it immediately
 // instead of burning the fleet.
 func TestFleetNoFailoverOnDeterministicError(t *testing.T) {
@@ -254,11 +254,28 @@ func TestFleetNoFailoverOnDeterministicError(t *testing.T) {
 	if jerr == nil {
 		t.Fatal("malformed netlist succeeded")
 	}
-	if status != http.StatusBadRequest || jerr.Kind != service.ErrCompile {
-		t.Errorf("status %d kind %s, want 400 compile", status, jerr.Kind)
+	if status != http.StatusBadRequest || jerr.Kind != service.ErrBadRequest {
+		t.Errorf("status %d kind %s, want 400 bad_request", status, jerr.Kind)
 	}
 	if got := coord.Metrics().Failovers.Load(); got != 0 {
 		t.Errorf("failovers = %d, want 0 for a deterministic error", got)
+	}
+}
+
+// TestResourceLimitIsDeterministic pins the failover contract for the
+// resource governor: resource_limit is NOT in the transient-error
+// whitelist, so the coordinator returns it to the client without
+// retrying other workers.
+func TestResourceLimitIsDeterministic(t *testing.T) {
+	for _, kind := range []service.ErrorKind{service.ErrResourceLimit, service.ErrBadRequest} {
+		if transientKind(kind) {
+			t.Errorf("%s is treated as transient; it must not trigger failover", kind)
+		}
+	}
+	for _, kind := range []service.ErrorKind{service.ErrDraining, service.ErrBusy, service.ErrUnavailable} {
+		if !transientKind(kind) {
+			t.Errorf("%s must stay transient (failover allowed)", kind)
+		}
 	}
 }
 

@@ -1,0 +1,345 @@
+// Package gen generates random TIA netlists for differential testing
+// and fuzzing. Netlist produces valid-by-construction feed-forward
+// dataflow graphs — every generated netlist assembles, validates, and
+// runs to completion on all stepping backends — while Mutate applies
+// seeded source-level corruption to exercise the validator's rejection
+// paths. Both are fully deterministic functions of their seed, so a
+// failing input reproduces from two integers.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Params bounds the generated topology. The zero value picks sane
+// fuzzing defaults (small graphs that run in well under 20k cycles).
+type Params struct {
+	Seed       int64
+	MaxStreams int // initial token streams (default 3)
+	MaxStages  int // transform stages applied after stream creation (default 4)
+	MaxLen     int // tokens per stream before the EOD (default 6)
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxStreams <= 0 {
+		p.MaxStreams = 3
+	}
+	if p.MaxStages < 0 {
+		p.MaxStages = 0
+	}
+	if p.MaxStages == 0 {
+		p.MaxStages = 4
+	}
+	if p.MaxLen <= 0 {
+		p.MaxLen = 6
+	}
+	return p
+}
+
+// stream is a live producer endpoint during generation: an element
+// output that will deliver length data tokens followed by one EOD.
+type stream struct {
+	port   string // "elem.port", wireable as a source endpoint
+	length int
+}
+
+// generator accumulates netlist text while tracking live streams.
+type generator struct {
+	r       *rand.Rand
+	p       Params
+	lines   []string
+	streams []stream
+	nameSeq int
+}
+
+func (g *generator) name(prefix string) string {
+	g.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, g.nameSeq)
+}
+
+func (g *generator) addf(format string, args ...any) {
+	g.lines = append(g.lines, fmt.Sprintf(format, args...))
+}
+
+// wireOpts sometimes appends explicit capacity/latency to a wire.
+func (g *generator) wireOpts() string {
+	var opts string
+	if g.r.Intn(3) == 0 {
+		opts += fmt.Sprintf(" cap %d", 1+g.r.Intn(8))
+	}
+	if g.r.Intn(4) == 0 {
+		opts += fmt.Sprintf(" lat %d", g.r.Intn(3))
+	}
+	return opts
+}
+
+// Netlist generates one valid netlist: a feed-forward DAG of sources,
+// scratchpad readers, triggered and PC-style transforms, duplicators and
+// zips, ending in one sink per surviving stream. EOD propagates along
+// every edge, so the run always completes.
+func Netlist(p Params) string {
+	p = p.withDefaults()
+	g := &generator{r: rand.New(rand.NewSource(p.Seed)), p: p}
+
+	nStreams := 1 + g.r.Intn(p.MaxStreams)
+	for i := 0; i < nStreams; i++ {
+		if g.r.Intn(4) == 0 {
+			g.scratchpadStream()
+		} else {
+			g.sourceStream()
+		}
+	}
+	nStages := g.r.Intn(p.MaxStages + 1)
+	for i := 0; i < nStages; i++ {
+		switch g.r.Intn(5) {
+		case 0:
+			g.duplicate()
+		case 1:
+			g.zip()
+		case 2:
+			g.pcTransform()
+		default:
+			g.tiaTransform()
+		}
+	}
+	for _, s := range g.streams {
+		sink := g.name("k")
+		g.addf("sink %s", sink)
+		g.addf("wire %s -> %s.0%s", s.port, sink, g.wireOpts())
+	}
+	return strings.Join(g.lines, "\n") + "\n"
+}
+
+// sourceStream emits a plain source: L random words then EOD.
+func (g *generator) sourceStream() {
+	name := g.name("s")
+	length := 1 + g.r.Intn(g.p.MaxLen)
+	toks := make([]string, length)
+	for i := range toks {
+		toks[i] = fmt.Sprintf("%d", g.r.Intn(256))
+	}
+	g.addf("source %s : %s eod", name, strings.Join(toks, " "))
+	g.streams = append(g.streams, stream{port: name + ".0", length: length})
+}
+
+// scratchpadStream reads L words out of a preloaded scratchpad: an
+// address source drives a one-outstanding-read PE (the busy predicate
+// sequences reads so the EOD cannot overtake in-flight data), which
+// forwards rdata tokens and finally the EOD.
+func (g *generator) scratchpadStream() {
+	length := 1 + g.r.Intn(g.p.MaxLen)
+	size := length + g.r.Intn(4)
+	addrs := make([]string, length)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("%d", i)
+	}
+	img := make([]string, size)
+	for i := range img {
+		img[i] = fmt.Sprintf("%d", g.r.Intn(256))
+	}
+	src, sp, rd := g.name("a"), g.name("m"), g.name("rd")
+	g.addf("source %s : %s eod", src, strings.Join(addrs, " "))
+	lat := ""
+	if g.r.Intn(2) == 0 {
+		lat = fmt.Sprintf(" lat %d", 1+g.r.Intn(2))
+	}
+	g.addf("scratchpad %s %d%s : %s", sp, size, lat, strings.Join(img, " "))
+	g.addf("pe %s", rd)
+	g.addf("in a m")
+	g.addf("out rq o")
+	g.addf("pred busy")
+	g.addf("g: when !busy a.tag==0 : mov rq, a ; deq a ; set busy")
+	g.addf("r: when busy m : mov o, m ; deq m ; clr busy")
+	g.addf("f: when !busy a.tag==eod : halt o#eod ; deq a")
+	g.addf("end")
+	g.addf("wire %s.0 -> %s.a%s", src, rd, g.wireOpts())
+	g.addf("wire %s.rq -> %s.raddr", rd, sp)
+	g.addf("wire %s.rdata -> %s.m", sp, rd)
+	g.streams = append(g.streams, stream{port: rd + ".o", length: length})
+}
+
+// unaryOps are (mnemonic, needsImmediate) choices for transforms.
+var unaryOps = []struct {
+	op  string
+	imm bool
+}{
+	{"mov", false}, {"not", false},
+	{"add", true}, {"sub", true}, {"xor", true},
+	{"and", true}, {"or", true}, {"shl", true},
+}
+
+func (g *generator) pickUnary() (string, string) {
+	u := unaryOps[g.r.Intn(len(unaryOps))]
+	if !u.imm {
+		return u.op, ""
+	}
+	imm := g.r.Intn(64)
+	if u.op == "shl" {
+		imm = g.r.Intn(4)
+	}
+	return u.op, fmt.Sprintf(", #%d", imm)
+}
+
+// pickStream removes and returns a random live stream.
+func (g *generator) pickStream() stream {
+	i := g.r.Intn(len(g.streams))
+	s := g.streams[i]
+	g.streams = append(g.streams[:i], g.streams[i+1:]...)
+	return s
+}
+
+// tiaTransform rewrites one stream through a triggered unary PE.
+func (g *generator) tiaTransform() {
+	in := g.pickStream()
+	name := g.name("t")
+	op, imm := g.pickUnary()
+	g.addf("pe %s", name)
+	g.addf("in a")
+	g.addf("out o")
+	g.addf("cp: when a.tag==0 : %s o, a%s ; deq a", op, imm)
+	g.addf("fin: when a.tag==eod : halt o#eod ; deq a")
+	g.addf("end")
+	g.addf("wire %s -> %s.a%s", in.port, name, g.wireOpts())
+	g.streams = append(g.streams, stream{port: name + ".o", length: in.length})
+}
+
+// pcTransform rewrites one stream through a sequential PC-style PE.
+func (g *generator) pcTransform() {
+	in := g.pickStream()
+	name := g.name("q")
+	op, imm := g.pickUnary()
+	if imm == "" {
+		op, imm = "add", ", #0"
+		if g.r.Intn(2) == 0 {
+			op, imm = "xor", fmt.Sprintf(", #%d", g.r.Intn(64))
+		}
+	}
+	g.addf("pcpe %s", name)
+	g.addf("in a")
+	g.addf("out o")
+	g.addf("loop: bne a.tag, #0, fin")
+	g.addf("      %s o, a.pop%s", op, imm)
+	g.addf("      jmp loop")
+	g.addf("fin:  halt o#eod")
+	g.addf("end")
+	g.addf("wire %s -> %s.a%s", in.port, name, g.wireOpts())
+	g.streams = append(g.streams, stream{port: name + ".o", length: in.length})
+}
+
+// duplicate fans one stream out into two equal-length copies (the
+// enabler for a later zip). The sent predicate orders the two emits per
+// token; EOD is forwarded on both branches.
+func (g *generator) duplicate() {
+	in := g.pickStream()
+	name := g.name("d")
+	g.addf("pe %s", name)
+	g.addf("in a")
+	g.addf("out o q")
+	g.addf("pred sent")
+	g.addf("d1: when !sent a.tag==0 : mov o, a ; set sent")
+	g.addf("d2: when sent a.tag==0 : mov q, a ; deq a ; clr sent")
+	g.addf("e1: when !sent a.tag==eod : mov o#eod, a ; set sent")
+	g.addf("e2: when sent a.tag==eod : halt q#eod ; deq a")
+	g.addf("end")
+	g.addf("wire %s -> %s.a%s", in.port, name, g.wireOpts())
+	g.streams = append(g.streams,
+		stream{port: name + ".o", length: in.length},
+		stream{port: name + ".q", length: in.length})
+}
+
+// binaryOps are the zip combiners.
+var binaryOps = []string{"add", "sub", "xor", "and", "or", "ltu"}
+
+// zip merges two equal-length streams pairwise through a binary PE.
+// Falls back to a unary transform when no equal-length pair is live.
+func (g *generator) zip() {
+	// Find an equal-length pair (deterministic scan order).
+	ai, bi := -1, -1
+	for i := 0; i < len(g.streams) && ai < 0; i++ {
+		for j := i + 1; j < len(g.streams); j++ {
+			if g.streams[i].length == g.streams[j].length {
+				ai, bi = i, j
+				break
+			}
+		}
+	}
+	if ai < 0 {
+		g.tiaTransform()
+		return
+	}
+	a, b := g.streams[ai], g.streams[bi]
+	// Remove bi first (bi > ai) so indices stay valid.
+	g.streams = append(g.streams[:bi], g.streams[bi+1:]...)
+	g.streams = append(g.streams[:ai], g.streams[ai+1:]...)
+	name := g.name("z")
+	op := binaryOps[g.r.Intn(len(binaryOps))]
+	g.addf("pe %s", name)
+	g.addf("in a b")
+	g.addf("out o")
+	g.addf("z: when a.tag==0 b.tag==0 : %s o, a, b ; deq a ; deq b", op)
+	g.addf("f: when a.tag==eod b.tag==eod : halt o#eod ; deq a ; deq b")
+	g.addf("end")
+	g.addf("wire %s -> %s.a%s", a.port, name, g.wireOpts())
+	g.addf("wire %s -> %s.b%s", b.port, name, g.wireOpts())
+	g.streams = append(g.streams, stream{port: name + ".o", length: a.length})
+}
+
+// Mutate applies one to three seeded source-level corruptions to a
+// netlist: deleting, duplicating or truncating lines, mangling numbers
+// and identifiers, or injecting junk directives. The result usually
+// fails validation — which is the point: it drives the validator's
+// typed-rejection paths with inputs one edit away from valid.
+func Mutate(src string, seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	for n := 1 + r.Intn(3); n > 0 && len(lines) > 0; n-- {
+		i := r.Intn(len(lines))
+		switch r.Intn(6) {
+		case 0: // delete a line (dangling wires, missing end, ...)
+			lines = append(lines[:i], lines[i+1:]...)
+		case 1: // duplicate a line (double connections, dup names)
+			lines = append(lines[:i+1], append([]string{lines[i]}, lines[i+1:]...)...)
+		case 2: // mangle one number
+			lines[i] = mutateNumber(lines[i], r)
+		case 3: // mangle one identifier character
+			lines[i] = mutateIdent(lines[i], r)
+		case 4: // truncate the file
+			lines = lines[:i]
+		case 5: // inject a junk directive
+			junk := []string{"wire ghost.0 -> gone.0", "sink", "pe", "scratchpad big 9999999", "config cap 0", "place nobody -1 -1"}
+			lines = append(lines[:i], append([]string{junk[r.Intn(len(junk))]}, lines[i:]...)...)
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// mutateNumber replaces the first number field with a hostile value.
+func mutateNumber(line string, r *rand.Rand) string {
+	fields := strings.Fields(line)
+	hostile := []string{"-1", "0", "99999999", "1048576", "x", "18446744073709551616"}
+	for i, f := range fields {
+		if f[0] >= '0' && f[0] <= '9' {
+			fields[i] = hostile[r.Intn(len(hostile))]
+			return strings.Join(fields, " ")
+		}
+	}
+	return line
+}
+
+// mutateIdent flips one letter somewhere in the line.
+func mutateIdent(line string, r *rand.Rand) string {
+	b := []byte(line)
+	if len(b) == 0 {
+		return line
+	}
+	for tries := 0; tries < 8; tries++ {
+		i := r.Intn(len(b))
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] = byte('a' + r.Intn(26))
+			return string(b)
+		}
+	}
+	return line
+}

@@ -1,0 +1,138 @@
+// Package limits cost-models a job's resource footprint before anything
+// is constructed and admits or rejects it against per-job and per-server
+// budgets. The worker service runs every netlist job's Census (computed
+// by the asm validator without allocating) through a Governor; rejection
+// surfaces as a typed resource_limit job error (HTTP 422) that the
+// coordinator treats as deterministic — the job would be rejected on
+// every node, so there is nothing to fail over to.
+package limits
+
+import (
+	"fmt"
+	"sync"
+
+	"tia/internal/asm"
+)
+
+// Limits are the per-job and per-server budgets. Zero values mean
+// "unlimited" so an unconfigured server behaves exactly as before.
+type Limits struct {
+	// MaxElements caps fabric elements (sources, sinks, PEs, scratchpads)
+	// in a single job.
+	MaxElements int
+	// MaxChannelTokens caps the sum of channel FIFO capacities in a
+	// single job, in tokens. Channel rings are the per-wire allocation.
+	MaxChannelTokens int
+	// MaxScratchpadWords caps the total scratchpad image of a single job.
+	MaxScratchpadWords int
+	// MaxCostWords caps a single job's modeled footprint (see Cost).
+	MaxCostWords int64
+	// ServerCostWords caps the modeled footprint of all jobs currently
+	// admitted on this server; jobs over the per-job budgets never count
+	// against it.
+	ServerCostWords int64
+}
+
+// Cost models a job's memory footprint in words. It intentionally
+// over-counts fixed per-element overhead (a flat constant per element)
+// and counts every channel token slot and scratchpad word once, plus the
+// snapshot footprint (one more copy of channel and scratchpad state, the
+// worst case the snapshot encoder produces).
+func Cost(c asm.Census) int64 {
+	const perElementOverhead = 64 // regs/preds/bookkeeping, flat upper bound
+	words := int64(c.Elements)*perElementOverhead +
+		int64(c.Instructions) +
+		int64(c.SourceTokens) +
+		2*int64(c.ChannelTokens) + // channel ring + inflight ring
+		int64(c.ScratchpadWords)
+	// Snapshot/restore keeps a second copy of the mutable state.
+	words += 2*int64(c.ChannelTokens) + int64(c.ScratchpadWords)
+	return words
+}
+
+// Error is the typed rejection a Governor returns; the service maps it
+// to the resource_limit job error kind.
+type Error struct {
+	// Scope is "job" for a per-job budget violation (deterministic:
+	// resubmission can never succeed) or "server" for a transient
+	// whole-server saturation.
+	Scope string
+	Msg   string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// IsResourceLimit reports whether err is a governor rejection.
+func IsResourceLimit(err error) bool {
+	_, ok := err.(*Error)
+	return ok
+}
+
+// Governor admits jobs against Limits, tracking the cost of jobs
+// currently in flight on this server. The zero value admits everything.
+type Governor struct {
+	lim Limits
+
+	mu    sync.Mutex
+	inUse int64
+}
+
+// NewGovernor returns a governor enforcing lim.
+func NewGovernor(lim Limits) *Governor { return &Governor{lim: lim} }
+
+// Limits returns the configured budgets.
+func (g *Governor) Limits() Limits { return g.lim }
+
+// InUseCostWords returns the modeled footprint of currently admitted jobs.
+func (g *Governor) InUseCostWords() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// Admit checks the census against the per-job budgets and reserves its
+// cost against the server budget. On success it returns a release
+// function the caller must invoke when the job leaves the server (in any
+// terminal state). On failure it returns a *Error and reserves nothing.
+func (g *Governor) Admit(c asm.Census) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	if g.lim.MaxElements > 0 && c.Elements > g.lim.MaxElements {
+		return nil, &Error{Scope: "job", Msg: fmt.Sprintf(
+			"netlist declares %d elements, per-job limit is %d", c.Elements, g.lim.MaxElements)}
+	}
+	if g.lim.MaxChannelTokens > 0 && c.ChannelTokens > g.lim.MaxChannelTokens {
+		return nil, &Error{Scope: "job", Msg: fmt.Sprintf(
+			"netlist declares %d tokens of channel capacity, per-job limit is %d", c.ChannelTokens, g.lim.MaxChannelTokens)}
+	}
+	if g.lim.MaxScratchpadWords > 0 && c.ScratchpadWords > g.lim.MaxScratchpadWords {
+		return nil, &Error{Scope: "job", Msg: fmt.Sprintf(
+			"netlist declares %d scratchpad words, per-job limit is %d", c.ScratchpadWords, g.lim.MaxScratchpadWords)}
+	}
+	cost := Cost(c)
+	if g.lim.MaxCostWords > 0 && cost > g.lim.MaxCostWords {
+		return nil, &Error{Scope: "job", Msg: fmt.Sprintf(
+			"job cost %d words exceeds the per-job budget of %d", cost, g.lim.MaxCostWords)}
+	}
+	if g.lim.ServerCostWords > 0 {
+		g.mu.Lock()
+		if g.inUse+cost > g.lim.ServerCostWords {
+			inUse := g.inUse
+			g.mu.Unlock()
+			return nil, &Error{Scope: "server", Msg: fmt.Sprintf(
+				"job cost %d words would exceed the server budget of %d (%d in use)", cost, g.lim.ServerCostWords, inUse)}
+		}
+		g.inUse += cost
+		g.mu.Unlock()
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				g.mu.Lock()
+				g.inUse -= cost
+				g.mu.Unlock()
+			})
+		}, nil
+	}
+	return func() {}, nil
+}

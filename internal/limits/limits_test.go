@@ -1,0 +1,159 @@
+package limits
+
+import (
+	"sync"
+	"testing"
+
+	"tia/internal/asm"
+	"tia/internal/isa"
+	"tia/internal/pcpe"
+)
+
+func census(elements, chanToks, spWords int) asm.Census {
+	return asm.Census{Elements: elements, ChannelTokens: chanToks, ScratchpadWords: spWords}
+}
+
+func TestZeroLimitsAdmitEverything(t *testing.T) {
+	var g Governor
+	release, err := g.Admit(census(1_000_000, 1_000_000_000, 1_000_000_000))
+	if err != nil {
+		t.Fatalf("zero-value governor rejected: %v", err)
+	}
+	release()
+}
+
+func TestNilGovernorAdmits(t *testing.T) {
+	var g *Governor
+	release, err := g.Admit(census(10, 10, 10))
+	if err != nil {
+		t.Fatalf("nil governor rejected: %v", err)
+	}
+	release()
+}
+
+func TestPerJobLimits(t *testing.T) {
+	cases := []struct {
+		name string
+		lim  Limits
+		c    asm.Census
+		ok   bool
+	}{
+		{"elements over", Limits{MaxElements: 4}, census(5, 0, 0), false},
+		{"elements at", Limits{MaxElements: 4}, census(4, 0, 0), true},
+		{"channel tokens over", Limits{MaxChannelTokens: 100}, census(1, 101, 0), false},
+		{"channel tokens at", Limits{MaxChannelTokens: 100}, census(1, 100, 0), true},
+		{"scratchpad over", Limits{MaxScratchpadWords: 1024}, census(1, 0, 1025), false},
+		{"scratchpad at", Limits{MaxScratchpadWords: 1024}, census(1, 0, 1024), true},
+		{"cost over", Limits{MaxCostWords: 100}, census(2, 0, 0), false}, // 2*64 > 100
+		{"cost under", Limits{MaxCostWords: 100}, census(1, 0, 0), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGovernor(tc.lim)
+			release, err := g.Admit(tc.c)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("unexpected rejection: %v", err)
+				}
+				release()
+				return
+			}
+			if err == nil {
+				t.Fatal("expected rejection")
+			}
+			if !IsResourceLimit(err) {
+				t.Fatalf("rejection is not a *limits.Error: %T", err)
+			}
+			if err.(*Error).Scope != "job" {
+				t.Fatalf("per-job violation has scope %q, want job", err.(*Error).Scope)
+			}
+		})
+	}
+}
+
+func TestServerBudgetReserveAndRelease(t *testing.T) {
+	c := census(1, 0, 0) // cost = 64
+	g := NewGovernor(Limits{ServerCostWords: 2 * Cost(c)})
+
+	r1, err := g.Admit(c)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	r2, err := g.Admit(c)
+	if err != nil {
+		t.Fatalf("second admit: %v", err)
+	}
+	if _, err := g.Admit(c); err == nil {
+		t.Fatal("third admit should exceed the server budget")
+	} else if err.(*Error).Scope != "server" {
+		t.Fatalf("server violation has scope %q, want server", err.(*Error).Scope)
+	}
+	r1()
+	r1() // release is idempotent
+	if got := g.InUseCostWords(); got != Cost(c) {
+		t.Fatalf("after one release inUse = %d, want %d", got, Cost(c))
+	}
+	r3, err := g.Admit(c)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	r2()
+	r3()
+	if got := g.InUseCostWords(); got != 0 {
+		t.Fatalf("after all releases inUse = %d, want 0", got)
+	}
+}
+
+func TestServerBudgetConcurrent(t *testing.T) {
+	c := census(1, 0, 0)
+	const slots = 8
+	g := NewGovernor(Limits{ServerCostWords: slots * Cost(c)})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted := 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if release, err := g.Admit(c); err == nil {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+				_ = release // held for the test's duration
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != slots {
+		t.Fatalf("admitted %d jobs into %d slots", admitted, slots)
+	}
+}
+
+func TestCostFromRealNetlist(t *testing.T) {
+	src := `
+source a : 1 2 3 eod
+sink o
+scratchpad sp 256
+pe copy
+in a
+out o
+cp:  when a.tag==0 : mov o, a ; deq a
+fin: when a.tag==eod : halt o#eod ; deq a
+end
+wire a.0 -> copy.a
+wire copy.o -> o.0 cap 8
+`
+	cs, err := asm.CheckNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig())
+	if err != nil {
+		t.Fatalf("CheckNetlist: %v", err)
+	}
+	if cs.Elements != 4 || cs.Scratchpads != 1 || cs.Channels != 2 {
+		t.Fatalf("census = %+v", cs)
+	}
+	if cs.ScratchpadWords != 256 {
+		t.Fatalf("scratchpad words = %d, want 256", cs.ScratchpadWords)
+	}
+	if Cost(cs) <= 0 {
+		t.Fatalf("cost = %d", Cost(cs))
+	}
+}

@@ -57,22 +57,41 @@ type Scratchpad struct {
 	init []isa.Word
 }
 
-// New returns a scratchpad holding `words` zeroed words.
+// New returns a scratchpad holding `words` zeroed words, panicking on a
+// non-positive size (use NewChecked on untrusted paths).
 func New(name string, words int) *Scratchpad {
-	if words <= 0 {
-		panic(fmt.Sprintf("scratchpad %s: size %d", name, words))
+	m, err := NewChecked(name, words)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Scratchpad{name: name, data: make([]isa.Word, words), init: make([]isa.Word, words)}
+	return m
+}
+
+// NewChecked is New with an invalid size reported as an error.
+func NewChecked(name string, words int) (*Scratchpad, error) {
+	if words <= 0 {
+		return nil, fmt.Errorf("scratchpad %s: size %d", name, words)
+	}
+	return &Scratchpad{name: name, data: make([]isa.Word, words), init: make([]isa.Word, words)}, nil
 }
 
 // Load copies contents into the scratchpad starting at address 0 and
-// records it as the initial image restored by Reset.
+// records it as the initial image restored by Reset. It panics on an
+// oversize image (use TryLoad on untrusted paths).
 func (m *Scratchpad) Load(contents []isa.Word) {
+	if err := m.TryLoad(contents); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryLoad is Load with an oversize image reported as an error.
+func (m *Scratchpad) TryLoad(contents []isa.Word) error {
 	if len(contents) > len(m.data) {
-		panic(fmt.Sprintf("scratchpad %s: load of %d words into %d-word memory", m.name, len(contents), len(m.data)))
+		return fmt.Errorf("scratchpad %s: load of %d words into %d-word memory", m.name, len(contents), len(m.data))
 	}
 	copy(m.data, contents)
 	copy(m.init, contents)
+	return nil
 }
 
 type pendingRead struct {
@@ -102,37 +121,54 @@ func (m *Scratchpad) Size() int { return len(m.data) }
 // Word returns the current contents of address a (for tests and debug).
 func (m *Scratchpad) Word(a int) isa.Word { return m.data[a] }
 
-// ConnectIn implements fabric.InPort.
+// ConnectIn implements fabric.InPort, panicking on a bad index or
+// double-connection (use TryConnectIn on untrusted paths).
 func (m *Scratchpad) ConnectIn(idx int, ch *channel.Channel) {
+	if err := m.TryConnectIn(idx, ch); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryConnectIn implements fabric.CheckedInPort.
+func (m *Scratchpad) TryConnectIn(idx int, ch *channel.Channel) error {
 	switch idx {
 	case PortReadAddr:
-		m.connect(&m.rdAddr, ch)
+		return m.connect(&m.rdAddr, ch)
 	case PortWriteAddr:
-		m.connect(&m.wrAddr, ch)
+		return m.connect(&m.wrAddr, ch)
 	case PortWriteData:
-		m.connect(&m.wrData, ch)
+		return m.connect(&m.wrData, ch)
 	default:
-		panic(fmt.Sprintf("scratchpad %s: input index %d out of range", m.name, idx))
+		return fmt.Errorf("scratchpad %s: input index %d out of range", m.name, idx)
 	}
 }
 
-// ConnectOut implements fabric.OutPort.
+// ConnectOut implements fabric.OutPort, panicking on a bad index or
+// double-connection (use TryConnectOut on untrusted paths).
 func (m *Scratchpad) ConnectOut(idx int, ch *channel.Channel) {
+	if err := m.TryConnectOut(idx, ch); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryConnectOut implements fabric.CheckedOutPort.
+func (m *Scratchpad) TryConnectOut(idx int, ch *channel.Channel) error {
 	switch idx {
 	case PortReadData:
-		m.connect(&m.rdResp, ch)
+		return m.connect(&m.rdResp, ch)
 	case PortWriteAck:
-		m.connect(&m.wrAck, ch)
+		return m.connect(&m.wrAck, ch)
 	default:
-		panic(fmt.Sprintf("scratchpad %s: output index %d out of range", m.name, idx))
+		return fmt.Errorf("scratchpad %s: output index %d out of range", m.name, idx)
 	}
 }
 
-func (m *Scratchpad) connect(slot **channel.Channel, ch *channel.Channel) {
+func (m *Scratchpad) connect(slot **channel.Channel, ch *channel.Channel) error {
 	if *slot != nil {
-		panic(fmt.Sprintf("scratchpad %s: port connected twice", m.name))
+		return fmt.Errorf("scratchpad %s: port connected twice", m.name)
 	}
 	*slot = ch
+	return nil
 }
 
 // CheckConnections requires a response channel whenever reads are wired.

@@ -449,26 +449,44 @@ func (p *PE) validate(i int, in *Inst) error {
 // Name implements fabric.Element.
 func (p *PE) Name() string { return p.name }
 
-// ConnectIn implements fabric.InPort.
+// ConnectIn implements fabric.InPort, panicking on a bad index or
+// double-connection (use TryConnectIn on untrusted paths).
 func (p *PE) ConnectIn(idx int, ch *channel.Channel) {
-	if idx < 0 || idx >= len(p.in) {
-		panic(fmt.Sprintf("pcpe %s: input index %d out of range", p.name, idx))
+	if err := p.TryConnectIn(idx, ch); err != nil {
+		panic(err.Error())
 	}
-	if p.in[idx] != nil {
-		panic(fmt.Sprintf("pcpe %s: input %d connected twice", p.name, idx))
-	}
-	p.in[idx] = ch
 }
 
-// ConnectOut implements fabric.OutPort.
+// TryConnectIn implements fabric.CheckedInPort.
+func (p *PE) TryConnectIn(idx int, ch *channel.Channel) error {
+	if idx < 0 || idx >= len(p.in) {
+		return fmt.Errorf("pcpe %s: input index %d out of range", p.name, idx)
+	}
+	if p.in[idx] != nil {
+		return fmt.Errorf("pcpe %s: input %d connected twice", p.name, idx)
+	}
+	p.in[idx] = ch
+	return nil
+}
+
+// ConnectOut implements fabric.OutPort, panicking on a bad index or
+// double-connection (use TryConnectOut on untrusted paths).
 func (p *PE) ConnectOut(idx int, ch *channel.Channel) {
+	if err := p.TryConnectOut(idx, ch); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryConnectOut implements fabric.CheckedOutPort.
+func (p *PE) TryConnectOut(idx int, ch *channel.Channel) error {
 	if idx < 0 || idx >= len(p.out) {
-		panic(fmt.Sprintf("pcpe %s: output index %d out of range", p.name, idx))
+		return fmt.Errorf("pcpe %s: output index %d out of range", p.name, idx)
 	}
 	if p.out[idx] != nil {
-		panic(fmt.Sprintf("pcpe %s: output %d connected twice", p.name, idx))
+		return fmt.Errorf("pcpe %s: output %d connected twice", p.name, idx)
 	}
 	p.out[idx] = ch
+	return nil
 }
 
 // CheckConnections verifies every referenced channel is attached.

@@ -338,28 +338,46 @@ func (p *PE) Pred(i int) bool {
 	return p.predBits&(1<<uint(i)) != 0
 }
 
-// ConnectIn attaches ch as input channel idx.
+// ConnectIn attaches ch as input channel idx, panicking on a bad index
+// or double-connection (use TryConnectIn on untrusted paths).
 func (p *PE) ConnectIn(idx int, ch *channel.Channel) {
+	if err := p.TryConnectIn(idx, ch); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryConnectIn implements fabric.CheckedInPort.
+func (p *PE) TryConnectIn(idx int, ch *channel.Channel) error {
 	if idx < 0 || idx >= len(p.in) {
-		panic(fmt.Sprintf("pe %s: input index %d out of range", p.name, idx))
+		return fmt.Errorf("pe %s: input index %d out of range", p.name, idx)
 	}
 	if p.in[idx] != nil {
-		panic(fmt.Sprintf("pe %s: input %d connected twice", p.name, idx))
+		return fmt.Errorf("pe %s: input %d connected twice", p.name, idx)
 	}
 	p.in[idx] = ch
 	p.invalidateCompiled()
+	return nil
 }
 
-// ConnectOut attaches ch as output channel idx.
+// ConnectOut attaches ch as output channel idx, panicking on a bad index
+// or double-connection (use TryConnectOut on untrusted paths).
 func (p *PE) ConnectOut(idx int, ch *channel.Channel) {
+	if err := p.TryConnectOut(idx, ch); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryConnectOut implements fabric.CheckedOutPort.
+func (p *PE) TryConnectOut(idx int, ch *channel.Channel) error {
 	if idx < 0 || idx >= len(p.out) {
-		panic(fmt.Sprintf("pe %s: output index %d out of range", p.name, idx))
+		return fmt.Errorf("pe %s: output index %d out of range", p.name, idx)
 	}
 	if p.out[idx] != nil {
-		panic(fmt.Sprintf("pe %s: output %d connected twice", p.name, idx))
+		return fmt.Errorf("pe %s: output %d connected twice", p.name, idx)
 	}
 	p.out[idx] = ch
 	p.invalidateCompiled()
+	return nil
 }
 
 // CheckConnections verifies that every channel the program references is

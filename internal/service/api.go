@@ -228,6 +228,11 @@ const (
 	// fleet coordinator's analogue of draining, surfaced as 503 with a
 	// Retry-After hint.
 	ErrUnavailable ErrorKind = "unavailable"
+	// ErrResourceLimit rejects a job whose modeled resource footprint
+	// exceeds the server's per-job or whole-server budget (HTTP 422,
+	// see internal/limits). Deterministic for failover purposes: every
+	// correctly configured node would reject the same job.
+	ErrResourceLimit ErrorKind = "resource_limit"
 	// ErrInternal is everything else.
 	ErrInternal ErrorKind = "internal"
 )

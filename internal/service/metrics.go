@@ -19,6 +19,8 @@ type Metrics struct {
 	JobsReplayed  atomic.Int64 // re-enqueued from the journal at startup
 	JobsResumed   atomic.Int64 // runs that restored from a checkpoint snapshot
 
+	JobsRejectedResource atomic.Int64 // refused by the resource governor (internal/limits)
+
 	SnapshotExports atomic.Int64 // checkpoint snapshots served to migrators
 	StatusLookups   atomic.Int64 // GET /v1/jobs/{id} answers
 
@@ -64,6 +66,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("tia_jobs_failed_total", "Jobs finished with a non-cancellation error.", m.JobsFailed.Load())
 	counter("tia_jobs_cancelled_total", "Jobs stopped by cancellation or deadline expiry.", m.JobsCancelled.Load())
 	counter("tia_jobs_rejected_total", "Jobs refused at admission because the queue was full.", m.JobsRejected.Load())
+	counter("tia_jobs_rejected_resource_total", "Jobs refused by the resource governor's per-job or server budget.", m.JobsRejectedResource.Load())
 	counter("tia_jobs_replayed_total", "Jobs re-enqueued from the journal at startup.", m.JobsReplayed.Load())
 	counter("tia_jobs_resumed_total", "Runs restored from a checkpoint snapshot (replay or migration).", m.JobsResumed.Load())
 	counter("tia_snapshot_exports_total", "Checkpoint snapshots served to migrators.", m.SnapshotExports.Load())
@@ -95,29 +98,30 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 func (m *Metrics) Snapshot() map[string]int64 {
 	cc := compile.Counters()
 	return map[string]int64{
-		"compile_cache_hits":   cc.Hits,
-		"compile_cache_misses": cc.Misses,
-		"jobs_started":         m.JobsStarted.Load(),
-		"jobs_completed":       m.JobsCompleted.Load(),
-		"jobs_failed":          m.JobsFailed.Load(),
-		"jobs_cancelled":       m.JobsCancelled.Load(),
-		"jobs_rejected":        m.JobsRejected.Load(),
-		"jobs_replayed":        m.JobsReplayed.Load(),
-		"jobs_resumed":         m.JobsResumed.Load(),
-		"snapshot_exports":     m.SnapshotExports.Load(),
-		"status_lookups":       m.StatusLookups.Load(),
-		"result_cache_hits":    m.ResultHits.Load(),
-		"result_cache_misses":  m.ResultMisses.Load(),
-		"program_cache_hits":   m.ProgramHits.Load(),
-		"program_cache_misses": m.ProgramMisses.Load(),
-		"queue_depth":          m.QueueDepth.Load(),
-		"jobs_running":         m.Running.Load(),
-		"cycles_simulated":     m.CyclesSimulated.Load(),
-		"sim_nanos":            m.SimNanos.Load(),
-		"faults_injected":      m.FaultsInjected.Load(),
-		"fault_runs_masked":    m.FaultRunsMasked.Load(),
-		"fault_runs_detected":  m.FaultRunsDetected.Load(),
-		"fault_runs_silent":    m.FaultRunsSilent.Load(),
-		"fault_runs_hang":      m.FaultRunsHang.Load(),
+		"compile_cache_hits":     cc.Hits,
+		"compile_cache_misses":   cc.Misses,
+		"jobs_started":           m.JobsStarted.Load(),
+		"jobs_completed":         m.JobsCompleted.Load(),
+		"jobs_failed":            m.JobsFailed.Load(),
+		"jobs_cancelled":         m.JobsCancelled.Load(),
+		"jobs_rejected":          m.JobsRejected.Load(),
+		"jobs_rejected_resource": m.JobsRejectedResource.Load(),
+		"jobs_replayed":          m.JobsReplayed.Load(),
+		"jobs_resumed":           m.JobsResumed.Load(),
+		"snapshot_exports":       m.SnapshotExports.Load(),
+		"status_lookups":         m.StatusLookups.Load(),
+		"result_cache_hits":      m.ResultHits.Load(),
+		"result_cache_misses":    m.ResultMisses.Load(),
+		"program_cache_hits":     m.ProgramHits.Load(),
+		"program_cache_misses":   m.ProgramMisses.Load(),
+		"queue_depth":            m.QueueDepth.Load(),
+		"jobs_running":           m.Running.Load(),
+		"cycles_simulated":       m.CyclesSimulated.Load(),
+		"sim_nanos":              m.SimNanos.Load(),
+		"faults_injected":        m.FaultsInjected.Load(),
+		"fault_runs_masked":      m.FaultRunsMasked.Load(),
+		"fault_runs_detected":    m.FaultRunsDetected.Load(),
+		"fault_runs_silent":      m.FaultRunsSilent.Load(),
+		"fault_runs_hang":        m.FaultRunsHang.Load(),
 	}
 }

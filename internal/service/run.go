@@ -15,6 +15,7 @@ import (
 	"tia/internal/asm"
 	"tia/internal/fabric"
 	"tia/internal/isa"
+	"tia/internal/limits"
 	"tia/internal/metrics"
 	"tia/internal/pcpe"
 	"tia/internal/trace"
@@ -24,11 +25,13 @@ import (
 // cachedProgram is one assembled netlist held by the program cache. A
 // netlist owns mutable fabric state, so reuse is serialized by mu and
 // every run starts from Reset; simulations are deterministic, so a reset
-// rerun is bit-identical to a fresh parse (asserted by tests).
+// rerun is bit-identical to a fresh parse (asserted by tests). The
+// census is kept so cache hits still pass resource admission per job.
 type cachedProgram struct {
 	mu          sync.Mutex
 	nl          *asm.Netlist
 	fingerprint string
+	census      asm.Census
 }
 
 // resultKey is the canonical content-address of a job result: every
@@ -64,6 +67,11 @@ func (k resultKey) hash() string {
 // all the way into the fabric stepping loop; id is the journaled job
 // identity (checkpoints and resume snapshots are keyed by it).
 func (s *Server) runJob(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
+	if req.MaxCycles < 0 {
+		// Submit rejects this at the boundary; guard replayed or embedded
+		// requests too rather than silently running the server default.
+		return nil, jobErrorf(ErrBadRequest, "max_cycles %d: must be non-negative (0 means the server default)", req.MaxCycles)
+	}
 	switch {
 	case req.Workload != "" && req.Netlist != "":
 		return nil, jobErrorf(ErrBadRequest, "submit either a workload or a netlist, not both")
@@ -248,18 +256,44 @@ func (s *Server) runWorkloadJob(ctx context.Context, id string, req *JobRequest)
 func (s *Server) runNetlistJob(ctx context.Context, id string, req *JobRequest) (*JobResult, error) {
 	srcHash := hashString(req.Netlist)
 	var prog *cachedProgram
+	var release func()
 	if v, ok := s.programs.get(srcHash); ok {
 		s.metrics.ProgramHits.Add(1)
 		prog = v.(*cachedProgram)
+		// The governor budgets live jobs, not cached programs: a cache
+		// hit still reserves the job's modeled footprint.
+		var aerr error
+		release, aerr = s.governor.Admit(prog.census)
+		if aerr != nil {
+			s.metrics.JobsRejectedResource.Add(1)
+			return nil, jobErrorf(ErrResourceLimit, "%v", aerr)
+		}
 	} else {
 		s.metrics.ProgramMisses.Add(1)
-		nl, err := asm.ParseNetlist(req.Netlist, isa.DefaultConfig(), pcpe.DefaultConfig())
+		var census asm.Census
+		nl, err := asm.ParseNetlistAdmit(req.Netlist, isa.DefaultConfig(), pcpe.DefaultConfig(),
+			func(c asm.Census) error {
+				census = c
+				var aerr error
+				release, aerr = s.governor.Admit(c)
+				return aerr
+			})
 		if err != nil {
-			return nil, jobErrorf(ErrCompile, "%v", err)
+			if release != nil {
+				release() // admission passed but construction failed
+			}
+			if limits.IsResourceLimit(err) {
+				s.metrics.JobsRejectedResource.Add(1)
+				return nil, jobErrorf(ErrResourceLimit, "%v", err)
+			}
+			// Validation failures are the client's malformed input, not a
+			// compiler defect: typed bad_request, deterministic for failover.
+			return nil, jobErrorf(ErrBadRequest, "%v", err)
 		}
-		prog = &cachedProgram{nl: nl, fingerprint: nl.Fingerprint()}
+		prog = &cachedProgram{nl: nl, fingerprint: nl.Fingerprint(), census: census}
 		s.programs.put(srcHash, prog)
 	}
+	defer release()
 
 	budget := s.cfg.DefaultMaxCycles
 	if req.MaxCycles > 0 {

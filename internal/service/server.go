@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tia/internal/limits"
 	"tia/internal/workloads"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	TraceEventLimit int
 	// MaxRequestBytes bounds the request body.
 	MaxRequestBytes int64
+	// Limits are the per-job and whole-server resource budgets netlist
+	// jobs are cost-modeled against before construction (see
+	// internal/limits). Zero values mean unlimited.
+	Limits limits.Limits
 
 	// JournalPath, when set, enables crash-safe job durability: every
 	// accepted job is recorded in a write-ahead journal (fsync'd,
@@ -91,6 +96,7 @@ type Server struct {
 	programs *cache
 	sched    *scheduler
 	tracker  *jobTracker
+	governor *limits.Governor
 	mux      *http.ServeMux
 	draining atomic.Bool
 	jobSeq   atomic.Int64
@@ -148,6 +154,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.sched = newScheduler(cfg.Workers, cfg.QueueCap, s.metrics, s.runRecorded)
 	s.tracker = newJobTracker(trackedTerminalJobs)
+	s.governor = limits.NewGovernor(cfg.Limits)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -235,6 +242,9 @@ func (s *Server) Submit(ctx context.Context, req *JobRequest) (*JobResult, error
 	}
 	if len(req.ResumeSnapshot) > 0 && (req.Trace || req.Faults != nil) {
 		return nil, jobErrorf(ErrBadRequest, "resume_snapshot is incompatible with trace and fault-campaign jobs")
+	}
+	if req.MaxCycles < 0 {
+		return nil, jobErrorf(ErrBadRequest, "max_cycles %d: must be non-negative (0 means the server default)", req.MaxCycles)
 	}
 	id := req.JobID
 	if id == "" {
@@ -433,7 +443,7 @@ func httpStatus(kind ErrorKind) int {
 		return http.StatusGatewayTimeout
 	case ErrCancelled:
 		return 499 // client closed request (nginx convention)
-	case ErrDeadlock, ErrCycleBudget, ErrVerify:
+	case ErrDeadlock, ErrCycleBudget, ErrVerify, ErrResourceLimit:
 		return http.StatusUnprocessableEntity
 	case ErrDraining, ErrUnavailable:
 		return http.StatusServiceUnavailable

@@ -395,10 +395,12 @@ func TestBadRequests(t *testing.T) {
 		req  service.JobRequest
 		kind service.ErrorKind
 	}{
-		"empty":            {service.JobRequest{}, service.ErrBadRequest},
-		"both":             {service.JobRequest{Workload: "dmm", Netlist: spinnerNetlist}, service.ErrBadRequest},
-		"unknown workload": {service.JobRequest{Workload: "nonesuch"}, service.ErrBadRequest},
-		"bad netlist":      {service.JobRequest{Netlist: "pe broken\nend\n"}, service.ErrCompile},
+		"empty":                       {service.JobRequest{}, service.ErrBadRequest},
+		"both":                        {service.JobRequest{Workload: "dmm", Netlist: spinnerNetlist}, service.ErrBadRequest},
+		"unknown workload":            {service.JobRequest{Workload: "nonesuch"}, service.ErrBadRequest},
+		"bad netlist":                 {service.JobRequest{Netlist: "pe broken\nend\n"}, service.ErrBadRequest},
+		"negative max_cycles":         {service.JobRequest{Workload: "dmm", MaxCycles: -1}, service.ErrBadRequest},
+		"negative max_cycles netlist": {service.JobRequest{Netlist: spinnerNetlist, MaxCycles: -5}, service.ErrBadRequest},
 	} {
 		req := tc.req
 		if je := submitErr(t, svc, &req); je.Kind != tc.kind {
