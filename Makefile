@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke fuzz-smoke check
+.PHONY: all build test race vet bench-smoke bench bench-json bench-compare alloc-gate shard-smoke fault-smoke batch-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke fuzz-smoke check
 
 all: build
 
@@ -54,7 +54,7 @@ bench-compare:
 # these tests, not just a benchmark number. One-time compilation cost
 # is gated separately as a bounded constant.
 alloc-gate:
-	$(GO) test -run 'AllocationFree|AllocationBounded|ReusesCapacity' -count=1 ./internal/fabric ./internal/pe ./internal/channel
+	$(GO) test -run 'AllocationFree|AllocationBounded|ReusesCapacity' -count=1 ./internal/fabric ./internal/pe ./internal/channel ./internal/batchrun
 
 # Sharded-stepping differential smoke under the race detector: random
 # topologies across shard counts plus one kernel's three-way
@@ -66,6 +66,15 @@ shard-smoke:
 # masked/detected/sdc/hang taxonomy (see internal/core/resilience_test.go).
 fault-smoke:
 	$(GO) test -run 'TestFaultCampaignSmoke' -count=1 ./internal/core
+
+# Batched-campaign differential smoke under the race detector: the
+# structure-of-arrays batched stepper (internal/batchrun) must produce
+# campaign reports bit-identical to the serial runner for every kernel
+# (data + timing plans), with lane eviction and lane bookkeeping
+# contracts riding along (see internal/core/batch_test.go).
+batch-smoke:
+	$(GO) test -race -count=1 ./internal/batchrun
+	$(GO) test -race -run 'TestBatchedCampaign|TestBatchedTiming' -count=1 ./internal/core
 
 # Checkpoint/restore differential smoke under the race detector: two
 # kernels on both steppers, run-to-completion vs snapshot-then-restore
@@ -109,4 +118,4 @@ chaos-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzSimulate' -fuzztime 60s ./internal/gen
 
-check: vet race bench-smoke alloc-gate shard-smoke fault-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke fuzz-smoke
+check: vet race bench-smoke alloc-gate shard-smoke fault-smoke batch-smoke snapshot-smoke compile-smoke fleet-smoke chaos-smoke fuzz-smoke

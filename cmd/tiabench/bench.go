@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"tia/internal/core"
 	"tia/internal/fabric"
 	"tia/internal/isa"
 	"tia/internal/pe"
@@ -57,6 +58,11 @@ type benchReport struct {
 	Seed       int64         `json:"seed"`
 	Kernels    []benchKernel `json:"kernels"`
 	Micro      []benchMicro  `json:"micro"`
+	// Campaign is the batched-campaign throughput point: a 64-seed
+	// data-fault campaign run serially (fresh instance per run) and
+	// across batched lanes (internal/batchrun), with the taxonomy
+	// asserted identical between the two arms before timing counts.
+	Campaign *benchCampaign `json:"campaign,omitempty"`
 	// Fleet is the serving-layer throughput point: an in-process
 	// three-worker fleet fanning a 64-seed batch (see fleet.go).
 	Fleet *benchFleet `json:"fleet,omitempty"`
@@ -96,6 +102,11 @@ func emitBenchJSON(ctx context.Context, p workloads.Params, shards int, compiled
 		microResult("fabric_step/sharded", benchFabricStep(false, 4, false)),
 		microResult("fabric_step/compiled", benchFabricStep(false, 0, true)),
 	)
+	cam, err := benchCampaignRow(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	rep.Campaign = cam
 	fl, err := benchFleetRow()
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
@@ -151,6 +162,59 @@ func benchKernelRow(ctx context.Context, spec *workloads.Spec, p workloads.Param
 		}
 		row.Cycles = res.Cycles
 	}
+	return row, nil
+}
+
+// benchCampaign is the batched-campaign throughput row: one kernel's
+// 64-seed data-fault campaign, serial vs batched wall-clock (min-of-N).
+type benchCampaign struct {
+	Workload  string  `json:"workload"`
+	Runs      int     `json:"runs"`
+	Lanes     int     `json:"lanes"`
+	SerialMs  float64 `json:"serial_ms"`
+	BatchedMs float64 `json:"batched_ms"`
+	// Speedup is SerialMs / BatchedMs — what lane reuse buys on a
+	// campaign whose per-run dynamic work is small against the per-run
+	// static costs a fresh build pays.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchCampaignRow times the standard 64-seed mergesort data campaign
+// both ways, asserting the taxonomies identical first (a bench row that
+// silently timed diverging work would be meaningless).
+func benchCampaignRow(ctx context.Context) (*benchCampaign, error) {
+	const runs, lanes = 64, 8
+	spec, err := workloads.ByName("mergesort")
+	if err != nil {
+		return nil, err
+	}
+	p := workloads.Params{Seed: 11, Size: 12}
+	plan := core.DefaultDataPlan(4242)
+	row := &benchCampaign{Workload: spec.Name, Runs: runs, Lanes: lanes}
+	for r := 0; r < benchRuns; r++ {
+		t0 := time.Now()
+		srep, err := core.RunDataCampaign(ctx, spec, p, plan, runs)
+		if err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if r == 0 || ms < row.SerialMs {
+			row.SerialMs = ms
+		}
+		t0 = time.Now()
+		brep, err := core.RunDataCampaignBatch(ctx, spec, p, plan, runs, lanes)
+		if err != nil {
+			return nil, err
+		}
+		ms = float64(time.Since(t0).Nanoseconds()) / 1e6
+		if r == 0 || ms < row.BatchedMs {
+			row.BatchedMs = ms
+		}
+		if srep.Taxonomy != brep.Taxonomy {
+			return nil, fmt.Errorf("batched taxonomy %+v diverges from serial %+v", brep.Taxonomy, srep.Taxonomy)
+		}
+	}
+	row.Speedup = row.SerialMs / row.BatchedMs
 	return row, nil
 }
 

@@ -75,6 +75,21 @@ func compareReports(w io.Writer, old, fresh *benchReport, oldLabel string) error
 		fmt.Fprintf(w, "%-12s %10.3f %10.3f %+7.1f%%\n", "total",
 			old.TotalMinMs, fresh.TotalMinMs, (fresh.TotalMinMs/old.TotalMinMs-1)*100)
 	}
+	// The batched-campaign row gates like a kernel: its batched arm's
+	// wall clock is the contract (the serial arm is context). Rows only
+	// compare when both reports measured the same campaign shape.
+	if o, k := old.Campaign, fresh.Campaign; o != nil && k != nil &&
+		o.Workload == k.Workload && o.Runs == k.Runs && o.Lanes == k.Lanes {
+		delta := k.BatchedMs/o.BatchedMs - 1
+		mark := ""
+		if k.BatchedMs > o.BatchedMs*(1+regressThreshold) {
+			mark = "  REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("campaign/%s %.3f -> %.3f ms (%+.1f%%)",
+				k.Workload, o.BatchedMs, k.BatchedMs, delta*100))
+		}
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f %+7.1f%% (batched %dx%d, speedup %.2fx)%s\n",
+			"campaign", o.BatchedMs, k.BatchedMs, delta*100, k.Runs, k.Lanes, k.Speedup, mark)
+	}
 	if matched == 0 {
 		return fmt.Errorf("no kernels in common with %s — nothing to compare", oldLabel)
 	}

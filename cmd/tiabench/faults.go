@@ -91,7 +91,12 @@ func (st *campaignState) save(path string) error {
 // With -state FILE, each finished kernel's row is persisted and an
 // interrupted sweep resumes where it stopped: recorded kernels print
 // from the state file without re-simulating.
-func runFaultCampaigns(ctx context.Context, out io.Writer, p workloads.Params, runs int, seed int64, statePath string) error {
+//
+// With -batch K the campaigns execute across K batched lanes
+// (internal/batchrun): every row is bit-identical to serial — lane
+// reuse amortizes instance builds, it never changes outcomes — so
+// state files recorded serially resume batched and vice versa.
+func runFaultCampaigns(ctx context.Context, out io.Writer, p workloads.Params, runs int, seed int64, statePath string, lanes int) error {
 	var st *campaignState
 	if statePath != "" {
 		var err error
@@ -100,7 +105,11 @@ func runFaultCampaigns(ctx context.Context, out io.Writer, p workloads.Params, r
 		}
 	}
 
-	fmt.Fprintf(out, "Fault campaigns: %d timing + %d data runs per kernel, seed %d\n", runs, runs, seed)
+	fmt.Fprintf(out, "Fault campaigns: %d timing + %d data runs per kernel, seed %d", runs, runs, seed)
+	if lanes > 1 {
+		fmt.Fprintf(out, ", batched across %d lanes", lanes)
+	}
+	fmt.Fprintln(out)
 	fmt.Fprintln(out, "timing faults (latency jitter, channel stalls, element freezes) must leave results byte-identical;")
 	fmt.Fprintln(out, "data faults (bit flips, drops, dups) are classified against the fault-free golden run")
 	fmt.Fprintln(out)
@@ -113,11 +122,11 @@ func runFaultCampaigns(ctx context.Context, out io.Writer, p workloads.Params, r
 			row, done = st.Kernels[spec.Name]
 		}
 		if !done {
-			trep, err := core.RunTimingCampaign(ctx, spec, p, core.DefaultTimingPlan(seed), runs, false)
+			trep, err := core.RunTimingCampaignBatch(ctx, spec, p, core.DefaultTimingPlan(seed), runs, lanes, false)
 			if err != nil {
 				return err
 			}
-			drep, err := core.RunDataCampaign(ctx, spec, p, core.DefaultDataPlan(seed), runs)
+			drep, err := core.RunDataCampaignBatch(ctx, spec, p, core.DefaultDataPlan(seed), runs, lanes)
 			if err != nil {
 				return err
 			}

@@ -78,6 +78,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	genSeed := flag.Int64("gen", 0, "benchmark a generated netlist with this seed (internal/gen; scaled by -size) instead of the experiments")
+	batch := flag.Int("batch", 0, "campaign batch lanes: run -faults campaigns across K structure-of-arrays lanes, or sweep -gen across K generator seeds (0/1 = serial; results bit-identical)")
 	flag.Parse()
 	genSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -126,7 +127,7 @@ func main() {
 
 	p := workloads.Params{Size: *size, Seed: *seed}
 	if genSet {
-		if err := runGenerated(ctx, os.Stdout, *genSeed, *size, *shards, *compiled); err != nil {
+		if err := runGenerated(ctx, os.Stdout, *genSeed, *size, *shards, *compiled, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "tiabench:", err)
 			os.Exit(1)
 		}
@@ -165,7 +166,7 @@ func main() {
 		return
 	}
 	if *faults {
-		if err := runFaultCampaigns(ctx, os.Stdout, p, *faultRuns, *faultSeed, *faultState); err != nil {
+		if err := runFaultCampaigns(ctx, os.Stdout, p, *faultRuns, *faultSeed, *faultState, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "tiabench:", err)
 			os.Exit(1)
 		}

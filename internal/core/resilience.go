@@ -97,9 +97,30 @@ func goldenRun(ctx context.Context, spec *workloads.Spec, p workloads.Params, de
 	return inst.Sink.Tokens(), res.Cycles, nil
 }
 
+// campaignBudget bounds one faulty run's cycle count. A faulty run
+// either completes within a small multiple of the golden cycle count
+// (faults cease at Plan.To, which campaigns anchor to the golden run,
+// after which in-flight tokens drain at wire speed) or it never
+// completes at all — a dropped token starves a merge forever, or a
+// duplicated one livelocks a loop. The workload's own MaxCycles budget
+// is sized for fault-free completion from cold and is enormously
+// generous here: campaign profiles showed two livelocked runs spinning
+// out the full multi-million-cycle budget and dominating an entire
+// 64-seed campaign's wall-clock. Eight times golden plus a fixed drain
+// slack keeps hang detection sound while bounding its cost; the
+// workload budget stays as a cap so deliberately tiny budgets still
+// behave.
+func campaignBudget(golden, max int64) int64 {
+	b := golden*8 + 1<<15
+	if b > max {
+		b = max
+	}
+	return b
+}
+
 // faultyRun builds a fresh instance, attaches the plan, runs it, and
 // classifies the outcome against the golden token stream.
-func faultyRun(ctx context.Context, spec *workloads.Spec, p workloads.Params, plan faults.Plan, dense bool, golden []channel.Token) (FaultRun, error) {
+func faultyRun(ctx context.Context, spec *workloads.Spec, p workloads.Params, plan faults.Plan, dense bool, budget int64, golden []channel.Token) (FaultRun, error) {
 	run := FaultRun{Seed: plan.Seed}
 	inst, err := spec.BuildTIA(p)
 	if err != nil {
@@ -110,9 +131,17 @@ func faultyRun(ctx context.Context, spec *workloads.Spec, p workloads.Params, pl
 	if err != nil {
 		return run, err
 	}
-	res, err := inst.Fabric.RunContext(ctx, spec.MaxCycles(p))
-	run.Cycles = res.Cycles
-	run.Injected = inj.Counts().Total()
+	res, err := inst.Fabric.RunContext(ctx, budget)
+	return classifyRun(plan.Seed, res, err, inj.Counts().Total(), inst.Sink.Tokens(), golden)
+}
+
+// classifyRun turns one finished faulty run's raw outcome into a
+// FaultRun record. It is the single classification path shared by the
+// serial campaign runners and the batched ones (internal/core batch
+// runners retire lanes through it), which is what makes the batched
+// taxonomy bit-identical to serial by construction.
+func classifyRun(seed int64, res fabric.Result, err error, injected int64, got, golden []channel.Token) (FaultRun, error) {
+	run := FaultRun{Seed: seed, Cycles: res.Cycles, Injected: injected}
 	if err != nil {
 		if errors.Is(err, fabric.ErrCancelled) {
 			return run, err // campaign aborted, not an outcome
@@ -124,7 +153,7 @@ func faultyRun(ctx context.Context, spec *workloads.Spec, p workloads.Params, pl
 		run.Outcome, run.Detail = OutcomeDetected, err.Error()
 		return run, nil
 	}
-	run.Outcome, run.Detail = classifyTokens(inst.Sink.Tokens(), golden)
+	run.Outcome, run.Detail = classifyTokens(got, golden)
 	return run, nil
 }
 
@@ -171,10 +200,11 @@ func RunTimingCampaign(ctx context.Context, spec *workloads.Spec, p workloads.Pa
 		plan.To = cycles
 	}
 	rep := &CampaignReport{Workload: spec.Name, Plan: plan, GoldenCycles: cycles}
+	budget := campaignBudget(cycles, spec.MaxCycles(p))
 	base := plan.Seed
 	for r := 0; r < runs; r++ {
 		plan.Seed = base + int64(r)
-		run, err := faultyRun(ctx, spec, p, plan, dense, golden)
+		run, err := faultyRun(ctx, spec, p, plan, dense, budget, golden)
 		if err != nil {
 			return nil, err
 		}
@@ -202,10 +232,11 @@ func RunDataCampaign(ctx context.Context, spec *workloads.Spec, p workloads.Para
 		plan.To = cycles
 	}
 	rep := &CampaignReport{Workload: spec.Name, Plan: plan, GoldenCycles: cycles}
+	budget := campaignBudget(cycles, spec.MaxCycles(p))
 	base := plan.Seed
 	for r := 0; r < runs; r++ {
 		plan.Seed = base + int64(r)
-		run, err := faultyRun(ctx, spec, p, plan, false, golden)
+		run, err := faultyRun(ctx, spec, p, plan, false, budget, golden)
 		if err != nil {
 			return nil, err
 		}

@@ -110,6 +110,9 @@ type FaultInjector interface {
 	BeginCycle(cycle int64)
 	// Frozen reports that the element must not be stepped this cycle.
 	// Frozen elements accrue SkipCycles so statistics stay comparable.
+	// Frozen may return true only in cycles where Active reports true —
+	// the steppers hoist that check per cycle and skip the per-element
+	// calls entirely outside freeze windows.
 	Frozen(e Element) bool
 	// Active reports that some freeze window covers this cycle. While
 	// true, quiescence detection is suppressed: a fully-frozen fabric is
@@ -175,6 +178,10 @@ type Fabric struct {
 	// reset-and-rerun loop (core's verification reuse, campaign sweeps,
 	// the service) allocates nothing per run after the first.
 	rs runState
+	// stepper is the pooled incremental driver handed out by BeginRun and
+	// used internally by runEvent; like rs, one per fabric because a
+	// fabric has at most one run in flight.
+	stepper Stepper
 }
 
 // bind records a channel's endpoint elements, declared by Wire or
@@ -707,12 +714,14 @@ func (f *Fabric) runDense(ctx context.Context, maxCycles int64) (Result, error) 
 			}
 			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
 		}
+		mayFreeze := false
 		if f.inj != nil {
 			f.inj.BeginCycle(f.cycle)
+			mayFreeze = f.inj.Active()
 		}
 		worked := false
 		for i, e := range f.elems {
-			if f.inj != nil && f.inj.Frozen(e) {
+			if mayFreeze && f.inj.Frozen(e) {
 				if sk := f.prep.skips[i]; sk != nil {
 					sk.SkipCycles(1)
 				}
@@ -780,6 +789,9 @@ type runState struct {
 	sinksLeft   int
 
 	slots []shardSlot // sharded stepper's per-worker scratch
+	// mayFreeze is the per-cycle hoisted FaultInjector.Active result the
+	// sharded workers read (written serially before cycle dispatch).
+	mayFreeze bool
 }
 
 // boolScratch returns s resized to n with every entry false, reusing
@@ -941,79 +953,12 @@ func (f *Fabric) commitChannels(st *runState, cur int64) {
 //     Elements stage effects only in cycles where Step returns true, so
 //     re-activating the channels of every worked element restores the
 //     invariant before the next tick phase.
+//
+// The cycle body lives in Stepper.Step (see stepper.go) so incremental
+// callers — the batched campaign runner above all — drive the identical
+// code path one cycle at a time.
 func (f *Fabric) runEvent(ctx context.Context, maxCycles int64) (Result, error) {
-	st := f.initRunState()
-	elems, prep := f.elems, &f.prep
-	cc := f.newCancelCheck(ctx)
-	idleStreak := 0
-	for n := int64(0); n < maxCycles; n++ {
-		if err := cc.expired(); err != nil {
-			f.backfillSleepers(st)
-			if f.ckptFn != nil {
-				err = errors.Join(err, f.ckptFn(f.cycle))
-			}
-			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
-		}
-		cur := f.cycle
-		if f.inj != nil {
-			f.inj.BeginCycle(cur)
-		}
-		worked := false
-		// Indexing awake (1 byte/element) instead of ranging over the
-		// interface slice keeps the scan over mostly-sleeping fabrics in
-		// one or two cache lines.
-		for i := range st.awake {
-			if !st.awake[i] {
-				continue
-			}
-			if f.inj != nil && f.inj.Frozen(elems[i]) {
-				// Frozen: skip the step but stay awake, so stepping
-				// resumes the cycle the freeze ends even if no channel
-				// changes in between. The cycle is accounted immediately
-				// (an asleep frozen element is instead covered by its
-				// wake-time backfill, exactly as under dense stepping).
-				if sk := prep.skips[i]; sk != nil {
-					sk.SkipCycles(1)
-				}
-				continue
-			}
-			stepped := false
-			if prep.steps != nil {
-				stepped = prep.steps[i](cur)
-			} else {
-				stepped = elems[i].Step(cur)
-			}
-			if stepped {
-				worked = true
-				for _, ci := range prep.elemCh[i] {
-					// A worked element's untouched channels are still
-					// quiet here (staging is the only way to unquiet a
-					// channel mid-cycle), and Tick on a quiet channel is
-					// a no-op — so only channels with staged effects
-					// need to join the tick list.
-					if !st.active[ci] && !f.chans[ci].Quiet() {
-						st.active[ci] = true
-						st.activeList = append(st.activeList, ci)
-					}
-				}
-				if s := prep.sinkOf[i]; s != nil && !st.sinkDone[i] && s.Completed() {
-					st.sinkDone[i] = true
-					st.sinksLeft--
-				}
-			} else if h := prep.hints[i]; h == nil || !h.NeedsStep() {
-				st.awake[i] = false
-				st.asleepSince[i] = cur
-			}
-		}
-
-		f.commitChannels(st, cur)
-
-		if done, res, err := f.epilogue(st, worked, &idleStreak); done {
-			return res, err
-		}
-	}
-	f.backfillSleepers(st)
-	return Result{Cycles: f.cycle}, fmt.Errorf("after %d cycles: %w", f.cycle, ErrTimeout)
+	return f.beginEvent(ctx, maxCycles).Finish()
 }
 
 // epilogue is the end-of-cycle bookkeeping shared by the event-driven

@@ -52,7 +52,7 @@ type shardSlot struct {
 // (element i belongs to shard i mod k — interleaved, so construction
 // order cannot cluster all the busy elements onto one worker). It is
 // the parallel twin of runEvent's element loop.
-func (f *Fabric) computeShard(st *runState, s *shardSlot, k int, cur int64) {
+func (f *Fabric) computeShard(st *runState, s *shardSlot, k int, cur int64, mayFreeze bool) {
 	elems, prep, inj := f.elems, &f.prep, f.inj
 	s.worked = false
 	s.pending = s.pending[:0]
@@ -61,7 +61,7 @@ func (f *Fabric) computeShard(st *runState, s *shardSlot, k int, cur int64) {
 		if !st.awake[i] {
 			continue
 		}
-		if inj != nil && inj.Frozen(elems[i]) {
+		if mayFreeze && inj.Frozen(elems[i]) {
 			if sk := prep.skips[i]; sk != nil {
 				sk.SkipCycles(1)
 			}
@@ -122,7 +122,9 @@ func (f *Fabric) runSharded(ctx context.Context, maxCycles int64, k int) (Result
 		go func(s *shardSlot) {
 			defer wg.Done()
 			for cur := range ch {
-				f.computeShard(st, s, k, cur)
+				// st.mayFreeze is written in the serial prologue before
+				// the cycle is dispatched; the channel send orders it.
+				f.computeShard(st, s, k, cur, st.mayFreeze)
 				done <- struct{}{}
 			}
 		}(&st.slots[w])
@@ -145,14 +147,16 @@ func (f *Fabric) runSharded(ctx context.Context, maxCycles int64, k int) (Result
 			return Result{Cycles: f.cycle}, fmt.Errorf("cycle %d: %w", f.cycle, err)
 		}
 		cur := f.cycle
+		st.mayFreeze = false
 		if f.inj != nil {
 			f.inj.BeginCycle(cur)
+			st.mayFreeze = f.inj.Active()
 		}
 
 		for _, ch := range start {
 			ch <- cur
 		}
-		f.computeShard(st, &st.slots[0], k, cur)
+		f.computeShard(st, &st.slots[0], k, cur, st.mayFreeze)
 		for range start {
 			<-done
 		}

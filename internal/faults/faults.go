@@ -138,11 +138,19 @@ type window struct {
 // drawWindows samples n windows with the given maximum duration inside
 // [from, to), sorted by start.
 func drawWindows(r *rand.Rand, n int, maxDur int, from, to int64) []window {
+	return drawWindowsInto(nil, r, n, maxDur, from, to)
+}
+
+// drawWindowsInto is drawWindows appending into ws (rewound to empty), so
+// a Rearm can redraw a site's schedule without allocating once the slice
+// has grown to the plan's window count. The draw sequence is identical to
+// drawWindows.
+func drawWindowsInto(ws []window, r *rand.Rand, n int, maxDur int, from, to int64) []window {
+	ws = ws[:0]
 	span := to - from
 	if n <= 0 || span <= 0 {
-		return nil
+		return ws
 	}
-	ws := make([]window, 0, n)
 	for i := 0; i < n; i++ {
 		start := from + r.Int63n(span)
 		dur := int64(1 + r.Intn(maxDur))
@@ -177,6 +185,7 @@ type chanSite struct {
 	ch     *channel.Channel
 	rng    *rand.Rand
 	src    *countedSource // rng's underlying source, for checkpointing
+	hash   int64          // fnv of the site string, cached for Rearm reseeding
 	stalls []window
 	widx   int
 	// stalledNow caches the per-cycle stall decision (set by BeginCycle).
@@ -231,6 +240,9 @@ func (s *chanSite) Deliver(tok channel.Token) (channel.Token, channel.DeliverAct
 
 // elemSite is one element's freeze schedule.
 type elemSite struct {
+	rng       *rand.Rand
+	src       *countedSource
+	hash      int64
 	freezes   []window
 	widx      int
 	frozenNow bool
@@ -239,14 +251,25 @@ type elemSite struct {
 // Injector is a compiled, attached fault plan. It implements
 // fabric.FaultInjector; channel hooks are installed by Attach. An
 // Injector is single-run state: build a fresh fabric (or Reset it) and a
-// fresh Injector per campaign run.
+// fresh Injector per campaign run — or, on a batch lane that reuses the
+// instance, Reset the fabric and Rearm the same injector for the next
+// seed.
 type Injector struct {
 	plan   Plan
 	cycle  int64
 	counts Counts
 	chans  []*chanSite
 	elems  map[fabric.Element]*elemSite
-	active bool // any freeze window covers the current cycle
+	// elemList mirrors elems for the per-cycle walk: slice iteration is
+	// both cheaper and deterministic (per-site decisions are order-free,
+	// but the cache-friendly walk is what BeginCycle's cost budget wants).
+	elemList []*elemSite
+	active   bool // any freeze window covers the current cycle
+	// anyStalls/anyFreezes gate BeginCycle's per-site walks: campaigns
+	// with pure data plans (no windows anywhere) pay one branch per cycle
+	// instead of a full site scan.
+	anyStalls  bool
+	anyFreezes bool
 }
 
 // New validates and compiles a plan.
@@ -274,7 +297,7 @@ func Attach(f *fabric.Fabric, plan Plan) (*Injector, error) {
 			continue
 		}
 		site := &chanSite{inj: inj, ch: ch}
-		site.rng, site.src = siteRand(plan.Seed, "ch:"+ch.Name())
+		site.rng, site.src, site.hash = siteRand(plan.Seed, "ch:"+ch.Name())
 		site.stalls = drawWindows(site.rng, plan.Stalls, plan.StallMax, from, to)
 		// Attach-time window draws are replayed by re-attaching the same
 		// plan, so checkpoints count only the run-time draws after them.
@@ -286,15 +309,85 @@ func Attach(f *fabric.Fabric, plan Plan) (*Injector, error) {
 		if !inj.matches(e.Name()) {
 			continue
 		}
-		r, _ := siteRand(plan.Seed, "elem:"+e.Name())
+		r, src, hash := siteRand(plan.Seed, "elem:"+e.Name())
 		ws := drawWindows(r, plan.Freezes, plan.FreezeMax, from, to)
 		if len(ws) == 0 && plan.Freezes == 0 {
 			continue // no element-level faults planned; skip the map entry
 		}
-		inj.elems[e] = &elemSite{freezes: ws}
+		es := &elemSite{rng: r, src: src, hash: hash, freezes: ws}
+		inj.elems[e] = es
+		inj.elemList = append(inj.elemList, es)
 	}
+	inj.refreshFastPath()
 	f.SetFaultInjector(inj)
 	return inj, nil
+}
+
+// refreshFastPath recomputes the BeginCycle gating bits from the drawn
+// window schedules.
+func (inj *Injector) refreshFastPath() {
+	inj.anyStalls = false
+	for _, s := range inj.chans {
+		if len(s.stalls) > 0 {
+			inj.anyStalls = true
+			break
+		}
+	}
+	inj.anyFreezes = false
+	for _, es := range inj.elemList {
+		if len(es.freezes) > 0 {
+			inj.anyFreezes = true
+			break
+		}
+	}
+}
+
+// Rearm re-seeds an attached injector in place for the next run of a
+// campaign: every site's generator is re-seeded and its window schedule
+// redrawn exactly as a fresh Attach of the new plan would, but the site
+// wiring, name hashes and window storage are reused, so a batch lane
+// arms the next seed without allocating or re-scanning the fabric. The
+// caller must Reset the fabric between runs as usual; outcomes are then
+// bit-identical to Detach + fresh Attach (the differential test in this
+// package asserts it).
+//
+// The new plan must keep the site population of the attached one: the
+// same Sites filter, and element freezes planned (Freezes > 0) in both
+// or neither — those decided which sites exist at Attach time. Anything
+// else (seed, window bounds, rates, counts) may change per run.
+func (inj *Injector) Rearm(plan Plan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if plan.Sites != inj.plan.Sites {
+		return fmt.Errorf("faults: Rearm changes Sites filter %q -> %q; re-Attach instead", inj.plan.Sites, plan.Sites)
+	}
+	if (plan.Freezes > 0) != (inj.plan.Freezes > 0) {
+		return fmt.Errorf("faults: Rearm toggles element freezes (%d -> %d); re-Attach instead", inj.plan.Freezes, plan.Freezes)
+	}
+	inj.plan = plan
+	inj.cycle = 0
+	inj.counts = Counts{}
+	inj.active = false
+	from, to := plan.From, plan.To
+	if to <= 0 {
+		to = from + DefaultHorizon
+	}
+	for _, s := range inj.chans {
+		s.src.Seed(plan.Seed ^ s.hash)
+		s.stalls = drawWindowsInto(s.stalls, s.rng, plan.Stalls, plan.StallMax, from, to)
+		s.src.draws = 0
+		s.widx = 0
+		s.stalledNow = false
+	}
+	for _, es := range inj.elemList {
+		es.src.Seed(plan.Seed ^ es.hash)
+		es.freezes = drawWindowsInto(es.freezes, es.rng, plan.Freezes, plan.FreezeMax, from, to)
+		es.widx = 0
+		es.frozenNow = false
+	}
+	inj.refreshFastPath()
+	return nil
 }
 
 // Detach removes the injector's hooks from the fabric, restoring the
@@ -320,24 +413,37 @@ func (inj *Injector) inWindow() bool {
 }
 
 // BeginCycle implements fabric.FaultInjector: refresh every site's
-// per-cycle stall/freeze state from the precomputed windows.
+// per-cycle stall/freeze state from the precomputed windows. Plans with
+// no stall or freeze windows anywhere (every pure data plan) skip the
+// site walks entirely — campaign profiles showed the walk dominating
+// otherwise, at one covers() call per site per cycle.
 func (inj *Injector) BeginCycle(cycle int64) {
 	inj.cycle = cycle
-	for _, s := range inj.chans {
-		s.stalledNow = covers(s.stalls, &s.widx, cycle)
+	if inj.anyStalls {
+		for _, s := range inj.chans {
+			s.stalledNow = covers(s.stalls, &s.widx, cycle)
+		}
 	}
-	inj.active = false
-	for _, es := range inj.elems {
-		es.frozenNow = covers(es.freezes, &es.widx, cycle)
-		if es.frozenNow {
-			inj.active = true
-			inj.counts.FreezeCycles++
+	if inj.anyFreezes {
+		inj.active = false
+		for _, es := range inj.elemList {
+			es.frozenNow = covers(es.freezes, &es.widx, cycle)
+			if es.frozenNow {
+				inj.active = true
+				inj.counts.FreezeCycles++
+			}
 		}
 	}
 }
 
-// Frozen implements fabric.FaultInjector.
+// Frozen implements fabric.FaultInjector. A frozen element implies an
+// active freeze window (BeginCycle sets both), so the steppers hoist the
+// Active check per cycle and skip the per-element lookup entirely when
+// no window covers the cycle.
 func (inj *Injector) Frozen(e fabric.Element) bool {
+	if !inj.active {
+		return false
+	}
 	es, ok := inj.elems[e]
 	return ok && es.frozenNow
 }
@@ -353,18 +459,41 @@ func (inj *Injector) Counts() Counts { return inj.counts }
 // replay it exactly (math/rand sources expose no serializable state).
 // Go's rngSource defines Int63 as a masked Uint64, so every method is
 // exactly one state advance and counting calls counts advances.
+//
+// Seeding is lazy: Seed (and construction via siteRand) records the
+// seed but defers the expensive generator-state initialization until
+// the first draw. Campaign profiles motivated this — math/rand's seed
+// routine fills a 607-word feedback array per site, and in a data-fault
+// campaign most sites never draw at all (no windows at attach, and only
+// channels that actually deliver tokens before Plan.To consume draws).
+// The draw sequence is unchanged: the first draw observes exactly the
+// state an eager seed would have produced.
 type countedSource struct {
-	src   rand.Source64
-	draws int64
+	src     rand.Source64
+	draws   int64
+	pending int64 // seed to apply before the next draw, when unseeded
+	seeded  bool
 }
 
-func (c *countedSource) Int63() int64    { c.draws++; return c.src.Int63() }
-func (c *countedSource) Uint64() uint64  { c.draws++; return c.src.Uint64() }
-func (c *countedSource) Seed(seed int64) { c.src.Seed(seed); c.draws = 0 }
+func (c *countedSource) ensure() {
+	if !c.seeded {
+		c.seeded = true
+		if c.src == nil {
+			c.src = rand.NewSource(c.pending).(rand.Source64)
+		} else {
+			c.src.Seed(c.pending)
+		}
+	}
+}
+
+func (c *countedSource) Int63() int64    { c.ensure(); c.draws++; return c.src.Int63() }
+func (c *countedSource) Uint64() uint64  { c.ensure(); c.draws++; return c.src.Uint64() }
+func (c *countedSource) Seed(seed int64) { c.pending, c.seeded, c.draws = seed, false, 0 }
 
 // burn advances the source n states without counting them (used by
 // restore to replay a checkpointed generator position).
 func (c *countedSource) burn(n int64) {
+	c.ensure()
 	for i := int64(0); i < n; i++ {
 		c.src.Uint64()
 	}
@@ -372,12 +501,15 @@ func (c *countedSource) burn(n int64) {
 
 // siteRand derives a site-local deterministic generator from the plan
 // seed and the site name. The returned source is the generator's own, so
-// callers can checkpoint its position. Wrapping does not change the draw
-// sequence: countedSource delegates verbatim, and rand.Rand uses a
-// Source64 the same way it uses the bare source.
-func siteRand(seed int64, site string) (*rand.Rand, *countedSource) {
+// callers can checkpoint its position; the returned hash is the site
+// name's, so Rearm can re-seed for a new plan seed without re-hashing.
+// Wrapping does not change the draw sequence: countedSource delegates
+// verbatim, and rand.Rand uses a Source64 the same way it uses the bare
+// source.
+func siteRand(seed int64, site string) (*rand.Rand, *countedSource, int64) {
 	h := fnv.New64a()
 	h.Write([]byte(site))
-	src := &countedSource{src: rand.NewSource(seed ^ int64(h.Sum64())).(rand.Source64)}
-	return rand.New(src), src
+	hash := int64(h.Sum64())
+	src := &countedSource{pending: seed ^ hash}
+	return rand.New(src), src, hash
 }

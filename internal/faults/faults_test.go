@@ -39,7 +39,7 @@ func TestPlanValidate(t *testing.T) {
 }
 
 func TestDrawWindowsSortedAndBounded(t *testing.T) {
-	r, _ := siteRand(42, "test")
+	r, _, _ := siteRand(42, "test")
 	ws := drawWindows(r, 20, 7, 10, 100)
 	if len(ws) != 20 {
 		t.Fatalf("drew %d windows, want 20", len(ws))
@@ -76,9 +76,9 @@ func TestCoversMonotonic(t *testing.T) {
 }
 
 func TestSiteRandDeterministic(t *testing.T) {
-	a, _ := siteRand(99, "ch:x")
-	b, _ := siteRand(99, "ch:x")
-	c, _ := siteRand(99, "ch:y")
+	a, _, _ := siteRand(99, "ch:x")
+	b, _, _ := siteRand(99, "ch:x")
+	c, _, _ := siteRand(99, "ch:y")
 	same, diff := true, false
 	for i := 0; i < 16; i++ {
 		va, vb, vc := a.Int63(), b.Int63(), c.Int63()

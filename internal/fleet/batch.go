@@ -50,6 +50,12 @@ type BatchRow struct {
 	Worker string             `json:"worker,omitempty"`
 	Result *service.JobResult `json:"result,omitempty"`
 	Error  *service.JobError  `json:"error,omitempty"`
+	// Cached and Batched mirror the row's Result provenance (served
+	// from the worker's result cache; campaign executed on batched
+	// lanes) at the top level, so sweep consumers can account cache
+	// hits and batched execution without unpacking every payload.
+	Cached  bool `json:"cached,omitempty"`
+	Batched bool `json:"batched,omitempty"`
 }
 
 // BatchResult is the buffered (non-streaming) batch response.
@@ -225,6 +231,8 @@ func (c *Coordinator) runBatch(ctx context.Context, runs []service.JobRequest, e
 				}
 			} else {
 				row.Result = res
+				row.Cached = res.Cached
+				row.Batched = res.Batched
 			}
 			rows[i] = row
 			if emit != nil {

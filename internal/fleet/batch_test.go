@@ -228,3 +228,74 @@ func doBatch(t *testing.T, url string, req BatchRequest) (int, []byte) {
 	}
 	return resp.StatusCode, raw
 }
+
+// TestBatchProvenanceRows pins the per-row provenance mirrors of
+// POST /v1/batches: campaign rows report batched execution, repeated
+// plain rows report cache hits, and both surface at the row's top level
+// in the JSON wire form (not only inside the result payload).
+func TestBatchProvenanceRows(t *testing.T) {
+	coord, _ := newTestFleet(t, 2, nil, nil)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	// Campaign sweep: each row is a fault campaign, executed on batched
+	// lanes by its worker.
+	status, body := doBatch(t, ts.URL, BatchRequest{
+		Template: service.JobRequest{
+			Workload: "dmm",
+			Faults:   &service.FaultCampaignRequest{Runs: 6, FlipRate: 0.01},
+		},
+		SeedCount: 3,
+		SeedStart: 40,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("campaign batch HTTP %d: %s", status, body)
+	}
+	if !bytes.Contains(body, []byte(`"batched"`)) {
+		t.Errorf("campaign batch body carries no batched provenance: %s", body)
+	}
+	var res BatchResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decode campaign batch: %v", err)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("campaign batch %d completed, want 3: %s", res.Completed, body)
+	}
+	for i, row := range res.Rows {
+		if !row.Batched {
+			t.Errorf("campaign row %d not marked batched", i)
+		}
+		if row.Cached {
+			t.Errorf("campaign row %d marked cached; campaigns bypass the result cache", i)
+		}
+		if row.Result == nil || !row.Result.Batched || row.Result.Lanes < 2 {
+			t.Errorf("campaign row %d result lacks batched/lanes provenance: %+v", i, row.Result)
+		}
+	}
+
+	// Plain sweep, twice: affinity routing sends the repeat to the same
+	// workers, so every second-pass row is a cache hit — mirrored on the
+	// row.
+	plain := BatchRequest{Template: service.JobRequest{Workload: "dmm"}, SeedCount: 4, SeedStart: 7}
+	if status, body = doBatch(t, ts.URL, plain); status != http.StatusOK {
+		t.Fatalf("plain batch HTTP %d: %s", status, body)
+	}
+	if status, body = doBatch(t, ts.URL, plain); status != http.StatusOK {
+		t.Fatalf("plain batch repeat HTTP %d: %s", status, body)
+	}
+	res = BatchResult{} // fresh: omitempty fields must not inherit campaign rows
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decode plain batch: %v", err)
+	}
+	for i, row := range res.Rows {
+		if !row.Cached {
+			t.Errorf("repeated plain row %d not marked cached", i)
+		}
+		if row.Batched {
+			t.Errorf("plain row %d marked batched; single simulations have no lanes", i)
+		}
+	}
+	if !bytes.Contains(body, []byte(`"cached": true`)) {
+		t.Errorf("repeated plain batch body carries no cached provenance: %s", body)
+	}
+}

@@ -9,12 +9,15 @@ package gen
 // pins a deterministic seed sweep into the ordinary test suite.
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
 
 	"tia/internal/asm"
+	"tia/internal/batchrun"
 	"tia/internal/channel"
+	"tia/internal/fabric"
 	"tia/internal/isa"
 	"tia/internal/pcpe"
 )
@@ -143,6 +146,56 @@ func differential(t *testing.T, src string) {
 	}
 }
 
+// batchedArm cross-checks the batched stepper against serial runs over
+// heterogeneous generated topologies: K consecutive seeds become K batch
+// lanes, each lane a freshly parsed netlist of its own shape, and every
+// lane's observation (cycles, completion, error, sink contents) must
+// equal a standalone serial run of the same source. Seeds whose source
+// fails to parse are skipped — parse rejection is the serial arms' job.
+func batchedArm(t *testing.T, seed int64, mutate bool) {
+	t.Helper()
+	const lanes = 3
+	var srcs []string
+	var want []observation
+	for i := int64(0); i < lanes; i++ {
+		src := inputFor(seed+i, mutate)
+		if _, err := asm.ParseNetlist(src, isa.DefaultConfig(), pcpe.DefaultConfig()); err != nil {
+			continue
+		}
+		srcs = append(srcs, src)
+		want = append(want, runBackend(t, src, backends[0]))
+	}
+	if len(srcs) == 0 {
+		return
+	}
+	nls := make([]*asm.Netlist, len(srcs))
+	b, err := batchrun.New(
+		batchrun.Config{Lanes: len(srcs), MaxCycles: fuzzMaxCycles},
+		func(lane int) (*fabric.Fabric, any, error) {
+			nls[lane] = parse(t, srcs[lane])
+			return nls[lane].Fabric, nil, nil
+		})
+	if err != nil {
+		t.Fatalf("batchrun.New: %v", err)
+	}
+	got := make([]observation, len(srcs))
+	err = b.Run(context.Background(), len(srcs),
+		func(l *batchrun.Lane, run int) error { return nil },
+		func(l *batchrun.Lane, run int, res fabric.Result, err error) error {
+			got[l.ID] = observe(nls[l.ID], res.Cycles, res.Completed, err)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	for i := range srcs {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("batched lane diverged from serial (seed %d):\nserial:  %+v\nbatched: %+v\nnetlist:\n%s",
+				seed+int64(i), want[i], got[i], srcs[i])
+		}
+	}
+}
+
 // inputFor derives the netlist source for one fuzz input.
 func inputFor(seed int64, mutate bool) string {
 	src := Netlist(Params{Seed: seed})
@@ -208,8 +261,8 @@ func TestGeneratorCoversConstructs(t *testing.T) {
 // FuzzSimulate is the generative differential fuzzer: the fuzzer owns
 // the seed, the generator turns it into a netlist (optionally mutated
 // into hostile territory), and the harness cross-checks all four
-// backends plus snapshot/restore. Run via make fuzz-smoke or the
-// nightly CI job.
+// backends plus snapshot/restore, then the batched stepper against
+// serial runs. Run via make fuzz-smoke or the nightly CI job.
 func FuzzSimulate(f *testing.F) {
 	for seed := int64(1); seed <= 8; seed++ {
 		f.Add(seed, false)
@@ -217,5 +270,6 @@ func FuzzSimulate(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, seed int64, mutate bool) {
 		differential(t, inputFor(seed, mutate))
+		batchedArm(t, seed, mutate)
 	})
 }

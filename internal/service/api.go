@@ -126,6 +126,12 @@ type FaultCampaignRequest struct {
 	FlipRate float64 `json:"flip_rate,omitempty"`
 	DropRate float64 `json:"drop_rate,omitempty"`
 	DupRate  float64 `json:"dup_rate,omitempty"`
+
+	// Lanes is the number of batch lanes the campaign's runs execute
+	// across (structure-of-arrays lane reuse; see internal/batchrun).
+	// 0 picks the server default; 1 forces serial execution. Results
+	// are bit-identical either way.
+	Lanes int `json:"lanes,omitempty"`
 }
 
 // CampaignSummary is the aggregate outcome taxonomy of a fault campaign.
@@ -188,6 +194,13 @@ type JobResult struct {
 	// Campaign is the fault-campaign taxonomy, for jobs submitted with
 	// Faults set.
 	Campaign *CampaignSummary `json:"campaign,omitempty"`
+
+	// Batched reports that a campaign's runs executed on batched lanes
+	// (internal/batchrun) rather than one fresh instance per run; Lanes
+	// is the lane count used. Purely provenance: batched results are
+	// bit-identical to serial.
+	Batched bool `json:"batched,omitempty"`
+	Lanes   int  `json:"lanes,omitempty"`
 }
 
 // ErrorKind classifies job failures for programmatic handling.
